@@ -1,0 +1,61 @@
+//! End-to-end pipeline benchmarks: translation engine, one full LASSI
+//! scenario per direction (the unit of work behind Tables VI and VII), and
+//! the per-direction aggregate computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lassi_core::{scenario_outcomes, Direction, Lassi, PipelineConfig, ScenarioStatus};
+use lassi_hecbench::application;
+use lassi_lang::Dialect;
+use lassi_llm::{gpt4, translate_program, SimulatedLlm};
+use lassi_metrics::AggregateStats;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let layout = application("layout").unwrap();
+    let entropy = application("entropy").unwrap();
+
+    c.bench_function("translate_engine_layout_cuda_to_omp", |b| {
+        let program = layout.parse(Dialect::CudaLite).unwrap();
+        b.iter(|| black_box(translate_program(&program, Dialect::OmpLite).unwrap()))
+    });
+
+    c.bench_function("pipeline_scenario_table6_layout_gpt4", |b| {
+        let config = PipelineConfig::default();
+        b.iter(|| {
+            let seed = config.model_scenario_seed("GPT-4", "layout", Direction::OmpToCuda);
+            let llm = SimulatedLlm::with_seed(gpt4(), seed);
+            let mut pipeline = Lassi::new(llm, config.clone());
+            black_box(pipeline.translate_application(&layout, Dialect::OmpLite))
+        })
+    });
+
+    c.bench_function("pipeline_scenario_table7_entropy_gpt4", |b| {
+        let config = PipelineConfig::default();
+        b.iter(|| {
+            let seed = config.model_scenario_seed("GPT-4", "entropy", Direction::CudaToOmp);
+            let llm = SimulatedLlm::with_seed(gpt4(), seed);
+            let mut pipeline = Lassi::new(llm, config.clone());
+            black_box(pipeline.translate_application(&entropy, Dialect::CudaLite))
+        })
+    });
+
+    c.bench_function("summary_aggregation", |b| {
+        // Aggregate over a synthetic record set shaped like one direction.
+        let config = PipelineConfig::default();
+        let seed = config.model_scenario_seed("GPT-4", "layout", Direction::OmpToCuda);
+        let llm = SimulatedLlm::with_seed(gpt4(), seed);
+        let mut pipeline = Lassi::new(llm, config);
+        let record = pipeline.translate_application(&layout, Dialect::OmpLite);
+        assert!(record.status == ScenarioStatus::Success || record.status.is_na());
+        let records = vec![record; 40];
+        b.iter(|| black_box(AggregateStats::from_outcomes(&scenario_outcomes(&records))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Print the prompt dictionary (Tables I, II and III).
+
+use lassi_lang::Dialect;
+use lassi_llm::prompts::PromptDictionary;
+
+fn main() {
+    println!("Table I: system prompts\n");
+    println!("[general]\n{}\n", lassi_llm::prompts::SYSTEM_GENERAL);
+    println!("[CUDA to OpenMP]\n{}\n", lassi_llm::prompts::SYSTEM_CUDA_TO_OPENMP);
+    println!("[OpenMP to CUDA]\n{}\n", lassi_llm::prompts::SYSTEM_OPENMP_TO_CUDA);
+    println!("Table II: translation prompts\n");
+    println!(
+        "[OpenMP to CUDA]\n{}\n",
+        PromptDictionary::translation_prompt(Dialect::OmpLite, Dialect::CudaLite)
+    );
+    println!(
+        "[CUDA to OpenMP]\n{}\n",
+        PromptDictionary::translation_prompt(Dialect::CudaLite, Dialect::OmpLite)
+    );
+    println!("Table III: self-correction prompts\n");
+    println!(
+        "[compile]\n{}\n",
+        PromptDictionary::build_compile_correction_prompt("<generated code>", "<compiler command>", "<error>")
+    );
+    println!(
+        "[execution]\n{}",
+        PromptDictionary::build_execution_correction_prompt("<generated code>", "<compiler command>", "<error>")
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerate the §V headline statistics for both translation directions
+//! (success rate, within-10% rate, Sim-T >= 0.6 rate, zero-self-correction rate).
+
+use lassi_core::{run_direction, scenario_outcomes, Direction};
+use lassi_metrics::AggregateStats;
+
+fn main() {
+    let config = lassi_bench::default_config();
+    for direction in Direction::both() {
+        let records = run_direction(direction, &config);
+        let stats = AggregateStats::from_outcomes(&scenario_outcomes(&records));
+        println!("=== {} ===", direction.label());
+        println!("{stats}\n");
+    }
+}

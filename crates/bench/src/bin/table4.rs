@@ -1,0 +1,11 @@
+//! Regenerate Table IV: reference runtimes of the ten HeCBench applications
+//! in CUDA and OpenMP on the simulated A100 machine.
+
+use lassi_core::{run_table4, table4_text};
+
+fn main() {
+    let config = lassi_bench::default_config();
+    let rows = run_table4(&config);
+    println!("Table IV: runtimes of selected HeCBench applications on the simulated A100\n");
+    print!("{}", table4_text(&rows));
+}

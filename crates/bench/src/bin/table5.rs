@@ -1,0 +1,21 @@
+//! Regenerate Table V: the four LLM configurations.
+
+use lassi_llm::all_models;
+
+fn main() {
+    println!("Table V: selected Large Language Models\n");
+    println!(
+        "{:<20} {:<12} {:<10} {:<14} {:>16}",
+        "LLM", "Parameters", "Size (GB)", "Quantization", "Context (tokens)"
+    );
+    for m in all_models() {
+        println!(
+            "{:<20} {:<12} {:<10} {:<14} {:>16}",
+            m.name,
+            m.parameters,
+            m.size_gb.map(|s| format!("{s:.0}")).unwrap_or_else(|| "API".to_string()),
+            m.quantization,
+            m.context_tokens
+        );
+    }
+}

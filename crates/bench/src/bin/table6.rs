@@ -1,0 +1,10 @@
+//! Regenerate Table VI: OpenMP → CUDA translation results for all ten
+//! applications and all four models (40 pipeline scenarios).
+
+use lassi_core::{direction_table, run_direction, Direction};
+
+fn main() {
+    let config = lassi_bench::default_config();
+    let records = run_direction(Direction::OmpToCuda, &config);
+    print!("{}", direction_table(Direction::OmpToCuda, &records));
+}

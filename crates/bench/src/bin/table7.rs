@@ -1,0 +1,10 @@
+//! Regenerate Table VII: CUDA → OpenMP translation results for all ten
+//! applications and all four models (40 pipeline scenarios).
+
+use lassi_core::{direction_table, run_direction, Direction};
+
+fn main() {
+    let config = lassi_bench::default_config();
+    let records = run_direction(Direction::CudaToOmp, &config);
+    print!("{}", direction_table(Direction::CudaToOmp, &records));
+}

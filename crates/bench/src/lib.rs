@@ -1,0 +1,40 @@
+//! # lassi-bench
+//!
+//! Benchmark harness for the LASSI reproduction:
+//!
+//! * **table-regeneration binaries** (`cargo run -p lassi-bench --bin <name>
+//!   --release`): `table4`, `table5`, `table6`, `table7`, `summary`,
+//!   `prompts` and `case_studies` print the corresponding tables / statistics
+//!   from the paper, regenerated on the simulated substrate.
+//! * **criterion benches** (`cargo bench -p lassi-bench`): `frontend`,
+//!   `simulators` and `pipeline` measure the wall-clock cost of the
+//!   front-end, the two execution substrates and the end-to-end pipeline.
+
+use lassi_core::PipelineConfig;
+
+/// Shared pipeline configuration used by every table binary so the numbers in
+/// EXPERIMENTS.md are regenerated identically run-to-run.
+pub fn default_config() -> PipelineConfig {
+    PipelineConfig::default()
+}
+
+/// Format seconds the way the paper's tables do (four decimal places).
+pub fn fmt_seconds(seconds: f64) -> String {
+    format!("{seconds:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_matches_table_style() {
+        assert_eq!(fmt_seconds(1.24401), "1.2440");
+        assert_eq!(fmt_seconds(0.0032), "0.0032");
+    }
+
+    #[test]
+    fn default_config_is_reproducible() {
+        assert_eq!(default_config().seed, PipelineConfig::default().seed);
+    }
+}

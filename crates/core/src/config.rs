@@ -1,0 +1,78 @@
+//! Pipeline configuration.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use lassi_runtime::RunConfig;
+
+use crate::experiment::Direction;
+
+/// Knobs for the LASSI pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Maximum number of self-correction iterations (compile + execute
+    /// combined) before the pipeline gives up on a scenario (reported as N/A).
+    pub max_self_corrections: u32,
+    /// Base RNG seed; each (model, application, direction) scenario derives a
+    /// stable seed from it so the whole evaluation is reproducible.
+    pub seed: u64,
+    /// Execution configuration used for every compile-and-run step.
+    pub run_config: RunConfig,
+    /// Number of timed executions averaged for the reported runtime (the
+    /// paper averages three runs).
+    pub timing_runs: u32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_self_corrections: 40,
+            seed: 20240704,
+            run_config: lassi_hecbench::Machine::run_config(),
+            timing_runs: 3,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Derive the deterministic seed for one scenario.
+    pub fn scenario_seed(&self, application: &str, direction: Direction) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.seed.hash(&mut hasher);
+        application.hash(&mut hasher);
+        direction.label().hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Derive the deterministic seed for one scenario with a specific model.
+    pub fn model_scenario_seed(&self, model: &str, application: &str, direction: Direction) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.scenario_seed(application, direction).hash(&mut hasher);
+        model.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let config = PipelineConfig::default();
+        let a = config.model_scenario_seed("GPT-4", "jacobi", Direction::CudaToOmp);
+        let b = config.model_scenario_seed("GPT-4", "jacobi", Direction::CudaToOmp);
+        assert_eq!(a, b);
+        let c = config.model_scenario_seed("GPT-4", "jacobi", Direction::OmpToCuda);
+        let d = config.model_scenario_seed("Codestral", "jacobi", Direction::CudaToOmp);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let config = PipelineConfig::default();
+        assert_eq!(config.timing_runs, 3);
+        assert!(config.max_self_corrections >= 34, "must allow the pathological Codestral case");
+    }
+}

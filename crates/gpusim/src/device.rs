@@ -1,0 +1,106 @@
+//! Device descriptions for the GPU simulator.
+
+/// Static description of a simulated GPU.
+///
+/// The default values approximate an NVIDIA A100-SXM4-40GB, the device used
+/// for every measurement in the LASSI paper. The absolute numbers only have
+/// to be plausible — the reproduction compares *relative* runtimes — but
+/// keeping them close to the data sheet makes the simulated times land in a
+/// familiar range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Peak single-precision throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Peak integer throughput in OP/s.
+    pub peak_iops: f64,
+    /// Special-function (sqrt, exp, ...) throughput in OP/s.
+    pub peak_sfu_ops: f64,
+    /// Global-memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Serialized atomic throughput in OP/s.
+    pub atomic_throughput: f64,
+    /// Host↔device transfer bandwidth in bytes/s (PCIe gen4 x16 effective).
+    pub pcie_bandwidth: f64,
+    /// Fixed cost of one kernel launch, in seconds.
+    pub kernel_launch_overhead: f64,
+    /// Fixed cost of one host↔device transfer call, in seconds.
+    pub memcpy_latency: f64,
+}
+
+impl DeviceSpec {
+    /// An NVIDIA A100-40GB-like device.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "NVIDIA A100-SXM4-40GB (simulated)".to_string(),
+            sm_count: 108,
+            max_threads_per_sm: 2048,
+            peak_flops: 19.5e12,
+            peak_iops: 19.5e12,
+            peak_sfu_ops: 4.9e12,
+            mem_bandwidth: 1.555e12,
+            atomic_throughput: 2.0e9,
+            pcie_bandwidth: 20.0e9,
+            kernel_launch_overhead: 6.0e-6,
+            memcpy_latency: 9.0e-6,
+        }
+    }
+
+    /// A deliberately small device useful in tests (keeps utilisation factors
+    /// away from the clamps).
+    pub fn small_test_device() -> Self {
+        DeviceSpec {
+            name: "test-gpu".to_string(),
+            sm_count: 4,
+            max_threads_per_sm: 256,
+            peak_flops: 1.0e9,
+            peak_iops: 1.0e9,
+            peak_sfu_ops: 2.5e8,
+            mem_bandwidth: 1.0e9,
+            atomic_throughput: 1.0e7,
+            pcie_bandwidth: 1.0e8,
+            kernel_launch_overhead: 1.0e-5,
+            memcpy_latency: 1.0e-5,
+        }
+    }
+
+    /// Maximum number of concurrently resident threads on the whole device.
+    pub fn max_resident_threads(&self) -> u64 {
+        self.sm_count as u64 * self.max_threads_per_sm as u64
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_resident_threads() {
+        let d = DeviceSpec::a100();
+        assert_eq!(d.max_resident_threads(), 108 * 2048);
+    }
+
+    #[test]
+    fn default_is_a100() {
+        assert_eq!(DeviceSpec::default(), DeviceSpec::a100());
+    }
+
+    #[test]
+    fn test_device_is_smaller() {
+        let t = DeviceSpec::small_test_device();
+        let a = DeviceSpec::a100();
+        assert!(t.max_resident_threads() < a.max_resident_threads());
+        assert!(t.peak_flops < a.peak_flops);
+    }
+}

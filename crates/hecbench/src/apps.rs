@@ -1,0 +1,1012 @@
+//! The ten benchmark applications, in both dialects.
+//!
+//! Application names, categories and runtime arguments follow Table IV of the
+//! paper. Problem sizes are scaled down so that functional simulation stays
+//! fast, while the *structure* of each pair (what is offloaded, how data
+//! moves, where atomics appear) mirrors the corresponding HeCBench pair and
+//! therefore produces the same qualitative CUDA-vs-OpenMP runtime
+//! relationships.
+
+use lassi_lang::{parse, Diagnostic, Dialect, Program};
+
+/// One benchmark application with sources in both dialects.
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// Application name (Table IV).
+    pub name: &'static str,
+    /// HeCBench category (Table IV).
+    pub category: &'static str,
+    /// Runtime arguments reported in Table IV (metadata; the ParC sources
+    /// hard-code their scaled-down problem sizes).
+    pub runtime_args: &'static [i64],
+    /// CudaLite source.
+    pub cuda_source: &'static str,
+    /// OmpLite source.
+    pub omp_source: &'static str,
+}
+
+impl Application {
+    /// The source text for a dialect.
+    pub fn source(&self, dialect: Dialect) -> &'static str {
+        match dialect {
+            Dialect::CudaLite => self.cuda_source,
+            Dialect::OmpLite => self.omp_source,
+        }
+    }
+
+    /// Parse the source for a dialect.
+    pub fn parse(&self, dialect: Dialect) -> Result<Program, Diagnostic> {
+        parse(self.source(dialect), dialect)
+    }
+}
+
+/// Look up an application by name.
+pub fn application(name: &str) -> Option<Application> {
+    applications().into_iter().find(|a| a.name == name)
+}
+
+/// All ten applications in Table IV order.
+pub fn applications() -> Vec<Application> {
+    vec![
+        Application {
+            name: "matrix-rotate",
+            category: "Math",
+            runtime_args: &[10000, 1],
+            cuda_source: MATRIX_ROTATE_CUDA,
+            omp_source: MATRIX_ROTATE_OMP,
+        },
+        Application {
+            name: "jacobi",
+            category: "Math",
+            runtime_args: &[],
+            cuda_source: JACOBI_CUDA,
+            omp_source: JACOBI_OMP,
+        },
+        Application {
+            name: "layout",
+            category: "Language and kernel features",
+            runtime_args: &[1],
+            cuda_source: LAYOUT_CUDA,
+            omp_source: LAYOUT_OMP,
+        },
+        Application {
+            name: "atomicCost",
+            category: "Data compression and reduction",
+            runtime_args: &[1],
+            cuda_source: ATOMIC_COST_CUDA,
+            omp_source: ATOMIC_COST_OMP,
+        },
+        Application {
+            name: "dense-embedding",
+            category: "Machine learning",
+            runtime_args: &[10000, 8, 1],
+            cuda_source: DENSE_EMBEDDING_CUDA,
+            omp_source: DENSE_EMBEDDING_OMP,
+        },
+        Application {
+            name: "pathfinder",
+            category: "Simulation",
+            runtime_args: &[10000, 1000, 1000],
+            cuda_source: PATHFINDER_CUDA,
+            omp_source: PATHFINDER_OMP,
+        },
+        Application {
+            name: "bsearch",
+            category: "Search",
+            runtime_args: &[10000, 1],
+            cuda_source: BSEARCH_CUDA,
+            omp_source: BSEARCH_OMP,
+        },
+        Application {
+            name: "entropy",
+            category: "Data encoding, decoding, or verification",
+            runtime_args: &[10000, 1024, 1],
+            cuda_source: ENTROPY_CUDA,
+            omp_source: ENTROPY_OMP,
+        },
+        Application {
+            name: "colorwheel",
+            category: "Computer vision and image processing",
+            runtime_args: &[10000, 8, 1],
+            cuda_source: COLORWHEEL_CUDA,
+            omp_source: COLORWHEEL_OMP,
+        },
+        Application {
+            name: "randomAccess",
+            category: "Bandwidth",
+            runtime_args: &[1],
+            cuda_source: RANDOM_ACCESS_CUDA,
+            omp_source: RANDOM_ACCESS_OMP,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------- matrix-rotate
+
+const MATRIX_ROTATE_CUDA: &str = r#"
+__global__ void rotate_matrix(double* out, const double* in, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int j = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < n && j < n) {
+        out[j * n + (n - 1 - i)] = in[i * n + j];
+    }
+}
+int main() {
+    int n = 96;
+    double* h_in = (double*)malloc(n * n * sizeof(double));
+    double* h_out = (double*)malloc(n * n * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            h_in[i * n + j] = (i * 3 + j * 7) % 101;
+        }
+    }
+    double* d_in;
+    double* d_out;
+    cudaMalloc(&d_in, n * n * sizeof(double));
+    cudaMalloc(&d_out, n * n * sizeof(double));
+    cudaMemcpy(d_in, h_in, n * n * sizeof(double), cudaMemcpyHostToDevice);
+    dim3 block(16, 16);
+    dim3 grid((n + 15) / 16, (n + 15) / 16);
+    rotate_matrix<<<grid, block>>>(d_out, d_in, n);
+    cudaDeviceSynchronize();
+    cudaMemcpy(h_out, d_out, n * n * sizeof(double), cudaMemcpyDeviceToHost);
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {
+        checksum += h_out[i * n + i];
+    }
+    printf("rotate checksum %.1f\n", checksum);
+    printf("corner %.1f %.1f\n", h_out[0], h_out[n * n - 1]);
+    cudaFree(d_in);
+    cudaFree(d_out);
+    free(h_in);
+    free(h_out);
+    return 0;
+}
+"#;
+
+const MATRIX_ROTATE_OMP: &str = r#"
+int main() {
+    int n = 96;
+    double* h_in = (double*)malloc(n * n * sizeof(double));
+    double* h_out = (double*)malloc(n * n * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            h_in[i * n + j] = (i * 3 + j * 7) % 101;
+        }
+    }
+    #pragma omp target teams distribute parallel for collapse(2) map(to: h_in[0:n*n]) map(tofrom: h_out[0:n*n]) thread_limit(256) schedule(static)
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            h_out[j * n + (n - 1 - i)] = h_in[i * n + j];
+        }
+    }
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {
+        checksum += h_out[i * n + i];
+    }
+    printf("rotate checksum %.1f\n", checksum);
+    printf("corner %.1f %.1f\n", h_out[0], h_out[n * n - 1]);
+    free(h_in);
+    free(h_out);
+    return 0;
+}
+"#;
+
+// --------------------------------------------------------------------- jacobi
+
+const JACOBI_CUDA: &str = r#"
+__global__ void jacobi_sweep(double* xnew, const double* xold, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        if (i > 0 && i < n - 1) {
+            xnew[i] = 0.5 * (xold[i - 1] + xold[i + 1]);
+        } else {
+            xnew[i] = xold[i];
+        }
+    }
+}
+int main() {
+    int n = 4096;
+    int iters = 60;
+    double* h_x = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        h_x[i] = (i % 16) * 2;
+    }
+    double* d_a;
+    double* d_b;
+    cudaMalloc(&d_a, n * sizeof(double));
+    cudaMalloc(&d_b, n * sizeof(double));
+    cudaMemcpy(d_a, h_x, n * sizeof(double), cudaMemcpyHostToDevice);
+    for (int it = 0; it < iters; it++) {
+        jacobi_sweep<<<(n + 255) / 256, 256>>>(d_b, d_a, n);
+        cudaDeviceSynchronize();
+        double* tmp = d_a;
+        d_a = d_b;
+        d_b = tmp;
+    }
+    cudaMemcpy(h_x, d_a, n * sizeof(double), cudaMemcpyDeviceToHost);
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {
+        checksum += h_x[i];
+    }
+    printf("jacobi checksum %.2f\n", checksum);
+    printf("mid %.4f\n", h_x[n / 2]);
+    cudaFree(d_a);
+    cudaFree(d_b);
+    free(h_x);
+    return 0;
+}
+"#;
+
+const JACOBI_OMP: &str = r#"
+int main() {
+    int n = 4096;
+    int iters = 60;
+    double* x = (double*)malloc(n * sizeof(double));
+    double* xnew = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        x[i] = (i % 16) * 2;
+    }
+    for (int it = 0; it < iters; it++) {
+        #pragma omp target teams distribute parallel for map(to: x[0:n]) map(from: xnew[0:n]) thread_limit(256) schedule(static)
+        for (int i = 0; i < n; i++) {
+            if (i > 0 && i < n - 1) {
+                xnew[i] = 0.5 * (x[i - 1] + x[i + 1]);
+            } else {
+                xnew[i] = x[i];
+            }
+        }
+        double* tmp = x;
+        x = xnew;
+        xnew = tmp;
+    }
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {
+        checksum += x[i];
+    }
+    printf("jacobi checksum %.2f\n", checksum);
+    printf("mid %.4f\n", x[n / 2]);
+    free(x);
+    free(xnew);
+    return 0;
+}
+"#;
+
+// --------------------------------------------------------------------- layout
+
+const LAYOUT_CUDA: &str = r#"
+__global__ void aos_to_soa(double* xs, double* ys, double* zs, const double* aos, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        xs[i] = aos[3 * i] * 2.0;
+        ys[i] = aos[3 * i + 1] * 3.0;
+        zs[i] = aos[3 * i + 2] * 4.0;
+    }
+}
+int main() {
+    int n = 8192;
+    double* h_aos = (double*)malloc(3 * n * sizeof(double));
+    double* h_xs = (double*)malloc(n * sizeof(double));
+    double* h_ys = (double*)malloc(n * sizeof(double));
+    double* h_zs = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < 3 * n; i++) {
+        h_aos[i] = i % 97;
+    }
+    double* d_aos;
+    double* d_xs;
+    double* d_ys;
+    double* d_zs;
+    cudaMalloc(&d_aos, 3 * n * sizeof(double));
+    cudaMalloc(&d_xs, n * sizeof(double));
+    cudaMalloc(&d_ys, n * sizeof(double));
+    cudaMalloc(&d_zs, n * sizeof(double));
+    cudaMemcpy(d_aos, h_aos, 3 * n * sizeof(double), cudaMemcpyHostToDevice);
+    aos_to_soa<<<(n + 255) / 256, 256>>>(d_xs, d_ys, d_zs, d_aos, n);
+    cudaDeviceSynchronize();
+    cudaMemcpy(h_xs, d_xs, n * sizeof(double), cudaMemcpyDeviceToHost);
+    cudaMemcpy(h_ys, d_ys, n * sizeof(double), cudaMemcpyDeviceToHost);
+    cudaMemcpy(h_zs, d_zs, n * sizeof(double), cudaMemcpyDeviceToHost);
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {
+        checksum += h_xs[i] + h_ys[i] + h_zs[i];
+    }
+    printf("layout checksum %.1f\n", checksum);
+    cudaFree(d_aos);
+    cudaFree(d_xs);
+    cudaFree(d_ys);
+    cudaFree(d_zs);
+    free(h_aos);
+    free(h_xs);
+    free(h_ys);
+    free(h_zs);
+    return 0;
+}
+"#;
+
+const LAYOUT_OMP: &str = r#"
+int main() {
+    int n = 8192;
+    double* aos = (double*)malloc(3 * n * sizeof(double));
+    double* xs = (double*)malloc(n * sizeof(double));
+    double* ys = (double*)malloc(n * sizeof(double));
+    double* zs = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < 3 * n; i++) {
+        aos[i] = i % 97;
+    }
+    #pragma omp target teams distribute parallel for map(to: aos[0:3*n]) map(from: xs[0:n], ys[0:n], zs[0:n]) thread_limit(256) schedule(static)
+    for (int i = 0; i < n; i++) {
+        xs[i] = aos[3 * i] * 2.0;
+        ys[i] = aos[3 * i + 1] * 3.0;
+        zs[i] = aos[3 * i + 2] * 4.0;
+    }
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {
+        checksum += xs[i] + ys[i] + zs[i];
+    }
+    printf("layout checksum %.1f\n", checksum);
+    free(aos);
+    free(xs);
+    free(ys);
+    free(zs);
+    return 0;
+}
+"#;
+
+// ----------------------------------------------------------------- atomicCost
+
+const ATOMIC_COST_CUDA: &str = r#"
+__global__ void accumulate_cost(double* bins, double* total, const double* values, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        atomicAdd(bins + (i % 16), values[i]);
+        atomicAdd(total, 1.0);
+    }
+}
+int main() {
+    int n = 20000;
+    double* h_values = (double*)malloc(n * sizeof(double));
+    double* h_bins = (double*)malloc(16 * sizeof(double));
+    double* h_total = (double*)malloc(1 * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        h_values[i] = i % 7;
+    }
+    for (int b = 0; b < 16; b++) {
+        h_bins[b] = 0.0;
+    }
+    h_total[0] = 0.0;
+    double* d_values;
+    double* d_bins;
+    double* d_total;
+    cudaMalloc(&d_values, n * sizeof(double));
+    cudaMalloc(&d_bins, 16 * sizeof(double));
+    cudaMalloc(&d_total, 1 * sizeof(double));
+    cudaMemcpy(d_values, h_values, n * sizeof(double), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_bins, h_bins, 16 * sizeof(double), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_total, h_total, 1 * sizeof(double), cudaMemcpyHostToDevice);
+    accumulate_cost<<<(n + 255) / 256, 256>>>(d_bins, d_total, d_values, n);
+    cudaDeviceSynchronize();
+    cudaMemcpy(h_bins, d_bins, 16 * sizeof(double), cudaMemcpyDeviceToHost);
+    cudaMemcpy(h_total, d_total, 1 * sizeof(double), cudaMemcpyDeviceToHost);
+    double checksum = 0.0;
+    for (int b = 0; b < 16; b++) {
+        checksum += h_bins[b] * (b + 1);
+    }
+    printf("atomic cost checksum %.1f total %.1f\n", checksum, h_total[0]);
+    cudaFree(d_values);
+    cudaFree(d_bins);
+    cudaFree(d_total);
+    free(h_values);
+    free(h_bins);
+    free(h_total);
+    return 0;
+}
+"#;
+
+const ATOMIC_COST_OMP: &str = r#"
+int main() {
+    int n = 20000;
+    double* values = (double*)malloc(n * sizeof(double));
+    double* bins = (double*)malloc(16 * sizeof(double));
+    double* total = (double*)malloc(1 * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        values[i] = i % 7;
+    }
+    for (int b = 0; b < 16; b++) {
+        bins[b] = 0.0;
+    }
+    total[0] = 0.0;
+    #pragma omp target teams distribute parallel for map(to: values[0:n]) map(tofrom: bins[0:16], total[0:1]) thread_limit(256) schedule(static)
+    for (int i = 0; i < n; i++) {
+        #pragma omp atomic
+        bins[i % 16] += values[i];
+        #pragma omp atomic
+        total[0] += 1.0;
+    }
+    double checksum = 0.0;
+    for (int b = 0; b < 16; b++) {
+        checksum += bins[b] * (b + 1);
+    }
+    printf("atomic cost checksum %.1f total %.1f\n", checksum, total[0]);
+    free(values);
+    free(bins);
+    free(total);
+    return 0;
+}
+"#;
+
+// ------------------------------------------------------------ dense-embedding
+
+const DENSE_EMBEDDING_CUDA: &str = r#"
+__global__ void embedding_lookup(double* out, const double* table, const long* indices, int m, int dim) {
+    int q = blockIdx.x * blockDim.x + threadIdx.x;
+    if (q < m) {
+        long row = indices[q];
+        for (int d = 0; d < dim; d++) {
+            out[q * dim + d] = out[q * dim + d] + table[row * dim + d];
+        }
+    }
+}
+int main() {
+    int rows = 500;
+    int dim = 16;
+    int m = 256;
+    int iters = 30;
+    double* h_table = (double*)malloc(rows * dim * sizeof(double));
+    long* h_indices = (long*)malloc(m * sizeof(long));
+    double* h_out = (double*)malloc(m * dim * sizeof(double));
+    for (int i = 0; i < rows * dim; i++) {
+        h_table[i] = i % 13;
+    }
+    for (int q = 0; q < m; q++) {
+        h_indices[q] = (q * 37) % rows;
+    }
+    for (int i = 0; i < m * dim; i++) {
+        h_out[i] = 0.0;
+    }
+    double* d_table;
+    long* d_indices;
+    double* d_out;
+    cudaMalloc(&d_table, rows * dim * sizeof(double));
+    cudaMalloc(&d_indices, m * sizeof(long));
+    cudaMalloc(&d_out, m * dim * sizeof(double));
+    cudaMemcpy(d_table, h_table, rows * dim * sizeof(double), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_indices, h_indices, m * sizeof(long), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_out, h_out, m * dim * sizeof(double), cudaMemcpyHostToDevice);
+    for (int it = 0; it < iters; it++) {
+        embedding_lookup<<<(m + 255) / 256, 256>>>(d_out, d_table, d_indices, m, dim);
+        cudaDeviceSynchronize();
+    }
+    cudaMemcpy(h_out, d_out, m * dim * sizeof(double), cudaMemcpyDeviceToHost);
+    double checksum = 0.0;
+    for (int i = 0; i < m * dim; i++) {
+        checksum += h_out[i];
+    }
+    printf("embedding checksum %.1f\n", checksum);
+    cudaFree(d_table);
+    cudaFree(d_indices);
+    cudaFree(d_out);
+    free(h_table);
+    free(h_indices);
+    free(h_out);
+    return 0;
+}
+"#;
+
+const DENSE_EMBEDDING_OMP: &str = r#"
+int main() {
+    int rows = 500;
+    int dim = 16;
+    int m = 256;
+    int iters = 30;
+    double* table = (double*)malloc(rows * dim * sizeof(double));
+    long* indices = (long*)malloc(m * sizeof(long));
+    double* out = (double*)malloc(m * dim * sizeof(double));
+    for (int i = 0; i < rows * dim; i++) {
+        table[i] = i % 13;
+    }
+    for (int q = 0; q < m; q++) {
+        indices[q] = (q * 37) % rows;
+    }
+    for (int i = 0; i < m * dim; i++) {
+        out[i] = 0.0;
+    }
+    for (int it = 0; it < iters; it++) {
+        #pragma omp target teams distribute parallel for map(to: table[0:rows*dim], indices[0:m]) map(tofrom: out[0:m*dim]) thread_limit(256) schedule(static)
+        for (int q = 0; q < m; q++) {
+            long row = indices[q];
+            for (int d = 0; d < dim; d++) {
+                out[q * dim + d] = out[q * dim + d] + table[row * dim + d];
+            }
+        }
+    }
+    double checksum = 0.0;
+    for (int i = 0; i < m * dim; i++) {
+        checksum += out[i];
+    }
+    printf("embedding checksum %.1f\n", checksum);
+    free(table);
+    free(indices);
+    free(out);
+    return 0;
+}
+"#;
+
+// ----------------------------------------------------------------- pathfinder
+
+const PATHFINDER_CUDA: &str = r#"
+__global__ void path_step(long* next, const long* prev, const long* cost, int cols, int row) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < cols) {
+        long best = prev[j];
+        if (j > 0) {
+            if (prev[j - 1] < best) {
+                best = prev[j - 1];
+            }
+        }
+        if (j < cols - 1) {
+            if (prev[j + 1] < best) {
+                best = prev[j + 1];
+            }
+        }
+        next[j] = best + cost[row * cols + j];
+    }
+}
+int main() {
+    int rows = 40;
+    int cols = 1000;
+    long* h_cost = (long*)malloc(rows * cols * sizeof(long));
+    long* h_path = (long*)malloc(cols * sizeof(long));
+    for (int i = 0; i < rows * cols; i++) {
+        h_cost[i] = (i * 7919) % 10;
+    }
+    for (int j = 0; j < cols; j++) {
+        h_path[j] = (j * 13) % 10;
+    }
+    long* d_cost;
+    long* d_prev;
+    long* d_next;
+    cudaMalloc(&d_cost, rows * cols * sizeof(long));
+    cudaMalloc(&d_prev, cols * sizeof(long));
+    cudaMalloc(&d_next, cols * sizeof(long));
+    cudaMemcpy(d_cost, h_cost, rows * cols * sizeof(long), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_prev, h_path, cols * sizeof(long), cudaMemcpyHostToDevice);
+    for (int r = 0; r < rows; r++) {
+        path_step<<<(cols + 255) / 256, 256>>>(d_next, d_prev, d_cost, cols, r);
+        cudaDeviceSynchronize();
+        long* tmp = d_prev;
+        d_prev = d_next;
+        d_next = tmp;
+    }
+    cudaMemcpy(h_path, d_prev, cols * sizeof(long), cudaMemcpyDeviceToHost);
+    long best = h_path[0];
+    long sum = 0;
+    for (int j = 0; j < cols; j++) {
+        sum += h_path[j];
+        if (h_path[j] < best) {
+            best = h_path[j];
+        }
+    }
+    printf("pathfinder best %ld sum %ld\n", best, sum);
+    cudaFree(d_cost);
+    cudaFree(d_prev);
+    cudaFree(d_next);
+    free(h_cost);
+    free(h_path);
+    return 0;
+}
+"#;
+
+const PATHFINDER_OMP: &str = r#"
+int main() {
+    int rows = 40;
+    int cols = 1000;
+    long* cost = (long*)malloc(rows * cols * sizeof(long));
+    long* prev = (long*)malloc(cols * sizeof(long));
+    long* next = (long*)malloc(cols * sizeof(long));
+    for (int i = 0; i < rows * cols; i++) {
+        cost[i] = (i * 7919) % 10;
+    }
+    for (int j = 0; j < cols; j++) {
+        prev[j] = (j * 13) % 10;
+    }
+    #pragma omp target data map(to: cost[0:rows*cols]) map(tofrom: prev[0:cols], next[0:cols])
+    {
+        for (int r = 0; r < rows; r++) {
+            #pragma omp target teams distribute parallel for thread_limit(256) schedule(static)
+            for (int j = 0; j < cols; j++) {
+                long best = prev[j];
+                if (j > 0) {
+                    if (prev[j - 1] < best) {
+                        best = prev[j - 1];
+                    }
+                }
+                if (j < cols - 1) {
+                    if (prev[j + 1] < best) {
+                        best = prev[j + 1];
+                    }
+                }
+                next[j] = best + cost[r * cols + j];
+            }
+            long* tmp = prev;
+            prev = next;
+            next = tmp;
+        }
+    }
+    long best = prev[0];
+    long sum = 0;
+    for (int j = 0; j < cols; j++) {
+        sum += prev[j];
+        if (prev[j] < best) {
+            best = prev[j];
+        }
+    }
+    printf("pathfinder best %ld sum %ld\n", best, sum);
+    free(cost);
+    free(prev);
+    free(next);
+    return 0;
+}
+"#;
+
+// -------------------------------------------------------------------- bsearch
+
+const BSEARCH_CUDA: &str = r#"
+__global__ void search_kernel(long* found, const long* data, const long* queries, int m, int n) {
+    int q = blockIdx.x * blockDim.x + threadIdx.x;
+    if (q < m) {
+        long key = queries[q];
+        int lo = 0;
+        int hi = n - 1;
+        int pos = -1;
+        while (lo <= hi) {
+            int mid = (lo + hi) / 2;
+            if (data[mid] == key) {
+                pos = mid;
+                lo = hi + 1;
+            } else {
+                if (data[mid] < key) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+        }
+        found[q] = pos;
+    }
+}
+int main() {
+    int n = 4096;
+    int m = 512;
+    int reps = 10;
+    long* h_data = (long*)malloc(n * sizeof(long));
+    long* h_queries = (long*)malloc(m * sizeof(long));
+    long* h_found = (long*)malloc(m * sizeof(long));
+    for (int i = 0; i < n; i++) {
+        h_data[i] = i * 2;
+    }
+    for (int q = 0; q < m; q++) {
+        h_queries[q] = (q * 16) % (2 * n);
+    }
+    long* d_data;
+    long* d_queries;
+    long* d_found;
+    cudaMalloc(&d_data, n * sizeof(long));
+    cudaMalloc(&d_queries, m * sizeof(long));
+    cudaMalloc(&d_found, m * sizeof(long));
+    long checksum = 0;
+    for (int rep = 0; rep < reps; rep++) {
+        cudaMemcpy(d_data, h_data, n * sizeof(long), cudaMemcpyHostToDevice);
+        cudaMemcpy(d_queries, h_queries, m * sizeof(long), cudaMemcpyHostToDevice);
+        search_kernel<<<(m + 255) / 256, 256>>>(d_found, d_data, d_queries, m, n);
+        cudaDeviceSynchronize();
+        cudaMemcpy(h_found, d_found, m * sizeof(long), cudaMemcpyDeviceToHost);
+        for (int q = 0; q < m; q++) {
+            checksum += h_found[q];
+        }
+    }
+    printf("bsearch checksum %ld\n", checksum);
+    cudaFree(d_data);
+    cudaFree(d_queries);
+    cudaFree(d_found);
+    free(h_data);
+    free(h_queries);
+    free(h_found);
+    return 0;
+}
+"#;
+
+const BSEARCH_OMP: &str = r#"
+int main() {
+    int n = 4096;
+    int m = 512;
+    int reps = 10;
+    long* data = (long*)malloc(n * sizeof(long));
+    long* queries = (long*)malloc(m * sizeof(long));
+    long* found = (long*)malloc(m * sizeof(long));
+    for (int i = 0; i < n; i++) {
+        data[i] = i * 2;
+    }
+    for (int q = 0; q < m; q++) {
+        queries[q] = (q * 16) % (2 * n);
+    }
+    long checksum = 0;
+    for (int rep = 0; rep < reps; rep++) {
+        #pragma omp parallel for num_threads(256) schedule(static)
+        for (int q = 0; q < m; q++) {
+            long key = queries[q];
+            int lo = 0;
+            int hi = n - 1;
+            int pos = -1;
+            while (lo <= hi) {
+                int mid = (lo + hi) / 2;
+                if (data[mid] == key) {
+                    pos = mid;
+                    lo = hi + 1;
+                } else {
+                    if (data[mid] < key) {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+            }
+            found[q] = pos;
+        }
+        for (int q = 0; q < m; q++) {
+            checksum += found[q];
+        }
+    }
+    printf("bsearch checksum %ld\n", checksum);
+    free(data);
+    free(queries);
+    free(found);
+    return 0;
+}
+"#;
+
+// -------------------------------------------------------------------- entropy
+
+const ENTROPY_CUDA: &str = r#"
+__global__ void histogram(double* hist, const long* data, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        long bin = data[i] % 16;
+        atomicAdd(hist + bin, 1.0);
+    }
+}
+int main() {
+    int n = 8192;
+    long* h_data = (long*)malloc(n * sizeof(long));
+    double* h_hist = (double*)malloc(16 * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        h_data[i] = (i * 2654435761) % 4093;
+    }
+    for (int b = 0; b < 16; b++) {
+        h_hist[b] = 0.0;
+    }
+    long* d_data;
+    double* d_hist;
+    cudaMalloc(&d_data, n * sizeof(long));
+    cudaMalloc(&d_hist, 16 * sizeof(double));
+    cudaMemcpy(d_data, h_data, n * sizeof(long), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_hist, h_hist, 16 * sizeof(double), cudaMemcpyHostToDevice);
+    histogram<<<(n + 255) / 256, 256>>>(d_hist, d_data, n);
+    cudaDeviceSynchronize();
+    cudaMemcpy(h_hist, d_hist, 16 * sizeof(double), cudaMemcpyDeviceToHost);
+    double weighted = 0.0;
+    double maxbin = 0.0;
+    for (int b = 0; b < 16; b++) {
+        weighted += h_hist[b] * (b + 1);
+        if (h_hist[b] > maxbin) {
+            maxbin = h_hist[b];
+        }
+    }
+    printf("entropy weighted %.1f max %.1f\n", weighted, maxbin);
+    cudaFree(d_data);
+    cudaFree(d_hist);
+    free(h_data);
+    free(h_hist);
+    return 0;
+}
+"#;
+
+const ENTROPY_OMP: &str = r#"
+int main() {
+    int n = 8192;
+    long* data = (long*)malloc(n * sizeof(long));
+    double* hist = (double*)malloc(16 * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        data[i] = (i * 2654435761) % 4093;
+    }
+    for (int b = 0; b < 16; b++) {
+        hist[b] = 0.0;
+    }
+    #pragma omp target teams distribute parallel for map(to: data[0:n]) map(tofrom: hist[0:16]) thread_limit(256) schedule(static)
+    for (int i = 0; i < n; i++) {
+        long bin = data[i] % 16;
+        #pragma omp atomic
+        hist[bin] += 1.0;
+    }
+    double weighted = 0.0;
+    double maxbin = 0.0;
+    for (int b = 0; b < 16; b++) {
+        weighted += hist[b] * (b + 1);
+        if (hist[b] > maxbin) {
+            maxbin = hist[b];
+        }
+    }
+    printf("entropy weighted %.1f max %.1f\n", weighted, maxbin);
+    free(data);
+    free(hist);
+    return 0;
+}
+"#;
+
+// ----------------------------------------------------------------- colorwheel
+
+const COLORWHEEL_CUDA: &str = r#"
+__global__ void shade(long* image, int width, int height, int frame) {
+    int p = blockIdx.x * blockDim.x + threadIdx.x;
+    if (p < width * height) {
+        int x = p % width;
+        int y = p / width;
+        image[p] = (x * 7 + y * 3 + frame * 11) % 255;
+    }
+}
+int main() {
+    int width = 32;
+    int height = 32;
+    int frames = 100;
+    long* h_image = (long*)malloc(width * height * sizeof(long));
+    long* d_image;
+    cudaMalloc(&d_image, width * height * sizeof(long));
+    long checksum = 0;
+    for (int f = 0; f < frames; f++) {
+        shade<<<(width * height + 255) / 256, 256>>>(d_image, width, height, f);
+        cudaDeviceSynchronize();
+        cudaMemcpy(h_image, d_image, width * height * sizeof(long), cudaMemcpyDeviceToHost);
+        checksum += h_image[f % (width * height)];
+    }
+    printf("colorwheel checksum %ld\n", checksum);
+    cudaFree(d_image);
+    free(h_image);
+    return 0;
+}
+"#;
+
+const COLORWHEEL_OMP: &str = r#"
+int main() {
+    int width = 32;
+    int height = 32;
+    int frames = 100;
+    long* image = (long*)malloc(width * height * sizeof(long));
+    long checksum = 0;
+    for (int f = 0; f < frames; f++) {
+        #pragma omp parallel for num_threads(256) schedule(static)
+        for (int p = 0; p < width * height; p++) {
+            int x = p % width;
+            int y = p / width;
+            image[p] = (x * 7 + y * 3 + f * 11) % 255;
+        }
+        checksum += image[f % (width * height)];
+    }
+    printf("colorwheel checksum %ld\n", checksum);
+    free(image);
+    return 0;
+}
+"#;
+
+// --------------------------------------------------------------- randomAccess
+
+const RANDOM_ACCESS_CUDA: &str = r#"
+__global__ void update_table(long* table, int n, int m) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < m) {
+        long idx = (i * 1664525 + 1013904223) % n;
+        atomicAdd(table + idx, 1.0);
+    }
+}
+int main() {
+    int n = 16384;
+    int m = 8192;
+    long* h_table = (long*)malloc(n * sizeof(long));
+    for (int i = 0; i < n; i++) {
+        h_table[i] = 0;
+    }
+    long* d_table;
+    cudaMalloc(&d_table, n * sizeof(long));
+    cudaMemcpy(d_table, h_table, n * sizeof(long), cudaMemcpyHostToDevice);
+    update_table<<<(m + 255) / 256, 256>>>(d_table, n, m);
+    cudaDeviceSynchronize();
+    cudaMemcpy(h_table, d_table, n * sizeof(long), cudaMemcpyDeviceToHost);
+    long updates = 0;
+    long occupied = 0;
+    for (int i = 0; i < n; i++) {
+        updates += h_table[i];
+        if (h_table[i] > 0) {
+            occupied += 1;
+        }
+    }
+    printf("randomAccess updates %ld occupied %ld\n", updates, occupied);
+    cudaFree(d_table);
+    free(h_table);
+    return 0;
+}
+"#;
+
+const RANDOM_ACCESS_OMP: &str = r#"
+int main() {
+    int n = 16384;
+    int m = 8192;
+    long* table = (long*)malloc(n * sizeof(long));
+    for (int i = 0; i < n; i++) {
+        table[i] = 0;
+    }
+    #pragma omp target teams distribute parallel for map(tofrom: table[0:n]) thread_limit(256) schedule(static)
+    for (int i = 0; i < m; i++) {
+        long idx = (i * 1664525 + 1013904223) % n;
+        #pragma omp atomic
+        table[idx] += 1;
+    }
+    long updates = 0;
+    long occupied = 0;
+    for (int i = 0; i < n; i++) {
+        updates += table[i];
+        if (table[i] > 0) {
+            occupied += 1;
+        }
+    }
+    printf("randomAccess updates %ld occupied %ld\n", updates, occupied);
+    free(table);
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn application_lookup() {
+        assert!(application("jacobi").is_some());
+        assert!(application("bsearch").is_some());
+        assert!(application("not-a-benchmark").is_none());
+    }
+
+    #[test]
+    fn names_match_table_iv() {
+        let names: Vec<&str> = applications().iter().map(|a| a.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "matrix-rotate",
+                "jacobi",
+                "layout",
+                "atomicCost",
+                "dense-embedding",
+                "pathfinder",
+                "bsearch",
+                "entropy",
+                "colorwheel",
+                "randomAccess"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_cuda_source_has_a_kernel_and_every_omp_source_a_pragma() {
+        for app in applications() {
+            assert!(app.cuda_source.contains("__global__"), "{}", app.name);
+            assert!(app.omp_source.contains("#pragma omp"), "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn sources_are_dialect_pure() {
+        for app in applications() {
+            assert!(!app.omp_source.contains("cudaMalloc"), "{}", app.name);
+            assert!(!app.omp_source.contains("<<<"), "{}", app.name);
+            assert!(!app.cuda_source.contains("#pragma"), "{}", app.name);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Reference runner: a combined machine backend (GPU simulator + OpenMP
+//! runtime simulator) and helpers for compiling and executing benchmark
+//! programs the way the LASSI pipeline's "source code preparation" step does.
+
+use lassi_gpusim::GpuSimulator;
+use lassi_lang::{Dialect, Program};
+use lassi_ompsim::OmpSimulator;
+use lassi_runtime::{
+    ExecError, ExecutionReport, HostInterpreter, KernelLaunchRequest, LaunchStats, Memory,
+    ParallelBackend, ParallelForRequest, RunConfig,
+};
+
+use crate::apps::Application;
+
+/// The simulated experimental platform from the paper: a multi-core host with
+/// an NVIDIA A100, reachable both through CUDA and through OpenMP offload.
+pub struct Machine {
+    gpu: GpuSimulator,
+    omp: OmpSimulator,
+}
+
+impl Machine {
+    /// The default A100-class machine.
+    pub fn a100() -> Self {
+        Machine { gpu: GpuSimulator::a100(), omp: OmpSimulator::a100_offload() }
+    }
+
+    /// Run configuration used for every benchmark execution (a small fixed
+    /// start-up cost plus deterministic per-operation costs).
+    pub fn run_config() -> RunConfig {
+        RunConfig { step_limit: 200_000_000, host_op_seconds: 1.2e-9, startup_seconds: 5.0e-5 }
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::a100()
+    }
+}
+
+impl ParallelBackend for Machine {
+    fn launch_kernel(
+        &self,
+        req: &KernelLaunchRequest<'_>,
+        mem: &Memory,
+    ) -> Result<LaunchStats, ExecError> {
+        self.gpu.launch_kernel(req, mem)
+    }
+
+    fn parallel_for(
+        &self,
+        req: &ParallelForRequest<'_>,
+        mem: &Memory,
+    ) -> Result<LaunchStats, ExecError> {
+        self.omp.parallel_for(req, mem)
+    }
+
+    fn memcpy_seconds(&self, bytes: u64) -> f64 {
+        self.gpu.memcpy_seconds(bytes)
+    }
+
+    fn name(&self) -> &'static str {
+        "a100-machine"
+    }
+}
+
+/// Errors from running a benchmark source.
+#[derive(Debug)]
+pub enum RunError {
+    /// The program did not compile; the diagnostics are compiler-style text.
+    Compile(Vec<lassi_lang::Diagnostic>),
+    /// The program compiled but failed at runtime.
+    Execute(ExecError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Compile(diags) => {
+                write!(f, "compile error: {}", lassi_lang::diag::render_diagnostics(diags))
+            }
+            RunError::Execute(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Compile (semantic-check) and execute an already-parsed program on the
+/// default machine.
+pub fn run_program(program: &Program) -> Result<ExecutionReport, RunError> {
+    lassi_sema::compile(program).map_err(RunError::Compile)?;
+    let machine = Machine::a100();
+    let mut interp = HostInterpreter::new(program, Machine::run_config());
+    interp.run(&machine, &[]).map_err(RunError::Execute)
+}
+
+/// Parse, compile and execute source text in the given dialect.
+pub fn run_source(source: &str, dialect: Dialect) -> Result<ExecutionReport, RunError> {
+    let program =
+        lassi_lang::parse(source, dialect).map_err(|d| RunError::Compile(vec![d]))?;
+    run_program(&program)
+}
+
+/// Run one reference benchmark application in one dialect.
+pub fn run_application(app: &Application, dialect: Dialect) -> Result<ExecutionReport, RunError> {
+    run_source(app.source(dialect), dialect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::application;
+
+    #[test]
+    fn bsearch_openmp_is_faster_than_cuda() {
+        // Table IV: bsearch runs in 0.3273 s (CUDA) vs 0.0140 s (OpenMP).
+        let app = application("bsearch").unwrap();
+        let cuda = run_application(&app, Dialect::CudaLite).unwrap();
+        let omp = run_application(&app, Dialect::OmpLite).unwrap();
+        assert_eq!(cuda.stdout, omp.stdout);
+        assert!(
+            omp.simulated_seconds < cuda.simulated_seconds,
+            "OpenMP bsearch should be faster ({} vs {})",
+            omp.simulated_seconds,
+            cuda.simulated_seconds
+        );
+    }
+
+    #[test]
+    fn jacobi_cuda_is_much_faster_than_openmp() {
+        // Table IV: jacobi runs in 0.8641 s (CUDA) vs 57.3354 s (OpenMP).
+        let app = application("jacobi").unwrap();
+        let cuda = run_application(&app, Dialect::CudaLite).unwrap();
+        let omp = run_application(&app, Dialect::OmpLite).unwrap();
+        assert_eq!(cuda.stdout, omp.stdout);
+        assert!(
+            omp.simulated_seconds > cuda.simulated_seconds * 3.0,
+            "OpenMP jacobi should be several times slower ({} vs {})",
+            omp.simulated_seconds,
+            cuda.simulated_seconds
+        );
+    }
+
+    #[test]
+    fn atomic_cost_outputs_match() {
+        let app = application("atomicCost").unwrap();
+        let cuda = run_application(&app, Dialect::CudaLite).unwrap();
+        let omp = run_application(&app, Dialect::OmpLite).unwrap();
+        assert_eq!(cuda.stdout, omp.stdout);
+        assert!(cuda.stdout.contains("total 20000.0"));
+    }
+
+    #[test]
+    fn run_source_reports_compile_errors() {
+        let err = run_source("int main() { undeclared = 1; return 0; }", Dialect::CudaLite)
+            .err()
+            .expect("should fail");
+        assert!(err.to_string().contains("compile error"));
+    }
+
+    #[test]
+    fn run_source_reports_runtime_errors() {
+        let err = run_source(
+            "int main() { int a[4]; a[9] = 1; return 0; }",
+            Dialect::CudaLite,
+        )
+        .err()
+        .expect("should fail");
+        assert!(err.to_string().contains("out of bounds"));
+    }
+}

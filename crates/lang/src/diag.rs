@@ -1,0 +1,126 @@
+//! Diagnostics shared by the lexer, parser and semantic analyzer.
+//!
+//! A [`Diagnostic`] carries a severity, a message and an optional source line
+//! so that error text handed back to the simulated LLM looks like real
+//! compiler output (`error: line 12: use of undeclared identifier 'd_out'`).
+
+use std::fmt;
+
+/// Severity of a diagnostic message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note attached to another diagnostic.
+    Note,
+    /// Suspicious but accepted construct.
+    Warning,
+    /// The program is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single compiler-style diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How severe the diagnostic is.
+    pub severity: Severity,
+    /// 1-based source line the diagnostic refers to, 0 when unknown.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Create an error diagnostic at `line`.
+    pub fn error(line: u32, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, line, message: message.into() }
+    }
+
+    /// Create a warning diagnostic at `line`.
+    pub fn warning(line: u32, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, line, message: message.into() }
+    }
+
+    /// Create a note diagnostic at `line`.
+    pub fn note(line: u32, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Note, line, message: message.into() }
+    }
+
+    /// True when this diagnostic rejects the program.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}: line {}: {}", self.severity, self.line, self.message)
+        } else {
+            write!(f, "{}: {}", self.severity, self.message)
+        }
+    }
+}
+
+/// Render a batch of diagnostics the way a command-line compiler would,
+/// one per line, errors first.
+pub fn render_diagnostics(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by_key(|d| (std::cmp::Reverse(d.severity), d.line));
+    sorted
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let d = Diagnostic::error(14, "use of undeclared identifier 'foo'");
+        assert_eq!(d.to_string(), "error: line 14: use of undeclared identifier 'foo'");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let d = Diagnostic::warning(0, "unused variable 'x'");
+        assert_eq!(d.to_string(), "warning: unused variable 'x'");
+    }
+
+    #[test]
+    fn render_orders_errors_first() {
+        let diags = vec![
+            Diagnostic::warning(3, "w"),
+            Diagnostic::error(9, "e2"),
+            Diagnostic::error(2, "e1"),
+        ];
+        let out = render_diagnostics(&diags);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("e1"));
+        assert!(lines[1].contains("e2"));
+        assert!(lines[2].contains("w"));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn is_error_flag() {
+        assert!(Diagnostic::error(1, "x").is_error());
+        assert!(!Diagnostic::note(1, "x").is_error());
+    }
+}

@@ -1,0 +1,473 @@
+//! Hand-written lexer for ParC source text.
+//!
+//! The lexer is shared between the CudaLite and OmpLite dialects. Dialect
+//! differences are purely syntactic constructs handled by the parser; the
+//! lexer recognises the superset. `#pragma` lines are lexed as a single
+//! [`TokenKind::PragmaLine`] token whose payload is re-lexed by the pragma
+//! sub-parser so that pragma text stays line-delimited as in C.
+
+use crate::diag::Diagnostic;
+use crate::token::{Token, TokenKind};
+
+/// Streaming lexer over ParC source text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Lex the whole input, returning the tokens (terminated by `Eof`) or the
+    /// first lexical error.
+    pub fn tokenize(src: &'a str) -> Result<Vec<Token>, Diagnostic> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::with_capacity(src.len() / 4);
+        loop {
+            let tok = lx.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.pos + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start_line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.peek() == 0 {
+                            return Err(Diagnostic::error(start_line, "unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lex the next token.
+    pub fn next_token(&mut self) -> Result<Token, Diagnostic> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let c = self.peek();
+        if c == 0 {
+            return Ok(Token::new(TokenKind::Eof, line));
+        }
+        // Preprocessor-style pragma line.
+        if c == b'#' {
+            return self.lex_hash_line();
+        }
+        if c.is_ascii_digit() || (c == b'.' && self.peek2().is_ascii_digit()) {
+            return self.lex_number();
+        }
+        if c == b'"' {
+            return self.lex_string();
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.lex_ident());
+        }
+        self.lex_punct()
+    }
+
+    fn lex_hash_line(&mut self) -> Result<Token, Diagnostic> {
+        let line = self.line;
+        // consume '#'
+        self.bump();
+        let mut word = String::new();
+        while self.peek().is_ascii_alphabetic() {
+            word.push(self.bump() as char);
+        }
+        if word != "pragma" {
+            return Err(Diagnostic::error(
+                line,
+                format!("unsupported preprocessor directive '#{word}'"),
+            ));
+        }
+        let mut rest = String::new();
+        while self.peek() != b'\n' && self.peek() != 0 {
+            rest.push(self.bump() as char);
+        }
+        Ok(Token::new(TokenKind::PragmaLine(rest.trim().to_string()), line))
+    }
+
+    fn lex_number(&mut self) -> Result<Token, Diagnostic> {
+        let line = self.line;
+        let start = self.pos;
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2() != b'.' {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            let save = self.pos;
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                is_float = true;
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        // Optional C suffixes.
+        let mut suffix_float = false;
+        while matches!(self.peek(), b'f' | b'F' | b'l' | b'L' | b'u' | b'U') {
+            if matches!(self.peek(), b'f' | b'F') {
+                suffix_float = true;
+            }
+            self.bump();
+        }
+        if is_float || suffix_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| Diagnostic::error(line, format!("invalid float literal '{text}'")))?;
+            Ok(Token::new(TokenKind::FloatLit(v), line))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| Diagnostic::error(line, format!("invalid integer literal '{text}'")))?;
+            Ok(Token::new(TokenKind::IntLit(v), line))
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Token, Diagnostic> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                0 | b'\n' => return Err(Diagnostic::error(line, "unterminated string literal")),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                b'\\' => {
+                    self.bump();
+                    let esc = self.bump();
+                    match esc {
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'0' => s.push('\0'),
+                        b'\\' => s.push('\\'),
+                        b'"' => s.push('"'),
+                        b'%' => {
+                            s.push('\\');
+                            s.push('%');
+                        }
+                        other => {
+                            return Err(Diagnostic::error(
+                                line,
+                                format!("unknown escape sequence '\\{}'", other as char),
+                            ))
+                        }
+                    }
+                }
+                _ => s.push(self.bump() as char),
+            }
+        }
+        Ok(Token::new(TokenKind::StrLit(s), line))
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+        Token::new(TokenKind::Ident(text), line)
+    }
+
+    fn lex_punct(&mut self) -> Result<Token, Diagnostic> {
+        let line = self.line;
+        let c = self.bump();
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'.' => TokenKind::Dot,
+            b'?' => TokenKind::Question,
+            b':' => TokenKind::Colon,
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    TokenKind::PlusPlus
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::PlusAssign
+                }
+                _ => TokenKind::Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    TokenKind::MinusMinus
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::MinusAssign
+                }
+                _ => TokenKind::Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::StarAssign
+                } else {
+                    TokenKind::Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::SlashAssign
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            b'%' => TokenKind::Percent,
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Not
+                }
+            }
+            b'<' => {
+                if self.peek() == b'<' && self.peek2() == b'<' {
+                    self.bump();
+                    self.bump();
+                    TokenKind::TripleLt
+                } else if self.peek() == b'<' {
+                    self.bump();
+                    TokenKind::Shl
+                } else if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == b'>' && self.peek2() == b'>' && self.peek3() != b'>' {
+                    self.bump();
+                    self.bump();
+                    TokenKind::TripleGt
+                } else if self.peek() == b'>' {
+                    self.bump();
+                    TokenKind::Shr
+                } else if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            b'^' => TokenKind::Caret,
+            other => {
+                return Err(Diagnostic::error(
+                    line,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+        };
+        Ok(Token::new(kind, line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_expression() {
+        let ks = kinds("x = a + 42;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("a".into()),
+                TokenKind::Plus,
+                TokenKind::IntLit(42),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_float_forms() {
+        let ks = kinds("1.5 2.0f 1e-3 7");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::FloatLit(1.5),
+                TokenKind::FloatLit(2.0),
+                TokenKind::FloatLit(1e-3),
+                TokenKind::IntLit(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_triple_angle_brackets() {
+        let ks = kinds("k<<<grid, block>>>(a);");
+        assert!(ks.contains(&TokenKind::TripleLt));
+        assert!(ks.contains(&TokenKind::TripleGt));
+    }
+
+    #[test]
+    fn shift_vs_triple() {
+        let ks = kinds("a << 2; b >> 3;");
+        assert!(ks.contains(&TokenKind::Shl));
+        assert!(ks.contains(&TokenKind::Shr));
+        assert!(!ks.contains(&TokenKind::TripleLt));
+    }
+
+    #[test]
+    fn lex_pragma_line() {
+        let ks = kinds("#pragma omp parallel for reduction(+:sum)\nfor (int i = 0; i < n; i++) {}");
+        assert_eq!(ks[0], TokenKind::PragmaLine("omp parallel for reduction(+:sum)".into()));
+    }
+
+    #[test]
+    fn lex_string_escapes() {
+        let ks = kinds(r#""value: %d\n""#);
+        assert_eq!(ks[0], TokenKind::StrLit("value: %d\n".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("// line comment\n/* block\ncomment */ x");
+        assert_eq!(ks, vec![TokenKind::Ident("x".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = Lexer::tokenize("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(Lexer::tokenize("/* abc").is_err());
+    }
+
+    #[test]
+    fn unknown_directive_is_error() {
+        assert!(Lexer::tokenize("#include <stdio.h>").is_err());
+    }
+
+    #[test]
+    fn increment_and_compound_assign() {
+        let ks = kinds("i++; j--; k += 2; m -= 1; p *= 3; q /= 4;");
+        assert!(ks.contains(&TokenKind::PlusPlus));
+        assert!(ks.contains(&TokenKind::MinusMinus));
+        assert!(ks.contains(&TokenKind::PlusAssign));
+        assert!(ks.contains(&TokenKind::MinusAssign));
+        assert!(ks.contains(&TokenKind::StarAssign));
+        assert!(ks.contains(&TokenKind::SlashAssign));
+    }
+}

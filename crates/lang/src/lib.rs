@@ -1,0 +1,62 @@
+//! # lassi-lang
+//!
+//! Front-end for **ParC**, the C-subset parallel language used throughout the
+//! LASSI reproduction. ParC has two dialects:
+//!
+//! * **CudaLite** — CUDA-flavoured: `__global__` kernels, `<<<grid, block>>>`
+//!   launches, `cudaMalloc`/`cudaMemcpy`/`cudaFree`, `threadIdx`/`blockIdx`/
+//!   `blockDim`/`gridDim`, `atomicAdd`, `__shared__` arrays and `__syncthreads()`.
+//! * **OmpLite** — OpenMP-flavoured: `#pragma omp` directives (`parallel for`,
+//!   `target teams distribute parallel for`, `target data`, `atomic`) with
+//!   `map`, `reduction`, `num_threads`, `num_teams`, `thread_limit`,
+//!   `schedule`, `collapse`, `private` and `firstprivate` clauses.
+//!
+//! The crate provides the lexer, the recursive-descent parser, the abstract
+//! syntax tree shared by both dialects, a source printer (AST → dialect
+//! source text) and the diagnostics used by the downstream "compiler"
+//! (`lassi-sema`) and the simulated LLM translation engine.
+//!
+//! ```
+//! use lassi_lang::{parse, Dialect};
+//!
+//! let src = r#"
+//! __global__ void scale(float* out, const float* in, int n) {
+//!     int i = blockIdx.x * blockDim.x + threadIdx.x;
+//!     if (i < n) { out[i] = 2.0 * in[i]; }
+//! }
+//! int main() {
+//!     printf("hello\n");
+//!     return 0;
+//! }
+//! "#;
+//! let program = parse(src, Dialect::CudaLite).unwrap();
+//! assert_eq!(program.items.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::*;
+pub use diag::{Diagnostic, Severity};
+pub use lexer::Lexer;
+pub use parser::{parse, Parser};
+pub use printer::print_program;
+pub use token::{Token, TokenKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_smoke() {
+        let src = "int main() { int x = 1 + 2; printf(\"%d\\n\", x); return 0; }";
+        let prog = parse(src, Dialect::CudaLite).expect("parse");
+        let printed = print_program(&prog);
+        let reparsed = parse(&printed, Dialect::CudaLite).expect("reparse");
+        assert_eq!(prog.items.len(), reparsed.items.len());
+    }
+}

@@ -1,0 +1,466 @@
+//! Fault classes the simulated LLM can introduce into an otherwise correct
+//! translation, and the text transformations that realise them.
+//!
+//! Each fault is recorded with enough information to be applied
+//! deterministically to the clean translated source, so the simulated model
+//! can *repair* a translation during the self-correction loop by dropping
+//! faults from its list and re-rendering — exactly the observable behaviour
+//! (error → re-prompt → new code) the LASSI pipeline is built around.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// What a fault does to the generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCategory {
+    /// The program no longer compiles.
+    Compile,
+    /// The program compiles but fails at runtime.
+    Runtime,
+    /// The program runs but produces different output (N/A in the tables).
+    Semantic,
+    /// The program is correct but slower.
+    Performance,
+}
+
+/// Concrete fault kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Remove the trailing `;` from a statement line.
+    DropSemicolon {
+        /// Index of the affected line in the clean source.
+        line: usize,
+    },
+    /// Misspell one occurrence of an identifier.
+    MisspellIdentifier {
+        /// Original identifier.
+        from: String,
+        /// Misspelled replacement.
+        to: String,
+    },
+    /// Use a wrong API name (e.g. `cudaMemCopy`).
+    WrongApiName {
+        /// Correct name appearing in the clean source.
+        from: String,
+        /// The wrong name the model writes.
+        to: String,
+    },
+    /// Delete a variable declaration line entirely.
+    RemoveDeclaration {
+        /// Index of the declaration line.
+        line: usize,
+    },
+    /// Replace a `i < bound` guard with `i <= bound` (off-by-one overrun).
+    LoosenBoundsCheck {
+        /// Index of the line containing the guard.
+        line: usize,
+    },
+    /// Drop a `map(...)` clause from an offload pragma.
+    DropMapClause {
+        /// Index of the pragma line.
+        line: usize,
+    },
+    /// Drop the copy-back `cudaMemcpy(..., cudaMemcpyDeviceToHost)` call.
+    DropCopyBack {
+        /// Index of the memcpy line.
+        line: usize,
+    },
+    /// Serialize the parallel work (thread_limit/num_threads/block size → 1).
+    SerializeParallelism,
+    /// Perturb a numeric constant so the output changes.
+    PerturbConstant {
+        /// The literal text being replaced.
+        from: String,
+        /// Its replacement.
+        to: String,
+    },
+}
+
+/// A fault instance: kind plus its category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// What the fault is.
+    pub kind: FaultKind,
+    /// How it manifests.
+    pub category: FaultCategory,
+}
+
+impl Fault {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            FaultKind::DropSemicolon { .. } => "drop_semicolon",
+            FaultKind::MisspellIdentifier { .. } => "misspell_identifier",
+            FaultKind::WrongApiName { .. } => "wrong_api_name",
+            FaultKind::RemoveDeclaration { .. } => "remove_declaration",
+            FaultKind::LoosenBoundsCheck { .. } => "loosen_bounds_check",
+            FaultKind::DropMapClause { .. } => "drop_map_clause",
+            FaultKind::DropCopyBack { .. } => "drop_copy_back",
+            FaultKind::SerializeParallelism => "serialize_parallelism",
+            FaultKind::PerturbConstant { .. } => "perturb_constant",
+        }
+    }
+
+    /// Apply this fault to source text.
+    pub fn apply(&self, source: &str) -> String {
+        let mut lines: Vec<String> = source.lines().map(|l| l.to_string()).collect();
+        match &self.kind {
+            FaultKind::DropSemicolon { line } => {
+                if let Some(l) = lines.get_mut(*line) {
+                    if let Some(pos) = l.rfind(';') {
+                        l.remove(pos);
+                    }
+                }
+            }
+            FaultKind::MisspellIdentifier { from, to } | FaultKind::WrongApiName { from, to } => {
+                // Replace the *last* whole-word occurrence so declarations
+                // stay intact and the use site becomes undefined.
+                for l in lines.iter_mut().rev() {
+                    if let Some(new) = replace_last_word(l, from, to) {
+                        *l = new;
+                        break;
+                    }
+                }
+            }
+            FaultKind::RemoveDeclaration { line } | FaultKind::DropCopyBack { line } => {
+                if *line < lines.len() {
+                    lines.remove(*line);
+                }
+            }
+            FaultKind::LoosenBoundsCheck { line } => {
+                if let Some(l) = lines.get_mut(*line) {
+                    if let Some(pos) = l.find(" < ") {
+                        l.replace_range(pos..pos + 3, " <= ");
+                    }
+                }
+            }
+            FaultKind::DropMapClause { line } => {
+                if let Some(l) = lines.get_mut(*line) {
+                    if let Some(start) = l.find(" map(") {
+                        if let Some(rel_end) = l[start + 1..].find(')') {
+                            l.replace_range(start..start + 1 + rel_end + 1, "");
+                        }
+                    }
+                }
+            }
+            FaultKind::SerializeParallelism => {
+                for l in lines.iter_mut() {
+                    if l.contains("#pragma omp") {
+                        *l = l
+                            .replace("thread_limit(256)", "thread_limit(1)")
+                            .replace("thread_limit(128)", "thread_limit(1)")
+                            .replace("thread_limit(512)", "thread_limit(1)")
+                            .replace("num_threads(256)", "num_threads(1)")
+                            .replace("num_threads(128)", "num_threads(1)");
+                        if !l.contains("thread_limit(") && !l.contains("num_threads(") {
+                            l.push_str(" num_teams(1) thread_limit(1)");
+                        }
+                    }
+                    if l.contains("<<<") {
+                        // kernel<<<grid, block>>>  →  kernel<<<grid, 1>>>
+                        if let (Some(comma), Some(end)) = (l.find(", "), l.find(">>>")) {
+                            if comma < end {
+                                l.replace_range(comma..end, ", 1");
+                            }
+                        }
+                    }
+                }
+            }
+            FaultKind::PerturbConstant { from, to } => {
+                for l in lines.iter_mut().rev() {
+                    if let Some(pos) = l.find(from.as_str()) {
+                        l.replace_range(pos..pos + from.len(), to);
+                        break;
+                    }
+                }
+            }
+        }
+        lines.join("\n") + "\n"
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn replace_last_word(line: &str, from: &str, to: &str) -> Option<String> {
+    let mut result = None;
+    let mut search_start = 0usize;
+    while let Some(rel) = line[search_start..].find(from) {
+        let start = search_start + rel;
+        let end = start + from.len();
+        let before_ok = start == 0 || !is_word_char(line[..start].chars().next_back().unwrap());
+        let after_ok = end >= line.len() || !is_word_char(line[end..].chars().next().unwrap());
+        if before_ok && after_ok {
+            result = Some(start);
+        }
+        search_start = end;
+    }
+    result.map(|start| {
+        let mut s = line.to_string();
+        s.replace_range(start..start + from.len(), to);
+        s
+    })
+}
+
+/// Pick a fault of the requested category that is applicable to `source`.
+/// Returns `None` when no site for that category exists in the code.
+pub fn sample_fault(source: &str, category: FaultCategory, rng: &mut StdRng) -> Option<Fault> {
+    let lines: Vec<&str> = source.lines().collect();
+    match category {
+        FaultCategory::Compile => {
+            let mut candidates: Vec<Fault> = Vec::new();
+            // Statement lines whose semicolon can be dropped.
+            let stmt_lines: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.trim_end().ends_with(';') && !l.contains("for ("))
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&line) = stmt_lines.choose(rng) {
+                candidates.push(Fault {
+                    kind: FaultKind::DropSemicolon { line },
+                    category,
+                });
+            }
+            // Misspell a declared pointer or scalar.
+            for ident in collect_declared_identifiers(&lines) {
+                candidates.push(Fault {
+                    kind: FaultKind::MisspellIdentifier {
+                        to: format!("{ident}_tmp"),
+                        from: ident,
+                    },
+                    category,
+                });
+            }
+            for (api, wrong) in [
+                ("cudaMemcpy", "cudaMemCopy"),
+                ("cudaMalloc", "cudaMallocManagedX"),
+                ("__syncthreads", "__synchthreads"),
+                ("atomicAdd", "atomicAddFloat"),
+                ("omp target teams distribute parallel for", "omp target team distribute parallel for"),
+            ] {
+                if source.contains(api) {
+                    candidates.push(Fault {
+                        kind: FaultKind::WrongApiName { from: api.to_string(), to: wrong.to_string() },
+                        category,
+                    });
+                }
+            }
+            let decl_lines: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| {
+                    let t = l.trim_start();
+                    (t.starts_with("int ") || t.starts_with("float* ") || t.starts_with("double* "))
+                        && t.ends_with(';')
+                        && !t.contains("for ")
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&line) = decl_lines.choose(rng) {
+                candidates.push(Fault { kind: FaultKind::RemoveDeclaration { line }, category });
+            }
+            candidates.choose(rng).cloned()
+        }
+        FaultCategory::Runtime => {
+            let mut candidates: Vec<Fault> = Vec::new();
+            let guard_lines: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.contains("if (") && l.contains(" < "))
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&line) = guard_lines.choose(rng) {
+                candidates.push(Fault { kind: FaultKind::LoosenBoundsCheck { line }, category });
+            }
+            let map_lines: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.contains("#pragma omp target") && l.contains("map("))
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&line) = map_lines.choose(rng) {
+                candidates.push(Fault { kind: FaultKind::DropMapClause { line }, category });
+            }
+            candidates.choose(rng).cloned()
+        }
+        FaultCategory::Semantic => {
+            let mut candidates: Vec<Fault> = Vec::new();
+            let copy_back: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.contains("cudaMemcpyDeviceToHost"))
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&line) = copy_back.choose(rng) {
+                candidates.push(Fault { kind: FaultKind::DropCopyBack { line }, category });
+            }
+            for constant in ["2.0", "1.0", "0.5", "3.0", "100"] {
+                if source.contains(constant) {
+                    candidates.push(Fault {
+                        kind: FaultKind::PerturbConstant {
+                            from: constant.to_string(),
+                            to: perturb(constant),
+                        },
+                        category,
+                    });
+                }
+            }
+            candidates.choose(rng).cloned()
+        }
+        FaultCategory::Performance => {
+            if source.contains("#pragma omp") || source.contains("<<<") {
+                Some(Fault { kind: FaultKind::SerializeParallelism, category })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn perturb(constant: &str) -> String {
+    if constant.contains('.') {
+        format!("{constant}7")
+    } else {
+        format!("{constant}7")
+    }
+}
+
+fn collect_declared_identifiers(lines: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    for l in lines {
+        let t = l.trim_start();
+        for prefix in ["float* ", "double* ", "int* ", "long* "] {
+            if let Some(rest) = t.strip_prefix(prefix) {
+                let name: String = rest.chars().take_while(|c| is_word_char(*c)).collect();
+                if name.len() > 2 && !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Draw a fault of category `category` with probability `p`; used by the
+/// session when composing a translation response.
+pub fn maybe_fault(
+    source: &str,
+    category: FaultCategory,
+    p: f64,
+    rng: &mut StdRng,
+) -> Option<Fault> {
+    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+        sample_fault(source, category, rng)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const SAMPLE: &str = "int main() {\n    int n = 128;\n    float* d_out;\n    double sum = 2.0;\n    cudaMemcpy(h, d_out, n, cudaMemcpyDeviceToHost);\n    if (i < n) {\n    }\n    #pragma omp target teams distribute parallel for map(to: a[0:n]) thread_limit(256)\n    printf(\"%f\\n\", sum);\n    return 0;\n}\n";
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn drop_semicolon_removes_one() {
+        let f = Fault { kind: FaultKind::DropSemicolon { line: 1 }, category: FaultCategory::Compile };
+        let out = f.apply(SAMPLE);
+        assert!(out.contains("int n = 128\n"));
+    }
+
+    #[test]
+    fn misspell_changes_use_site_only() {
+        let f = Fault {
+            kind: FaultKind::MisspellIdentifier { from: "d_out".into(), to: "d_out_tmp".into() },
+            category: FaultCategory::Compile,
+        };
+        let out = f.apply(SAMPLE);
+        // Declaration (first occurrence) intact, last use misspelled.
+        assert!(out.contains("float* d_out;"));
+        assert!(out.contains("d_out_tmp"));
+    }
+
+    #[test]
+    fn loosen_bounds_check() {
+        let f = Fault { kind: FaultKind::LoosenBoundsCheck { line: 5 }, category: FaultCategory::Runtime };
+        let out = f.apply(SAMPLE);
+        assert!(out.contains("if (i <= n)"));
+    }
+
+    #[test]
+    fn drop_map_clause() {
+        let f = Fault { kind: FaultKind::DropMapClause { line: 7 }, category: FaultCategory::Runtime };
+        let out = f.apply(SAMPLE);
+        assert!(!out.contains("map(to: a[0:n])"));
+        assert!(out.contains("#pragma omp target teams distribute parallel for"));
+    }
+
+    #[test]
+    fn serialize_parallelism_drops_thread_budget() {
+        let f = Fault { kind: FaultKind::SerializeParallelism, category: FaultCategory::Performance };
+        let out = f.apply(SAMPLE);
+        assert!(out.contains("thread_limit(1)"));
+    }
+
+    #[test]
+    fn drop_copy_back_removes_line() {
+        let f = Fault { kind: FaultKind::DropCopyBack { line: 4 }, category: FaultCategory::Semantic };
+        let out = f.apply(SAMPLE);
+        assert!(!out.contains("cudaMemcpyDeviceToHost"));
+    }
+
+    #[test]
+    fn perturb_constant_changes_output_value() {
+        let f = Fault {
+            kind: FaultKind::PerturbConstant { from: "2.0".into(), to: "2.07".into() },
+            category: FaultCategory::Semantic,
+        };
+        let out = f.apply(SAMPLE);
+        assert!(out.contains("sum = 2.07;"));
+    }
+
+    #[test]
+    fn sampling_finds_applicable_sites() {
+        let mut r = rng();
+        for category in [
+            FaultCategory::Compile,
+            FaultCategory::Runtime,
+            FaultCategory::Semantic,
+            FaultCategory::Performance,
+        ] {
+            let fault = sample_fault(SAMPLE, category, &mut r);
+            assert!(fault.is_some(), "no fault found for {category:?}");
+            assert_eq!(fault.unwrap().category, category);
+        }
+    }
+
+    #[test]
+    fn sampling_handles_code_without_sites() {
+        let mut r = rng();
+        let plain = "int main() {\n    return 0;\n}\n";
+        assert!(sample_fault(plain, FaultCategory::Performance, &mut r).is_none());
+        assert!(sample_fault(plain, FaultCategory::Runtime, &mut r).is_none());
+    }
+
+    #[test]
+    fn maybe_fault_respects_probability() {
+        let mut r = rng();
+        assert!(maybe_fault(SAMPLE, FaultCategory::Compile, 0.0, &mut r).is_none());
+        assert!(maybe_fault(SAMPLE, FaultCategory::Compile, 1.0, &mut r).is_some());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let f = Fault { kind: FaultKind::SerializeParallelism, category: FaultCategory::Performance };
+        assert_eq!(f.label(), "serialize_parallelism");
+    }
+}

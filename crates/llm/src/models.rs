@@ -1,0 +1,219 @@
+//! The four LLM configurations evaluated in the paper (Table V), each paired
+//! with a *capability profile* that drives the simulated model's behaviour.
+
+/// How capable a simulated model is, expressed as probabilities per
+//  translation attempt. All probabilities are independent per fault class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapabilityProfile {
+    /// Probability that the first translation attempt carries a *compile*
+    /// fault (syntax slip, wrong API name, missing declaration).
+    pub p_compile_fault: f64,
+    /// Probability that a translation carries a *runtime* fault
+    /// (out-of-bounds indexing, missing data transfer).
+    pub p_runtime_fault: f64,
+    /// Probability of an unrecoverable *semantic* fault: the program runs but
+    /// produces different output (reported as N/A in the paper's tables).
+    pub p_semantic_fault: f64,
+    /// Probability of a performance regression (e.g. serializing the parallel
+    /// region, dropping the thread configuration).
+    pub p_perf_regression: f64,
+    /// Probability of a performance improvement (restructured parallelism,
+    /// fewer atomics) — the DeepSeek `atomicCost` 66× case.
+    pub p_perf_improvement: f64,
+    /// Probability that one self-correction round actually removes the fault
+    /// it was asked to fix.
+    pub p_repair_success: f64,
+    /// Probability that a failed repair introduces a *new* compile fault
+    /// (this is how the pathological 34-iteration Codestral case arises).
+    pub p_repair_regression: f64,
+}
+
+/// One of the LLMs from Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Model name as printed in the paper.
+    pub name: &'static str,
+    /// Parameter count description (Table V "Parameters").
+    pub parameters: &'static str,
+    /// On-disk size in GB (Table V "Size"); `None` for API-only models.
+    pub size_gb: Option<f64>,
+    /// Quantization description.
+    pub quantization: &'static str,
+    /// Context window in tokens.
+    pub context_tokens: usize,
+    /// Behaviour profile of the simulated stand-in.
+    pub profile: CapabilityProfile,
+}
+
+impl ModelSpec {
+    /// Short identifier usable in file names and seeds.
+    pub fn slug(&self) -> String {
+        self.name
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect::<String>()
+            .split('-')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+}
+
+/// GPT-4 (API, 1.76 T parameters, 32,768-token context).
+pub fn gpt4() -> ModelSpec {
+    ModelSpec {
+        name: "GPT-4",
+        parameters: "1.76 T",
+        size_gb: None,
+        quantization: "N/A",
+        context_tokens: 32_768,
+        profile: CapabilityProfile {
+            p_compile_fault: 0.28,
+            p_runtime_fault: 0.10,
+            p_semantic_fault: 0.16,
+            p_perf_regression: 0.12,
+            p_perf_improvement: 0.10,
+            p_repair_success: 0.88,
+            p_repair_regression: 0.04,
+        },
+    }
+}
+
+/// Codestral 22B (8-bit, 32,768-token context).
+pub fn codestral() -> ModelSpec {
+    ModelSpec {
+        name: "Codestral",
+        parameters: "22B",
+        size_gb: Some(24.0),
+        quantization: "8-bit",
+        context_tokens: 32_768,
+        profile: CapabilityProfile {
+            p_compile_fault: 0.38,
+            p_runtime_fault: 0.14,
+            p_semantic_fault: 0.10,
+            p_perf_regression: 0.22,
+            p_perf_improvement: 0.14,
+            p_repair_success: 0.72,
+            p_repair_regression: 0.12,
+        },
+    }
+}
+
+/// Wizard Coder 33B (8-bit, 16,384-token context).
+pub fn wizard_coder() -> ModelSpec {
+    ModelSpec {
+        name: "Wizard Coder",
+        parameters: "33B",
+        size_gb: Some(35.0),
+        quantization: "8-bit",
+        context_tokens: 16_384,
+        profile: CapabilityProfile {
+            p_compile_fault: 0.34,
+            p_runtime_fault: 0.12,
+            p_semantic_fault: 0.07,
+            p_perf_regression: 0.18,
+            p_perf_improvement: 0.12,
+            p_repair_success: 0.80,
+            p_repair_regression: 0.07,
+        },
+    }
+}
+
+/// DeepSeek Coder v2 16B (F16, 163,840-token context).
+pub fn deepseek_coder() -> ModelSpec {
+    ModelSpec {
+        name: "DeepSeek Coder v2",
+        parameters: "16B",
+        size_gb: Some(31.0),
+        quantization: "F16",
+        context_tokens: 163_840,
+        profile: CapabilityProfile {
+            p_compile_fault: 0.34,
+            p_runtime_fault: 0.14,
+            p_semantic_fault: 0.19,
+            p_perf_regression: 0.16,
+            p_perf_improvement: 0.18,
+            p_repair_success: 0.76,
+            p_repair_regression: 0.08,
+        },
+    }
+}
+
+/// All four models in the order the paper's tables use.
+pub fn all_models() -> Vec<ModelSpec> {
+    vec![gpt4(), codestral(), wizard_coder(), deepseek_coder()]
+}
+
+/// Look a model up by (case-insensitive) name or slug.
+pub fn model_by_name(name: &str) -> Option<ModelSpec> {
+    let needle = name.to_lowercase();
+    all_models()
+        .into_iter()
+        .find(|m| m.name.to_lowercase() == needle || m.slug() == needle || m.slug().replace('-', "") == needle.replace([' ', '-'], ""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_models_match_table_v() {
+        let models = all_models();
+        assert_eq!(models.len(), 4);
+        assert_eq!(models[0].name, "GPT-4");
+        assert_eq!(models[0].context_tokens, 32_768);
+        assert_eq!(models[1].name, "Codestral");
+        assert_eq!(models[1].size_gb, Some(24.0));
+        assert_eq!(models[2].name, "Wizard Coder");
+        assert_eq!(models[2].context_tokens, 16_384);
+        assert_eq!(models[3].name, "DeepSeek Coder v2");
+        assert_eq!(models[3].quantization, "F16");
+        assert_eq!(models[3].context_tokens, 163_840);
+    }
+
+    #[test]
+    fn lookup_by_name_and_slug() {
+        assert_eq!(model_by_name("gpt-4").unwrap().name, "GPT-4");
+        assert_eq!(model_by_name("Wizard Coder").unwrap().parameters, "33B");
+        assert_eq!(model_by_name("deepseek coder v2").unwrap().parameters, "16B");
+        assert!(model_by_name("llama").is_none());
+    }
+
+    #[test]
+    fn slugs_are_filename_safe() {
+        for m in all_models() {
+            let slug = m.slug();
+            assert!(slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'), "{slug}");
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for m in all_models() {
+            let p = m.profile;
+            for v in [
+                p.p_compile_fault,
+                p.p_runtime_fault,
+                p.p_semantic_fault,
+                p.p_perf_regression,
+                p.p_perf_improvement,
+                p.p_repair_success,
+                p.p_repair_regression,
+            ] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+            // Every model must be able to make progress in the correction loop.
+            assert!(p.p_repair_success > 0.5);
+        }
+    }
+
+    #[test]
+    fn gpt4_is_most_reliable_at_repair() {
+        let models = all_models();
+        let gpt = &models[0];
+        for other in &models[1..] {
+            assert!(gpt.profile.p_repair_success >= other.profile.p_repair_success);
+        }
+    }
+}

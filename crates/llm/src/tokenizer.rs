@@ -1,0 +1,81 @@
+//! Approximate tokenizer.
+//!
+//! LASSI only needs token counts for two things: checking that a constructed
+//! prompt fits each model's context window (Table V) and tokenizing code for
+//! the Sim-T similarity metric. A simple word/punctuation splitter with a
+//! sub-word heuristic tracks real BPE tokenizers closely enough for both.
+
+/// Split text into tokens the way the similarity metric expects: identifiers
+/// and numbers are single tokens, every punctuation character is its own
+/// token, whitespace separates.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            current.push(c);
+        } else {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            if !c.is_whitespace() {
+                tokens.push(c.to_string());
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Approximate the number of LLM tokens in `text`.
+///
+/// Long identifiers and string fragments are counted as multiple sub-word
+/// tokens (one per 4 characters), matching the common "~4 characters per
+/// token" rule of thumb for code-heavy text.
+pub fn count_tokens(text: &str) -> usize {
+    tokenize(text)
+        .iter()
+        .map(|t| {
+            if t.chars().count() <= 4 {
+                1
+            } else {
+                t.chars().count().div_ceil(4)
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_code_line() {
+        let toks = tokenize("out[i] = a[i] + b[i];");
+        assert_eq!(
+            toks,
+            vec!["out", "[", "i", "]", "=", "a", "[", "i", "]", "+", "b", "[", "i", "]", ";"]
+        );
+    }
+
+    #[test]
+    fn count_scales_with_length() {
+        let short = count_tokens("int x = 1;");
+        let long = count_tokens(&"int x = 1;\n".repeat(100));
+        assert!(long > short * 50);
+    }
+
+    #[test]
+    fn long_identifiers_cost_more() {
+        assert!(count_tokens("extraordinarily_long_identifier_name") > 1);
+        assert_eq!(count_tokens("i"), 1);
+    }
+
+    #[test]
+    fn empty_text_has_no_tokens() {
+        assert_eq!(count_tokens(""), 0);
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Aggregate statistics over a batch of translation scenarios — the headline
+//! percentages in §V-B and §V-C of the paper.
+
+use crate::{within_ten_percent_or_faster, SIM_T_HIGH_SIMILARITY};
+
+/// The outcome of one (application, model, direction) scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Application name.
+    pub application: String,
+    /// Model name.
+    pub model: String,
+    /// True when the generated code compiled, executed and produced the
+    /// expected output (i.e. not an "N/A" row).
+    pub success: bool,
+    /// Runtime of the generated code, seconds (None for N/A rows).
+    pub runtime_seconds: Option<f64>,
+    /// Original-over-generated runtime ratio (None for N/A rows).
+    pub ratio: Option<f64>,
+    /// Token-based similarity (None for N/A rows).
+    pub sim_t: Option<f64>,
+    /// Line-based similarity (None for N/A rows).
+    pub sim_l: Option<f64>,
+    /// Number of self-correction iterations (None for N/A rows).
+    pub self_corrections: Option<u32>,
+}
+
+impl ScenarioOutcome {
+    /// An N/A row.
+    pub fn failed(application: impl Into<String>, model: impl Into<String>) -> Self {
+        ScenarioOutcome {
+            application: application.into(),
+            model: model.into(),
+            success: false,
+            runtime_seconds: None,
+            ratio: None,
+            sim_t: None,
+            sim_l: None,
+            self_corrections: None,
+        }
+    }
+}
+
+/// Aggregate statistics over a set of scenarios (one translation direction).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AggregateStats {
+    /// Number of scenarios.
+    pub total: usize,
+    /// Number of successful scenarios.
+    pub successes: usize,
+    /// Fraction of scenarios that produced executable code with the expected
+    /// output (the paper's 80% / 85%).
+    pub success_rate: f64,
+    /// Of the successes, the fraction whose runtime is within 10% of or
+    /// faster than the original (the paper's 78.1% / 61.8%).
+    pub within_ten_percent_rate: f64,
+    /// Of the successes, the fraction with Sim-T ≥ 0.6 (40.6% / 47.1%).
+    pub high_similarity_rate: f64,
+    /// Of the successes, the fraction needing zero self-corrections
+    /// (65.6% / 55.9%).
+    pub first_try_rate: f64,
+    /// Mean number of self-corrections over successful scenarios.
+    pub mean_self_corrections: f64,
+}
+
+impl AggregateStats {
+    /// Compute the aggregate over `outcomes`.
+    pub fn from_outcomes(outcomes: &[ScenarioOutcome]) -> Self {
+        let total = outcomes.len();
+        let successes: Vec<&ScenarioOutcome> = outcomes.iter().filter(|o| o.success).collect();
+        let n_success = successes.len();
+        let frac = |count: usize| if n_success == 0 { 0.0 } else { count as f64 / n_success as f64 };
+
+        let within = successes
+            .iter()
+            .filter(|o| o.ratio.map(within_ten_percent_or_faster).unwrap_or(false))
+            .count();
+        let similar = successes
+            .iter()
+            .filter(|o| o.sim_t.map(|s| s >= SIM_T_HIGH_SIMILARITY).unwrap_or(false))
+            .count();
+        let first_try = successes
+            .iter()
+            .filter(|o| o.self_corrections.map(|c| c == 0).unwrap_or(false))
+            .count();
+        let total_corrections: u32 = successes.iter().filter_map(|o| o.self_corrections).sum();
+
+        AggregateStats {
+            total,
+            successes: n_success,
+            success_rate: if total == 0 { 0.0 } else { n_success as f64 / total as f64 },
+            within_ten_percent_rate: frac(within),
+            high_similarity_rate: frac(similar),
+            first_try_rate: frac(first_try),
+            mean_self_corrections: if n_success == 0 {
+                0.0
+            } else {
+                total_corrections as f64 / n_success as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for AggregateStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "scenarios:                {:>5}", self.total)?;
+        writeln!(f, "successful translations:  {:>5} ({:.1}%)", self.successes, self.success_rate * 100.0)?;
+        writeln!(f, "within 10% or faster:     {:>8.1}%", self.within_ten_percent_rate * 100.0)?;
+        writeln!(f, "Sim-T >= 0.6:             {:>8.1}%", self.high_similarity_rate * 100.0)?;
+        writeln!(f, "zero self-corrections:    {:>8.1}%", self.first_try_rate * 100.0)?;
+        write!(f, "mean self-corrections:    {:>8.2}", self.mean_self_corrections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(app: &str, ratio: f64, sim_t: f64, corr: u32) -> ScenarioOutcome {
+        ScenarioOutcome {
+            application: app.into(),
+            model: "GPT-4".into(),
+            success: true,
+            runtime_seconds: Some(1.0),
+            ratio: Some(ratio),
+            sim_t: Some(sim_t),
+            sim_l: Some(sim_t),
+            self_corrections: Some(corr),
+        }
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let outcomes = vec![
+            ok("a", 1.2, 0.7, 0),
+            ok("b", 0.5, 0.4, 2),
+            ok("c", 0.95, 0.65, 0),
+            ScenarioOutcome::failed("d", "GPT-4"),
+        ];
+        let stats = AggregateStats::from_outcomes(&outcomes);
+        assert_eq!(stats.total, 4);
+        assert_eq!(stats.successes, 3);
+        assert!((stats.success_rate - 0.75).abs() < 1e-12);
+        assert!((stats.within_ten_percent_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.high_similarity_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.first_try_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.mean_self_corrections - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_failed_sets() {
+        let stats = AggregateStats::from_outcomes(&[]);
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.success_rate, 0.0);
+        let stats = AggregateStats::from_outcomes(&[ScenarioOutcome::failed("a", "m")]);
+        assert_eq!(stats.success_rate, 0.0);
+        assert_eq!(stats.within_ten_percent_rate, 0.0);
+    }
+
+    #[test]
+    fn display_renders_percentages() {
+        let stats = AggregateStats::from_outcomes(&[ok("a", 1.0, 0.8, 1)]);
+        let text = stats.to_string();
+        assert!(text.contains("100.0%"));
+        assert!(text.contains("mean self-corrections"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Code similarity metrics (Sim-T and Sim-L).
+
+/// Tokenize code the way the Sim-T metric expects: identifiers/numbers are
+/// tokens, every punctuation character is a token, whitespace separates.
+pub fn tokenize_code(code: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in code.chars() {
+        if c.is_alphanumeric() || c == '_' || c == '.' {
+            current.push(c);
+        } else {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            if !c.is_whitespace() {
+                tokens.push(c.to_string());
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Ratcliff–Obershelp similarity over token sequences:
+/// `2 * M / (|a| + |b|)` where `M` is the total length of recursively matched
+/// longest contiguous common subsequences. Returns a value in `[0, 1]`.
+pub fn sim_t(a: &str, b: &str) -> f64 {
+    let ta = tokenize_code(a);
+    let tb = tokenize_code(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let matches = ratcliff_matches(&ta, &tb);
+    2.0 * matches as f64 / (ta.len() + tb.len()) as f64
+}
+
+fn ratcliff_matches(a: &[String], b: &[String]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let (a_start, b_start, len) = longest_common_block(a, b);
+    if len == 0 {
+        return 0;
+    }
+    len + ratcliff_matches(&a[..a_start], &b[..b_start])
+        + ratcliff_matches(&a[a_start + len..], &b[b_start + len..])
+}
+
+/// Find the longest contiguous matching block between two token slices.
+fn longest_common_block(a: &[String], b: &[String]) -> (usize, usize, usize) {
+    // Dynamic programming over suffix match lengths, O(|a| * |b|).
+    let mut best = (0usize, 0usize, 0usize);
+    let mut prev = vec![0usize; b.len() + 1];
+    for i in 0..a.len() {
+        let mut current = vec![0usize; b.len() + 1];
+        for j in 0..b.len() {
+            if a[i] == b[j] {
+                let len = prev[j] + 1;
+                current[j + 1] = len;
+                if len > best.2 {
+                    best = (i + 1 - len, j + 1 - len, len);
+                }
+            }
+        }
+        prev = current;
+    }
+    best
+}
+
+/// Line-based similarity: the number of identical (trimmed, non-empty) lines
+/// appearing in both programs — order-insensitive, counted with multiplicity —
+/// divided by the line count of the longer program.
+pub fn sim_l(a: &str, b: &str) -> f64 {
+    use std::collections::HashMap;
+    let lines_a: Vec<&str> = a.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    let lines_b: Vec<&str> = b.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    if lines_a.is_empty() && lines_b.is_empty() {
+        return 1.0;
+    }
+    let longer = lines_a.len().max(lines_b.len());
+    if longer == 0 {
+        return 0.0;
+    }
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for l in &lines_b {
+        *counts.entry(*l).or_insert(0) += 1;
+    }
+    let mut matched = 0usize;
+    for l in &lines_a {
+        if let Some(c) = counts.get_mut(*l) {
+            if *c > 0 {
+                *c -= 1;
+                matched += 1;
+            }
+        }
+    }
+    matched as f64 / longer as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_code_scores_one() {
+        let code = "int main() {\n  return 0;\n}\n";
+        assert!((sim_t(code, code) - 1.0).abs() < 1e-12);
+        assert!((sim_l(code, code) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_code_scores_zero() {
+        assert_eq!(sim_t("alpha beta gamma", "delta epsilon zeta"), 0.0);
+        assert_eq!(sim_l("a\nb\nc", "x\ny\nz"), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sim_t("", ""), 1.0);
+        assert_eq!(sim_t("int x;", ""), 0.0);
+        assert_eq!(sim_l("", ""), 1.0);
+    }
+
+    #[test]
+    fn sim_t_is_symmetric_and_bounded() {
+        let a = "for (int i = 0; i < n; i++) { out[i] = a[i] + b[i]; }";
+        let b = "for (int j = 0; j < n; j++) { out[j] = a[j] * b[j]; }";
+        let ab = sim_t(a, b);
+        let ba = sim_t(b, a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.5 && ab < 1.0);
+    }
+
+    #[test]
+    fn sim_l_ignores_order() {
+        let a = "x = 1;\ny = 2;\nz = 3;";
+        let b = "z = 3;\nx = 1;\ny = 2;";
+        assert!((sim_l(a, b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_l_counts_multiplicity() {
+        let a = "x++;\nx++;\nx++;";
+        let b = "x++;";
+        assert!((sim_l(a, b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partially_similar_code_lands_in_between() {
+        let original = r#"
+        int main() {
+            int n = 128;
+            double sum = 0.0;
+            for (int i = 0; i < n; i++) { sum += i; }
+            printf("%f\n", sum);
+            return 0;
+        }
+        "#;
+        let translated = r#"
+        int main() {
+            int n = 128;
+            double sum = 0.0;
+            double* buffer = (double*)malloc(n * sizeof(double));
+            for (int i = 0; i < n; i++) { buffer[i] = i; }
+            for (int i = 0; i < n; i++) { sum += buffer[i]; }
+            printf("%f\n", sum);
+            free(buffer);
+            return 0;
+        }
+        "#;
+        let t = sim_t(original, translated);
+        let l = sim_l(original, translated);
+        assert!(t > 0.3 && t < 1.0, "sim_t = {t}");
+        assert!(l > 0.3 && l < 1.0, "sim_l = {l}");
+    }
+
+    #[test]
+    fn tokenizer_splits_punctuation() {
+        assert_eq!(tokenize_code("a[i]+=1;"), vec!["a", "[", "i", "]", "+", "=", "1", ";"]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Lexically scoped variable bindings used by the evaluator.
+
+use std::collections::HashMap;
+
+use lassi_lang::Type;
+
+use crate::value::Value;
+
+/// A variable binding: its current value and its declared type.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Current value.
+    pub value: Value,
+    /// Declared type (drives coercion on stores and `malloc` retyping).
+    pub ty: Type,
+}
+
+/// A stack of lexical scopes mapping names to bindings.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    scopes: Vec<HashMap<String, Binding>>,
+}
+
+impl Env {
+    /// An environment with a single (function-level) scope.
+    pub fn new() -> Self {
+        Env { scopes: vec![HashMap::new()] }
+    }
+
+    /// Enter a nested scope.
+    pub fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Leave the innermost scope.
+    pub fn pop_scope(&mut self) {
+        self.scopes.pop();
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+    }
+
+    /// Declare a variable in the innermost scope (shadowing allowed across scopes).
+    pub fn declare(&mut self, name: &str, ty: Type, value: Value) {
+        self.scopes
+            .last_mut()
+            .expect("env always has a scope")
+            .insert(name.to_string(), Binding { value, ty });
+    }
+
+    /// Read a variable.
+    pub fn get(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    /// Overwrite the value of an existing variable (innermost binding).
+    /// Returns false if the variable is not bound.
+    pub fn set(&mut self, name: &str, value: Value) -> bool {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(binding) = scope.get_mut(name) {
+                binding.value = value.coerce_to(&binding.ty);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether a variable is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Snapshot every binding into a single flat scope (used to seed the
+    /// environment of OpenMP worker threads, which see the enclosing scope).
+    pub fn flatten(&self) -> Env {
+        let mut flat: HashMap<String, Binding> = HashMap::new();
+        for scope in &self.scopes {
+            for (k, v) in scope {
+                flat.insert(k.clone(), v.clone());
+            }
+        }
+        Env { scopes: vec![flat] }
+    }
+
+    /// Number of scopes currently on the stack.
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_get_set() {
+        let mut env = Env::new();
+        env.declare("x", Type::Int, Value::Int(1));
+        assert_eq!(env.get("x").unwrap().value, Value::Int(1));
+        assert!(env.set("x", Value::Int(5)));
+        assert_eq!(env.get("x").unwrap().value, Value::Int(5));
+        assert!(!env.set("y", Value::Int(0)));
+    }
+
+    #[test]
+    fn set_coerces_to_declared_type() {
+        let mut env = Env::new();
+        env.declare("n", Type::Int, Value::Int(0));
+        env.set("n", Value::Float(3.7));
+        assert_eq!(env.get("n").unwrap().value, Value::Int(3));
+    }
+
+    #[test]
+    fn shadowing_and_scope_pop() {
+        let mut env = Env::new();
+        env.declare("x", Type::Int, Value::Int(1));
+        env.push_scope();
+        env.declare("x", Type::Int, Value::Int(2));
+        assert_eq!(env.get("x").unwrap().value, Value::Int(2));
+        env.pop_scope();
+        assert_eq!(env.get("x").unwrap().value, Value::Int(1));
+    }
+
+    #[test]
+    fn inner_scope_writes_outer_variable() {
+        let mut env = Env::new();
+        env.declare("sum", Type::Double, Value::Float(0.0));
+        env.push_scope();
+        env.set("sum", Value::Float(4.0));
+        env.pop_scope();
+        assert_eq!(env.get("sum").unwrap().value, Value::Float(4.0));
+    }
+
+    #[test]
+    fn flatten_merges_scopes() {
+        let mut env = Env::new();
+        env.declare("a", Type::Int, Value::Int(1));
+        env.push_scope();
+        env.declare("b", Type::Int, Value::Int(2));
+        let flat = env.flatten();
+        assert_eq!(flat.depth(), 1);
+        assert!(flat.contains("a") && flat.contains("b"));
+    }
+
+    #[test]
+    fn pop_never_leaves_empty() {
+        let mut env = Env::new();
+        env.pop_scope();
+        env.declare("x", Type::Int, Value::Int(1));
+        assert!(env.contains("x"));
+    }
+}

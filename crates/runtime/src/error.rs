@@ -1,0 +1,183 @@
+//! Runtime (execution-time) errors.
+//!
+//! The `Display` output of [`ExecError`] is what the LASSI pipeline captures
+//! as "the execution error message" and hands back to the LLM, so the text is
+//! phrased the way real CUDA / OpenMP binaries report failures.
+
+use std::fmt;
+
+/// An error raised while executing a ParC program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Out-of-bounds access on a buffer.
+    OutOfBounds {
+        /// Name the buffer was allocated under (best effort).
+        buffer: String,
+        /// Offending element index.
+        index: i64,
+        /// Number of elements in the buffer.
+        len: usize,
+        /// Source line of the access, 0 if unknown.
+        line: u32,
+    },
+    /// Dereference of a null or never-initialized pointer.
+    NullPointer {
+        /// Source line, 0 if unknown.
+        line: u32,
+    },
+    /// Access to a buffer after it was freed.
+    UseAfterFree {
+        /// Buffer name.
+        buffer: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `free`/`cudaFree` on something that is not an allocation base pointer.
+    InvalidFree {
+        /// Source line.
+        line: u32,
+    },
+    /// Host code touched device memory or device code touched host memory.
+    IllegalMemorySpace {
+        /// Buffer name.
+        buffer: String,
+        /// True if the faulting access came from device code.
+        from_device: bool,
+        /// Source line.
+        line: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// Source line.
+        line: u32,
+    },
+    /// A `__syncthreads()` call was not reached by every thread of the block.
+    BarrierDivergence {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// The interpreter's step budget was exhausted (runaway loop).
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A kernel was launched with an empty grid or block.
+    InvalidLaunchConfig {
+        /// Kernel name.
+        kernel: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The program called `exit(code)` with a non-zero code.
+    NonZeroExit {
+        /// Exit code.
+        code: i64,
+    },
+    /// Any other runtime failure.
+    Other(String),
+}
+
+impl ExecError {
+    /// Convenience constructor for [`ExecError::Other`].
+    pub fn other(msg: impl Into<String>) -> Self {
+        ExecError::Other(msg.into())
+    }
+
+    /// A short machine-friendly category name, used by the fault/repair
+    /// bookkeeping and the experiment reports.
+    pub fn category(&self) -> &'static str {
+        match self {
+            ExecError::OutOfBounds { .. } => "out_of_bounds",
+            ExecError::NullPointer { .. } => "null_pointer",
+            ExecError::UseAfterFree { .. } => "use_after_free",
+            ExecError::InvalidFree { .. } => "invalid_free",
+            ExecError::IllegalMemorySpace { .. } => "illegal_memory_space",
+            ExecError::DivisionByZero { .. } => "division_by_zero",
+            ExecError::BarrierDivergence { .. } => "barrier_divergence",
+            ExecError::StepLimitExceeded { .. } => "step_limit",
+            ExecError::InvalidLaunchConfig { .. } => "invalid_launch_config",
+            ExecError::NonZeroExit { .. } => "non_zero_exit",
+            ExecError::Other(_) => "other",
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { buffer, index, len, line } => write!(
+                f,
+                "runtime error: line {line}: index {index} is out of bounds for buffer '{buffer}' with {len} elements (illegal memory access)"
+            ),
+            ExecError::NullPointer { line } => {
+                write!(f, "runtime error: line {line}: segmentation fault: null or uninitialized pointer dereference")
+            }
+            ExecError::UseAfterFree { buffer, line } => {
+                write!(f, "runtime error: line {line}: use of buffer '{buffer}' after it was freed")
+            }
+            ExecError::InvalidFree { line } => {
+                write!(f, "runtime error: line {line}: free() called on a pointer that is not an allocation base")
+            }
+            ExecError::IllegalMemorySpace { buffer, from_device, line } => {
+                if *from_device {
+                    write!(
+                        f,
+                        "CUDA error: an illegal memory access was encountered (device code dereferenced host pointer '{buffer}' at line {line})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "runtime error: line {line}: host code dereferenced device pointer '{buffer}'; copy it back with cudaMemcpy first"
+                    )
+                }
+            }
+            ExecError::DivisionByZero { line } => {
+                write!(f, "runtime error: line {line}: floating point exception: integer division by zero")
+            }
+            ExecError::BarrierDivergence { kernel } => write!(
+                f,
+                "CUDA error: __syncthreads() in kernel '{kernel}' was not reached by all threads of the block (barrier divergence)"
+            ),
+            ExecError::StepLimitExceeded { limit } => {
+                write!(f, "runtime error: execution exceeded the step budget of {limit} operations (possible infinite loop); the process was killed")
+            }
+            ExecError::InvalidLaunchConfig { kernel, reason } => {
+                write!(f, "CUDA error: invalid configuration argument launching kernel '{kernel}': {reason}")
+            }
+            ExecError::NonZeroExit { code } => write!(f, "process exited with non-zero status {code}"),
+            ExecError::Other(msg) => write!(f, "runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_illegal_memory_access() {
+        let e = ExecError::OutOfBounds { buffer: "d_out".into(), index: 512, len: 256, line: 12 };
+        let s = e.to_string();
+        assert!(s.contains("out of bounds"));
+        assert!(s.contains("d_out"));
+        assert!(s.contains("line 12"));
+    }
+
+    #[test]
+    fn device_space_error_reads_like_cuda() {
+        let e = ExecError::IllegalMemorySpace { buffer: "h_in".into(), from_device: true, line: 7 };
+        assert!(e.to_string().starts_with("CUDA error"));
+    }
+
+    #[test]
+    fn categories_are_stable() {
+        assert_eq!(ExecError::DivisionByZero { line: 1 }.category(), "division_by_zero");
+        assert_eq!(ExecError::other("x").category(), "other");
+        assert_eq!(
+            ExecError::BarrierDivergence { kernel: "k".into() }.category(),
+            "barrier_divergence"
+        );
+    }
+}

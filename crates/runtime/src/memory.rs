@@ -1,0 +1,597 @@
+//! Host and device memory: typed buffers backed by atomic cells.
+//!
+//! Every allocation (`malloc`, `cudaMalloc`, stack arrays, `__shared__`
+//! arrays, OpenMP-mapped sections) becomes a [`Buffer`] of 64-bit atomic
+//! cells. Buffer *contents* are accessed through atomics and the buffer
+//! *table* is guarded by an `RwLock`, so the GPU simulator can execute thread
+//! blocks in parallel with rayon while host code allocates and frees through
+//! the same shared [`Memory`] handle without any unsafe code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+
+use lassi_lang::Type;
+
+use crate::error::ExecError;
+use crate::value::{PtrValue, Value};
+
+/// Identifier of a buffer inside a [`Memory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub usize);
+
+/// Which memory space a buffer lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Ordinary host memory (`malloc`, stack arrays).
+    Host,
+    /// Device global memory (`cudaMalloc`, OpenMP mapped data).
+    Device,
+    /// Per-block shared memory (`__shared__`).
+    Shared,
+}
+
+/// A single allocation.
+#[derive(Debug)]
+pub struct Buffer {
+    /// Best-effort name for diagnostics (the variable it was first assigned to).
+    pub name: String,
+    /// Element type of the buffer.
+    pub elem: Type,
+    /// Memory space.
+    pub space: MemSpace,
+    /// Whether the buffer has been freed.
+    pub freed: bool,
+    /// Host buffers mapped to the device (OpenMP `map`) are accessible from
+    /// device code as well.
+    pub mapped: bool,
+    /// Byte size originally requested (for `malloc` retyping).
+    raw_bytes: u64,
+    data: Vec<AtomicU64>,
+}
+
+impl Buffer {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes, according to the element type.
+    pub fn size_bytes(&self) -> u64 {
+        self.len() as u64 * self.elem.size_bytes().max(1)
+    }
+
+    fn encode(&self, value: &Value) -> u64 {
+        match self.elem {
+            Type::Int | Type::Long | Type::Bool => value.as_int() as u64,
+            Type::Float => (value.as_float() as f32 as f64).to_bits(),
+            _ => value.as_float().to_bits(),
+        }
+    }
+
+    fn decode(&self, bits: u64) -> Value {
+        match self.elem {
+            Type::Int | Type::Long | Type::Bool => Value::Int(bits as i64),
+            _ => Value::Float(f64::from_bits(bits)),
+        }
+    }
+
+    fn load_raw(&self, idx: usize) -> Value {
+        self.decode(self.data[idx].load(Ordering::Relaxed))
+    }
+
+    fn store_raw(&self, idx: usize, value: &Value) {
+        self.data[idx].store(self.encode(value), Ordering::Relaxed);
+    }
+}
+
+/// Summary of a buffer, used in reports and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferInfo {
+    /// Diagnostic name.
+    pub name: String,
+    /// Element type.
+    pub elem: Type,
+    /// Memory space.
+    pub space: MemSpace,
+    /// Element count.
+    pub len: usize,
+    /// Whether it was freed.
+    pub freed: bool,
+}
+
+/// Statistics about memory usage of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryStats {
+    /// Total number of allocations performed.
+    pub allocations: u64,
+    /// Total bytes allocated over the lifetime of the run.
+    pub allocated_bytes: u64,
+    /// Bytes explicitly copied by `cudaMemcpy`/`memcpy`.
+    pub copied_bytes: u64,
+}
+
+/// The memory of one program execution. All methods take `&self`; the buffer
+/// table is internally synchronized so the structure can be shared across the
+/// simulator's worker threads.
+#[derive(Debug, Default)]
+pub struct Memory {
+    buffers: RwLock<Vec<Buffer>>,
+    stats: Mutex<MemoryStats>,
+}
+
+impl Memory {
+    /// Create an empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Current usage statistics.
+    pub fn stats(&self) -> MemoryStats {
+        *self.stats.lock()
+    }
+
+    /// Allocate `len` elements of `elem` in `space`, returning a pointer to
+    /// element 0. Contents are zero-initialized.
+    pub fn alloc(&self, name: &str, elem: Type, len: usize, space: MemSpace) -> PtrValue {
+        let mut data = Vec::with_capacity(len);
+        data.resize_with(len.max(1), || AtomicU64::new(0));
+        let elem_size = elem.size_bytes().max(1);
+        let raw_bytes = len as u64 * elem_size;
+        let mut buffers = self.buffers.write();
+        buffers.push(Buffer {
+            name: name.to_string(),
+            elem,
+            space,
+            freed: false,
+            mapped: false,
+            raw_bytes,
+            data,
+        });
+        let id = BufferId(buffers.len() - 1);
+        drop(buffers);
+        let mut stats = self.stats.lock();
+        stats.allocations += 1;
+        stats.allocated_bytes += raw_bytes;
+        PtrValue { buffer: id, offset: 0, space }
+    }
+
+    /// Allocate a raw byte region (`malloc`) whose element type is not yet
+    /// known; it is retyped on the first pointer cast.
+    pub fn alloc_bytes(&self, name: &str, bytes: u64, space: MemSpace) -> PtrValue {
+        let len = (bytes as usize).div_ceil(8).max(1);
+        let ptr = self.alloc(name, Type::Double, len, space);
+        let mut buffers = self.buffers.write();
+        if let Some(buf) = buffers.get_mut(ptr.buffer.0) {
+            buf.raw_bytes = bytes;
+        }
+        ptr
+    }
+
+    /// Retype a buffer allocated with [`Memory::alloc_bytes`] once the program
+    /// casts the `malloc` result to a concrete pointer type.
+    pub fn retype(&self, id: BufferId, elem: Type) {
+        let mut buffers = self.buffers.write();
+        if let Some(buf) = buffers.get_mut(id.0) {
+            if buf.elem == elem || elem == Type::Void {
+                return;
+            }
+            let len = (buf.raw_bytes / elem.size_bytes().max(1)).max(1) as usize;
+            buf.elem = elem;
+            if len > buf.data.len() {
+                let extra = len - buf.data.len();
+                buf.data.reserve(extra);
+                for _ in 0..extra {
+                    buf.data.push(AtomicU64::new(0));
+                }
+            } else {
+                buf.data.truncate(len);
+            }
+        }
+    }
+
+    /// Rename a buffer for nicer diagnostics once it is bound to a variable.
+    pub fn rename(&self, id: BufferId, name: &str) {
+        let mut buffers = self.buffers.write();
+        if let Some(buf) = buffers.get_mut(id.0) {
+            if buf.name.is_empty() || buf.name == "<anon>" {
+                buf.name = name.to_string();
+            }
+        }
+    }
+
+    /// Free a buffer. The pointer must reference element 0.
+    pub fn free(&self, ptr: &PtrValue, line: u32) -> Result<(), ExecError> {
+        if ptr.offset != 0 {
+            return Err(ExecError::InvalidFree { line });
+        }
+        let mut buffers = self.buffers.write();
+        match buffers.get_mut(ptr.buffer.0) {
+            Some(buf) => {
+                if buf.freed {
+                    return Err(ExecError::InvalidFree { line });
+                }
+                buf.freed = true;
+                Ok(())
+            }
+            None => Err(ExecError::InvalidFree { line }),
+        }
+    }
+
+    /// Summary of a buffer by id.
+    pub fn buffer_info(&self, id: BufferId) -> Option<BufferInfo> {
+        let buffers = self.buffers.read();
+        buffers.get(id.0).map(|b| BufferInfo {
+            name: b.name.clone(),
+            elem: b.elem.clone(),
+            space: b.space,
+            len: b.len(),
+            freed: b.freed,
+        })
+    }
+
+    /// Element count of a buffer (0 if unknown).
+    pub fn buffer_len(&self, id: BufferId) -> usize {
+        self.buffers.read().get(id.0).map_or(0, |b| b.len())
+    }
+
+    /// Element type of a buffer.
+    pub fn buffer_elem(&self, id: BufferId) -> Option<Type> {
+        self.buffers.read().get(id.0).map(|b| b.elem.clone())
+    }
+
+    /// Number of buffers ever allocated.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.read().len()
+    }
+
+    fn with_access<R>(
+        &self,
+        ptr: &PtrValue,
+        index: i64,
+        from_device: bool,
+        line: u32,
+        f: impl FnOnce(&Buffer, usize) -> R,
+    ) -> Result<R, ExecError> {
+        let buffers = self.buffers.read();
+        let buf = buffers.get(ptr.buffer.0).ok_or(ExecError::NullPointer { line })?;
+        if buf.freed {
+            return Err(ExecError::UseAfterFree { buffer: buf.name.clone(), line });
+        }
+        match (buf.space, from_device) {
+            (MemSpace::Host, true) if buf.mapped => {}
+            (MemSpace::Host, true) => {
+                return Err(ExecError::IllegalMemorySpace {
+                    buffer: buf.name.clone(),
+                    from_device: true,
+                    line,
+                })
+            }
+            (MemSpace::Device, false) | (MemSpace::Shared, false) => {
+                return Err(ExecError::IllegalMemorySpace {
+                    buffer: buf.name.clone(),
+                    from_device: false,
+                    line,
+                })
+            }
+            _ => {}
+        }
+        let idx = ptr.offset + index;
+        if idx < 0 || idx as usize >= buf.len() {
+            return Err(ExecError::OutOfBounds {
+                buffer: buf.name.clone(),
+                index: idx,
+                len: buf.len(),
+                line,
+            });
+        }
+        Ok(f(buf, idx as usize))
+    }
+
+    /// Load `ptr[index]`.
+    pub fn load(
+        &self,
+        ptr: &PtrValue,
+        index: i64,
+        from_device: bool,
+        line: u32,
+    ) -> Result<Value, ExecError> {
+        self.with_access(ptr, index, from_device, line, |buf, idx| buf.load_raw(idx))
+    }
+
+    /// Store `value` into `ptr[index]`.
+    pub fn store(
+        &self,
+        ptr: &PtrValue,
+        index: i64,
+        value: &Value,
+        from_device: bool,
+        line: u32,
+    ) -> Result<(), ExecError> {
+        self.with_access(ptr, index, from_device, line, |buf, idx| buf.store_raw(idx, value))
+    }
+
+    /// Atomic add (`atomicAdd` / `#pragma omp atomic`): returns the old value.
+    pub fn atomic_add(
+        &self,
+        ptr: &PtrValue,
+        index: i64,
+        delta: &Value,
+        from_device: bool,
+        line: u32,
+    ) -> Result<Value, ExecError> {
+        self.with_access(ptr, index, from_device, line, |buf, idx| {
+            let cell = &buf.data[idx];
+            loop {
+                let old_bits = cell.load(Ordering::Relaxed);
+                let old = buf.decode(old_bits);
+                let new = match buf.elem {
+                    Type::Int | Type::Long | Type::Bool => Value::Int(old.as_int() + delta.as_int()),
+                    _ => Value::Float(old.as_float() + delta.as_float()),
+                };
+                let new_bits = buf.encode(&new);
+                if cell
+                    .compare_exchange_weak(old_bits, new_bits, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return old;
+                }
+            }
+        })
+    }
+
+    /// Atomic min/max (`atomicMin`/`atomicMax`): returns the old value.
+    pub fn atomic_minmax(
+        &self,
+        ptr: &PtrValue,
+        index: i64,
+        operand: &Value,
+        is_max: bool,
+        from_device: bool,
+        line: u32,
+    ) -> Result<Value, ExecError> {
+        self.with_access(ptr, index, from_device, line, |buf, idx| {
+            let cell = &buf.data[idx];
+            loop {
+                let old_bits = cell.load(Ordering::Relaxed);
+                let old = buf.decode(old_bits);
+                let new = match buf.elem {
+                    Type::Int | Type::Long | Type::Bool => {
+                        let (a, b) = (old.as_int(), operand.as_int());
+                        Value::Int(if is_max { a.max(b) } else { a.min(b) })
+                    }
+                    _ => {
+                        let (a, b) = (old.as_float(), operand.as_float());
+                        Value::Float(if is_max { a.max(b) } else { a.min(b) })
+                    }
+                };
+                let new_bits = buf.encode(&new);
+                if cell
+                    .compare_exchange_weak(old_bits, new_bits, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return old;
+                }
+            }
+        })
+    }
+
+    /// Copy `count_bytes` from `src` to `dst` (both at their element offsets).
+    /// Space-legality rules are relaxed: explicit copies are exactly how data
+    /// crosses the host/device boundary.
+    pub fn copy(
+        &self,
+        dst: &PtrValue,
+        src: &PtrValue,
+        count_bytes: u64,
+        line: u32,
+    ) -> Result<(), ExecError> {
+        let buffers = self.buffers.read();
+        let src_buf = buffers.get(src.buffer.0).ok_or(ExecError::NullPointer { line })?;
+        let dst_buf = buffers.get(dst.buffer.0).ok_or(ExecError::NullPointer { line })?;
+        if src_buf.freed {
+            return Err(ExecError::UseAfterFree { buffer: src_buf.name.clone(), line });
+        }
+        if dst_buf.freed {
+            return Err(ExecError::UseAfterFree { buffer: dst_buf.name.clone(), line });
+        }
+        let elem_size = dst_buf.elem.size_bytes().max(1).min(src_buf.elem.size_bytes().max(1));
+        let count = (count_bytes / elem_size) as i64;
+        for i in 0..count {
+            let sidx = src.offset + i;
+            let didx = dst.offset + i;
+            if sidx < 0 || sidx as usize >= src_buf.len() {
+                return Err(ExecError::OutOfBounds {
+                    buffer: src_buf.name.clone(),
+                    index: sidx,
+                    len: src_buf.len(),
+                    line,
+                });
+            }
+            if didx < 0 || didx as usize >= dst_buf.len() {
+                return Err(ExecError::OutOfBounds {
+                    buffer: dst_buf.name.clone(),
+                    index: didx,
+                    len: dst_buf.len(),
+                    line,
+                });
+            }
+            let v = src_buf.load_raw(sidx as usize);
+            dst_buf.store_raw(didx as usize, &v);
+        }
+        drop(buffers);
+        self.stats.lock().copied_bytes += count_bytes;
+        Ok(())
+    }
+
+    /// Mark a host buffer as mapped to the device (OpenMP `map` clauses),
+    /// making it legal to access from device code.
+    pub fn set_mapped(&self, id: BufferId, mapped: bool) {
+        let mut buffers = self.buffers.write();
+        if let Some(buf) = buffers.get_mut(id.0) {
+            buf.mapped = mapped;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_load_store_roundtrip() {
+        let mem = Memory::new();
+        let p = mem.alloc("a", Type::Double, 8, MemSpace::Host);
+        mem.store(&p, 3, &Value::Float(2.5), false, 1).unwrap();
+        assert_eq!(mem.load(&p, 3, false, 1).unwrap(), Value::Float(2.5));
+        assert_eq!(mem.load(&p, 0, false, 1).unwrap(), Value::Float(0.0));
+    }
+
+    #[test]
+    fn int_buffers_truncate() {
+        let mem = Memory::new();
+        let p = mem.alloc("idx", Type::Int, 4, MemSpace::Host);
+        mem.store(&p, 0, &Value::Float(3.9), false, 1).unwrap();
+        assert_eq!(mem.load(&p, 0, false, 1).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn float_buffers_round_to_f32() {
+        let mem = Memory::new();
+        let p = mem.alloc("x", Type::Float, 1, MemSpace::Host);
+        let v = 0.123456789012345_f64;
+        mem.store(&p, 0, &Value::Float(v), false, 1).unwrap();
+        assert_eq!(mem.load(&p, 0, false, 1).unwrap(), Value::Float(v as f32 as f64));
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mem = Memory::new();
+        let p = mem.alloc("a", Type::Int, 4, MemSpace::Host);
+        let err = mem.load(&p, 4, false, 9).unwrap_err();
+        assert_eq!(err.category(), "out_of_bounds");
+        let err = mem.load(&p, -1, false, 9).unwrap_err();
+        assert_eq!(err.category(), "out_of_bounds");
+    }
+
+    #[test]
+    fn device_buffer_not_host_accessible() {
+        let mem = Memory::new();
+        let p = mem.alloc("d_a", Type::Float, 4, MemSpace::Device);
+        let err = mem.load(&p, 0, false, 3).unwrap_err();
+        assert_eq!(err.category(), "illegal_memory_space");
+        assert!(mem.load(&p, 0, true, 3).is_ok());
+    }
+
+    #[test]
+    fn host_buffer_not_device_accessible_unless_mapped() {
+        let mem = Memory::new();
+        let p = mem.alloc("h_a", Type::Float, 4, MemSpace::Host);
+        assert!(mem.load(&p, 0, true, 3).is_err());
+        mem.set_mapped(p.buffer, true);
+        assert!(mem.load(&p, 0, true, 3).is_ok());
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let mem = Memory::new();
+        let p = mem.alloc("a", Type::Int, 4, MemSpace::Host);
+        mem.free(&p, 5).unwrap();
+        assert_eq!(mem.load(&p, 0, false, 6).unwrap_err().category(), "use_after_free");
+        assert_eq!(mem.free(&p, 7).unwrap_err().category(), "invalid_free");
+    }
+
+    #[test]
+    fn free_requires_base_pointer() {
+        let mem = Memory::new();
+        let mut p = mem.alloc("a", Type::Int, 4, MemSpace::Host);
+        p.offset = 2;
+        assert_eq!(mem.free(&p, 1).unwrap_err().category(), "invalid_free");
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let mem = Memory::new();
+        let p = mem.alloc("sum", Type::Double, 1, MemSpace::Device);
+        for _ in 0..10 {
+            mem.atomic_add(&p, 0, &Value::Float(1.5), true, 1).unwrap();
+        }
+        assert_eq!(mem.load(&p, 0, true, 1).unwrap(), Value::Float(15.0));
+    }
+
+    #[test]
+    fn atomic_add_is_thread_safe() {
+        use std::sync::Arc;
+        let mem = Arc::new(Memory::new());
+        let p = mem.alloc("sum", Type::Int, 1, MemSpace::Device);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let mem = Arc::clone(&mem);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    mem.atomic_add(&p, 0, &Value::Int(1), true, 1).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mem.load(&p, 0, true, 1).unwrap(), Value::Int(8000));
+    }
+
+    #[test]
+    fn atomic_minmax() {
+        let mem = Memory::new();
+        let p = mem.alloc("m", Type::Int, 1, MemSpace::Device);
+        mem.store(&p, 0, &Value::Int(5), true, 1).unwrap();
+        mem.atomic_minmax(&p, 0, &Value::Int(9), true, true, 1).unwrap();
+        assert_eq!(mem.load(&p, 0, true, 1).unwrap(), Value::Int(9));
+        mem.atomic_minmax(&p, 0, &Value::Int(2), false, true, 1).unwrap();
+        assert_eq!(mem.load(&p, 0, true, 1).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn copy_between_spaces() {
+        let mem = Memory::new();
+        let h = mem.alloc("h", Type::Float, 4, MemSpace::Host);
+        let d = mem.alloc("d", Type::Float, 4, MemSpace::Device);
+        for i in 0..4 {
+            mem.store(&h, i, &Value::Float(i as f64), false, 1).unwrap();
+        }
+        mem.copy(&d, &h, 16, 1).unwrap();
+        assert_eq!(mem.load(&d, 3, true, 1).unwrap(), Value::Float(3.0));
+        assert_eq!(mem.stats().copied_bytes, 16);
+    }
+
+    #[test]
+    fn copy_out_of_bounds_detected() {
+        let mem = Memory::new();
+        let h = mem.alloc("h", Type::Float, 4, MemSpace::Host);
+        let d = mem.alloc("d", Type::Float, 2, MemSpace::Device);
+        assert_eq!(mem.copy(&d, &h, 16, 1).unwrap_err().category(), "out_of_bounds");
+    }
+
+    #[test]
+    fn retype_from_malloc() {
+        let mem = Memory::new();
+        let p = mem.alloc_bytes("a", 16, MemSpace::Host);
+        mem.retype(p.buffer, Type::Float);
+        assert_eq!(mem.buffer_len(p.buffer), 4);
+        assert_eq!(mem.buffer_elem(p.buffer), Some(Type::Float));
+    }
+
+    #[test]
+    fn stats_track_allocations() {
+        let mem = Memory::new();
+        mem.alloc("a", Type::Double, 10, MemSpace::Host);
+        mem.alloc("b", Type::Int, 10, MemSpace::Device);
+        let stats = mem.stats();
+        assert_eq!(stats.allocations, 2);
+        assert_eq!(stats.allocated_bytes, 80 + 40);
+    }
+}

@@ -1,0 +1,173 @@
+//! Built-in functions and variables of the ParC runtime environments.
+//!
+//! The table mirrors the subset of the CUDA runtime API, libc and the OpenMP
+//! runtime library that the HeCBench-style applications use. Each entry
+//! records where the symbol may legally appear (host vs device code) so that
+//! misuse (e.g. calling `cudaMalloc` inside a kernel) surfaces as a compile
+//! error the self-correction loop can act on.
+
+use lassi_lang::Type;
+
+/// Coarse classification of the value a builtin returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueClass {
+    /// No value (`void`).
+    Void,
+    /// Integer-valued.
+    Int,
+    /// Floating-point-valued.
+    Float,
+    /// Pointer-valued (e.g. `malloc`).
+    Ptr,
+}
+
+impl ValueClass {
+    /// The representative [`Type`] for this class.
+    pub fn ty(self) -> Type {
+        match self {
+            ValueClass::Void => Type::Void,
+            ValueClass::Int => Type::Long,
+            ValueClass::Float => Type::Double,
+            ValueClass::Ptr => Type::Void.ptr(),
+        }
+    }
+}
+
+/// Where a builtin may be used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinScope {
+    /// Host code only (`main` and host helpers).
+    HostOnly,
+    /// Device code only (`__global__` / `__device__` bodies).
+    DeviceOnly,
+    /// Anywhere.
+    Any,
+}
+
+/// Signature of a builtin function.
+#[derive(Debug, Clone)]
+pub struct BuiltinSig {
+    /// Function name.
+    pub name: &'static str,
+    /// Minimum number of arguments.
+    pub min_args: usize,
+    /// Maximum number of arguments (`usize::MAX` for variadic).
+    pub max_args: usize,
+    /// Result classification.
+    pub result: ValueClass,
+    /// Host/device restriction.
+    pub scope: BuiltinScope,
+}
+
+/// Signatures of every builtin function known to ParC.
+pub const BUILTINS: &[BuiltinSig] = &[
+    // ------------------------------------------------------------------ libc
+    BuiltinSig { name: "printf", min_args: 1, max_args: usize::MAX, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "malloc", min_args: 1, max_args: 1, result: ValueClass::Ptr, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "free", min_args: 1, max_args: 1, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "memset", min_args: 3, max_args: 3, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "memcpy", min_args: 3, max_args: 3, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "exit", min_args: 1, max_args: 1, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
+    // ------------------------------------------------------------------ math
+    BuiltinSig { name: "sqrt", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "sqrtf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "fabs", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "fabsf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "exp", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "expf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "log", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "logf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "log2", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "sin", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "cos", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "sinf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "cosf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "atan2", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "pow", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "floor", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "ceil", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "fmin", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "fmax", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::Any },
+    BuiltinSig { name: "min", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::Any },
+    BuiltinSig { name: "max", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::Any },
+    BuiltinSig { name: "abs", min_args: 1, max_args: 1, result: ValueClass::Int, scope: BuiltinScope::Any },
+    // ------------------------------------------------------------ CUDA (host)
+    BuiltinSig { name: "cudaMalloc", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "cudaFree", min_args: 1, max_args: 1, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "cudaMemcpy", min_args: 4, max_args: 4, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "cudaMemset", min_args: 3, max_args: 3, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "cudaDeviceSynchronize", min_args: 0, max_args: 0, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+    // ---------------------------------------------------------- CUDA (device)
+    BuiltinSig { name: "__syncthreads", min_args: 0, max_args: 0, result: ValueClass::Void, scope: BuiltinScope::DeviceOnly },
+    BuiltinSig { name: "atomicAdd", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::DeviceOnly },
+    BuiltinSig { name: "atomicMax", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::DeviceOnly },
+    BuiltinSig { name: "atomicMin", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::DeviceOnly },
+    // ---------------------------------------------------------------- OpenMP
+    BuiltinSig { name: "omp_get_wtime", min_args: 0, max_args: 0, result: ValueClass::Float, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "omp_get_num_threads", min_args: 0, max_args: 0, result: ValueClass::Int, scope: BuiltinScope::Any },
+    BuiltinSig { name: "omp_get_thread_num", min_args: 0, max_args: 0, result: ValueClass::Int, scope: BuiltinScope::Any },
+    BuiltinSig { name: "omp_get_max_threads", min_args: 0, max_args: 0, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+    BuiltinSig { name: "omp_set_num_threads", min_args: 1, max_args: 1, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
+    // dim3 constructor (appears as a call in declarations).
+    BuiltinSig { name: "dim3", min_args: 1, max_args: 3, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+];
+
+/// Look up the signature of a builtin function.
+pub fn builtin_signature(name: &str) -> Option<&'static BuiltinSig> {
+    BUILTINS.iter().find(|b| b.name == name)
+}
+
+/// True if `name` names a builtin function.
+pub fn is_builtin_function(name: &str) -> bool {
+    builtin_signature(name).is_some()
+}
+
+/// Names of the implicit device geometry variables available in kernels.
+pub const DEVICE_GEOMETRY_VARS: &[&str] = &["threadIdx", "blockIdx", "blockDim", "gridDim"];
+
+/// Host-side constants understood by `cudaMemcpy`.
+pub const MEMCPY_KIND_CONSTS: &[&str] = &["cudaMemcpyHostToDevice", "cudaMemcpyDeviceToHost", "cudaMemcpyDeviceToDevice"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_known_builtins() {
+        assert!(is_builtin_function("printf"));
+        assert!(is_builtin_function("cudaMalloc"));
+        assert!(is_builtin_function("omp_get_wtime"));
+        assert!(!is_builtin_function("notAFunction"));
+    }
+
+    #[test]
+    fn printf_is_variadic() {
+        let sig = builtin_signature("printf").unwrap();
+        assert_eq!(sig.min_args, 1);
+        assert_eq!(sig.max_args, usize::MAX);
+    }
+
+    #[test]
+    fn scopes_are_recorded() {
+        assert_eq!(builtin_signature("__syncthreads").unwrap().scope, BuiltinScope::DeviceOnly);
+        assert_eq!(builtin_signature("cudaMemcpy").unwrap().scope, BuiltinScope::HostOnly);
+        assert_eq!(builtin_signature("sqrt").unwrap().scope, BuiltinScope::Any);
+    }
+
+    #[test]
+    fn value_class_types() {
+        assert_eq!(ValueClass::Ptr.ty(), lassi_lang::Type::Void.ptr());
+        assert_eq!(ValueClass::Void.ty(), lassi_lang::Type::Void);
+        assert!(ValueClass::Float.ty().is_float());
+        assert!(ValueClass::Int.ty().is_integer());
+    }
+
+    #[test]
+    fn no_duplicate_builtin_names() {
+        let mut names: Vec<&str> = BUILTINS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

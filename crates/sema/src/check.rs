@@ -1,0 +1,1158 @@
+//! The ParC semantic checker.
+
+use std::collections::HashMap;
+
+use lassi_lang::{
+    AssignOp, BinOp, Block, Diagnostic, Dialect, Expr, FnQualifier, ForStmt, Function, KernelLaunch,
+    OmpClause, OmpDirectiveKind, PragmaStmt, Program, Stmt, StmtKind, Type, UnOp, VarDecl,
+};
+
+use crate::builtins::{
+    builtin_signature, BuiltinScope, DEVICE_GEOMETRY_VARS, MEMCPY_KIND_CONSTS,
+};
+
+/// Whether code is being checked as host code or device (kernel) code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecContext {
+    /// Ordinary host function.
+    Host,
+    /// `__global__` or `__device__` function body.
+    Device,
+}
+
+/// Result of a successful compilation.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOutput {
+    /// Non-fatal diagnostics.
+    pub warnings: Vec<Diagnostic>,
+    /// Names of `__global__` kernels defined by the program.
+    pub kernel_names: Vec<String>,
+}
+
+/// Compile (semantically check) a parsed program.
+///
+/// On success returns the [`CompileOutput`]; on failure returns every error
+/// found, formatted like compiler output so the LASSI self-correction loop
+/// can hand the text straight back to the LLM.
+pub fn compile(program: &Program) -> Result<CompileOutput, Vec<Diagnostic>> {
+    let mut checker = Checker::new(program);
+    checker.run();
+    if checker.errors.is_empty() {
+        Ok(CompileOutput {
+            warnings: checker.warnings,
+            kernel_names: program.kernels().map(|k| k.name.clone()).collect(),
+        })
+    } else {
+        Err(checker.errors)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct VarInfo {
+    ty: Type,
+    is_const: bool,
+}
+
+struct FuncSig {
+    qualifier: FnQualifier,
+    ret: Type,
+    params: Vec<Type>,
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+    funcs: HashMap<String, FuncSig>,
+    scopes: Vec<HashMap<String, VarInfo>>,
+    errors: Vec<Diagnostic>,
+    warnings: Vec<Diagnostic>,
+    ctx: ExecContext,
+    loop_depth: usize,
+    current_line: u32,
+    current_ret: Type,
+}
+
+impl<'p> Checker<'p> {
+    fn new(program: &'p Program) -> Self {
+        let mut funcs = HashMap::new();
+        for f in program.functions() {
+            funcs.insert(
+                f.name.clone(),
+                FuncSig {
+                    qualifier: f.qualifier,
+                    ret: f.ret.clone(),
+                    params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                },
+            );
+        }
+        Checker {
+            program,
+            funcs,
+            scopes: Vec::new(),
+            errors: Vec::new(),
+            warnings: Vec::new(),
+            ctx: ExecContext::Host,
+            loop_depth: 0,
+            current_line: 0,
+            current_ret: Type::Void,
+        }
+    }
+
+    fn error(&mut self, msg: impl Into<String>) {
+        self.errors.push(Diagnostic::error(self.current_line, msg));
+    }
+
+    fn warn(&mut self, msg: impl Into<String>) {
+        self.warnings.push(Diagnostic::warning(self.current_line, msg));
+    }
+
+    fn run(&mut self) {
+        // Duplicate function definitions.
+        let mut seen: HashMap<&str, u32> = HashMap::new();
+        for f in self.program.functions() {
+            if let Some(prev) = seen.insert(f.name.as_str(), f.line) {
+                self.errors.push(Diagnostic::error(
+                    f.line,
+                    format!("redefinition of function '{}' (previously defined at line {prev})", f.name),
+                ));
+            }
+        }
+
+        // A translation unit must define main.
+        if self.program.main().is_none() {
+            self.errors.push(Diagnostic::error(0, "undefined reference to 'main'"));
+        }
+
+        let funcs: Vec<&Function> = self.program.functions().collect();
+        for f in funcs {
+            self.check_function(f);
+        }
+    }
+
+    fn check_function(&mut self, f: &Function) {
+        self.current_line = f.line;
+        self.ctx = match f.qualifier {
+            FnQualifier::Host => ExecContext::Host,
+            FnQualifier::Kernel | FnQualifier::Device => ExecContext::Device,
+        };
+        self.current_ret = f.ret.clone();
+
+        if f.qualifier == FnQualifier::Kernel && f.ret != Type::Void {
+            self.error(format!("__global__ function '{}' must have void return type", f.name));
+        }
+        if f.name == "main" {
+            if f.ret != Type::Int {
+                self.error("'main' must return 'int'");
+            }
+            if f.qualifier != FnQualifier::Host {
+                self.error("'main' cannot be a __global__ or __device__ function");
+            }
+        }
+        if f.qualifier == FnQualifier::Kernel && self.program.dialect == Dialect::OmpLite {
+            self.error(format!(
+                "'__global__' qualifier on '{}' is CUDA syntax and is not valid in OpenMP C++ code",
+                f.name
+            ));
+        }
+
+        self.scopes.clear();
+        self.scopes.push(HashMap::new());
+        for p in &f.params {
+            self.declare(&p.name, p.ty.clone(), p.is_const);
+        }
+        let body = f.body.clone();
+        self.check_block(&body);
+        self.scopes.pop();
+    }
+
+    // ------------------------------------------------------------ scope mgmt
+
+    fn declare(&mut self, name: &str, ty: Type, is_const: bool) {
+        if let Some(scope) = self.scopes.last_mut() {
+            if scope.contains_key(name) {
+                let line = self.current_line;
+                self.errors.push(Diagnostic::error(line, format!("redefinition of '{name}'")));
+            }
+            scope.insert(name.to_string(), VarInfo { ty, is_const });
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&VarInfo> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    // ------------------------------------------------------------ statements
+
+    fn check_block(&mut self, block: &Block) {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.check_stmt(stmt);
+        }
+        self.scopes.pop();
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) {
+        if stmt.line > 0 {
+            self.current_line = stmt.line;
+        }
+        match &stmt.kind {
+            StmtKind::VarDecl(d) => self.check_var_decl(d),
+            StmtKind::Assign { target, op, value } => self.check_assign(target, *op, value),
+            StmtKind::If { cond, then_branch, else_branch } => {
+                self.check_condition(cond);
+                self.check_block(then_branch);
+                if let Some(e) = else_branch {
+                    self.check_block(e);
+                }
+            }
+            StmtKind::For(f) => self.check_for(f),
+            StmtKind::While { cond, body } => {
+                self.check_condition(cond);
+                self.loop_depth += 1;
+                self.check_block(body);
+                self.loop_depth -= 1;
+            }
+            StmtKind::Return(value) => {
+                let ret = self.current_ret.clone();
+                match (value, &ret) {
+                    (Some(_), Type::Void) => {
+                        self.error("void function should not return a value");
+                    }
+                    (None, t) if *t != Type::Void => {
+                        self.warn(format!("non-void function should return a value of type '{t}'"));
+                    }
+                    (Some(v), _) => {
+                        if let Some(vt) = self.check_expr(v) {
+                            if !assignment_compatible(&ret, &vt) {
+                                self.error(format!(
+                                    "returning '{vt}' from a function with return type '{ret}'"
+                                ));
+                            }
+                        }
+                    }
+                    (None, _) => {}
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    self.error("'break' or 'continue' statement not in loop");
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.check_expr(e);
+            }
+            StmtKind::Block(b) => self.check_block(b),
+            StmtKind::KernelLaunch(l) => self.check_launch(l),
+            StmtKind::Pragma(p) => self.check_pragma(p),
+        }
+    }
+
+    fn check_var_decl(&mut self, d: &VarDecl) {
+        if d.is_shared {
+            if self.ctx != ExecContext::Device {
+                self.error(format!("'__shared__' variable '{}' is only allowed in device code", d.name));
+            }
+            if self.program.dialect == Dialect::OmpLite {
+                self.error(format!(
+                    "'__shared__' on '{}' is CUDA syntax and is not valid in OpenMP C++ code",
+                    d.name
+                ));
+            }
+        }
+        if let Some(len) = &d.array_len {
+            if let Some(t) = self.check_expr(len) {
+                if !t.is_integer() {
+                    self.error(format!("array size of '{}' must have integer type, got '{t}'", d.name));
+                }
+            }
+        }
+        if let Some(init) = &d.init {
+            // dim3 constructor is checked structurally.
+            if d.ty == Type::Dim3 {
+                if let Expr::Call { callee, args } = init {
+                    if callee == "dim3" {
+                        if args.is_empty() || args.len() > 3 {
+                            self.error("dim3 constructor takes between 1 and 3 arguments");
+                        }
+                        for a in args {
+                            self.check_expr(a);
+                        }
+                        let declared_ty = if d.array_len.is_some() { d.ty.clone().ptr() } else { d.ty.clone() };
+                        self.declare(&d.name, declared_ty, d.is_const);
+                        return;
+                    }
+                }
+            }
+            if let Some(t) = self.check_expr(init) {
+                if !assignment_compatible(&d.ty, &t) {
+                    self.error(format!(
+                        "cannot initialize a variable of type '{}' with a value of type '{t}'",
+                        d.ty
+                    ));
+                }
+            }
+        }
+        let declared_ty = if d.array_len.is_some() { d.ty.clone().ptr() } else { d.ty.clone() };
+        self.declare(&d.name, declared_ty, d.is_const);
+    }
+
+    fn check_assign(&mut self, target: &Expr, op: AssignOp, value: &Expr) {
+        let target_ty = match self.check_lvalue(target) {
+            Some(t) => t,
+            None => {
+                // Diagnostics already emitted.
+                self.check_expr(value);
+                return;
+            }
+        };
+        if let Some(vt) = self.check_expr(value) {
+            if op == AssignOp::Assign {
+                if !assignment_compatible(&target_ty, &vt) {
+                    self.error(format!("assigning to '{target_ty}' from incompatible type '{vt}'"));
+                }
+            } else if !target_ty.is_arithmetic() || !vt.is_arithmetic() {
+                // Pointer compound assignment (p += n) is allowed for pointers.
+                let ptr_step_ok = matches!(target_ty, Type::Ptr(_)) && vt.is_integer();
+                if !ptr_step_ok {
+                    self.error(format!(
+                        "invalid operands to compound assignment ('{target_ty}' and '{vt}')"
+                    ));
+                }
+            }
+        }
+    }
+
+    fn check_lvalue(&mut self, target: &Expr) -> Option<Type> {
+        match target {
+            Expr::Ident(name) => {
+                let info = match self.lookup(name) {
+                    Some(i) => i.clone(),
+                    None => {
+                        if DEVICE_GEOMETRY_VARS.contains(&name.as_str()) {
+                            self.error(format!("cannot assign to built-in variable '{name}'"));
+                        } else {
+                            self.error(format!("use of undeclared identifier '{name}'"));
+                        }
+                        return None;
+                    }
+                };
+                if info.is_const {
+                    self.error(format!("cannot assign to variable '{name}' with const-qualified type"));
+                }
+                Some(info.ty)
+            }
+            Expr::Index { .. } | Expr::Member { .. } => self.check_expr(target),
+            Expr::Unary { op: UnOp::Deref, operand } => {
+                let t = self.check_expr(operand)?;
+                match t.pointee() {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        self.error(format!("indirection requires pointer operand ('{t}' invalid)"));
+                        None
+                    }
+                }
+            }
+            other => {
+                self.error(format!(
+                    "expression is not assignable: '{}'",
+                    lassi_lang::printer::print_expr(other)
+                ));
+                None
+            }
+        }
+    }
+
+    fn check_condition(&mut self, cond: &Expr) {
+        if let Some(t) = self.check_expr(cond) {
+            if !t.is_arithmetic() && !matches!(t, Type::Ptr(_)) {
+                self.error(format!("condition has non-scalar type '{t}'"));
+            }
+        }
+    }
+
+    fn check_for(&mut self, f: &ForStmt) {
+        self.scopes.push(HashMap::new());
+        if let Some(init) = &f.init {
+            self.check_stmt(init);
+        }
+        if let Some(cond) = &f.cond {
+            self.check_condition(cond);
+        }
+        if let Some(step) = &f.step {
+            self.check_stmt(step);
+        }
+        self.loop_depth += 1;
+        self.check_block(&f.body);
+        self.loop_depth -= 1;
+        self.scopes.pop();
+    }
+
+    fn check_launch(&mut self, l: &KernelLaunch) {
+        if self.program.dialect == Dialect::OmpLite {
+            self.error(format!(
+                "kernel launch syntax '{}<<<...>>>' is CUDA syntax and is not valid in OpenMP C++ code",
+                l.kernel
+            ));
+        }
+        if self.ctx == ExecContext::Device {
+            self.error("kernel launch from device code is not supported");
+        }
+        self.check_launch_dim(&l.grid);
+        self.check_launch_dim(&l.block);
+        match self.funcs.get(&l.kernel).map(|f| (f.qualifier, f.params.len())) {
+            None => {
+                self.error(format!("use of undeclared kernel '{}' in launch", l.kernel));
+            }
+            Some((qualifier, nparams)) => {
+                if qualifier != FnQualifier::Kernel {
+                    self.error(format!(
+                        "called function '{}' is not a __global__ kernel; it cannot be launched with <<<...>>>",
+                        l.kernel
+                    ));
+                }
+                if nparams != l.args.len() {
+                    self.error(format!(
+                        "kernel '{}' takes {nparams} argument(s) but {} were provided in launch",
+                        l.kernel,
+                        l.args.len()
+                    ));
+                }
+            }
+        }
+        for a in &l.args {
+            self.check_expr(a);
+        }
+    }
+
+    fn check_launch_dim(&mut self, e: &Expr) {
+        if let Some(t) = self.check_expr(e) {
+            if !(t.is_integer() || t == Type::Dim3) {
+                self.error(format!("kernel launch configuration must be an integer or dim3, got '{t}'"));
+            }
+        }
+    }
+
+    fn check_pragma(&mut self, p: &PragmaStmt) {
+        if self.program.dialect == Dialect::CudaLite {
+            self.error(format!(
+                "'#pragma omp {}' is OpenMP syntax and is not recognized by the CUDA compiler",
+                p.directive.kind.spelling()
+            ));
+        }
+        if self.ctx == ExecContext::Device {
+            self.error("OpenMP directives are not allowed inside device code");
+        }
+
+        // Clause expressions and variable lists.
+        for clause in &p.directive.clauses {
+            match clause {
+                OmpClause::Map { sections, .. } => {
+                    for s in sections {
+                        match self.lookup(&s.var) {
+                            None => {
+                                self.error(format!(
+                                    "use of undeclared identifier '{}' in map clause",
+                                    s.var
+                                ));
+                            }
+                            Some(info) => {
+                                if s.len.is_some() && !matches!(info.ty, Type::Ptr(_)) {
+                                    self.error(format!(
+                                        "array section on '{}' requires a pointer type, got '{}'",
+                                        s.var, info.ty
+                                    ));
+                                }
+                            }
+                        }
+                        let exprs: Vec<Expr> = s
+                            .lower
+                            .iter()
+                            .chain(s.len.iter())
+                            .cloned()
+                            .collect();
+                        for e in &exprs {
+                            self.check_expr(e);
+                        }
+                    }
+                }
+                OmpClause::Reduction { vars, .. }
+                | OmpClause::Private(vars)
+                | OmpClause::FirstPrivate(vars)
+                | OmpClause::Shared(vars) => {
+                    for v in vars.clone() {
+                        if self.lookup(&v).is_none() {
+                            self.error(format!("use of undeclared identifier '{v}' in OpenMP clause"));
+                        }
+                    }
+                }
+                OmpClause::NumThreads(e) | OmpClause::NumTeams(e) | OmpClause::ThreadLimit(e) => {
+                    let e = e.clone();
+                    if let Some(t) = self.check_expr(&e) {
+                        if !t.is_integer() {
+                            self.error(format!("OpenMP clause expects an integer expression, got '{t}'"));
+                        }
+                    }
+                }
+                OmpClause::Schedule { chunk, .. } => {
+                    if let Some(c) = chunk.clone() {
+                        self.check_expr(&c);
+                    }
+                }
+                OmpClause::Collapse(n) => {
+                    if *n == 0 {
+                        self.error("collapse factor must be at least 1");
+                    }
+                }
+            }
+        }
+
+        match p.directive.kind {
+            OmpDirectiveKind::ParallelFor | OmpDirectiveKind::TargetTeamsDistributeParallelFor => {
+                match p.body.as_deref() {
+                    Some(Stmt { kind: StmtKind::For(f), .. }) => {
+                        if f.canonical().is_none() {
+                            self.error(format!(
+                                "the loop following '#pragma omp {}' is not in canonical form (expected 'for (int i = lo; i < hi; i += step)')",
+                                p.directive.kind.spelling()
+                            ));
+                        }
+                        let collapse = p.directive.collapse();
+                        if collapse > 1 {
+                            // The nested loop must also be canonical.
+                            let inner_ok = f.body.stmts.iter().any(|s| {
+                                matches!(&s.kind, StmtKind::For(inner) if inner.canonical().is_some())
+                            });
+                            if !inner_ok {
+                                self.error(format!(
+                                    "collapse({collapse}) requires {collapse} perfectly nested canonical loops"
+                                ));
+                            }
+                        }
+                        self.check_stmt(p.body.as_ref().unwrap());
+                    }
+                    _ => {
+                        self.error(format!(
+                            "expected a for loop following '#pragma omp {}'",
+                            p.directive.kind.spelling()
+                        ));
+                        if let Some(body) = &p.body {
+                            self.check_stmt(body);
+                        }
+                    }
+                }
+            }
+            OmpDirectiveKind::TargetData => match p.body.as_deref() {
+                Some(Stmt { kind: StmtKind::Block(_), .. })
+                | Some(Stmt { kind: StmtKind::Pragma(_), .. })
+                | Some(Stmt { kind: StmtKind::For(_), .. }) => {
+                    self.check_stmt(p.body.as_ref().unwrap());
+                }
+                _ => {
+                    self.error("expected a statement block following '#pragma omp target data'");
+                }
+            },
+            OmpDirectiveKind::Atomic => match p.body.as_deref() {
+                Some(Stmt { kind: StmtKind::Assign { op, .. }, .. })
+                    if matches!(
+                        op,
+                        AssignOp::AddAssign | AssignOp::SubAssign | AssignOp::MulAssign | AssignOp::DivAssign
+                    ) =>
+                {
+                    self.check_stmt(p.body.as_ref().unwrap());
+                }
+                _ => {
+                    self.error(
+                        "the statement following '#pragma omp atomic' must be an update of the form 'x op= expr'",
+                    );
+                }
+            },
+            OmpDirectiveKind::Barrier => {}
+        }
+    }
+
+    // ----------------------------------------------------------- expressions
+
+    fn check_expr(&mut self, e: &Expr) -> Option<Type> {
+        match e {
+            Expr::IntLit(_) => Some(Type::Int),
+            Expr::FloatLit(_) => Some(Type::Double),
+            Expr::StrLit(_) => Some(Type::Void.ptr()),
+            Expr::Ident(name) => self.check_ident(name),
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs);
+                let rt = self.check_expr(rhs);
+                self.binary_result(*op, lt?, rt?)
+            }
+            Expr::Unary { op, operand } => {
+                let t = self.check_expr(operand)?;
+                match op {
+                    UnOp::Neg => {
+                        if !t.is_arithmetic() {
+                            self.error(format!("invalid argument type '{t}' to unary minus"));
+                            return None;
+                        }
+                        Some(t)
+                    }
+                    UnOp::Not => Some(Type::Int),
+                    UnOp::AddrOf => Some(t.ptr()),
+                    UnOp::Deref => match t.pointee() {
+                        Some(p) => Some(p.clone()),
+                        None => {
+                            self.error(format!("indirection requires pointer operand ('{t}' invalid)"));
+                            None
+                        }
+                    },
+                }
+            }
+            Expr::Call { callee, args } => self.check_call(callee, args),
+            Expr::Index { base, index } => {
+                let bt = self.check_expr(base)?;
+                if let Some(it) = self.check_expr(index) {
+                    if !it.is_integer() {
+                        self.error(format!("array subscript is not an integer (got '{it}')"));
+                    }
+                }
+                match bt.pointee() {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        self.error(format!("subscripted value of type '{bt}' is not a pointer or array"));
+                        None
+                    }
+                }
+            }
+            Expr::Member { base, field } => {
+                let bt = self.check_expr(base)?;
+                if bt == Type::Dim3 {
+                    if matches!(field.as_str(), "x" | "y" | "z") {
+                        Some(Type::Int)
+                    } else {
+                        self.error(format!("no member named '{field}' in 'dim3'"));
+                        None
+                    }
+                } else {
+                    self.error(format!("member reference base type '{bt}' is not a structure"));
+                    None
+                }
+            }
+            Expr::Cast { ty, expr } => {
+                self.check_expr(expr)?;
+                Some(ty.clone())
+            }
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                self.check_condition(cond);
+                let tt = self.check_expr(then_expr);
+                let et = self.check_expr(else_expr);
+                match (tt, et) {
+                    (Some(a), Some(b)) => Some(promote(&a, &b)),
+                    _ => None,
+                }
+            }
+            Expr::Sizeof(_) => Some(Type::Long),
+        }
+    }
+
+    fn check_ident(&mut self, name: &str) -> Option<Type> {
+        if let Some(info) = self.lookup(name) {
+            return Some(info.ty.clone());
+        }
+        if DEVICE_GEOMETRY_VARS.contains(&name) {
+            if self.ctx != ExecContext::Device {
+                self.error(format!("use of device built-in '{name}' in host code"));
+                return None;
+            }
+            if self.program.dialect == Dialect::OmpLite {
+                self.error(format!(
+                    "'{name}' is a CUDA built-in variable and is not declared in OpenMP C++ code"
+                ));
+                return None;
+            }
+            return Some(Type::Dim3);
+        }
+        if MEMCPY_KIND_CONSTS.contains(&name) {
+            return Some(Type::Int);
+        }
+        if self.funcs.contains_key(name) || builtin_signature(name).is_some() {
+            self.error(format!("function '{name}' used as a value (missing call parentheses?)"));
+            return None;
+        }
+        self.error(format!("use of undeclared identifier '{name}'"));
+        None
+    }
+
+    fn check_call(&mut self, callee: &str, args: &[Expr]) -> Option<Type> {
+        // User-defined functions take priority over builtins with the same name.
+        if let Some(sig) = self.funcs.get(callee) {
+            let (qualifier, nparams, ret) = (sig.qualifier, sig.params.len(), sig.ret.clone());
+            if qualifier == FnQualifier::Kernel {
+                self.error(format!(
+                    "__global__ kernel '{callee}' cannot be called directly; use {}<<<grid, block>>>(...)",
+                    callee
+                ));
+            }
+            if qualifier == FnQualifier::Device && self.ctx == ExecContext::Host {
+                self.error(format!("__device__ function '{callee}' cannot be called from host code"));
+            }
+            if qualifier == FnQualifier::Host && self.ctx == ExecContext::Device && callee != "main" {
+                self.error(format!("host function '{callee}' cannot be called from device code"));
+            }
+            if nparams != args.len() {
+                self.error(format!(
+                    "function '{callee}' takes {nparams} argument(s) but {} were provided",
+                    args.len()
+                ));
+            }
+            for a in args {
+                self.check_expr(a);
+            }
+            return Some(ret);
+        }
+
+        let Some(sig) = builtin_signature(callee) else {
+            self.error(format!("call to undeclared function '{callee}'"));
+            for a in args {
+                self.check_expr(a);
+            }
+            return None;
+        };
+
+        if args.len() < sig.min_args || args.len() > sig.max_args {
+            if sig.max_args == usize::MAX {
+                self.error(format!(
+                    "function '{callee}' requires at least {} argument(s) but {} were provided",
+                    sig.min_args,
+                    args.len()
+                ));
+            } else {
+                self.error(format!(
+                    "function '{callee}' takes {} argument(s) but {} were provided",
+                    sig.max_args,
+                    args.len()
+                ));
+            }
+        }
+        match sig.scope {
+            BuiltinScope::HostOnly if self.ctx == ExecContext::Device => {
+                self.error(format!("'{callee}' cannot be called from device code"));
+            }
+            BuiltinScope::DeviceOnly if self.ctx == ExecContext::Host => {
+                self.error(format!("'{callee}' can only be called from device code"));
+            }
+            _ => {}
+        }
+        if (callee == "__syncthreads" || callee == "atomicAdd")
+            && self.program.dialect == Dialect::OmpLite
+        {
+            self.error(format!(
+                "'{callee}' is a CUDA device function and is not declared in OpenMP C++ code"
+            ));
+        }
+        if callee.starts_with("cuda") && self.program.dialect == Dialect::OmpLite {
+            self.error(format!(
+                "'{callee}' is a CUDA runtime API function and is not declared in OpenMP C++ code"
+            ));
+        }
+        if callee.starts_with("omp_") && self.program.dialect == Dialect::CudaLite {
+            self.warn(format!("'{callee}' requires linking against the OpenMP runtime"));
+        }
+
+        // Structural checks for the CUDA memory API.
+        if callee == "cudaMalloc" {
+            match args.first() {
+                Some(Expr::Unary { op: UnOp::AddrOf, operand }) => {
+                    if let Some(t) = self.check_expr(operand) {
+                        if !matches!(t, Type::Ptr(_)) {
+                            self.error(format!(
+                                "cudaMalloc expects the address of a device pointer, got '&' of '{t}'"
+                            ));
+                        }
+                    }
+                }
+                Some(other) => {
+                    let t = self.check_expr(other);
+                    if !matches!(t, Some(Type::Ptr(ref p)) if matches!(**p, Type::Ptr(_))) {
+                        self.error("cudaMalloc expects a pointer-to-pointer first argument (e.g. &d_buf)");
+                    }
+                }
+                None => {}
+            }
+            if let Some(bytes) = args.get(1) {
+                self.check_expr(bytes);
+            }
+            return Some(Type::Int);
+        }
+        if callee == "cudaMemcpy" {
+            for a in args.iter().take(3) {
+                self.check_expr(a);
+            }
+            match args.get(3) {
+                Some(Expr::Ident(kind)) if MEMCPY_KIND_CONSTS.contains(&kind.as_str()) => {}
+                Some(other) => {
+                    self.check_expr(other);
+                    self.error(
+                        "fourth argument of cudaMemcpy must be a cudaMemcpyKind constant (cudaMemcpyHostToDevice or cudaMemcpyDeviceToHost)",
+                    );
+                }
+                None => {}
+            }
+            return Some(Type::Int);
+        }
+
+        for a in args {
+            self.check_expr(a);
+        }
+        Some(sig.result.ty())
+    }
+
+    fn binary_result(&mut self, op: BinOp, lt: Type, rt: Type) -> Option<Type> {
+        use BinOp::*;
+        // Pointer arithmetic.
+        if let Type::Ptr(_) = lt {
+            return match op {
+                Add | Sub if rt.is_integer() => Some(lt),
+                Sub if matches!(rt, Type::Ptr(_)) => Some(Type::Long),
+                Eq | Ne | Lt | Gt | Le | Ge => Some(Type::Int),
+                _ => {
+                    self.error(format!(
+                        "invalid operands to binary expression ('{lt}' and '{rt}')"
+                    ));
+                    None
+                }
+            };
+        }
+        if let Type::Ptr(_) = rt {
+            return match op {
+                Add if lt.is_integer() => Some(rt),
+                Eq | Ne => Some(Type::Int),
+                _ => {
+                    self.error(format!(
+                        "invalid operands to binary expression ('{lt}' and '{rt}')"
+                    ));
+                    None
+                }
+            };
+        }
+        if !lt.is_arithmetic() || !rt.is_arithmetic() {
+            self.error(format!("invalid operands to binary expression ('{lt}' and '{rt}')"));
+            return None;
+        }
+        match op {
+            Rem | Shl | Shr | BitAnd | BitOr | BitXor => {
+                if !lt.is_integer() || !rt.is_integer() {
+                    self.error(format!(
+                        "invalid operands to binary expression ('{lt}' and '{rt}'): operator '{}' requires integer operands",
+                        op.spelling()
+                    ));
+                    return None;
+                }
+                Some(promote(&lt, &rt))
+            }
+            Lt | Gt | Le | Ge | Eq | Ne | And | Or => Some(Type::Int),
+            Add | Sub | Mul | Div => Some(promote(&lt, &rt)),
+        }
+    }
+}
+
+/// Usual arithmetic conversions, reduced to ParC's scalar lattice.
+fn promote(a: &Type, b: &Type) -> Type {
+    if *a == Type::Double || *b == Type::Double {
+        Type::Double
+    } else if *a == Type::Float || *b == Type::Float {
+        Type::Float
+    } else if *a == Type::Long || *b == Type::Long {
+        Type::Long
+    } else {
+        Type::Int
+    }
+}
+
+/// Whether a value of type `value` may be stored into a location of type `target`.
+fn assignment_compatible(target: &Type, value: &Type) -> bool {
+    if target == value {
+        return true;
+    }
+    if target.is_arithmetic() && value.is_arithmetic() {
+        return true;
+    }
+    match (target, value) {
+        // void* interchanges with any pointer (malloc results).
+        (Type::Ptr(a), Type::Ptr(b)) => {
+            **a == Type::Void || **b == Type::Void || a == b
+        }
+        (Type::Dim3, v) if v.is_integer() => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lassi_lang::parse;
+
+    fn compile_cuda(src: &str) -> Result<CompileOutput, Vec<Diagnostic>> {
+        compile(&parse(src, Dialect::CudaLite).expect("parse"))
+    }
+
+    fn compile_omp(src: &str) -> Result<CompileOutput, Vec<Diagnostic>> {
+        compile(&parse(src, Dialect::OmpLite).expect("parse"))
+    }
+
+    fn first_error(src: &str, dialect: Dialect) -> String {
+        let p = parse(src, dialect).expect("parse");
+        compile(&p).unwrap_err()[0].message.clone()
+    }
+
+    #[test]
+    fn undeclared_identifier_is_reported() {
+        let msg = first_error("int main() { x = 3; return 0; }", Dialect::CudaLite);
+        assert!(msg.contains("undeclared identifier 'x'"), "{msg}");
+    }
+
+    #[test]
+    fn redefinition_is_reported() {
+        let msg = first_error("int main() { int a = 1; int a = 2; return a; }", Dialect::CudaLite);
+        assert!(msg.contains("redefinition of 'a'"), "{msg}");
+    }
+
+    #[test]
+    fn missing_main_is_reported() {
+        let msg = first_error("int helper() { return 1; }", Dialect::CudaLite);
+        assert!(msg.contains("undefined reference to 'main'"), "{msg}");
+    }
+
+    #[test]
+    fn kernel_must_return_void() {
+        let msg = first_error(
+            "__global__ int k(float* a) { return 1; } int main() { return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("must have void return type"), "{msg}");
+    }
+
+    #[test]
+    fn launch_of_unknown_kernel() {
+        let msg = first_error(
+            "int main() { float* d; add<<<1, 32>>>(d); return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("undeclared kernel 'add'"), "{msg}");
+    }
+
+    #[test]
+    fn launch_arity_mismatch() {
+        let msg = first_error(
+            "__global__ void k(float* a, int n) {} int main() { float* d; k<<<1, 32>>>(d); return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("takes 2 argument(s) but 1 were provided"), "{msg}");
+    }
+
+    #[test]
+    fn direct_kernel_call_rejected() {
+        let msg = first_error(
+            "__global__ void k(int n) {} int main() { k(3); return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("cannot be called directly"), "{msg}");
+    }
+
+    #[test]
+    fn cuda_syntax_rejected_in_omp_program() {
+        let errs = compile_omp(
+            "__global__ void k(float* a) { a[0] = 1.0; } int main() { float* d; k<<<1, 32>>>(d); return 0; }",
+        )
+        .unwrap_err();
+        let all = errs.iter().map(|e| e.message.clone()).collect::<Vec<_>>().join("\n");
+        assert!(all.contains("not valid in OpenMP"), "{all}");
+    }
+
+    #[test]
+    fn omp_pragma_rejected_in_cuda_program() {
+        let errs = compile_cuda(
+            "int main() { int n = 4; double s = 0.0;\n#pragma omp parallel for reduction(+:s)\nfor (int i = 0; i < n; i++) { s += i; } return 0; }",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not recognized by the CUDA compiler")));
+    }
+
+    #[test]
+    fn device_builtin_in_host_code() {
+        let msg = first_error(
+            "int main() { int i = threadIdx.x; return i; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("device built-in 'threadIdx' in host code"), "{msg}");
+    }
+
+    #[test]
+    fn syncthreads_only_in_device_code() {
+        let msg = first_error("int main() { __syncthreads(); return 0; }", Dialect::CudaLite);
+        assert!(msg.contains("can only be called from device code"), "{msg}");
+    }
+
+    #[test]
+    fn cuda_api_in_kernel_rejected() {
+        let msg = first_error(
+            "__global__ void k(float* a) { cudaDeviceSynchronize(); } int main() { return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("cannot be called from device code"), "{msg}");
+    }
+
+    #[test]
+    fn pragma_must_precede_canonical_loop() {
+        let errs = compile_omp(
+            "int main() { int i = 0; double s = 0.0;\n#pragma omp parallel for\nwhile (i < 4) { i++; } return 0; }",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected a for loop")));
+    }
+
+    #[test]
+    fn map_of_undeclared_var() {
+        let errs = compile_omp(
+            "int main() { int n = 4;\n#pragma omp target teams distribute parallel for map(to: a[0:n])\nfor (int i = 0; i < n; i++) { } return 0; }",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared identifier 'a' in map clause")));
+    }
+
+    #[test]
+    fn atomic_requires_update_statement() {
+        let errs = compile_omp(
+            "int main() { double s = 0.0;\n#pragma omp atomic\ns = 1.0; return 0; }",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("omp atomic")));
+    }
+
+    #[test]
+    fn assigning_pointer_to_int_rejected() {
+        let msg = first_error(
+            "int main() { int n = 4; float* p = (float*)malloc(16); n = p; return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("incompatible"), "{msg}");
+    }
+
+    #[test]
+    fn subscript_of_scalar_rejected() {
+        let msg = first_error("int main() { int n = 4; int x = n[2]; return x; }", Dialect::CudaLite);
+        assert!(msg.contains("not a pointer or array"), "{msg}");
+    }
+
+    #[test]
+    fn const_assignment_rejected() {
+        let msg = first_error(
+            "int main() { const int n = 4; n = 5; return n; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("const-qualified"), "{msg}");
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let msg = first_error("int main() { break; return 0; }", Dialect::CudaLite);
+        assert!(msg.contains("not in loop"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_memcpy_kind_rejected() {
+        let msg = first_error(
+            "int main() { float* d; float* h; cudaMemcpy(d, h, 16, 3); return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("cudaMemcpyKind"), "{msg}");
+    }
+
+    #[test]
+    fn cuda_malloc_requires_address_of_pointer() {
+        let msg = first_error(
+            "int main() { float* d; cudaMalloc(d, 16); return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("pointer-to-pointer"), "{msg}");
+    }
+
+    #[test]
+    fn call_to_unknown_function() {
+        let msg = first_error("int main() { frobnicate(1); return 0; }", Dialect::CudaLite);
+        assert!(msg.contains("undeclared function 'frobnicate'"), "{msg}");
+    }
+
+    #[test]
+    fn arity_of_user_function_checked() {
+        let msg = first_error(
+            "int twice(int x) { return 2 * x; } int main() { return twice(1, 2); }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("takes 1 argument(s) but 2 were provided"), "{msg}");
+    }
+
+    #[test]
+    fn shared_outside_device_code_rejected() {
+        let msg = first_error(
+            "int main() { __shared__ float tile[32]; return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("only allowed in device code"), "{msg}");
+    }
+
+    #[test]
+    fn modulo_on_floats_rejected() {
+        let msg = first_error(
+            "int main() { double a = 1.0; double b = a % 2.0; return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("requires integer operands"), "{msg}");
+    }
+
+    #[test]
+    fn collapse_without_nested_loop_rejected() {
+        let errs = compile_omp(
+            "int main() { int n = 4;\n#pragma omp target teams distribute parallel for collapse(2)\nfor (int i = 0; i < n; i++) { int x = i; } return 0; }",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("collapse(2) requires")));
+    }
+
+    #[test]
+    fn warnings_do_not_fail_compile() {
+        let out = compile_cuda(
+            "double t() { return omp_get_wtime(); } int main() { double x = t(); return 0; }",
+        )
+        .unwrap();
+        assert!(!out.warnings.is_empty());
+    }
+
+    #[test]
+    fn kernel_names_collected() {
+        let out = compile_cuda(
+            "__global__ void a(float* x) {} __global__ void b(float* x) {} int main() { return 0; }",
+        )
+        .unwrap();
+        assert_eq!(out.kernel_names, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn device_function_callable_from_kernel() {
+        let out = compile_cuda(
+            r#"
+            __device__ float square(float x) { return x * x; }
+            __global__ void k(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { a[i] = square(a[i]); }
+            }
+            int main() { return 0; }
+            "#,
+        );
+        assert!(out.is_ok(), "{:?}", out.err());
+    }
+
+    #[test]
+    fn device_function_not_callable_from_host() {
+        let msg = first_error(
+            "__device__ float square(float x) { return x * x; } int main() { float y = square(2.0); return 0; }",
+            Dialect::CudaLite,
+        );
+        assert!(msg.contains("cannot be called from host code"), "{msg}");
+    }
+}

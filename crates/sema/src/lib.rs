@@ -1,0 +1,74 @@
+//! # lassi-sema
+//!
+//! Semantic analysis for ParC. This crate plays the role the *compiler*
+//! (nvcc / clang) plays in the LASSI paper: it either accepts a program or
+//! rejects it with compiler-style diagnostics, which the pipeline feeds back
+//! to the (simulated) LLM in the compile self-correction loop.
+//!
+//! The analysis covers:
+//!
+//! * name resolution (undeclared identifiers, duplicate declarations),
+//! * type checking of expressions, assignments, calls and subscripts,
+//! * CUDA rules: kernels return `void`, `<<<...>>>` launches name a
+//!   `__global__` function with matching arity, `threadIdx`/`__syncthreads`/
+//!   `__shared__`/`atomicAdd` only in device code, `cudaMalloc`/`cudaMemcpy`
+//!   only in host code,
+//! * OpenMP rules: work-sharing directives must be attached to a canonical
+//!   `for` loop, clause variables must be declared, `map` sections must name
+//!   pointers,
+//! * dialect legality: CUDA constructs are rejected in OmpLite programs and
+//!   `#pragma omp` is rejected in CudaLite programs, with messages phrased
+//!   like real compiler output.
+
+mod builtins;
+mod check;
+
+pub use builtins::{builtin_signature, is_builtin_function, BuiltinSig, ValueClass};
+pub use check::{compile, CompileOutput, ExecContext};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lassi_lang::{parse, Dialect};
+
+    #[test]
+    fn accepts_well_formed_cuda() {
+        let src = r#"
+        __global__ void add(float* out, const float* a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { out[i] = a[i] + 1.0; }
+        }
+        int main() {
+            int n = 64;
+            float* d_a;
+            cudaMalloc(&d_a, n * sizeof(float));
+            add<<<(n + 63) / 64, 64>>>(d_a, d_a, n);
+            cudaDeviceSynchronize();
+            cudaFree(d_a);
+            return 0;
+        }
+        "#;
+        let p = parse(src, Dialect::CudaLite).unwrap();
+        assert!(compile(&p).is_ok());
+    }
+
+    #[test]
+    fn accepts_well_formed_omp() {
+        let src = r#"
+        int main() {
+            int n = 64;
+            double sum = 0.0;
+            double* a = (double*)malloc(n * sizeof(double));
+            for (int i = 0; i < n; i++) { a[i] = i; }
+            #pragma omp target teams distribute parallel for map(to: a[0:n]) map(tofrom: sum) reduction(+:sum)
+            for (int i = 0; i < n; i++) { sum += a[i]; }
+            printf("%f\n", sum);
+            free(a);
+            return 0;
+        }
+        "#;
+        let p = parse(src, Dialect::OmpLite).unwrap();
+        let out = compile(&p);
+        assert!(out.is_ok(), "{:?}", out.err());
+    }
+}

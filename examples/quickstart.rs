@@ -1,0 +1,36 @@
+//! Quickstart: run one LASSI translation scenario end to end and print what
+//! the pipeline observed at each stage.
+//!
+//!     cargo run --release --example quickstart
+
+use lassi::prelude::*;
+
+fn main() {
+    // 1. Pick a benchmark application and a model.
+    let app = application("matrix-rotate").expect("benchmark exists");
+    let model = model_by_name("GPT-4").expect("model exists");
+    let config = PipelineConfig::default();
+
+    // 2. Build the pipeline: a simulated LLM seeded per scenario plus the
+    //    simulated A100 machine.
+    let seed = config.model_scenario_seed(model.name, app.name, Direction::CudaToOmp);
+    let llm = SimulatedLlm::with_seed(model, seed);
+    let mut pipeline = Lassi::new(llm, config);
+
+    // 3. Translate CUDA -> OpenMP with self-correction.
+    let record = pipeline.translate_application(&app, Dialect::CudaLite);
+
+    println!("application        : {}", record.application);
+    println!("model              : {}", record.model);
+    println!("direction          : {} -> {}", record.source_dialect, record.target_dialect);
+    println!("status             : {:?}", record.status);
+    println!("self-corrections   : {}", record.self_corrections);
+    println!("reference runtime  : {:.6} s", record.reference_runtime);
+    if let Some(runtime) = record.generated_runtime {
+        println!("generated runtime  : {runtime:.6} s");
+        println!("ratio              : {:.3}", record.ratio.unwrap_or(0.0));
+        println!("Sim-T / Sim-L      : {:.2} / {:.2}", record.sim_t.unwrap_or(0.0), record.sim_l.unwrap_or(0.0));
+    }
+    println!("\n--- generated code -------------------------------------------");
+    println!("{}", record.generated_code.unwrap_or_default());
+}

@@ -1,0 +1,41 @@
+//! Study of the self-correcting loop: drive the pipeline with progressively
+//! less reliable simulated models and show how many correction iterations the
+//! compile/execute loops need before the generated code runs — the behaviour
+//! the paper's Self-corr column captures (including the pathological
+//! 34-iteration Codestral case).
+//!
+//!     cargo run --release --example self_correction_study
+
+use lassi::pipeline::{Direction, Lassi, PipelineConfig};
+use lassi::prelude::*;
+
+fn main() {
+    let app = application("entropy").expect("benchmark exists");
+    let config = PipelineConfig::default();
+
+    println!(
+        "{:<28} {:>14} {:>12} {:>12}",
+        "model variant", "repair p", "status", "self-corr"
+    );
+    for (label, repair_success, repair_regression) in [
+        ("reliable repairs", 0.95, 0.02),
+        ("paper-like Codestral", 0.72, 0.12),
+        ("unreliable repairs", 0.45, 0.30),
+    ] {
+        let mut spec = model_by_name("Codestral").unwrap();
+        spec.profile.p_compile_fault = 1.0;
+        spec.profile.p_repair_success = repair_success;
+        spec.profile.p_repair_regression = repair_regression;
+        let seed = config.model_scenario_seed(label, app.name, Direction::CudaToOmp);
+        let llm = SimulatedLlm::with_seed(spec, seed);
+        let mut pipeline = Lassi::new(llm, config.clone());
+        let record = pipeline.translate_application(&app, Dialect::CudaLite);
+        println!(
+            "{:<28} {:>14.2} {:>12} {:>12}",
+            label,
+            repair_success,
+            format!("{:?}", record.status),
+            record.self_corrections
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests over the core data structures and invariants:
+//! printer/parser round-tripping, similarity-metric bounds, cost-model
+//! monotonicity, and memory-model safety under random access patterns.
+
+use proptest::prelude::*;
+
+use lassi::lang::{parse, print_program, BinOp, Dialect, Expr};
+use lassi::metrics::{sim_l, sim_t};
+use lassi::runtime::{MemSpace, Memory, Value};
+
+/// Generate random arithmetic expressions as source text.
+fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        prop_oneof![
+            (0i64..1000).prop_map(|v| v.to_string()),
+            prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("n".to_string())],
+        ]
+        .boxed()
+    } else {
+        let sub = arb_expr(depth - 1);
+        (sub.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], sub)
+            .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
+            .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated arithmetic expression embedded in a tiny program parses,
+    /// and the printed form re-parses to the same printed form (printer is a
+    /// fixed point after one round trip).
+    #[test]
+    fn printer_roundtrip_is_stable(expr in arb_expr(3)) {
+        let src = format!("int main() {{ int a = 1; int b = 2; int n = 3; int x = {expr}; return x; }}");
+        let program = parse(&src, Dialect::CudaLite).expect("generated program parses");
+        let printed = print_program(&program);
+        let reparsed = parse(&printed, Dialect::CudaLite).expect("printed program parses");
+        prop_assert_eq!(printed, print_program(&reparsed));
+    }
+
+    /// Sim-T and Sim-L are bounded and reflexive. (Exact symmetry is *not* an
+    /// invariant of Ratcliff–Obershelp when tie-breaking picks different
+    /// blocks, so only boundedness is asserted for the reversed pair.)
+    #[test]
+    fn similarity_bounds(a in "[a-z ;{}()=+0-9\n]{0,200}", b in "[a-z ;{}()=+0-9\n]{0,200}") {
+        let t = sim_t(&a, &b);
+        let l = sim_l(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert!((0.0..=1.0).contains(&l));
+        prop_assert!((0.0..=1.0).contains(&sim_t(&b, &a)));
+        prop_assert!((sim_t(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((sim_l(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    /// Stores followed by loads round-trip through typed buffers, and any
+    /// index outside the allocation is rejected rather than wrapping.
+    #[test]
+    fn memory_model_is_safe(len in 1usize..64, writes in prop::collection::vec((0i64..128, -1000.0f64..1000.0), 0..32)) {
+        let mem = Memory::new();
+        let ptr = mem.alloc("buf", lassi::lang::Type::Double, len, MemSpace::Host);
+        for (idx, value) in writes {
+            let result = mem.store(&ptr, idx, &Value::Float(value), false, 1);
+            if (idx as usize) < len && idx >= 0 {
+                prop_assert!(result.is_ok());
+                let read = mem.load(&ptr, idx, false, 1).unwrap();
+                prop_assert_eq!(read, Value::Float(value));
+            } else {
+                prop_assert!(result.is_err());
+            }
+        }
+    }
+
+    /// The expression evaluator agrees with native Rust arithmetic on
+    /// randomly generated integer expressions (no overflow cases generated).
+    #[test]
+    fn evaluator_matches_reference_arithmetic(x in -1000i64..1000, y in -1000i64..1000, z in 1i64..100) {
+        let src = format!(
+            "int main() {{ long x = {x}; long y = {y}; long z = {z}; long r = (x + y) * 2 - x / z + (x % z); printf(\"%ld\\n\", r); return 0; }}"
+        );
+        let expected = (x + y) * 2 - x / z + (x % z);
+        let report = lassi::hecbench::run_source(&src, Dialect::CudaLite).expect("runs");
+        prop_assert_eq!(report.stdout.trim(), expected.to_string());
+    }
+}
+
+/// Non-proptest sanity check that the Expr helpers compose as documented.
+#[test]
+fn expr_helpers_build_expected_shapes() {
+    let e = Expr::bin(BinOp::Add, Expr::int(1), Expr::ident("n"));
+    match e {
+        Expr::Binary { op: BinOp::Add, .. } => {}
+        other => panic!("unexpected shape {other:?}"),
+    }
+}
