@@ -29,8 +29,10 @@ fn bench_frontend(c: &mut Criterion) {
     });
 
     c.bench_function("sema_compile_all_omp_sources", |b| {
-        let parsed: Vec<_> =
-            apps.iter().map(|a| parse(a.omp_source, Dialect::OmpLite).unwrap()).collect();
+        let parsed: Vec<_> = apps
+            .iter()
+            .map(|a| parse(a.omp_source, Dialect::OmpLite).unwrap())
+            .collect();
         b.iter(|| {
             for p in &parsed {
                 black_box(lassi_sema::compile(p).unwrap());

@@ -11,10 +11,10 @@ fn bench_simulators(c: &mut Criterion) {
     // One representative application per substrate behaviour class.
     for name in ["matrix-rotate", "bsearch", "entropy"] {
         let app = application(name).unwrap();
-        c.bench_function(&format!("table4_{name}_cuda"), |b| {
+        c.bench_function(format!("table4_{name}_cuda"), |b| {
             b.iter(|| black_box(run_application(&app, Dialect::CudaLite).unwrap()))
         });
-        c.bench_function(&format!("table4_{name}_openmp"), |b| {
+        c.bench_function(format!("table4_{name}_openmp"), |b| {
             b.iter(|| black_box(run_application(&app, Dialect::OmpLite).unwrap()))
         });
     }

@@ -23,20 +23,35 @@ fn main() {
     let serialized = run_source(&serialized_source, Dialect::OmpLite).expect("serialized bsearch");
 
     println!("Case study 1: Codestral bsearch CUDA->OpenMP (serialized translation)");
-    println!("  reference OpenMP runtime : {:.6} s", reference.simulated_seconds);
-    println!("  serialized translation   : {:.6} s", serialized.simulated_seconds);
+    println!(
+        "  reference OpenMP runtime : {:.6} s",
+        reference.simulated_seconds
+    );
+    println!(
+        "  serialized translation   : {:.6} s",
+        serialized.simulated_seconds
+    );
     println!(
         "  slowdown                 : {:.1}x (paper reports ~20x)\n",
         serialized.simulated_seconds / reference.simulated_seconds
     );
-    assert_eq!(reference.stdout, serialized.stdout, "outputs must still match");
+    assert_eq!(
+        reference.stdout, serialized.stdout,
+        "outputs must still match"
+    );
 
     let atomic = application("atomicCost").unwrap();
     let cuda = run_application(&atomic, Dialect::CudaLite).expect("atomicCost CUDA");
     let omp = run_application(&atomic, Dialect::OmpLite).expect("atomicCost OpenMP");
     println!("Case study 2: atomicCost — restructured parallelization changes runtime");
-    println!("  CUDA reference           : {:.6} s", cuda.simulated_seconds);
-    println!("  OpenMP reference         : {:.6} s", omp.simulated_seconds);
+    println!(
+        "  CUDA reference           : {:.6} s",
+        cuda.simulated_seconds
+    );
+    println!(
+        "  OpenMP reference         : {:.6} s",
+        omp.simulated_seconds
+    );
     println!(
         "  ratio                    : {:.2}x (the paper's DeepSeek translation reached 66x by\n\
          \u{20}                            restructuring atomics; see EXPERIMENTS.md)",

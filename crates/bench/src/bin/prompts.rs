@@ -6,8 +6,14 @@ use lassi_llm::prompts::PromptDictionary;
 fn main() {
     println!("Table I: system prompts\n");
     println!("[general]\n{}\n", lassi_llm::prompts::SYSTEM_GENERAL);
-    println!("[CUDA to OpenMP]\n{}\n", lassi_llm::prompts::SYSTEM_CUDA_TO_OPENMP);
-    println!("[OpenMP to CUDA]\n{}\n", lassi_llm::prompts::SYSTEM_OPENMP_TO_CUDA);
+    println!(
+        "[CUDA to OpenMP]\n{}\n",
+        lassi_llm::prompts::SYSTEM_CUDA_TO_OPENMP
+    );
+    println!(
+        "[OpenMP to CUDA]\n{}\n",
+        lassi_llm::prompts::SYSTEM_OPENMP_TO_CUDA
+    );
     println!("Table II: translation prompts\n");
     println!(
         "[OpenMP to CUDA]\n{}\n",
@@ -20,10 +26,18 @@ fn main() {
     println!("Table III: self-correction prompts\n");
     println!(
         "[compile]\n{}\n",
-        PromptDictionary::build_compile_correction_prompt("<generated code>", "<compiler command>", "<error>")
+        PromptDictionary::build_compile_correction_prompt(
+            "<generated code>",
+            "<compiler command>",
+            "<error>"
+        )
     );
     println!(
         "[execution]\n{}",
-        PromptDictionary::build_execution_correction_prompt("<generated code>", "<compiler command>", "<error>")
+        PromptDictionary::build_execution_correction_prompt(
+            "<generated code>",
+            "<compiler command>",
+            "<error>"
+        )
     );
 }

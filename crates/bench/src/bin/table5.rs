@@ -13,7 +13,9 @@ fn main() {
             "{:<20} {:<12} {:<10} {:<14} {:>16}",
             m.name,
             m.parameters,
-            m.size_gb.map(|s| format!("{s:.0}")).unwrap_or_else(|| "API".to_string()),
+            m.size_gb
+                .map(|s| format!("{s:.0}"))
+                .unwrap_or_else(|| "API".to_string()),
             m.quantization,
             m.context_tokens
         );

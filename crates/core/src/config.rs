@@ -73,6 +73,9 @@ mod tests {
     fn defaults_match_paper_setup() {
         let config = PipelineConfig::default();
         assert_eq!(config.timing_runs, 3);
-        assert!(config.max_self_corrections >= 34, "must allow the pathological Codestral case");
+        assert!(
+            config.max_self_corrections >= 34,
+            "must allow the pathological Codestral case"
+        );
     }
 }

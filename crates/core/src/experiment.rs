@@ -131,7 +131,11 @@ pub fn scenario_outcomes(records: &[TranslationRecord]) -> Vec<ScenarioOutcome> 
             ratio: r.ratio,
             sim_t: r.sim_t,
             sim_l: r.sim_l,
-            self_corrections: if r.status.is_na() { None } else { Some(r.self_corrections) },
+            self_corrections: if r.status.is_na() {
+                None
+            } else {
+                Some(r.self_corrections)
+            },
         })
         .collect()
 }
@@ -165,7 +169,11 @@ pub fn direction_table(direction: Direction, records: &[TranslationRecord]) -> S
                 fmt_opt(r.ratio, 4),
                 fmt_opt(r.sim_t, 2),
                 fmt_opt(r.sim_l, 2),
-                if r.status.is_na() { "N/A".to_string() } else { r.self_corrections.to_string() },
+                if r.status.is_na() {
+                    "N/A".to_string()
+                } else {
+                    r.self_corrections.to_string()
+                },
             ));
         }
     }
@@ -205,7 +213,10 @@ mod tests {
     #[test]
     fn small_sweep_produces_consistent_records() {
         let config = PipelineConfig::default();
-        let apps = vec![application("layout").unwrap(), application("entropy").unwrap()];
+        let apps = vec![
+            application("layout").unwrap(),
+            application("entropy").unwrap(),
+        ];
         let models = vec![gpt4()];
         let records = run_direction_with(Direction::CudaToOmp, &config, &models, &apps);
         assert_eq!(records.len(), 2);

@@ -39,8 +39,14 @@ mod tests {
     #[test]
     fn single_scenario_end_to_end() {
         let app = application("matrix-rotate").unwrap();
-        let config = PipelineConfig { seed: 7, ..PipelineConfig::default() };
-        let llm = SimulatedLlm::with_seed(gpt4(), config.scenario_seed("matrix-rotate", Direction::OmpToCuda));
+        let config = PipelineConfig {
+            seed: 7,
+            ..PipelineConfig::default()
+        };
+        let llm = SimulatedLlm::with_seed(
+            gpt4(),
+            config.scenario_seed("matrix-rotate", Direction::OmpToCuda),
+        );
         let mut pipeline = Lassi::new(llm, config);
         let record = pipeline.translate_application(&app, Dialect::OmpLite);
         // Whatever the stochastic outcome, the record must be internally consistent.

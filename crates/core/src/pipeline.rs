@@ -81,7 +81,13 @@ pub struct Lassi<M: ChatModel> {
 impl<M: ChatModel> Lassi<M> {
     /// Create a pipeline around a model.
     pub fn new(llm: M, config: PipelineConfig) -> Self {
-        Lassi { llm, machine: Machine::a100(), config, prompt_tokens: 0, response_tokens: 0 }
+        Lassi {
+            llm,
+            machine: Machine::a100(),
+            config,
+            prompt_tokens: 0,
+            response_tokens: 0,
+        }
     }
 
     /// Access the underlying model (e.g. to inspect its name).
@@ -118,7 +124,11 @@ impl<M: ChatModel> Lassi<M> {
 
     /// Run the full pipeline for one application and source dialect,
     /// translating into the opposite dialect.
-    pub fn translate_application(&mut self, app: &Application, source_dialect: Dialect) -> TranslationRecord {
+    pub fn translate_application(
+        &mut self,
+        app: &Application,
+        source_dialect: Dialect,
+    ) -> TranslationRecord {
         let target_dialect = source_dialect.other();
         let source_code = app.source(source_dialect);
         let reference_code = app.source(target_dialect);
@@ -170,8 +180,10 @@ impl<M: ChatModel> Lassi<M> {
             system,
             &PromptDictionary::build_knowledge_summary_prompt(target_dialect),
         );
-        let code_description =
-            self.complete(system, &PromptDictionary::build_code_description_prompt(source_code));
+        let code_description = self.complete(
+            system,
+            &PromptDictionary::build_code_description_prompt(source_code),
+        );
 
         // ----------------------------------------------------- code generation
         let translation_prompt = PromptDictionary::build_translation_prompt(
@@ -279,7 +291,12 @@ impl<M: ChatModel> Lassi<M> {
 }
 
 fn normalize_output(text: &str) -> String {
-    text.lines().map(str::trim_end).collect::<Vec<_>>().join("\n").trim_end().to_string()
+    text.lines()
+        .map(str::trim_end)
+        .collect::<Vec<_>>()
+        .join("\n")
+        .trim_end()
+        .to_string()
 }
 
 #[cfg(test)]
@@ -332,8 +349,16 @@ mod tests {
         let app = application("entropy").unwrap();
         let mut pipeline = Lassi::new(llm, PipelineConfig::default());
         let record = pipeline.translate_application(&app, Dialect::CudaLite);
-        assert_eq!(record.status, ScenarioStatus::Success, "{:?}", record.status);
-        assert!(record.self_corrections >= 1, "the compile loop must have iterated");
+        assert_eq!(
+            record.status,
+            ScenarioStatus::Success,
+            "{:?}",
+            record.status
+        );
+        assert!(
+            record.self_corrections >= 1,
+            "the compile loop must have iterated"
+        );
     }
 
     #[test]

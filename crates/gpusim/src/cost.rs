@@ -86,7 +86,12 @@ mod tests {
     }
 
     fn cost(flops: u64, bytes: u64, atomics: u64) -> CostCounter {
-        CostCounter { flops, bytes_read: bytes, atomics, ..Default::default() }
+        CostCounter {
+            flops,
+            bytes_read: bytes,
+            atomics,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -132,7 +137,10 @@ mod tests {
     #[test]
     fn occupancy_clamps() {
         let m = model();
-        assert_eq!(m.occupancy(Dim3Val::linear(1_000_000), Dim3Val::linear(1024)), 1.0);
+        assert_eq!(
+            m.occupancy(Dim3Val::linear(1_000_000), Dim3Val::linear(1024)),
+            1.0
+        );
         assert!(m.occupancy(Dim3Val::linear(1), Dim3Val::linear(1)) > 0.0);
         assert_eq!(m.warp_efficiency(Dim3Val::linear(256)), 1.0);
         assert!((m.warp_efficiency(Dim3Val::linear(8)) - 0.25).abs() < 1e-12);

@@ -28,12 +28,18 @@ pub struct GpuSimulator {
 impl GpuSimulator {
     /// Simulator for an arbitrary device.
     pub fn new(spec: DeviceSpec) -> Self {
-        GpuSimulator { model: KernelCostModel::new(spec), backend_name: "gpusim" }
+        GpuSimulator {
+            model: KernelCostModel::new(spec),
+            backend_name: "gpusim",
+        }
     }
 
     /// Simulator for the A100-class device used throughout the paper.
     pub fn a100() -> Self {
-        GpuSimulator { model: KernelCostModel::new(DeviceSpec::a100()), backend_name: "gpusim-a100" }
+        GpuSimulator {
+            model: KernelCostModel::new(DeviceSpec::a100()),
+            backend_name: "gpusim-a100",
+        }
     }
 
     /// The cost model in use.
@@ -113,11 +119,7 @@ impl GpuSimulator {
                     for (param, arg) in req.kernel.params.iter().zip(&req.args) {
                         env.declare(&param.name, param.ty.clone(), arg.coerce_to(&param.ty));
                     }
-                    let mut eval = Evaluator::for_context(
-                        req.program,
-                        EvalContext::Host,
-                        100_000,
-                    );
+                    let mut eval = Evaluator::for_context(req.program, EvalContext::Host, 100_000);
                     eval.eval_expr(other, &mut env, mem)?.as_int().max(1) as usize
                 }
                 None => 1,
@@ -143,7 +145,11 @@ impl GpuSimulator {
                 for (name, ty, value) in &shared_bindings {
                     env.declare(name, ty.clone(), value.clone());
                 }
-                (Evaluator::for_context(req.program, ctx, THREAD_STEP_LIMIT), env, false)
+                (
+                    Evaluator::for_context(req.program, ctx, THREAD_STEP_LIMIT),
+                    env,
+                    false,
+                )
             })
             .collect();
 
@@ -156,7 +162,9 @@ impl GpuSimulator {
                     Ok(lassi_runtime::ControlFlow::Return(_)) => *finished = true,
                     Ok(_) => {}
                     Err(ExecError::BarrierDivergence { .. }) => {
-                        return Err(ExecError::BarrierDivergence { kernel: req.kernel.name.clone() })
+                        return Err(ExecError::BarrierDivergence {
+                            kernel: req.kernel.name.clone(),
+                        })
                     }
                     Err(e) => return Err(e),
                 }
@@ -209,7 +217,11 @@ impl ParallelBackend for GpuSimulator {
             cost.merge(&c);
         }
         let simulated_seconds = self.model.kernel_seconds(req.grid, req.block, &cost);
-        Ok(LaunchStats { simulated_seconds, cost, reduction_updates: Vec::new() })
+        Ok(LaunchStats {
+            simulated_seconds,
+            cost,
+            reduction_updates: Vec::new(),
+        })
     }
 
     fn memcpy_seconds(&self, bytes: u64) -> f64 {
@@ -315,7 +327,10 @@ mod tests {
             vec![Value::Ptr(p), Value::Int(1000)]
         });
         result.unwrap();
-        assert_eq!(mem.load(&sum_ptr.unwrap(), 0, true, 0).unwrap(), Value::Float(1000.0));
+        assert_eq!(
+            mem.load(&sum_ptr.unwrap(), 0, true, 0).unwrap(),
+            Value::Float(1000.0)
+        );
     }
 
     #[test]
@@ -340,7 +355,8 @@ mod tests {
         let n = 128usize;
         let input = mem.alloc("in", Type::Double, n, MemSpace::Device);
         for i in 0..n {
-            mem.store(&input, i as i64, &Value::Float(1.0), true, 0).unwrap();
+            mem.store(&input, i as i64, &Value::Float(1.0), true, 0)
+                .unwrap();
         }
         let out = mem.alloc("out", Type::Double, 2, MemSpace::Device);
         let gpu = GpuSimulator::a100();
@@ -422,7 +438,10 @@ mod tests {
             let p = mem.alloc("out", Type::Int, 1, MemSpace::Device);
             vec![Value::Ptr(p)]
         });
-        assert!(result.unwrap_err().to_string().contains("declares 2 parameters"));
+        assert!(result
+            .unwrap_err()
+            .to_string()
+            .contains("declares 2 parameters"));
     }
 
     #[test]
@@ -442,7 +461,10 @@ mod tests {
             vec![Value::Ptr(p), Value::Int(32)]
         });
         result.unwrap();
-        assert_eq!(mem.load(&p_out.unwrap(), 5, true, 0).unwrap(), Value::Float(25.0));
+        assert_eq!(
+            mem.load(&p_out.unwrap(), 5, true, 0).unwrap(),
+            Value::Float(25.0)
+        );
     }
 
     #[test]
@@ -475,6 +497,9 @@ mod tests {
 
         let wide = run(16, 256);
         let narrow = run(1, 1);
-        assert!(narrow > wide * 20.0, "serialized kernel should be much slower ({narrow} vs {wide})");
+        assert!(
+            narrow > wide * 20.0,
+            "serialized kernel should be much slower ({narrow} vs {wide})"
+        );
     }
 }

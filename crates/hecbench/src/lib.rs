@@ -31,18 +31,21 @@ mod tests {
     fn ten_applications_in_nine_categories() {
         let apps = applications();
         assert_eq!(apps.len(), 10);
-        let categories: std::collections::HashSet<&str> =
-            apps.iter().map(|a| a.category).collect();
-        assert_eq!(categories.len(), 9, "paper uses ten applications across nine categories");
+        let categories: std::collections::HashSet<&str> = apps.iter().map(|a| a.category).collect();
+        assert_eq!(
+            categories.len(),
+            9,
+            "paper uses ten applications across nine categories"
+        );
     }
 
     #[test]
     fn all_sources_parse_and_compile() {
         for app in applications() {
             for dialect in [Dialect::CudaLite, Dialect::OmpLite] {
-                let program = app.parse(dialect).unwrap_or_else(|e| {
-                    panic!("{} ({dialect}) failed to parse: {e}", app.name)
-                });
+                let program = app
+                    .parse(dialect)
+                    .unwrap_or_else(|e| panic!("{} ({dialect}) failed to parse: {e}", app.name));
                 lassi_sema::compile(&program).unwrap_or_else(|e| {
                     panic!("{} ({dialect}) failed to compile: {:?}", app.name, e)
                 });

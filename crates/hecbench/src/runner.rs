@@ -22,13 +22,20 @@ pub struct Machine {
 impl Machine {
     /// The default A100-class machine.
     pub fn a100() -> Self {
-        Machine { gpu: GpuSimulator::a100(), omp: OmpSimulator::a100_offload() }
+        Machine {
+            gpu: GpuSimulator::a100(),
+            omp: OmpSimulator::a100_offload(),
+        }
     }
 
     /// Run configuration used for every benchmark execution (a small fixed
     /// start-up cost plus deterministic per-operation costs).
     pub fn run_config() -> RunConfig {
-        RunConfig { step_limit: 200_000_000, host_op_seconds: 1.2e-9, startup_seconds: 5.0e-5 }
+        RunConfig {
+            step_limit: 200_000_000,
+            host_op_seconds: 1.2e-9,
+            startup_seconds: 5.0e-5,
+        }
     }
 }
 
@@ -77,7 +84,11 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Compile(diags) => {
-                write!(f, "compile error: {}", lassi_lang::diag::render_diagnostics(diags))
+                write!(
+                    f,
+                    "compile error: {}",
+                    lassi_lang::diag::render_diagnostics(diags)
+                )
             }
             RunError::Execute(e) => write!(f, "{e}"),
         }
@@ -97,8 +108,7 @@ pub fn run_program(program: &Program) -> Result<ExecutionReport, RunError> {
 
 /// Parse, compile and execute source text in the given dialect.
 pub fn run_source(source: &str, dialect: Dialect) -> Result<ExecutionReport, RunError> {
-    let program =
-        lassi_lang::parse(source, dialect).map_err(|d| RunError::Compile(vec![d]))?;
+    let program = lassi_lang::parse(source, dialect).map_err(|d| RunError::Compile(vec![d]))?;
     run_program(&program)
 }
 
@@ -153,9 +163,11 @@ mod tests {
 
     #[test]
     fn run_source_reports_compile_errors() {
-        let err = run_source("int main() { undeclared = 1; return 0; }", Dialect::CudaLite)
-            .err()
-            .expect("should fail");
+        let err = run_source(
+            "int main() { undeclared = 1; return 0; }",
+            Dialect::CudaLite,
+        )
+        .expect_err("should fail");
         assert!(err.to_string().contains("compile error"));
     }
 
@@ -165,8 +177,7 @@ mod tests {
             "int main() { int a[4]; a[9] = 1; return 0; }",
             Dialect::CudaLite,
         )
-        .err()
-        .expect("should fail");
+        .expect_err("should fail");
         assert!(err.to_string().contains("out of bounds"));
     }
 }

@@ -194,7 +194,14 @@ impl BinOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+            BinOp::Lt
+                | BinOp::Gt
+                | BinOp::Le
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or
         )
     }
 }
@@ -259,7 +266,11 @@ pub enum Expr {
     /// Variable reference (including `threadIdx`, `blockIdx`, ...).
     Ident(String),
     /// Binary operation.
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Unary operation.
     Unary { op: UnOp, operand: Box<Expr> },
     /// Function call (`printf`, `malloc`, `cudaMalloc`, `sqrt`, user functions, ...).
@@ -271,7 +282,11 @@ pub enum Expr {
     /// C-style cast `(T)expr`.
     Cast { ty: Type, expr: Box<Expr> },
     /// Ternary conditional `cond ? then : else`.
-    Ternary { cond: Box<Expr>, then_expr: Box<Expr>, else_expr: Box<Expr> },
+    Ternary {
+        cond: Box<Expr>,
+        then_expr: Box<Expr>,
+        else_expr: Box<Expr>,
+    },
     /// `sizeof(T)`.
     Sizeof(Type),
 }
@@ -289,22 +304,35 @@ impl Expr {
 
     /// Shorthand for a binary expression.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Shorthand for a call expression.
     pub fn call(callee: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Call { callee: callee.into(), args }
+        Expr::Call {
+            callee: callee.into(),
+            args,
+        }
     }
 
     /// Shorthand for `base[index]`.
     pub fn index(base: Expr, index: Expr) -> Expr {
-        Expr::Index { base: Box::new(base), index: Box::new(index) }
+        Expr::Index {
+            base: Box::new(base),
+            index: Box::new(index),
+        }
     }
 
     /// Shorthand for `base.field`.
     pub fn member(base: Expr, field: impl Into<String>) -> Expr {
-        Expr::Member { base: Box::new(base), field: field.into() }
+        Expr::Member {
+            base: Box::new(base),
+            field: field.into(),
+        }
     }
 
     /// Iterate over every identifier mentioned in this expression.
@@ -327,7 +355,11 @@ impl Expr {
             }
             Expr::Member { base, .. } => base.collect_idents(out),
             Expr::Cast { expr, .. } => expr.collect_idents(out),
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 cond.collect_idents(out);
                 then_expr.collect_idents(out);
                 else_expr.collect_idents(out);
@@ -357,7 +389,14 @@ pub struct VarDecl {
 impl VarDecl {
     /// Scalar declaration helper.
     pub fn scalar(name: impl Into<String>, ty: Type, init: Option<Expr>) -> VarDecl {
-        VarDecl { name: name.into(), ty, init, array_len: None, is_const: false, is_shared: false }
+        VarDecl {
+            name: name.into(),
+            ty,
+            init,
+            array_len: None,
+            is_const: false,
+            is_shared: false,
+        }
     }
 }
 
@@ -382,17 +421,27 @@ impl ForStmt {
         let init = self.init.as_deref()?;
         let (var, lo) = match &init.kind {
             StmtKind::VarDecl(d) if d.ty.is_integer() => (d.name.clone(), d.init.clone()?),
-            StmtKind::Assign { target: Expr::Ident(v), op: AssignOp::Assign, value } => {
-                (v.clone(), value.clone())
-            }
+            StmtKind::Assign {
+                target: Expr::Ident(v),
+                op: AssignOp::Assign,
+                value,
+            } => (v.clone(), value.clone()),
             _ => return None,
         };
         let hi = match self.cond.as_ref()? {
-            Expr::Binary { op: BinOp::Lt, lhs, rhs } => match lhs.as_ref() {
+            Expr::Binary {
+                op: BinOp::Lt,
+                lhs,
+                rhs,
+            } => match lhs.as_ref() {
                 Expr::Ident(v) if *v == var => rhs.as_ref().clone(),
                 _ => return None,
             },
-            Expr::Binary { op: BinOp::Le, lhs, rhs } => match lhs.as_ref() {
+            Expr::Binary {
+                op: BinOp::Le,
+                lhs,
+                rhs,
+            } => match lhs.as_ref() {
                 Expr::Ident(v) if *v == var => {
                     Expr::bin(BinOp::Add, rhs.as_ref().clone(), Expr::int(1))
                 }
@@ -401,18 +450,24 @@ impl ForStmt {
             _ => return None,
         };
         let step = match &self.step.as_deref()?.kind {
-            StmtKind::Assign { target: Expr::Ident(v), op: AssignOp::AddAssign, value } if *v == var => {
-                value.clone()
-            }
-            StmtKind::Assign { target: Expr::Ident(v), op: AssignOp::Assign, value } if *v == var => {
-                match value {
-                    Expr::Binary { op: BinOp::Add, lhs, rhs } => match lhs.as_ref() {
-                        Expr::Ident(v2) if *v2 == var => rhs.as_ref().clone(),
-                        _ => return None,
+            StmtKind::Assign {
+                target: Expr::Ident(v),
+                op: AssignOp::AddAssign,
+                value,
+            } if *v == var => value.clone(),
+            StmtKind::Assign {
+                target: Expr::Ident(v),
+                op: AssignOp::Assign,
+                value:
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        lhs,
+                        rhs,
                     },
-                    _ => return None,
-                }
-            }
+            } if *v == var => match lhs.as_ref() {
+                Expr::Ident(v2) if *v2 == var => rhs.as_ref().clone(),
+                _ => return None,
+            },
             _ => return None,
         };
         Some((var, lo, hi, step))
@@ -508,7 +563,10 @@ impl ScheduleKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum OmpClause {
     /// `map(kind: sections)`
-    Map { kind: MapKind, sections: Vec<MapSection> },
+    Map {
+        kind: MapKind,
+        sections: Vec<MapSection>,
+    },
     /// `reduction(op: vars)`
     Reduction { op: ReductionOp, vars: Vec<String> },
     /// `num_threads(n)`
@@ -518,7 +576,10 @@ pub enum OmpClause {
     /// `thread_limit(n)`
     ThreadLimit(Expr),
     /// `schedule(kind[, chunk])`
-    Schedule { kind: ScheduleKind, chunk: Option<Expr> },
+    Schedule {
+        kind: ScheduleKind,
+        chunk: Option<Expr>,
+    },
     /// `collapse(n)`
     Collapse(u32),
     /// `private(vars)`
@@ -584,11 +645,14 @@ pub struct OmpDirective {
 impl OmpDirective {
     /// Construct a directive without clauses.
     pub fn new(kind: OmpDirectiveKind) -> Self {
-        OmpDirective { kind, clauses: Vec::new() }
+        OmpDirective {
+            kind,
+            clauses: Vec::new(),
+        }
     }
 
     /// Find the first clause matching `pred`.
-    pub fn find_clause<'a, F: Fn(&OmpClause) -> bool>(&'a self, pred: F) -> Option<&'a OmpClause> {
+    pub fn find_clause<F: Fn(&OmpClause) -> bool>(&self, pred: F) -> Option<&OmpClause> {
         self.clauses.iter().find(|c| pred(c))
     }
 
@@ -636,9 +700,17 @@ pub enum StmtKind {
     /// Local variable declaration.
     VarDecl(VarDecl),
     /// Assignment (including compound assignment and `x++`/`x--` desugar).
-    Assign { target: Expr, op: AssignOp, value: Expr },
+    Assign {
+        target: Expr,
+        op: AssignOp,
+        value: Expr,
+    },
     /// `if (cond) { .. } else { .. }`
-    If { cond: Expr, then_branch: Block, else_branch: Option<Block> },
+    If {
+        cond: Expr,
+        then_branch: Block,
+        else_branch: Option<Block>,
+    },
     /// `for (init; cond; step) { .. }`
     For(ForStmt),
     /// `while (cond) { .. }`
@@ -705,22 +777,24 @@ impl Block {
                 .iter()
                 .map(|s| {
                     1 + match &s.kind {
-                        StmtKind::If { then_branch, else_branch, .. } => {
-                            count(then_branch) + else_branch.as_ref().map_or(0, count)
-                        }
+                        StmtKind::If {
+                            then_branch,
+                            else_branch,
+                            ..
+                        } => count(then_branch) + else_branch.as_ref().map_or(0, count),
                         StmtKind::For(f) => count(&f.body),
                         StmtKind::While { body, .. } => count(body),
                         StmtKind::Block(b) => count(b),
-                        StmtKind::Pragma(p) => {
-                            p.body.as_ref().map_or(0, |s| count_stmt(s))
-                        }
+                        StmtKind::Pragma(p) => p.body.as_ref().map_or(0, |s| count_stmt(s)),
                         _ => 0,
                     }
                 })
                 .sum()
         }
         fn count_stmt(s: &Stmt) -> usize {
-            count(&Block { stmts: vec![s.clone()] })
+            count(&Block {
+                stmts: vec![s.clone()],
+            })
         }
         count(self)
     }
@@ -751,7 +825,11 @@ pub struct Param {
 impl Param {
     /// Construct a parameter.
     pub fn new(name: impl Into<String>, ty: Type) -> Self {
-        Param { name: name.into(), ty, is_const: false }
+        Param {
+            name: name.into(),
+            ty,
+            is_const: false,
+        }
     }
 }
 
@@ -800,7 +878,10 @@ pub struct Program {
 impl Program {
     /// Create an empty program in `dialect`.
     pub fn new(dialect: Dialect) -> Self {
-        Program { dialect, items: Vec::new() }
+        Program {
+            dialect,
+            items: Vec::new(),
+        }
     }
 
     /// Iterate over all functions.
@@ -820,7 +901,8 @@ impl Program {
 
     /// All `__global__` kernels.
     pub fn kernels(&self) -> impl Iterator<Item = &Function> {
-        self.functions().filter(|f| f.qualifier == FnQualifier::Kernel)
+        self.functions()
+            .filter(|f| f.qualifier == FnQualifier::Kernel)
     }
 }
 
@@ -845,7 +927,10 @@ mod tests {
     #[test]
     fn type_spelling() {
         assert_eq!(Type::Float.ptr().spelling(), "float*");
-        assert_eq!(Type::Ptr(Box::new(Type::Ptr(Box::new(Type::Int)))).spelling(), "int**");
+        assert_eq!(
+            Type::Ptr(Box::new(Type::Ptr(Box::new(Type::Int)))).spelling(),
+            "int**"
+        );
     }
 
     #[test]
@@ -874,7 +959,12 @@ mod tests {
 
     #[test]
     fn non_canonical_loop_rejected() {
-        let f = ForStmt { init: None, cond: None, step: None, body: Block::new() };
+        let f = ForStmt {
+            init: None,
+            cond: None,
+            step: None,
+            body: Block::new(),
+        };
         assert!(f.canonical().is_none());
     }
 
@@ -896,7 +986,10 @@ mod tests {
             kind: OmpDirectiveKind::TargetTeamsDistributeParallelFor,
             clauses: vec![
                 OmpClause::Collapse(2),
-                OmpClause::Reduction { op: ReductionOp::Add, vars: vec!["sum".into()] },
+                OmpClause::Reduction {
+                    op: ReductionOp::Add,
+                    vars: vec!["sum".into()],
+                },
             ],
         };
         assert_eq!(d.collapse(), 2);

@@ -41,17 +41,29 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Create an error diagnostic at `line`.
     pub fn error(line: u32, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Error, line, message: message.into() }
+        Diagnostic {
+            severity: Severity::Error,
+            line,
+            message: message.into(),
+        }
     }
 
     /// Create a warning diagnostic at `line`.
     pub fn warning(line: u32, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Warning, line, message: message.into() }
+        Diagnostic {
+            severity: Severity::Warning,
+            line,
+            message: message.into(),
+        }
     }
 
     /// Create a note diagnostic at `line`.
     pub fn note(line: u32, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Note, line, message: message.into() }
+        Diagnostic {
+            severity: Severity::Note,
+            line,
+            message: message.into(),
+        }
     }
 
     /// True when this diagnostic rejects the program.
@@ -89,7 +101,10 @@ mod tests {
     #[test]
     fn display_includes_line() {
         let d = Diagnostic::error(14, "use of undeclared identifier 'foo'");
-        assert_eq!(d.to_string(), "error: line 14: use of undeclared identifier 'foo'");
+        assert_eq!(
+            d.to_string(),
+            "error: line 14: use of undeclared identifier 'foo'"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Create a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     /// Lex the whole input, returning the tokens (terminated by `Eof`) or the
@@ -76,7 +80,10 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     loop {
                         if self.peek() == 0 {
-                            return Err(Diagnostic::error(start_line, "unterminated block comment"));
+                            return Err(Diagnostic::error(
+                                start_line,
+                                "unterminated block comment",
+                            ));
                         }
                         if self.peek() == b'*' && self.peek2() == b'/' {
                             self.bump();
@@ -133,7 +140,10 @@ impl<'a> Lexer<'a> {
         while self.peek() != b'\n' && self.peek() != 0 {
             rest.push(self.bump() as char);
         }
-        Ok(Token::new(TokenKind::PragmaLine(rest.trim().to_string()), line))
+        Ok(Token::new(
+            TokenKind::PragmaLine(rest.trim().to_string()),
+            line,
+        ))
     }
 
     fn lex_number(&mut self) -> Result<Token, Diagnostic> {
@@ -180,9 +190,9 @@ impl<'a> Lexer<'a> {
                 .map_err(|_| Diagnostic::error(line, format!("invalid float literal '{text}'")))?;
             Ok(Token::new(TokenKind::FloatLit(v), line))
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| Diagnostic::error(line, format!("invalid integer literal '{text}'")))?;
+            let v: i64 = text.parse().map_err(|_| {
+                Diagnostic::error(line, format!("invalid integer literal '{text}'"))
+            })?;
             Ok(Token::new(TokenKind::IntLit(v), line))
         }
     }
@@ -232,7 +242,9 @@ impl<'a> Lexer<'a> {
         while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
             self.bump();
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_string();
         Token::new(TokenKind::Ident(text), line)
     }
 
@@ -369,7 +381,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -422,7 +438,10 @@ mod tests {
     #[test]
     fn lex_pragma_line() {
         let ks = kinds("#pragma omp parallel for reduction(+:sum)\nfor (int i = 0; i < n; i++) {}");
-        assert_eq!(ks[0], TokenKind::PragmaLine("omp parallel for reduction(+:sum)".into()));
+        assert_eq!(
+            ks[0],
+            TokenKind::PragmaLine("omp parallel for reduction(+:sum)".into())
+        );
     }
 
     #[test]

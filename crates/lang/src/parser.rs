@@ -25,13 +25,18 @@ pub struct Parser {
     dialect: Dialect,
 }
 
-const TYPE_KEYWORDS: &[&str] =
-    &["void", "bool", "int", "long", "float", "double", "dim3", "size_t", "unsigned"];
+const TYPE_KEYWORDS: &[&str] = &[
+    "void", "bool", "int", "long", "float", "double", "dim3", "size_t", "unsigned",
+];
 
 impl Parser {
     /// Create a parser over pre-lexed tokens.
     pub fn new(tokens: Vec<Token>, dialect: Dialect) -> Self {
-        Parser { tokens, pos: 0, dialect }
+        Parser {
+            tokens,
+            pos: 0,
+            dialect,
+        }
     }
 
     fn peek(&self) -> &Token {
@@ -97,9 +102,10 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => {
-                Err(Diagnostic::error(self.line(), format!("expected {what}, found '{other}'")))
-            }
+            other => Err(Diagnostic::error(
+                self.line(),
+                format!("expected {what}, found '{other}'"),
+            )),
         }
     }
 
@@ -138,7 +144,10 @@ impl Parser {
             "double" => Type::Double,
             "dim3" => Type::Dim3,
             other => {
-                return Err(Diagnostic::error(line, format!("unknown type name '{other}'")));
+                return Err(Diagnostic::error(
+                    line,
+                    format!("unknown type name '{other}'"),
+                ));
             }
         };
         Ok(base)
@@ -162,7 +171,10 @@ impl Parser {
             program.items.push(Item::Function(func));
         }
         if program.items.is_empty() {
-            return Err(Diagnostic::error(0, "empty translation unit: no functions defined"));
+            return Err(Diagnostic::error(
+                0,
+                "empty translation unit: no functions defined",
+            ));
         }
         Ok(program)
     }
@@ -190,7 +202,11 @@ impl Parser {
                 let is_const = self.eat_ident("const");
                 let ty = self.parse_type()?;
                 let pname = self.expect_ident("a parameter name")?;
-                params.push(Param { name: pname, ty, is_const });
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    is_const,
+                });
                 if self.eat(&TokenKind::Comma) {
                     continue;
                 }
@@ -199,7 +215,14 @@ impl Parser {
             }
         }
         let body = self.parse_block()?;
-        Ok(Function { name, qualifier, ret, params, body, line })
+        Ok(Function {
+            name,
+            qualifier,
+            ret,
+            params,
+            body,
+            line,
+        })
     }
 
     // ------------------------------------------------------------ statements
@@ -209,7 +232,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while self.peek_kind() != &TokenKind::RBrace {
             if self.peek_kind() == &TokenKind::Eof {
-                return Err(Diagnostic::error(self.line(), "unexpected end of file inside block"));
+                return Err(Diagnostic::error(
+                    self.line(),
+                    "unexpected end of file inside block",
+                ));
             }
             stmts.push(self.parse_stmt()?);
         }
@@ -229,7 +255,10 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt::new(StmtKind::Pragma(PragmaStmt { directive, body }), line))
+                Ok(Stmt::new(
+                    StmtKind::Pragma(PragmaStmt { directive, body }),
+                    line,
+                ))
             }
             TokenKind::LBrace => {
                 let block = self.parse_block()?;
@@ -270,7 +299,10 @@ impl Parser {
                 self.expect(&TokenKind::Semi, "';' after statement")?;
                 Ok(stmt)
             }
-            other => Err(Diagnostic::error(line, format!("unexpected token '{other}' at start of statement"))),
+            other => Err(Diagnostic::error(
+                line,
+                format!("unexpected token '{other}' at start of statement"),
+            )),
         }
     }
 
@@ -287,7 +319,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::new(StmtKind::If { cond, then_branch, else_branch }, line))
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
+            line,
+        ))
     }
 
     fn parse_stmt_as_block(&mut self) -> Result<Block, Diagnostic> {
@@ -309,7 +348,11 @@ impl Parser {
             Some(Box::new(self.parse_simple_stmt()?))
         };
         self.expect(&TokenKind::Semi, "';' after for-init")?;
-        let cond = if self.peek_kind() == &TokenKind::Semi { None } else { Some(self.parse_expr()?) };
+        let cond = if self.peek_kind() == &TokenKind::Semi {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
         self.expect(&TokenKind::Semi, "';' after for-condition")?;
         let step = if self.peek_kind() == &TokenKind::RParen {
             None
@@ -318,7 +361,15 @@ impl Parser {
         };
         self.expect(&TokenKind::RParen, "')' after for clauses")?;
         let body = self.parse_stmt_as_block()?;
-        Ok(Stmt::new(StmtKind::For(ForStmt { init, cond, step, body }), line))
+        Ok(Stmt::new(
+            StmtKind::For(ForStmt {
+                init,
+                cond,
+                step,
+                body,
+            }),
+            line,
+        ))
     }
 
     fn parse_while(&mut self) -> Result<Stmt, Diagnostic> {
@@ -337,14 +388,24 @@ impl Parser {
         let line = self.line();
 
         // Prefix increment/decrement.
-        if matches!(self.peek_kind(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
+        if matches!(
+            self.peek_kind(),
+            TokenKind::PlusPlus | TokenKind::MinusMinus
+        ) {
             let op = if self.bump().kind == TokenKind::PlusPlus {
                 AssignOp::AddAssign
             } else {
                 AssignOp::SubAssign
             };
             let target = self.parse_postfix_expr()?;
-            return Ok(Stmt::new(StmtKind::Assign { target, op, value: Expr::int(1) }, line));
+            return Ok(Stmt::new(
+                StmtKind::Assign {
+                    target,
+                    op,
+                    value: Expr::int(1),
+                },
+                line,
+            ));
         }
 
         // __shared__ declarations (device code).
@@ -362,7 +423,9 @@ impl Parser {
         }
 
         // Kernel launch: ident <<< ... >>> ( ... )
-        if matches!(self.peek_kind(), TokenKind::Ident(_)) && self.peek_ahead(1) == &TokenKind::TripleLt {
+        if matches!(self.peek_kind(), TokenKind::Ident(_))
+            && self.peek_ahead(1) == &TokenKind::TripleLt
+        {
             let kernel = self.expect_ident("kernel name")?;
             self.expect(&TokenKind::TripleLt, "'<<<' in kernel launch")?;
             let grid = self.parse_expr()?;
@@ -381,7 +444,15 @@ impl Parser {
                     break;
                 }
             }
-            return Ok(Stmt::new(StmtKind::KernelLaunch(KernelLaunch { kernel, grid, block, args }), line));
+            return Ok(Stmt::new(
+                StmtKind::KernelLaunch(KernelLaunch {
+                    kernel,
+                    grid,
+                    block,
+                    args,
+                }),
+                line,
+            ));
         }
 
         // Otherwise: expression, possibly followed by an assignment operator
@@ -396,14 +467,22 @@ impl Parser {
             TokenKind::PlusPlus => {
                 self.bump();
                 return Ok(Stmt::new(
-                    StmtKind::Assign { target: expr, op: AssignOp::AddAssign, value: Expr::int(1) },
+                    StmtKind::Assign {
+                        target: expr,
+                        op: AssignOp::AddAssign,
+                        value: Expr::int(1),
+                    },
                     line,
                 ));
             }
             TokenKind::MinusMinus => {
                 self.bump();
                 return Ok(Stmt::new(
-                    StmtKind::Assign { target: expr, op: AssignOp::SubAssign, value: Expr::int(1) },
+                    StmtKind::Assign {
+                        target: expr,
+                        op: AssignOp::SubAssign,
+                        value: Expr::int(1),
+                    },
                     line,
                 ));
             }
@@ -412,7 +491,14 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let value = self.parse_expr()?;
-            Ok(Stmt::new(StmtKind::Assign { target: expr, op, value }, line))
+            Ok(Stmt::new(
+                StmtKind::Assign {
+                    target: expr,
+                    op,
+                    value,
+                },
+                line,
+            ))
         } else {
             Ok(Stmt::new(StmtKind::Expr(expr), line))
         }
@@ -456,8 +542,19 @@ impl Parser {
             None
         };
 
-        let init = if self.eat(&TokenKind::Assign) { Some(self.parse_expr()?) } else { None };
-        Ok(VarDecl { name, ty, init, array_len, is_const, is_shared: false })
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(VarDecl {
+            name,
+            ty,
+            init,
+            array_len,
+            is_const,
+            is_shared: false,
+        })
     }
 
     // ----------------------------------------------------------- expressions
@@ -510,8 +607,7 @@ impl Parser {
 
     fn parse_binary(&mut self, min_bp: u8) -> Result<Expr, Diagnostic> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let Some((op, bp)) = self.binop_for(self.peek_kind()) else { break };
+        while let Some((op, bp)) = self.binop_for(self.peek_kind()) {
             if bp < min_bp {
                 break;
             }
@@ -527,22 +623,34 @@ impl Parser {
             TokenKind::Minus => {
                 self.bump();
                 let operand = self.parse_unary()?;
-                Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand) })
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                })
             }
             TokenKind::Not => {
                 self.bump();
                 let operand = self.parse_unary()?;
-                Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand) })
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                })
             }
             TokenKind::Amp => {
                 self.bump();
                 let operand = self.parse_unary()?;
-                Ok(Expr::Unary { op: UnOp::AddrOf, operand: Box::new(operand) })
+                Ok(Expr::Unary {
+                    op: UnOp::AddrOf,
+                    operand: Box::new(operand),
+                })
             }
             TokenKind::Star => {
                 self.bump();
                 let operand = self.parse_unary()?;
-                Ok(Expr::Unary { op: UnOp::Deref, operand: Box::new(operand) })
+                Ok(Expr::Unary {
+                    op: UnOp::Deref,
+                    operand: Box::new(operand),
+                })
             }
             _ => self.parse_postfix_expr(),
         }
@@ -620,7 +728,10 @@ impl Parser {
                         let ty = self.parse_type()?;
                         self.expect(&TokenKind::RParen, "')' after cast type")?;
                         let expr = self.parse_unary()?;
-                        return Ok(Expr::Cast { ty, expr: Box::new(expr) });
+                        return Ok(Expr::Cast {
+                            ty,
+                            expr: Box::new(expr),
+                        });
                     }
                 }
                 self.bump();
@@ -628,7 +739,10 @@ impl Parser {
                 self.expect(&TokenKind::RParen, "')' after parenthesized expression")?;
                 Ok(expr)
             }
-            other => Err(Diagnostic::error(line, format!("unexpected token '{other}' in expression"))),
+            other => Err(Diagnostic::error(
+                line,
+                format!("unexpected token '{other}' in expression"),
+            )),
         }
     }
 }
@@ -638,7 +752,11 @@ impl Parser {
 /// Parse the text after `#pragma` into an [`OmpDirective`].
 pub fn parse_pragma(text: &str, line: u32) -> Result<OmpDirective, Diagnostic> {
     let tokens = Lexer::tokenize(text).map_err(|d| Diagnostic::error(line, d.message))?;
-    let mut p = PragmaParser { tokens, pos: 0, line };
+    let mut p = PragmaParser {
+        tokens,
+        pos: 0,
+        line,
+    };
     p.parse()
 }
 
@@ -668,7 +786,9 @@ impl PragmaParser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -684,7 +804,10 @@ impl PragmaParser {
             self.bump();
             Ok(())
         } else {
-            Err(self.err(format!("in '#pragma omp': expected {what}, found '{}'", self.peek())))
+            Err(self.err(format!(
+                "in '#pragma omp': expected {what}, found '{}'",
+                self.peek()
+            )))
         }
     }
 
@@ -698,17 +821,12 @@ impl PragmaParser {
 
         // Collect directive words until a clause name followed by '(' or EOF.
         let mut words: Vec<String> = Vec::new();
-        loop {
-            match self.peek().clone() {
-                TokenKind::Ident(w) => {
-                    if CLAUSE_NAMES.contains(&w.as_str()) {
-                        break;
-                    }
-                    words.push(w);
-                    self.bump();
-                }
-                _ => break,
+        while let TokenKind::Ident(w) = self.peek().clone() {
+            if CLAUSE_NAMES.contains(&w.as_str()) {
+                break;
             }
+            words.push(w);
+            self.bump();
         }
         let joined = words.join(" ");
         let kind = match joined.as_str() {
@@ -737,7 +855,9 @@ impl PragmaParser {
                     self.bump();
                     clauses.push(self.parse_clause(&name)?);
                 }
-                other => return Err(self.err(format!("unexpected token '{other}' in pragma clauses"))),
+                other => {
+                    return Err(self.err(format!("unexpected token '{other}' in pragma clauses")))
+                }
             }
         }
 
@@ -748,7 +868,9 @@ impl PragmaParser {
         // Reuse the main expression parser over the remaining tokens.
         let rest: Vec<Token> = self.tokens[self.pos..].to_vec();
         let mut sub = Parser::new(rest, Dialect::OmpLite);
-        let expr = sub.parse_expr().map_err(|d| Diagnostic::error(self.line, d.message))?;
+        let expr = sub
+            .parse_expr()
+            .map_err(|d| Diagnostic::error(self.line, d.message))?;
         self.pos += sub.pos;
         Ok(expr)
     }
@@ -773,7 +895,10 @@ impl PragmaParser {
         match name {
             "simd" => {
                 // Accept and normalize `simd` as a no-argument schedule hint.
-                Ok(OmpClause::Schedule { kind: ScheduleKind::Static, chunk: None })
+                Ok(OmpClause::Schedule {
+                    kind: ScheduleKind::Static,
+                    chunk: None,
+                })
             }
             "map" => {
                 self.expect_kind(&TokenKind::LParen, "'(' after map")?;
@@ -800,7 +925,9 @@ impl PragmaParser {
                     let var = match self.bump() {
                         TokenKind::Ident(v) => v,
                         other => {
-                            return Err(self.err(format!("expected a mapped variable, found '{other}'")))
+                            return Err(
+                                self.err(format!("expected a mapped variable, found '{other}'"))
+                            )
                         }
                     };
                     let (lower, len) = if self.peek() == &TokenKind::LBracket {
@@ -870,7 +997,11 @@ impl PragmaParser {
                 self.expect_kind(&TokenKind::LParen, "'(' after collapse")?;
                 let n = match self.bump() {
                     TokenKind::IntLit(v) if v >= 1 => v as u32,
-                    other => return Err(self.err(format!("collapse expects a positive integer, found '{other}'"))),
+                    other => {
+                        return Err(self.err(format!(
+                            "collapse expects a positive integer, found '{other}'"
+                        )))
+                    }
                 };
                 self.expect_kind(&TokenKind::RParen, "')' after collapse clause")?;
                 Ok(OmpClause::Collapse(n))
@@ -920,7 +1051,7 @@ mod tests {
         let k = p.function("add").unwrap();
         assert_eq!(k.qualifier, FnQualifier::Kernel);
         assert_eq!(k.params.len(), 4);
-        assert_eq!(k.params[1].is_const, true);
+        assert!(k.params[1].is_const);
         assert!(p.main().is_some());
     }
 
@@ -992,9 +1123,15 @@ mod tests {
             _ => None,
         });
         let pragma = pragma.expect("pragma");
-        assert_eq!(pragma.directive.kind, OmpDirectiveKind::TargetTeamsDistributeParallelFor);
+        assert_eq!(
+            pragma.directive.kind,
+            OmpDirectiveKind::TargetTeamsDistributeParallelFor
+        );
         assert!(pragma.directive.reduction().is_some());
-        assert!(matches!(pragma.body.as_ref().unwrap().kind, StmtKind::For(_)));
+        assert!(matches!(
+            pragma.body.as_ref().unwrap().kind,
+            StmtKind::For(_)
+        ));
     }
 
     #[test]
@@ -1068,8 +1205,14 @@ mod tests {
         match &main.body.stmts[0].kind {
             StmtKind::VarDecl(d) => match d.init.as_ref().unwrap() {
                 Expr::Ternary { cond, .. } => match cond.as_ref() {
-                    Expr::Binary { op: BinOp::Lt, lhs, .. } => match lhs.as_ref() {
-                        Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Lt, lhs, ..
+                    } => match lhs.as_ref() {
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            rhs,
+                            ..
+                        } => {
                             assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
                         }
                         other => panic!("bad lhs {other:?}"),
@@ -1177,7 +1320,9 @@ mod tests {
 
     #[test]
     fn parse_unsigned_and_long_long() {
-        let p = parse_cuda("int main() { unsigned int a = 1; long long b = 2; unsigned long c = 3; return 0; }");
+        let p = parse_cuda(
+            "int main() { unsigned int a = 1; long long b = 2; unsigned long c = 3; return 0; }",
+        );
         let main = p.main().unwrap();
         assert_eq!(main.body.stmts.len(), 4);
     }

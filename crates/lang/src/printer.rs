@@ -40,7 +40,9 @@ struct Printer {
 
 impl Printer {
     fn new() -> Self {
-        Printer { out: String::with_capacity(1024) }
+        Printer {
+            out: String::with_capacity(1024),
+        }
     }
 
     fn indent(&mut self, level: usize) {
@@ -104,7 +106,11 @@ impl Printer {
                     self.out.push_str(&format!("{t} {} {v};\n", op.spelling()));
                 }
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.indent(level);
                 let c = self.expr(cond);
                 self.out.push_str(&format!("if ({c}) "));
@@ -182,7 +188,8 @@ impl Printer {
             }
             StmtKind::Pragma(p) => {
                 self.indent(level);
-                self.out.push_str(&format!("#pragma {}\n", self.pragma_text(&p.directive)));
+                self.out
+                    .push_str(&format!("#pragma {}\n", self.pragma_text(&p.directive)));
                 if let Some(body) = &p.body {
                     self.print_stmt(body, level);
                 }
@@ -210,7 +217,8 @@ impl Printer {
             }
             other => {
                 // Should not happen for well-formed for-clauses; print a block fallback.
-                self.out.push_str(&format!("/* unsupported for-clause {other:?} */"));
+                self.out
+                    .push_str(&format!("/* unsupported for-clause {other:?} */"));
             }
         }
     }
@@ -330,7 +338,11 @@ impl Printer {
                 let e = self.expr_paren(expr);
                 format!("({}){e}", ty.spelling())
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let c = self.expr_paren(cond);
                 let t = self.expr_paren(then_expr);
                 let f = self.expr_paren(else_expr);
@@ -379,7 +391,10 @@ mod tests {
         let p2 = parse(&printed, dialect)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
         let printed2 = print_program(&p2);
-        assert_eq!(printed, printed2, "printer must be a fixed point after one round");
+        assert_eq!(
+            printed, printed2,
+            "printer must be a fixed point after one round"
+        );
     }
 
     #[test]
@@ -489,7 +504,10 @@ mod tests {
     fn print_stmt_and_expr_helpers() {
         let s = Stmt::synth(StmtKind::Return(Some(Expr::int(3))));
         assert_eq!(print_stmt(&s), "return 3;\n");
-        assert_eq!(print_expr(&Expr::bin(crate::BinOp::Add, Expr::int(1), Expr::int(2))), "1 + 2");
+        assert_eq!(
+            print_expr(&Expr::bin(crate::BinOp::Add, Expr::int(1), Expr::int(2))),
+            "1 + 2"
+        );
     }
 
     #[test]

@@ -239,11 +239,17 @@ pub fn sample_fault(source: &str, category: FaultCategory, rng: &mut StdRng) -> 
                 ("cudaMalloc", "cudaMallocManagedX"),
                 ("__syncthreads", "__synchthreads"),
                 ("atomicAdd", "atomicAddFloat"),
-                ("omp target teams distribute parallel for", "omp target team distribute parallel for"),
+                (
+                    "omp target teams distribute parallel for",
+                    "omp target team distribute parallel for",
+                ),
             ] {
                 if source.contains(api) {
                     candidates.push(Fault {
-                        kind: FaultKind::WrongApiName { from: api.to_string(), to: wrong.to_string() },
+                        kind: FaultKind::WrongApiName {
+                            from: api.to_string(),
+                            to: wrong.to_string(),
+                        },
                         category,
                     });
                 }
@@ -260,7 +266,10 @@ pub fn sample_fault(source: &str, category: FaultCategory, rng: &mut StdRng) -> 
                 .map(|(i, _)| i)
                 .collect();
             if let Some(&line) = decl_lines.choose(rng) {
-                candidates.push(Fault { kind: FaultKind::RemoveDeclaration { line }, category });
+                candidates.push(Fault {
+                    kind: FaultKind::RemoveDeclaration { line },
+                    category,
+                });
             }
             candidates.choose(rng).cloned()
         }
@@ -273,7 +282,10 @@ pub fn sample_fault(source: &str, category: FaultCategory, rng: &mut StdRng) -> 
                 .map(|(i, _)| i)
                 .collect();
             if let Some(&line) = guard_lines.choose(rng) {
-                candidates.push(Fault { kind: FaultKind::LoosenBoundsCheck { line }, category });
+                candidates.push(Fault {
+                    kind: FaultKind::LoosenBoundsCheck { line },
+                    category,
+                });
             }
             let map_lines: Vec<usize> = lines
                 .iter()
@@ -282,7 +294,10 @@ pub fn sample_fault(source: &str, category: FaultCategory, rng: &mut StdRng) -> 
                 .map(|(i, _)| i)
                 .collect();
             if let Some(&line) = map_lines.choose(rng) {
-                candidates.push(Fault { kind: FaultKind::DropMapClause { line }, category });
+                candidates.push(Fault {
+                    kind: FaultKind::DropMapClause { line },
+                    category,
+                });
             }
             candidates.choose(rng).cloned()
         }
@@ -295,7 +310,10 @@ pub fn sample_fault(source: &str, category: FaultCategory, rng: &mut StdRng) -> 
                 .map(|(i, _)| i)
                 .collect();
             if let Some(&line) = copy_back.choose(rng) {
-                candidates.push(Fault { kind: FaultKind::DropCopyBack { line }, category });
+                candidates.push(Fault {
+                    kind: FaultKind::DropCopyBack { line },
+                    category,
+                });
             }
             for constant in ["2.0", "1.0", "0.5", "3.0", "100"] {
                 if source.contains(constant) {
@@ -312,7 +330,10 @@ pub fn sample_fault(source: &str, category: FaultCategory, rng: &mut StdRng) -> 
         }
         FaultCategory::Performance => {
             if source.contains("#pragma omp") || source.contains("<<<") {
-                Some(Fault { kind: FaultKind::SerializeParallelism, category })
+                Some(Fault {
+                    kind: FaultKind::SerializeParallelism,
+                    category,
+                })
             } else {
                 None
             }
@@ -321,11 +342,7 @@ pub fn sample_fault(source: &str, category: FaultCategory, rng: &mut StdRng) -> 
 }
 
 fn perturb(constant: &str) -> String {
-    if constant.contains('.') {
-        format!("{constant}7")
-    } else {
-        format!("{constant}7")
-    }
+    format!("{constant}7")
 }
 
 fn collect_declared_identifiers(lines: &[&str]) -> Vec<String> {
@@ -372,7 +389,10 @@ mod tests {
 
     #[test]
     fn drop_semicolon_removes_one() {
-        let f = Fault { kind: FaultKind::DropSemicolon { line: 1 }, category: FaultCategory::Compile };
+        let f = Fault {
+            kind: FaultKind::DropSemicolon { line: 1 },
+            category: FaultCategory::Compile,
+        };
         let out = f.apply(SAMPLE);
         assert!(out.contains("int n = 128\n"));
     }
@@ -380,7 +400,10 @@ mod tests {
     #[test]
     fn misspell_changes_use_site_only() {
         let f = Fault {
-            kind: FaultKind::MisspellIdentifier { from: "d_out".into(), to: "d_out_tmp".into() },
+            kind: FaultKind::MisspellIdentifier {
+                from: "d_out".into(),
+                to: "d_out_tmp".into(),
+            },
             category: FaultCategory::Compile,
         };
         let out = f.apply(SAMPLE);
@@ -391,14 +414,20 @@ mod tests {
 
     #[test]
     fn loosen_bounds_check() {
-        let f = Fault { kind: FaultKind::LoosenBoundsCheck { line: 5 }, category: FaultCategory::Runtime };
+        let f = Fault {
+            kind: FaultKind::LoosenBoundsCheck { line: 5 },
+            category: FaultCategory::Runtime,
+        };
         let out = f.apply(SAMPLE);
         assert!(out.contains("if (i <= n)"));
     }
 
     #[test]
     fn drop_map_clause() {
-        let f = Fault { kind: FaultKind::DropMapClause { line: 7 }, category: FaultCategory::Runtime };
+        let f = Fault {
+            kind: FaultKind::DropMapClause { line: 7 },
+            category: FaultCategory::Runtime,
+        };
         let out = f.apply(SAMPLE);
         assert!(!out.contains("map(to: a[0:n])"));
         assert!(out.contains("#pragma omp target teams distribute parallel for"));
@@ -406,14 +435,20 @@ mod tests {
 
     #[test]
     fn serialize_parallelism_drops_thread_budget() {
-        let f = Fault { kind: FaultKind::SerializeParallelism, category: FaultCategory::Performance };
+        let f = Fault {
+            kind: FaultKind::SerializeParallelism,
+            category: FaultCategory::Performance,
+        };
         let out = f.apply(SAMPLE);
         assert!(out.contains("thread_limit(1)"));
     }
 
     #[test]
     fn drop_copy_back_removes_line() {
-        let f = Fault { kind: FaultKind::DropCopyBack { line: 4 }, category: FaultCategory::Semantic };
+        let f = Fault {
+            kind: FaultKind::DropCopyBack { line: 4 },
+            category: FaultCategory::Semantic,
+        };
         let out = f.apply(SAMPLE);
         assert!(!out.contains("cudaMemcpyDeviceToHost"));
     }
@@ -421,7 +456,10 @@ mod tests {
     #[test]
     fn perturb_constant_changes_output_value() {
         let f = Fault {
-            kind: FaultKind::PerturbConstant { from: "2.0".into(), to: "2.07".into() },
+            kind: FaultKind::PerturbConstant {
+                from: "2.0".into(),
+                to: "2.07".into(),
+            },
             category: FaultCategory::Semantic,
         };
         let out = f.apply(SAMPLE);
@@ -460,7 +498,10 @@ mod tests {
 
     #[test]
     fn labels_are_stable() {
-        let f = Fault { kind: FaultKind::SerializeParallelism, category: FaultCategory::Performance };
+        let f = Fault {
+            kind: FaultKind::SerializeParallelism,
+            category: FaultCategory::Performance,
+        };
         assert_eq!(f.label(), "serialize_parallelism");
     }
 }

@@ -33,7 +33,10 @@ pub mod tokenizer;
 pub mod translate;
 
 pub use faults::{Fault, FaultKind};
-pub use models::{all_models, codestral, deepseek_coder, gpt4, model_by_name, wizard_coder, CapabilityProfile, ModelSpec};
+pub use models::{
+    all_models, codestral, deepseek_coder, gpt4, model_by_name, wizard_coder, CapabilityProfile,
+    ModelSpec,
+};
 pub use prompts::PromptDictionary;
 pub use session::{ChatModel, LlmResponse, SimulatedLlm};
 pub use tokenizer::count_tokens;

@@ -148,9 +148,11 @@ pub fn all_models() -> Vec<ModelSpec> {
 /// Look a model up by (case-insensitive) name or slug.
 pub fn model_by_name(name: &str) -> Option<ModelSpec> {
     let needle = name.to_lowercase();
-    all_models()
-        .into_iter()
-        .find(|m| m.name.to_lowercase() == needle || m.slug() == needle || m.slug().replace('-', "") == needle.replace([' ', '-'], ""))
+    all_models().into_iter().find(|m| {
+        m.name.to_lowercase() == needle
+            || m.slug() == needle
+            || m.slug().replace('-', "") == needle.replace([' ', '-'], "")
+    })
 }
 
 #[cfg(test)]
@@ -176,7 +178,10 @@ mod tests {
     fn lookup_by_name_and_slug() {
         assert_eq!(model_by_name("gpt-4").unwrap().name, "GPT-4");
         assert_eq!(model_by_name("Wizard Coder").unwrap().parameters, "33B");
-        assert_eq!(model_by_name("deepseek coder v2").unwrap().parameters, "16B");
+        assert_eq!(
+            model_by_name("deepseek coder v2").unwrap().parameters,
+            "16B"
+        );
         assert!(model_by_name("llama").is_none());
     }
 
@@ -184,7 +189,10 @@ mod tests {
     fn slugs_are_filename_safe() {
         for m in all_models() {
             let slug = m.slug();
-            assert!(slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'), "{slug}");
+            assert!(
+                slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+                "{slug}"
+            );
         }
     }
 

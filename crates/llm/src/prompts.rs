@@ -164,7 +164,10 @@ the above code with a fix to eliminate the stated error."
 
     /// The self-prompt asking the model to summarise the knowledge passage.
     pub fn build_knowledge_summary_prompt(target: Dialect) -> String {
-        format!("{SELF_PROMPT_KNOWLEDGE_SUMMARY}\n\n{}", Self::language_knowledge(target))
+        format!(
+            "{SELF_PROMPT_KNOWLEDGE_SUMMARY}\n\n{}",
+            Self::language_knowledge(target)
+        )
     }
 
     /// The self-prompt asking the model to describe the source code.
@@ -190,7 +193,7 @@ pub fn extract_code_block(text: &str) -> Option<String> {
             break;
         }
     }
-    blocks.into_iter().filter(|b| !b.is_empty()).next_back()
+    blocks.into_iter().rfind(|b| !b.is_empty())
 }
 
 #[cfg(test)]
@@ -199,10 +202,14 @@ mod tests {
 
     #[test]
     fn system_prompts_match_direction() {
-        assert!(PromptDictionary::system_prompt(Dialect::CudaLite, Dialect::OmpLite)
-            .contains("CUDA code to C++ code using OpenMP"));
-        assert!(PromptDictionary::system_prompt(Dialect::OmpLite, Dialect::CudaLite)
-            .contains("OpenMP directives to the CUDA framework"));
+        assert!(
+            PromptDictionary::system_prompt(Dialect::CudaLite, Dialect::OmpLite)
+                .contains("CUDA code to C++ code using OpenMP")
+        );
+        assert!(
+            PromptDictionary::system_prompt(Dialect::OmpLite, Dialect::CudaLite)
+                .contains("OpenMP directives to the CUDA framework")
+        );
         assert_eq!(
             PromptDictionary::system_prompt(Dialect::CudaLite, Dialect::CudaLite),
             SYSTEM_GENERAL

@@ -58,7 +58,11 @@ impl SimulatedLlm {
     /// Create a simulated model with an explicit RNG seed (scenario-specific
     /// seeds make the whole 80-scenario evaluation reproducible).
     pub fn with_seed(model: ModelSpec, seed: u64) -> Self {
-        SimulatedLlm { model, rng: StdRng::seed_from_u64(seed), state: None }
+        SimulatedLlm {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            state: None,
+        }
     }
 
     /// The model specification.
@@ -68,11 +72,15 @@ impl SimulatedLlm {
 
     /// Faults still present in the last generated code (test/diagnostic hook).
     pub fn active_fault_labels(&self) -> Vec<&'static str> {
-        self.state.as_ref().map_or_else(Vec::new, |s| s.faults.iter().map(|f| f.label()).collect())
+        self.state
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.faults.iter().map(|f| f.label()).collect())
     }
 
     fn render(&self) -> String {
-        let Some(state) = &self.state else { return String::new() };
+        let Some(state) = &self.state else {
+            return String::new();
+        };
         let mut text = state.clean_source.clone();
         for fault in &state.faults {
             text = fault.apply(&text);
@@ -90,7 +98,12 @@ impl SimulatedLlm {
         }
     }
 
-    fn handle_translation(&mut self, user_prompt: &str, prompt_tokens: usize, overflow: bool) -> LlmResponse {
+    fn handle_translation(
+        &mut self,
+        user_prompt: &str,
+        prompt_tokens: usize,
+        overflow: bool,
+    ) -> LlmResponse {
         let Some(source) = extract_code_block(user_prompt) else {
             return LlmResponse {
                 text: "I could not find a code block to translate.".to_string(),
@@ -118,14 +131,29 @@ impl SimulatedLlm {
         // Inject profile-driven faults into the clean translation.
         let profile = self.model.profile;
         let mut faults: Vec<Fault> = Vec::new();
-        if let Some(f) = maybe_fault(&translated_source, FaultCategory::Compile, profile.p_compile_fault, &mut self.rng) {
+        if let Some(f) = maybe_fault(
+            &translated_source,
+            FaultCategory::Compile,
+            profile.p_compile_fault,
+            &mut self.rng,
+        ) {
             faults.push(f);
         }
         // A second, independent compile slip is possible for weaker models.
-        if let Some(f) = maybe_fault(&translated_source, FaultCategory::Compile, profile.p_compile_fault * 0.35, &mut self.rng) {
+        if let Some(f) = maybe_fault(
+            &translated_source,
+            FaultCategory::Compile,
+            profile.p_compile_fault * 0.35,
+            &mut self.rng,
+        ) {
             faults.push(f);
         }
-        if let Some(f) = maybe_fault(&translated_source, FaultCategory::Runtime, profile.p_runtime_fault, &mut self.rng) {
+        if let Some(f) = maybe_fault(
+            &translated_source,
+            FaultCategory::Runtime,
+            profile.p_runtime_fault,
+            &mut self.rng,
+        ) {
             faults.push(f);
         }
         let semantic_p = if overflow {
@@ -134,19 +162,37 @@ impl SimulatedLlm {
         } else {
             profile.p_semantic_fault
         };
-        if let Some(f) = maybe_fault(&translated_source, FaultCategory::Semantic, semantic_p, &mut self.rng) {
+        if let Some(f) = maybe_fault(
+            &translated_source,
+            FaultCategory::Semantic,
+            semantic_p,
+            &mut self.rng,
+        ) {
             faults.push(f);
         }
-        if let Some(f) = maybe_fault(&translated_source, FaultCategory::Performance, profile.p_perf_regression, &mut self.rng) {
+        if let Some(f) = maybe_fault(
+            &translated_source,
+            FaultCategory::Performance,
+            profile.p_perf_regression,
+            &mut self.rng,
+        ) {
             faults.push(f);
         }
 
-        self.state = Some(SessionState { clean_source: translated_source, faults });
+        self.state = Some(SessionState {
+            clean_source: translated_source,
+            faults,
+        });
         let rendered = self.render();
         self.respond_with_code(&rendered, prompt_tokens, overflow)
     }
 
-    fn handle_correction(&mut self, user_prompt: &str, prompt_tokens: usize, overflow: bool) -> LlmResponse {
+    fn handle_correction(
+        &mut self,
+        user_prompt: &str,
+        prompt_tokens: usize,
+        overflow: bool,
+    ) -> LlmResponse {
         let is_execution_error = user_prompt.contains("execution error");
         let profile = self.model.profile;
 
@@ -154,7 +200,10 @@ impl SimulatedLlm {
             // The model is asked to fix code it never produced (e.g. the
             // pipeline was driven manually); adopt the code from the prompt.
             if let Some(code) = extract_code_block(user_prompt) {
-                self.state = Some(SessionState { clean_source: code, faults: Vec::new() });
+                self.state = Some(SessionState {
+                    clean_source: code,
+                    faults: Vec::new(),
+                });
             }
         }
 
@@ -165,9 +214,17 @@ impl SimulatedLlm {
             if repair_succeeds && !state.faults.is_empty() {
                 // Prefer fixing a fault of the category the error message is about.
                 let preferred = if is_execution_error {
-                    [FaultCategory::Runtime, FaultCategory::Semantic, FaultCategory::Compile]
+                    [
+                        FaultCategory::Runtime,
+                        FaultCategory::Semantic,
+                        FaultCategory::Compile,
+                    ]
                 } else {
-                    [FaultCategory::Compile, FaultCategory::Runtime, FaultCategory::Semantic]
+                    [
+                        FaultCategory::Compile,
+                        FaultCategory::Runtime,
+                        FaultCategory::Semantic,
+                    ]
                 };
                 let idx = preferred
                     .iter()
@@ -208,7 +265,12 @@ printf. The parallel work iterates over the problem size with a guarded global i
             }
             None => "The prompt did not include a program to describe.".to_string(),
         };
-        LlmResponse { response_tokens: count_tokens(&text), text, prompt_tokens, context_overflow: false }
+        LlmResponse {
+            response_tokens: count_tokens(&text),
+            text,
+            prompt_tokens,
+            context_overflow: false,
+        }
     }
 
     fn handle_knowledge_summary(&mut self, user_prompt: &str, prompt_tokens: usize) -> LlmResponse {
@@ -218,13 +280,11 @@ printf. The parallel work iterates over the problem size with a guarded global i
             Dialect::OmpLite
         };
         let text = match target {
-            Dialect::CudaLite => {
-                "Key points: kernels are __global__ void functions launched as \
+            Dialect::CudaLite => "Key points: kernels are __global__ void functions launched as \
 kernel<<<(N + 255) / 256, 256>>>(...); compute the global index from blockIdx, blockDim and \
 threadIdx and guard it against N; manage device memory with cudaMalloc/cudaMemcpy/cudaFree; \
 synchronize with cudaDeviceSynchronize; use atomicAdd for concurrent updates."
-                    .to_string()
-            }
+                .to_string(),
             Dialect::OmpLite => {
                 "Key points: offload loops with #pragma omp target teams distribute parallel for; \
 move data with map(to:/from:/tofrom:) array sections or keep it resident with target data; use \
@@ -233,7 +293,12 @@ concurrent updates; bound parallelism with num_teams/thread_limit."
                     .to_string()
             }
         };
-        LlmResponse { response_tokens: count_tokens(&text), text, prompt_tokens, context_overflow: false }
+        LlmResponse {
+            response_tokens: count_tokens(&text),
+            text,
+            prompt_tokens,
+            context_overflow: false,
+        }
     }
 }
 
@@ -346,7 +411,8 @@ int main() {
         let outputs: Vec<String> = (0..16)
             .map(|seed| {
                 let mut llm = SimulatedLlm::with_seed(all_models()[1].clone(), seed);
-                llm.complete(prompts::SYSTEM_CUDA_TO_OPENMP, &translation_prompt()).text
+                llm.complete(prompts::SYSTEM_CUDA_TO_OPENMP, &translation_prompt())
+                    .text
             })
             .collect();
         let unique: std::collections::HashSet<&String> = outputs.iter().collect();
@@ -372,7 +438,11 @@ int main() {
             let resp = llm.complete(prompts::SYSTEM_CUDA_TO_OPENMP, &prompt);
             code = extract_code_block(&resp.text).unwrap();
         }
-        assert!(llm.active_fault_labels().is_empty(), "faults remain: {:?}", llm.active_fault_labels());
+        assert!(
+            llm.active_fault_labels().is_empty(),
+            "faults remain: {:?}",
+            llm.active_fault_labels()
+        );
     }
 
     #[test]

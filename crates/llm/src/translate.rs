@@ -68,9 +68,10 @@ fn subst_expr(expr: &Expr, map: &HashMap<String, Expr>) -> Expr {
             lhs: Box::new(subst_expr(lhs, map)),
             rhs: Box::new(subst_expr(rhs, map)),
         },
-        Expr::Unary { op, operand } => {
-            Expr::Unary { op: *op, operand: Box::new(subst_expr(operand, map)) }
-        }
+        Expr::Unary { op, operand } => Expr::Unary {
+            op: *op,
+            operand: Box::new(subst_expr(operand, map)),
+        },
         Expr::Call { callee, args } => Expr::Call {
             callee: callee.clone(),
             args: args.iter().map(|a| subst_expr(a, map)).collect(),
@@ -79,11 +80,19 @@ fn subst_expr(expr: &Expr, map: &HashMap<String, Expr>) -> Expr {
             base: Box::new(subst_expr(base, map)),
             index: Box::new(subst_expr(index, map)),
         },
-        Expr::Member { base, field } => {
-            Expr::Member { base: Box::new(subst_expr(base, map)), field: field.clone() }
-        }
-        Expr::Cast { ty, expr } => Expr::Cast { ty: ty.clone(), expr: Box::new(subst_expr(expr, map)) },
-        Expr::Ternary { cond, then_expr, else_expr } => Expr::Ternary {
+        Expr::Member { base, field } => Expr::Member {
+            base: Box::new(subst_expr(base, map)),
+            field: field.clone(),
+        },
+        Expr::Cast { ty, expr } => Expr::Cast {
+            ty: ty.clone(),
+            expr: Box::new(subst_expr(expr, map)),
+        },
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => Expr::Ternary {
             cond: Box::new(subst_expr(cond, map)),
             then_expr: Box::new(subst_expr(then_expr, map)),
             else_expr: Box::new(subst_expr(else_expr, map)),
@@ -93,7 +102,9 @@ fn subst_expr(expr: &Expr, map: &HashMap<String, Expr>) -> Expr {
 }
 
 fn subst_block(block: &Block, map: &HashMap<String, Expr>) -> Block {
-    Block { stmts: block.stmts.iter().map(|s| subst_stmt(s, map)).collect() }
+    Block {
+        stmts: block.stmts.iter().map(|s| subst_stmt(s, map)).collect(),
+    }
 }
 
 fn subst_stmt(stmt: &Stmt, map: &HashMap<String, Expr>) -> Stmt {
@@ -111,7 +122,11 @@ fn subst_stmt(stmt: &Stmt, map: &HashMap<String, Expr>) -> Stmt {
             op: *op,
             value: subst_expr(value, map),
         },
-        StmtKind::If { cond, then_branch, else_branch } => StmtKind::If {
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => StmtKind::If {
             cond: subst_expr(cond, map),
             then_branch: subst_block(then_branch, map),
             else_branch: else_branch.as_ref().map(|b| subst_block(b, map)),
@@ -122,9 +137,10 @@ fn subst_stmt(stmt: &Stmt, map: &HashMap<String, Expr>) -> Stmt {
             step: f.step.as_ref().map(|s| Box::new(subst_stmt(s, map))),
             body: subst_block(&f.body, map),
         }),
-        StmtKind::While { cond, body } => {
-            StmtKind::While { cond: subst_expr(cond, map), body: subst_block(body, map) }
-        }
+        StmtKind::While { cond, body } => StmtKind::While {
+            cond: subst_expr(cond, map),
+            body: subst_block(body, map),
+        },
         StmtKind::Return(v) => StmtKind::Return(v.as_ref().map(|e| subst_expr(e, map))),
         StmtKind::Break => StmtKind::Break,
         StmtKind::Continue => StmtKind::Continue,
@@ -148,7 +164,11 @@ fn subst_stmt(stmt: &Stmt, map: &HashMap<String, Expr>) -> Stmt {
 /// `sizeof(T) * X`; otherwise return `bytes / sizeof(elem)`.
 fn element_count_from_bytes(bytes: &Expr, elem: &Type) -> Expr {
     match bytes {
-        Expr::Binary { op: BinOp::Mul, lhs, rhs } => {
+        Expr::Binary {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+        } => {
             if matches!(rhs.as_ref(), Expr::Sizeof(_)) {
                 return lhs.as_ref().clone();
             }
@@ -176,11 +196,12 @@ fn collect_written_pointers(block: &Block, out: &mut Vec<String>) {
     }
     fn walk_stmt(s: &Stmt, out: &mut Vec<String>) {
         match &s.kind {
-            StmtKind::Assign { target, .. } => {
-                if let Expr::Index { base, .. } = target {
-                    if let Some(n) = base_name(base) {
-                        out.push(n);
-                    }
+            StmtKind::Assign {
+                target: Expr::Index { base, .. },
+                ..
+            } => {
+                if let Some(n) = base_name(base) {
+                    out.push(n);
                 }
             }
             StmtKind::Expr(Expr::Call { callee, args }) if callee.starts_with("atomic") => {
@@ -190,7 +211,11 @@ fn collect_written_pointers(block: &Block, out: &mut Vec<String>) {
                     }
                 }
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 collect_written_pointers(then_branch, out);
                 if let Some(e) = else_branch {
                     collect_written_pointers(e, out);
@@ -228,7 +253,11 @@ fn collect_block_idents(block: &Block, out: &mut Vec<String>) {
                 target.collect_idents(out);
                 value.collect_idents(out);
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 cond.collect_idents(out);
                 collect_block_idents(then_branch, out);
                 if let Some(e) = else_branch {
@@ -278,7 +307,11 @@ fn collect_declared_names(block: &Block, out: &mut Vec<String>) {
     fn walk_stmt(s: &Stmt, out: &mut Vec<String>) {
         match &s.kind {
             StmtKind::VarDecl(d) => out.push(d.name.clone()),
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 collect_declared_names(then_branch, out);
                 if let Some(e) = else_branch {
                     collect_declared_names(e, out);
@@ -316,11 +349,18 @@ fn scan_types(func: &Function) -> HashMap<String, Type> {
         for s in &block.stmts {
             match &s.kind {
                 StmtKind::VarDecl(d) => {
-                    let ty =
-                        if d.array_len.is_some() { d.ty.clone().ptr() } else { d.ty.clone() };
+                    let ty = if d.array_len.is_some() {
+                        d.ty.clone().ptr()
+                    } else {
+                        d.ty.clone()
+                    };
                     out.insert(d.name.clone(), ty);
                 }
-                StmtKind::If { then_branch, else_branch, .. } => {
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     walk(then_branch, out);
                     if let Some(e) = else_branch {
                         walk(e, out);
@@ -384,12 +424,20 @@ fn find_allocation_count(block: &Block, name: &str, elem: &Type) -> Option<Expr>
                         }
                     }
                 }
-                StmtKind::Assign { target: Expr::Ident(n), value, .. } if n == name => {
+                StmtKind::Assign {
+                    target: Expr::Ident(n),
+                    value,
+                    ..
+                } if n == name => {
                     if let Some(c) = from_init(value, elem) {
                         return Some(c);
                     }
                 }
-                StmtKind::If { then_branch, else_branch, .. } => {
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     if let Some(c) = walk(then_branch, name, elem) {
                         return Some(c);
                     }
@@ -437,7 +485,11 @@ fn cuda_to_omp(program: &Program) -> Result<Program, TranslationError> {
     let mut device_allocs = HashMap::new();
     scan_cuda_mallocs(&main.body, &mut device_allocs);
 
-    let ctx = CudaToOmp { program, device_allocs, types: scan_types(main) };
+    let ctx = CudaToOmp {
+        program,
+        device_allocs,
+        types: scan_types(main),
+    };
 
     let mut out = Program::new(Dialect::OmpLite);
     for item in &program.items {
@@ -466,13 +518,19 @@ fn scan_cuda_mallocs(block: &Block, out: &mut HashMap<String, Expr>) {
     for s in &block.stmts {
         match &s.kind {
             StmtKind::Expr(Expr::Call { callee, args }) if callee == "cudaMalloc" => {
-                if let (Some(Expr::Unary { operand, .. }), Some(bytes)) = (args.first(), args.get(1)) {
+                if let (Some(Expr::Unary { operand, .. }), Some(bytes)) =
+                    (args.first(), args.get(1))
+                {
                     if let Expr::Ident(name) = operand.as_ref() {
                         out.insert(name.clone(), bytes.clone());
                     }
                 }
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 scan_cuda_mallocs(then_branch, out);
                 if let Some(e) = else_branch {
                     scan_cuda_mallocs(e, out);
@@ -520,7 +578,10 @@ impl<'p> CudaToOmp<'p> {
                                         op: AssignOp::Assign,
                                         value: Expr::Cast {
                                             ty: ptr_ty,
-                                            expr: Box::new(Expr::call("malloc", vec![bytes.clone()])),
+                                            expr: Box::new(Expr::call(
+                                                "malloc",
+                                                vec![bytes.clone()],
+                                            )),
                                         },
                                     },
                                     stmt.line,
@@ -532,7 +593,10 @@ impl<'p> CudaToOmp<'p> {
                     "cudaMemcpy" => {
                         // Becomes a host memcpy (keeps functional equivalence).
                         let new_args: Vec<Expr> = args.iter().take(3).cloned().collect();
-                        out.push(Stmt::new(StmtKind::Expr(Expr::call("memcpy", new_args)), stmt.line));
+                        out.push(Stmt::new(
+                            StmtKind::Expr(Expr::call("memcpy", new_args)),
+                            stmt.line,
+                        ));
                         Ok(())
                     }
                     "cudaMemset" => {
@@ -560,7 +624,11 @@ impl<'p> CudaToOmp<'p> {
                 out.push(pragma);
                 Ok(())
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 out.push(Stmt::new(
                     StmtKind::If {
                         cond: cond.clone(),
@@ -588,13 +656,19 @@ impl<'p> CudaToOmp<'p> {
             }
             StmtKind::While { cond, body } => {
                 out.push(Stmt::new(
-                    StmtKind::While { cond: cond.clone(), body: self.rewrite_host_block(body)? },
+                    StmtKind::While {
+                        cond: cond.clone(),
+                        body: self.rewrite_host_block(body)?,
+                    },
                     stmt.line,
                 ));
                 Ok(())
             }
             StmtKind::Block(b) => {
-                out.push(Stmt::new(StmtKind::Block(self.rewrite_host_block(b)?), stmt.line));
+                out.push(Stmt::new(
+                    StmtKind::Block(self.rewrite_host_block(b)?),
+                    stmt.line,
+                ));
                 Ok(())
             }
             _ => {
@@ -607,10 +681,9 @@ impl<'p> CudaToOmp<'p> {
     /// Turn `kernel<<<grid, block>>>(args)` into a `target teams distribute
     /// parallel for` loop (or a nested pair with `collapse(2)`).
     fn launch_to_pragma(&self, launch: &KernelLaunch, line: u32) -> Result<Stmt, TranslationError> {
-        let kernel = self
-            .program
-            .function(&launch.kernel)
-            .ok_or_else(|| TranslationError::Unsupported(format!("launch of unknown kernel '{}'", launch.kernel)))?;
+        let kernel = self.program.function(&launch.kernel).ok_or_else(|| {
+            TranslationError::Unsupported(format!("launch of unknown kernel '{}'", launch.kernel))
+        })?;
         if kernel.params.len() != launch.args.len() {
             return Err(TranslationError::Unsupported(format!(
                 "kernel '{}' launch arity mismatch",
@@ -707,7 +780,11 @@ impl<'p> CudaToOmp<'p> {
                 .map(|bytes| element_count_from_bytes(bytes, &elem))
                 .unwrap_or_else(|| Expr::int(1));
             let is_written = written.contains(&param.name) || written.contains(arg_name);
-            let kind = if is_written { MapKind::ToFrom } else { MapKind::To };
+            let kind = if is_written {
+                MapKind::ToFrom
+            } else {
+                MapKind::To
+            };
             clauses.push(OmpClause::Map {
                 kind,
                 sections: vec![MapSection {
@@ -726,7 +803,10 @@ impl<'p> CudaToOmp<'p> {
         if let Expr::IntLit(threads) = &launch.block {
             clauses.push(OmpClause::ThreadLimit(Expr::int(*threads)));
         }
-        clauses.push(OmpClause::Schedule { kind: ScheduleKind::Static, chunk: None });
+        clauses.push(OmpClause::Schedule {
+            kind: ScheduleKind::Static,
+            chunk: None,
+        });
 
         Ok(Stmt::new(
             StmtKind::Pragma(PragmaStmt {
@@ -754,14 +834,24 @@ fn global_index_dimension(e: &Expr) -> Option<char> {
         }
         None
     }
-    if let Expr::Binary { op: BinOp::Add, lhs, rhs } = e {
+    if let Expr::Binary {
+        op: BinOp::Add,
+        lhs,
+        rhs,
+    } = e
+    {
         let (mul, tid) = if matches!(lhs.as_ref(), Expr::Binary { op: BinOp::Mul, .. }) {
             (lhs.as_ref(), rhs.as_ref())
         } else {
             (rhs.as_ref(), lhs.as_ref())
         };
         let tid_dim = member_dim(tid, "threadIdx")?;
-        if let Expr::Binary { op: BinOp::Mul, lhs: a, rhs: b } = mul {
+        if let Expr::Binary {
+            op: BinOp::Mul,
+            lhs: a,
+            rhs: b,
+        } = mul
+        {
             let has_block_idx =
                 member_dim(a, "blockIdx").is_some() || member_dim(b, "blockIdx").is_some();
             let has_block_dim =
@@ -779,7 +869,12 @@ fn global_index_dimension(e: &Expr) -> Option<char> {
 fn extract_guard(rest: &[&Stmt], index_vars: &[(String, char)]) -> Option<(Vec<Expr>, Block)> {
     // The guard must be the first remaining statement: if (i < n && j < m) { ... }
     let first = rest.first()?;
-    let StmtKind::If { cond, then_branch, else_branch } = &first.kind else {
+    let StmtKind::If {
+        cond,
+        then_branch,
+        else_branch,
+    } = &first.kind
+    else {
         return None;
     };
     if else_branch.is_some() {
@@ -789,7 +884,12 @@ fn extract_guard(rest: &[&Stmt], index_vars: &[(String, char)]) -> Option<(Vec<E
     let mut conjuncts = Vec::new();
     flatten_and(cond, &mut conjuncts);
     for c in conjuncts {
-        if let Expr::Binary { op: BinOp::Lt, lhs, rhs } = c {
+        if let Expr::Binary {
+            op: BinOp::Lt,
+            lhs,
+            rhs,
+        } = c
+        {
             if let Expr::Ident(name) = lhs.as_ref() {
                 if let Some(pos) = index_vars.iter().position(|(v, _)| v == name) {
                     bounds[pos] = Some(rhs.as_ref().clone());
@@ -807,7 +907,12 @@ fn extract_guard(rest: &[&Stmt], index_vars: &[(String, char)]) -> Option<(Vec<E
 }
 
 fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
-    if let Expr::Binary { op: BinOp::And, lhs, rhs } = e {
+    if let Expr::Binary {
+        op: BinOp::And,
+        lhs,
+        rhs,
+    } = e
+    {
         flatten_and(lhs, out);
         flatten_and(rhs, out);
     } else {
@@ -818,11 +923,7 @@ fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
 /// Convert `atomicAdd(p, v)` / `atomicAdd(p + i, v)` calls into
 /// `#pragma omp atomic` updates.
 fn rewrite_atomics_to_omp(block: &Block) -> Block {
-    let stmts = block
-        .stmts
-        .iter()
-        .map(|s| rewrite_atomic_stmt(s))
-        .collect();
+    let stmts = block.stmts.iter().map(rewrite_atomic_stmt).collect();
     Block { stmts }
 }
 
@@ -830,7 +931,11 @@ fn rewrite_atomic_stmt(stmt: &Stmt) -> Stmt {
     match &stmt.kind {
         StmtKind::Expr(Expr::Call { callee, args }) if callee == "atomicAdd" && args.len() == 2 => {
             let (base, index) = match &args[0] {
-                Expr::Binary { op: BinOp::Add, lhs, rhs } => (lhs.as_ref().clone(), rhs.as_ref().clone()),
+                Expr::Binary {
+                    op: BinOp::Add,
+                    lhs,
+                    rhs,
+                } => (lhs.as_ref().clone(), rhs.as_ref().clone()),
                 other => (other.clone(), Expr::int(0)),
             };
             let update = Stmt::synth(StmtKind::Assign {
@@ -846,7 +951,11 @@ fn rewrite_atomic_stmt(stmt: &Stmt) -> Stmt {
                 stmt.line,
             )
         }
-        StmtKind::If { cond, then_branch, else_branch } => Stmt::new(
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::new(
             StmtKind::If {
                 cond: cond.clone(),
                 then_branch: rewrite_atomics_to_omp(then_branch),
@@ -864,7 +973,10 @@ fn rewrite_atomic_stmt(stmt: &Stmt) -> Stmt {
             stmt.line,
         ),
         StmtKind::While { cond, body } => Stmt::new(
-            StmtKind::While { cond: cond.clone(), body: rewrite_atomics_to_omp(body) },
+            StmtKind::While {
+                cond: cond.clone(),
+                body: rewrite_atomics_to_omp(body),
+            },
             stmt.line,
         ),
         StmtKind::Block(b) => Stmt::new(StmtKind::Block(rewrite_atomics_to_omp(b)), stmt.line),
@@ -884,7 +996,8 @@ fn omp_to_cuda(program: &Program) -> Result<Program, TranslationError> {
 
     let mut kernels: Vec<Function> = Vec::new();
     let mut counter = 0usize;
-    let new_main_body = rewrite_omp_block(&main.body, &types, &mut kernels, &mut counter, &main.body)?;
+    let new_main_body =
+        rewrite_omp_block(&main.body, &types, &mut kernels, &mut counter, &main.body)?;
 
     let mut out = Program::new(Dialect::CudaLite);
     for k in kernels {
@@ -942,16 +1055,30 @@ fn rewrite_omp_block(
                 }
                 OmpDirectiveKind::ParallelFor
                 | OmpDirectiveKind::TargetTeamsDistributeParallelFor => {
-                    outline_loop_to_kernel(p, stmt.line, types, kernels, counter, main_body, &mut stmts)?;
+                    outline_loop_to_kernel(
+                        p, stmt.line, types, kernels, counter, main_body, &mut stmts,
+                    )?;
                 }
             },
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 stmts.push(Stmt::new(
                     StmtKind::If {
                         cond: cond.clone(),
-                        then_branch: rewrite_omp_block(then_branch, types, kernels, counter, main_body)?,
+                        then_branch: rewrite_omp_block(
+                            then_branch,
+                            types,
+                            kernels,
+                            counter,
+                            main_body,
+                        )?,
                         else_branch: match else_branch {
-                            Some(e) => Some(rewrite_omp_block(e, types, kernels, counter, main_body)?),
+                            Some(e) => {
+                                Some(rewrite_omp_block(e, types, kernels, counter, main_body)?)
+                            }
                             None => None,
                         },
                     },
@@ -1001,7 +1128,9 @@ fn outline_loop_to_kernel(
     out: &mut Vec<Stmt>,
 ) -> Result<(), TranslationError> {
     let Some(body_stmt) = pragma.body.as_deref() else {
-        return Err(TranslationError::Unsupported("work-sharing pragma without a loop".into()));
+        return Err(TranslationError::Unsupported(
+            "work-sharing pragma without a loop".into(),
+        ));
     };
     let StmtKind::For(for_stmt) = &body_stmt.kind else {
         return Err(TranslationError::Unsupported(
@@ -1009,7 +1138,9 @@ fn outline_loop_to_kernel(
         ));
     };
     let Some((loop_var, lo, hi, step)) = for_stmt.canonical() else {
-        return Err(TranslationError::Unsupported("loop is not in canonical form".into()));
+        return Err(TranslationError::Unsupported(
+            "loop is not in canonical form".into(),
+        ));
     };
     if lo != Expr::int(0) || step != Expr::int(1) {
         return Err(TranslationError::Unsupported(
@@ -1092,11 +1223,18 @@ fn outline_loop_to_kernel(
             .or_else(|| find_allocation_count(main_body, name, &elem))
             .unwrap_or_else(|| hi.clone());
         let bytes = Expr::bin(BinOp::Mul, count, Expr::Sizeof(elem.clone()));
-        staging.push(Stmt::synth(StmtKind::VarDecl(VarDecl::scalar(dev_name.clone(), ty.clone(), None))));
+        staging.push(Stmt::synth(StmtKind::VarDecl(VarDecl::scalar(
+            dev_name.clone(),
+            ty.clone(),
+            None,
+        ))));
         staging.push(Stmt::synth(StmtKind::Expr(Expr::call(
             "cudaMalloc",
             vec![
-                Expr::Unary { op: lassi_lang::UnOp::AddrOf, operand: Box::new(Expr::ident(dev_name.clone())) },
+                Expr::Unary {
+                    op: lassi_lang::UnOp::AddrOf,
+                    operand: Box::new(Expr::ident(dev_name.clone())),
+                },
                 bytes.clone(),
             ],
         ))));
@@ -1120,7 +1258,10 @@ fn outline_loop_to_kernel(
                 ],
             ))));
         }
-        teardown.push(Stmt::synth(StmtKind::Expr(Expr::call("cudaFree", vec![Expr::ident(dev_name.clone())]))));
+        teardown.push(Stmt::synth(StmtKind::Expr(Expr::call(
+            "cudaFree",
+            vec![Expr::ident(dev_name.clone())],
+        ))));
         kernel_params.push(Param::new(name.clone(), ty.clone()));
         launch_args.push(Expr::ident(dev_name));
     }
@@ -1151,11 +1292,18 @@ fn outline_loop_to_kernel(
             op: AssignOp::Assign,
             value: Expr::ident(var.clone()),
         }));
-        staging.push(Stmt::synth(StmtKind::VarDecl(VarDecl::scalar(dev_stage.clone(), ty.clone().ptr(), None))));
+        staging.push(Stmt::synth(StmtKind::VarDecl(VarDecl::scalar(
+            dev_stage.clone(),
+            ty.clone().ptr(),
+            None,
+        ))));
         staging.push(Stmt::synth(StmtKind::Expr(Expr::call(
             "cudaMalloc",
             vec![
-                Expr::Unary { op: lassi_lang::UnOp::AddrOf, operand: Box::new(Expr::ident(dev_stage.clone())) },
+                Expr::Unary {
+                    op: lassi_lang::UnOp::AddrOf,
+                    operand: Box::new(Expr::ident(dev_stage.clone())),
+                },
                 bytes.clone(),
             ],
         ))));
@@ -1182,8 +1330,14 @@ fn outline_loop_to_kernel(
             op: AssignOp::Assign,
             value: Expr::index(Expr::ident(host_stage.clone()), Expr::int(0)),
         }));
-        teardown.push(Stmt::synth(StmtKind::Expr(Expr::call("cudaFree", vec![Expr::ident(dev_stage.clone())]))));
-        teardown.push(Stmt::synth(StmtKind::Expr(Expr::call("free", vec![Expr::ident(host_stage.clone())]))));
+        teardown.push(Stmt::synth(StmtKind::Expr(Expr::call(
+            "cudaFree",
+            vec![Expr::ident(dev_stage.clone())],
+        ))));
+        teardown.push(Stmt::synth(StmtKind::Expr(Expr::call(
+            "free",
+            vec![Expr::ident(host_stage.clone())],
+        ))));
 
         kernel_params.push(Param::new(red_param.clone(), ty.clone().ptr()));
         launch_args.push(Expr::ident(dev_stage));
@@ -1193,7 +1347,9 @@ fn outline_loop_to_kernel(
     // Bound parameter: reuse an existing scalar when the bound is already a
     // free scalar variable; otherwise add a dedicated parameter.
     let bound_expr_in_kernel: Expr = match &hi {
-        Expr::Ident(name) if scalar_vars.iter().any(|(n, _)| n == name) => Expr::ident(name.clone()),
+        Expr::Ident(name) if scalar_vars.iter().any(|(n, _)| n == name) => {
+            Expr::ident(name.clone())
+        }
         Expr::IntLit(v) => Expr::int(*v),
         other => {
             kernel_params.push(Param::new("lassi_bound", Type::Int));
@@ -1218,7 +1374,11 @@ fn outline_loop_to_kernel(
         )),
     )));
     let guard = Stmt::synth(StmtKind::If {
-        cond: Expr::bin(BinOp::Lt, Expr::ident(loop_var.clone()), bound_expr_in_kernel),
+        cond: Expr::bin(
+            BinOp::Lt,
+            Expr::ident(loop_var.clone()),
+            bound_expr_in_kernel,
+        ),
         then_branch: rewritten_body,
         else_branch: None,
     });
@@ -1248,7 +1408,10 @@ fn outline_loop_to_kernel(
         }),
         line,
     ));
-    out.push(Stmt::synth(StmtKind::Expr(Expr::call("cudaDeviceSynchronize", vec![]))));
+    out.push(Stmt::synth(StmtKind::Expr(Expr::call(
+        "cudaDeviceSynchronize",
+        vec![],
+    ))));
     out.extend(teardown);
     Ok(())
 }
@@ -1269,10 +1432,18 @@ fn rewrite_omp_body_for_device(
     Block { stmts }
 }
 
-fn rewrite_device_stmt(stmt: &Stmt, subst: &HashMap<String, Expr>, reduction_vars: &[String]) -> Stmt {
+fn rewrite_device_stmt(
+    stmt: &Stmt,
+    subst: &HashMap<String, Expr>,
+    reduction_vars: &[String],
+) -> Stmt {
     match &stmt.kind {
         // sum += expr  (sum being a reduction variable)  →  atomicAdd(sum_red, expr)
-        StmtKind::Assign { target: Expr::Ident(name), op, value } if reduction_vars.contains(name) => {
+        StmtKind::Assign {
+            target: Expr::Ident(name),
+            op,
+            value,
+        } if reduction_vars.contains(name) => {
             let delta = match op {
                 AssignOp::AddAssign => subst_expr(value, subst),
                 AssignOp::SubAssign => Expr::Unary {
@@ -1282,7 +1453,11 @@ fn rewrite_device_stmt(stmt: &Stmt, subst: &HashMap<String, Expr>, reduction_var
                 AssignOp::Assign => {
                     // sum = sum + expr
                     match value {
-                        Expr::Binary { op: BinOp::Add, lhs, rhs } => {
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            lhs,
+                            rhs,
+                        } => {
                             if matches!(lhs.as_ref(), Expr::Ident(n) if n == name) {
                                 subst_expr(rhs, subst)
                             } else if matches!(rhs.as_ref(), Expr::Ident(n) if n == name) {
@@ -1308,10 +1483,17 @@ fn rewrite_device_stmt(stmt: &Stmt, subst: &HashMap<String, Expr>, reduction_var
         // #pragma omp atomic  x[i] += v   →   atomicAdd(x + i, v)
         StmtKind::Pragma(p) if p.directive.kind == OmpDirectiveKind::Atomic => {
             if let Some(body) = &p.body {
-                if let StmtKind::Assign { target: Expr::Index { base, index }, op, value } = &body.kind {
+                if let StmtKind::Assign {
+                    target: Expr::Index { base, index },
+                    op,
+                    value,
+                } = &body.kind
+                {
                     let ptr = match index.as_ref() {
                         Expr::IntLit(0) => subst_expr(base, subst),
-                        idx => Expr::bin(BinOp::Add, subst_expr(base, subst), subst_expr(idx, subst)),
+                        idx => {
+                            Expr::bin(BinOp::Add, subst_expr(base, subst), subst_expr(idx, subst))
+                        }
                     };
                     let delta = match op {
                         AssignOp::SubAssign => Expr::Unary {
@@ -1328,7 +1510,11 @@ fn rewrite_device_stmt(stmt: &Stmt, subst: &HashMap<String, Expr>, reduction_var
             }
             stmt.clone()
         }
-        StmtKind::If { cond, then_branch, else_branch } => Stmt::new(
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::new(
             StmtKind::If {
                 cond: subst_expr(cond, subst),
                 then_branch: rewrite_omp_body_for_device(then_branch, subst, reduction_vars),
@@ -1340,9 +1526,15 @@ fn rewrite_device_stmt(stmt: &Stmt, subst: &HashMap<String, Expr>, reduction_var
         ),
         StmtKind::For(f) => Stmt::new(
             StmtKind::For(ForStmt {
-                init: f.init.as_ref().map(|s| Box::new(rewrite_device_stmt(s, subst, reduction_vars))),
+                init: f
+                    .init
+                    .as_ref()
+                    .map(|s| Box::new(rewrite_device_stmt(s, subst, reduction_vars))),
                 cond: f.cond.as_ref().map(|e| subst_expr(e, subst)),
-                step: f.step.as_ref().map(|s| Box::new(rewrite_device_stmt(s, subst, reduction_vars))),
+                step: f
+                    .step
+                    .as_ref()
+                    .map(|s| Box::new(rewrite_device_stmt(s, subst, reduction_vars))),
                 body: rewrite_omp_body_for_device(&f.body, subst, reduction_vars),
             }),
             stmt.line,

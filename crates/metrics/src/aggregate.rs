@@ -69,7 +69,13 @@ impl AggregateStats {
         let total = outcomes.len();
         let successes: Vec<&ScenarioOutcome> = outcomes.iter().filter(|o| o.success).collect();
         let n_success = successes.len();
-        let frac = |count: usize| if n_success == 0 { 0.0 } else { count as f64 / n_success as f64 };
+        let frac = |count: usize| {
+            if n_success == 0 {
+                0.0
+            } else {
+                count as f64 / n_success as f64
+            }
+        };
 
         let within = successes
             .iter()
@@ -88,7 +94,11 @@ impl AggregateStats {
         AggregateStats {
             total,
             successes: n_success,
-            success_rate: if total == 0 { 0.0 } else { n_success as f64 / total as f64 },
+            success_rate: if total == 0 {
+                0.0
+            } else {
+                n_success as f64 / total as f64
+            },
             within_ten_percent_rate: frac(within),
             high_similarity_rate: frac(similar),
             first_try_rate: frac(first_try),
@@ -104,11 +114,32 @@ impl AggregateStats {
 impl std::fmt::Display for AggregateStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "scenarios:                {:>5}", self.total)?;
-        writeln!(f, "successful translations:  {:>5} ({:.1}%)", self.successes, self.success_rate * 100.0)?;
-        writeln!(f, "within 10% or faster:     {:>8.1}%", self.within_ten_percent_rate * 100.0)?;
-        writeln!(f, "Sim-T >= 0.6:             {:>8.1}%", self.high_similarity_rate * 100.0)?;
-        writeln!(f, "zero self-corrections:    {:>8.1}%", self.first_try_rate * 100.0)?;
-        write!(f, "mean self-corrections:    {:>8.2}", self.mean_self_corrections)
+        writeln!(
+            f,
+            "successful translations:  {:>5} ({:.1}%)",
+            self.successes,
+            self.success_rate * 100.0
+        )?;
+        writeln!(
+            f,
+            "within 10% or faster:     {:>8.1}%",
+            self.within_ten_percent_rate * 100.0
+        )?;
+        writeln!(
+            f,
+            "Sim-T >= 0.6:             {:>8.1}%",
+            self.high_similarity_rate * 100.0
+        )?;
+        writeln!(
+            f,
+            "zero self-corrections:    {:>8.1}%",
+            self.first_try_rate * 100.0
+        )?;
+        write!(
+            f,
+            "mean self-corrections:    {:>8.2}",
+            self.mean_self_corrections
+        )
     }
 }
 

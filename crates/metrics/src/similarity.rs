@@ -56,10 +56,10 @@ fn longest_common_block(a: &[String], b: &[String]) -> (usize, usize, usize) {
     // Dynamic programming over suffix match lengths, O(|a| * |b|).
     let mut best = (0usize, 0usize, 0usize);
     let mut prev = vec![0usize; b.len() + 1];
-    for i in 0..a.len() {
+    for (i, a_tok) in a.iter().enumerate() {
         let mut current = vec![0usize; b.len() + 1];
-        for j in 0..b.len() {
-            if a[i] == b[j] {
+        for (j, b_tok) in b.iter().enumerate() {
+            if a_tok == b_tok {
                 let len = prev[j] + 1;
                 current[j + 1] = len;
                 if len > best.2 {
@@ -181,6 +181,9 @@ mod tests {
 
     #[test]
     fn tokenizer_splits_punctuation() {
-        assert_eq!(tokenize_code("a[i]+=1;"), vec!["a", "[", "i", "]", "+", "=", "1", ";"]);
+        assert_eq!(
+            tokenize_code("a[i]+=1;"),
+            vec!["a", "[", "i", "]", "+", "=", "1", ";"]
+        );
     }
 }

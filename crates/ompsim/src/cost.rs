@@ -97,7 +97,12 @@ fn clause_int(e: &Expr) -> Option<u64> {
 
 impl OmpSpec {
     /// Determine how many workers a directive gets and how it is scheduled.
-    pub fn region_resources(&self, directive: &OmpDirective, offload: bool, iterations: u64) -> RegionResources {
+    pub fn region_resources(
+        &self,
+        directive: &OmpDirective,
+        offload: bool,
+        iterations: u64,
+    ) -> RegionResources {
         let mut num_threads: Option<u64> = None;
         let mut num_teams: Option<u64> = None;
         let mut thread_limit: Option<u64> = None;
@@ -123,7 +128,7 @@ impl OmpSpec {
                 .max(1);
             (per_team * teams).min(self.offload_max_threads).max(1)
         } else {
-            num_threads.unwrap_or(self.host_cores as u64).min(4096).max(1)
+            num_threads.unwrap_or(self.host_cores as u64).clamp(1, 4096)
         };
         RegionResources { threads, dynamic }
     }
@@ -175,7 +180,10 @@ mod tests {
     use lassi_lang::{OmpDirectiveKind, ScheduleKind};
 
     fn directive(clauses: Vec<OmpClause>) -> OmpDirective {
-        OmpDirective { kind: OmpDirectiveKind::TargetTeamsDistributeParallelFor, clauses }
+        OmpDirective {
+            kind: OmpDirectiveKind::TargetTeamsDistributeParallelFor,
+            clauses,
+        }
     }
 
     #[test]
@@ -202,24 +210,47 @@ mod tests {
     #[test]
     fn serialized_region_much_slower() {
         let spec = OmpSpec::a100_offload();
-        let cost = CostCounter { flops: 10_000_000, bytes_read: 80_000_000, ..Default::default() };
+        let cost = CostCounter {
+            flops: 10_000_000,
+            bytes_read: 80_000_000,
+            ..Default::default()
+        };
         let wide = spec.region_seconds(
             &cost,
-            RegionResources { threads: 100_000, dynamic: false },
+            RegionResources {
+                threads: 100_000,
+                dynamic: false,
+            },
             true,
             100_000,
         );
-        let narrow =
-            spec.region_seconds(&cost, RegionResources { threads: 1, dynamic: false }, true, 100_000);
+        let narrow = spec.region_seconds(
+            &cost,
+            RegionResources {
+                threads: 1,
+                dynamic: false,
+            },
+            true,
+            100_000,
+        );
         assert!(narrow > wide * 50.0);
     }
 
     #[test]
     fn dynamic_schedule_costs_more() {
         let spec = OmpSpec::a100_offload();
-        let d_static = directive(vec![OmpClause::Schedule { kind: ScheduleKind::Static, chunk: None }]);
-        let d_dynamic = directive(vec![OmpClause::Schedule { kind: ScheduleKind::Dynamic, chunk: None }]);
-        let cost = CostCounter { flops: 1_000_000, ..Default::default() };
+        let d_static = directive(vec![OmpClause::Schedule {
+            kind: ScheduleKind::Static,
+            chunk: None,
+        }]);
+        let d_dynamic = directive(vec![OmpClause::Schedule {
+            kind: ScheduleKind::Dynamic,
+            chunk: None,
+        }]);
+        let cost = CostCounter {
+            flops: 1_000_000,
+            ..Default::default()
+        };
         let iterations = 100_000;
         let rs = spec.region_resources(&d_static, true, iterations);
         let rd = spec.region_resources(&d_dynamic, true, iterations);
@@ -231,11 +262,22 @@ mod tests {
     #[test]
     fn host_region_cheaper_than_offload_for_tiny_work() {
         let spec = OmpSpec::a100_offload();
-        let d = OmpDirective { kind: OmpDirectiveKind::ParallelFor, clauses: vec![] };
-        let cost = CostCounter { flops: 10_000, bytes_read: 1_000, ..Default::default() };
-        let host = spec.region_seconds(&cost, spec.region_resources(&d, false, 1_000), false, 1_000);
+        let d = OmpDirective {
+            kind: OmpDirectiveKind::ParallelFor,
+            clauses: vec![],
+        };
+        let cost = CostCounter {
+            flops: 10_000,
+            bytes_read: 1_000,
+            ..Default::default()
+        };
+        let host =
+            spec.region_seconds(&cost, spec.region_resources(&d, false, 1_000), false, 1_000);
         let off = spec.region_seconds(&cost, spec.region_resources(&d, true, 1_000), true, 1_000);
-        assert!(host < off, "tiny loops should not benefit from offload ({host} vs {off})");
+        assert!(
+            host < off,
+            "tiny loops should not benefit from offload ({host} vs {off})"
+        );
     }
 
     #[test]

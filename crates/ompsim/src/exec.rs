@@ -35,7 +35,9 @@ impl OmpSimulator {
 
     /// Simulator for the paper's platform (multi-core host + A100 offload).
     pub fn a100_offload() -> Self {
-        OmpSimulator { spec: OmpSpec::a100_offload() }
+        OmpSimulator {
+            spec: OmpSpec::a100_offload(),
+        }
     }
 
     /// The cost specification in use.
@@ -121,16 +123,26 @@ impl ParallelBackend for OmpSimulator {
         }
 
         // Reduction bookkeeping.
-        let reduction = req.directive.reduction().map(|(op, vars)| (op, vars.clone()));
+        let reduction = req
+            .directive
+            .reduction()
+            .map(|(op, vars)| (op, vars.clone()));
         let reduction_types: Vec<Type> = match &reduction {
             Some((_, vars)) => vars
                 .iter()
-                .map(|v| req.base_env.get(v).map(|b| b.ty.clone()).unwrap_or(Type::Double))
+                .map(|v| {
+                    req.base_env
+                        .get(v)
+                        .map(|b| b.ty.clone())
+                        .unwrap_or(Type::Double)
+                })
                 .collect(),
             None => Vec::new(),
         };
 
-        let resources = self.spec.region_resources(req.directive, req.offload, iterations);
+        let resources = self
+            .spec
+            .region_resources(req.directive, req.offload, iterations);
 
         // Functional execution over chunks of the iteration space.
         let chunk_count = EXEC_CHUNKS.min(iterations.max(1));
@@ -147,7 +159,11 @@ impl ParallelBackend for OmpSimulator {
                         cost: CostCounter::new(),
                         reductions: reduction_types
                             .iter()
-                            .zip(reduction.iter().flat_map(|(op, vars)| vars.iter().map(move |_| *op)))
+                            .zip(
+                                reduction
+                                    .iter()
+                                    .flat_map(|(op, vars)| vars.iter().map(move |_| *op)),
+                            )
                             .map(|(ty, op)| reduction_identity(op, ty))
                             .collect(),
                     });
@@ -178,9 +194,9 @@ impl ParallelBackend for OmpSimulator {
                         ControlFlow::Break => break,
                         ControlFlow::Return(_) => {
                             return Err(ExecError::other(format!(
-                                "line {}: 'return' is not allowed inside an OpenMP work-sharing region",
-                                req.line
-                            )))
+                            "line {}: 'return' is not allowed inside an OpenMP work-sharing region",
+                            req.line
+                        )))
                         }
                     }
                 }
@@ -191,7 +207,10 @@ impl ParallelBackend for OmpSimulator {
                         .collect(),
                     None => Vec::new(),
                 };
-                Ok(ChunkResult { cost: eval.cost, reductions })
+                Ok(ChunkResult {
+                    cost: eval.cost,
+                    reductions,
+                })
             })
             .collect();
 
@@ -211,15 +230,24 @@ impl ParallelBackend for OmpSimulator {
                         acc = reduce_combine(*op, ty, &acc, v);
                     }
                 }
-                let original =
-                    req.base_env.get(var).map(|b| b.value.clone()).unwrap_or_else(|| reduction_identity(*op, ty));
+                let original = req
+                    .base_env
+                    .get(var)
+                    .map(|b| b.value.clone())
+                    .unwrap_or_else(|| reduction_identity(*op, ty));
                 let combined = reduce_combine(*op, ty, &original, &acc);
                 reduction_updates.push((var.clone(), combined));
             }
         }
 
-        let simulated_seconds = self.spec.region_seconds(&cost, resources, req.offload, iterations);
-        Ok(LaunchStats { simulated_seconds, cost, reduction_updates })
+        let simulated_seconds = self
+            .spec
+            .region_seconds(&cost, resources, req.offload, iterations);
+        Ok(LaunchStats {
+            simulated_seconds,
+            cost,
+            reduction_updates,
+        })
     }
 
     fn memcpy_seconds(&self, bytes: u64) -> f64 {

@@ -80,8 +80,18 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let a = CostCounter { int_ops: 1, flops: 2, bytes_read: 8, ..Default::default() };
-        let b = CostCounter { int_ops: 3, bytes_written: 16, atomics: 1, ..Default::default() };
+        let a = CostCounter {
+            int_ops: 1,
+            flops: 2,
+            bytes_read: 8,
+            ..Default::default()
+        };
+        let b = CostCounter {
+            int_ops: 3,
+            bytes_written: 16,
+            atomics: 1,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.int_ops, 4);
         assert_eq!(c.flops, 2);
@@ -91,7 +101,12 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity() {
-        let c = CostCounter { flops: 100, bytes_read: 40, bytes_written: 10, ..Default::default() };
+        let c = CostCounter {
+            flops: 100,
+            bytes_read: 40,
+            bytes_written: 10,
+            ..Default::default()
+        };
         assert!((c.arithmetic_intensity() - 2.0).abs() < 1e-12);
         assert_eq!(CostCounter::new().arithmetic_intensity(), 0.0);
     }

@@ -24,7 +24,9 @@ pub struct Env {
 impl Env {
     /// An environment with a single (function-level) scope.
     pub fn new() -> Self {
-        Env { scopes: vec![HashMap::new()] }
+        Env {
+            scopes: vec![HashMap::new()],
+        }
     }
 
     /// Enter a nested scope.

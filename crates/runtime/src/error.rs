@@ -158,7 +158,12 @@ mod tests {
 
     #[test]
     fn display_mentions_illegal_memory_access() {
-        let e = ExecError::OutOfBounds { buffer: "d_out".into(), index: 512, len: 256, line: 12 };
+        let e = ExecError::OutOfBounds {
+            buffer: "d_out".into(),
+            index: 512,
+            len: 256,
+            line: 12,
+        };
         let s = e.to_string();
         assert!(s.contains("out of bounds"));
         assert!(s.contains("d_out"));
@@ -167,13 +172,20 @@ mod tests {
 
     #[test]
     fn device_space_error_reads_like_cuda() {
-        let e = ExecError::IllegalMemorySpace { buffer: "h_in".into(), from_device: true, line: 7 };
+        let e = ExecError::IllegalMemorySpace {
+            buffer: "h_in".into(),
+            from_device: true,
+            line: 7,
+        };
         assert!(e.to_string().starts_with("CUDA error"));
     }
 
     #[test]
     fn categories_are_stable() {
-        assert_eq!(ExecError::DivisionByZero { line: 1 }.category(), "division_by_zero");
+        assert_eq!(
+            ExecError::DivisionByZero { line: 1 }.category(),
+            "division_by_zero"
+        );
         assert_eq!(ExecError::other("x").category(), "other");
         assert_eq!(
             ExecError::BarrierDivergence { kernel: "k".into() }.category(),

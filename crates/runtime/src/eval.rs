@@ -57,7 +57,7 @@ pub enum EvalContext {
 
 impl EvalContext {
     /// Whether memory accesses should be treated as device-side accesses.
-    pub fn from_device(&self) -> bool {
+    pub fn is_device_access(&self) -> bool {
         match self {
             EvalContext::Host => false,
             EvalContext::DeviceThread { .. } => true,
@@ -132,7 +132,11 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluator for host code with an attached parallel backend.
-    pub fn for_host(program: &'a Program, backend: &'a dyn ParallelBackend, step_limit: u64) -> Self {
+    pub fn for_host(
+        program: &'a Program,
+        backend: &'a dyn ParallelBackend,
+        step_limit: u64,
+    ) -> Self {
         let mut e = Evaluator::for_context(program, EvalContext::Host, step_limit);
         e.backend = Some(backend);
         e
@@ -141,20 +145,27 @@ impl<'a> Evaluator<'a> {
     fn step(&mut self) -> Result<(), ExecError> {
         self.steps += 1;
         if self.steps > self.step_limit {
-            Err(ExecError::StepLimitExceeded { limit: self.step_limit })
+            Err(ExecError::StepLimitExceeded {
+                limit: self.step_limit,
+            })
         } else {
             Ok(())
         }
     }
 
-    fn from_device(&self) -> bool {
-        self.ctx.from_device()
+    fn is_device_access(&self) -> bool {
+        self.ctx.is_device_access()
     }
 
     // -------------------------------------------------------------- statements
 
     /// Execute every statement of a block in a fresh scope.
-    pub fn exec_block(&mut self, block: &Block, env: &mut Env, mem: &Memory) -> Result<ControlFlow, ExecError> {
+    pub fn exec_block(
+        &mut self,
+        block: &Block,
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<ControlFlow, ExecError> {
         env.push_scope();
         let flow = self.exec_stmts(&block.stmts, env, mem);
         env.pop_scope();
@@ -163,7 +174,12 @@ impl<'a> Evaluator<'a> {
 
     /// Execute a statement list without introducing a scope (used by the GPU
     /// simulator to run the segments between `__syncthreads()` barriers).
-    pub fn exec_stmts(&mut self, stmts: &[Stmt], env: &mut Env, mem: &Memory) -> Result<ControlFlow, ExecError> {
+    pub fn exec_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<ControlFlow, ExecError> {
         for stmt in stmts {
             match self.exec_stmt(stmt, env, mem)? {
                 ControlFlow::Normal => {}
@@ -174,7 +190,12 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Execute one statement.
-    pub fn exec_stmt(&mut self, stmt: &Stmt, env: &mut Env, mem: &Memory) -> Result<ControlFlow, ExecError> {
+    pub fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<ControlFlow, ExecError> {
         self.step()?;
         if stmt.line > 0 {
             self.current_line = stmt.line;
@@ -188,7 +209,11 @@ impl<'a> Evaluator<'a> {
                 }
                 if let Some(len_expr) = &d.array_len {
                     let len = self.eval_expr(len_expr, env, mem)?.as_int().max(0) as usize;
-                    let space = if self.from_device() { MemSpace::Device } else { MemSpace::Host };
+                    let space = if self.is_device_access() {
+                        MemSpace::Device
+                    } else {
+                        MemSpace::Host
+                    };
                     let ptr = mem.alloc(&d.name, d.ty.clone(), len, space);
                     env.declare(&d.name, d.ty.clone().ptr(), Value::Ptr(ptr));
                     return Ok(ControlFlow::Normal);
@@ -207,7 +232,11 @@ impl<'a> Evaluator<'a> {
                 self.exec_assign(target, *op, value, env, mem)?;
                 Ok(ControlFlow::Normal)
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.cost.branches += 1;
                 let c = self.eval_expr(cond, env, mem)?;
                 if c.is_truthy() {
@@ -321,7 +350,12 @@ impl<'a> Evaluator<'a> {
         self.write_lvalue(&lvalue, new_value, env, mem)
     }
 
-    fn eval_lvalue(&mut self, target: &Expr, env: &mut Env, mem: &Memory) -> Result<LValue, ExecError> {
+    fn eval_lvalue(
+        &mut self,
+        target: &Expr,
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<LValue, ExecError> {
         match target {
             Expr::Ident(name) => Ok(LValue::Var(name.clone())),
             Expr::Index { base, index } => {
@@ -329,18 +363,25 @@ impl<'a> Evaluator<'a> {
                 let i = self.eval_expr(index, env, mem)?.as_int();
                 match b {
                     Value::Ptr(ptr) => Ok(LValue::Mem { ptr, index: i }),
-                    Value::NullPtr => Err(ExecError::NullPointer { line: self.current_line }),
+                    Value::NullPtr => Err(ExecError::NullPointer {
+                        line: self.current_line,
+                    }),
                     _ => Err(ExecError::other(format!(
                         "line {}: subscripted value is not a pointer",
                         self.current_line
                     ))),
                 }
             }
-            Expr::Unary { op: UnOp::Deref, operand } => {
+            Expr::Unary {
+                op: UnOp::Deref,
+                operand,
+            } => {
                 let b = self.eval_expr(operand, env, mem)?;
                 match b {
                     Value::Ptr(ptr) => Ok(LValue::Mem { ptr, index: 0 }),
-                    _ => Err(ExecError::NullPointer { line: self.current_line }),
+                    _ => Err(ExecError::NullPointer {
+                        line: self.current_line,
+                    }),
                 }
             }
             other => Err(ExecError::other(format!(
@@ -351,7 +392,12 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn read_lvalue(&mut self, lvalue: &LValue, env: &Env, mem: &Memory) -> Result<Value, ExecError> {
+    fn read_lvalue(
+        &mut self,
+        lvalue: &LValue,
+        env: &Env,
+        mem: &Memory,
+    ) -> Result<Value, ExecError> {
         match lvalue {
             LValue::Var(name) => env
                 .get(name)
@@ -360,7 +406,7 @@ impl<'a> Evaluator<'a> {
             LValue::Mem { ptr, index } => {
                 let elem_size = mem.buffer_elem(ptr.buffer).map_or(8, |t| t.size_bytes());
                 self.cost.bytes_read += elem_size;
-                mem.load(ptr, *index, self.from_device(), self.current_line)
+                mem.load(ptr, *index, self.is_device_access(), self.current_line)
             }
         }
     }
@@ -375,14 +421,22 @@ impl<'a> Evaluator<'a> {
         match lvalue {
             LValue::Var(name) => {
                 if !env.set(name, value) {
-                    return Err(ExecError::other(format!("assignment to unbound variable '{name}'")));
+                    return Err(ExecError::other(format!(
+                        "assignment to unbound variable '{name}'"
+                    )));
                 }
                 Ok(())
             }
             LValue::Mem { ptr, index } => {
                 let elem_size = mem.buffer_elem(ptr.buffer).map_or(8, |t| t.size_bytes());
                 self.cost.bytes_written += elem_size;
-                mem.store(ptr, *index, &value, self.from_device(), self.current_line)
+                mem.store(
+                    ptr,
+                    *index,
+                    &value,
+                    self.is_device_access(),
+                    self.current_line,
+                )
             }
         }
     }
@@ -390,7 +444,12 @@ impl<'a> Evaluator<'a> {
     // ------------------------------------------------------------- expressions
 
     /// Evaluate an expression to a value.
-    pub fn eval_expr(&mut self, expr: &Expr, env: &mut Env, mem: &Memory) -> Result<Value, ExecError> {
+    pub fn eval_expr(
+        &mut self,
+        expr: &Expr,
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<Value, ExecError> {
         self.step()?;
         match expr {
             Expr::IntLit(v) => Ok(Value::Int(*v)),
@@ -427,7 +486,7 @@ impl<'a> Evaluator<'a> {
                     match v {
                         Value::Ptr(ptr) => {
                             self.cost.bytes_read += mem.buffer_elem(ptr.buffer).map_or(8, |t| t.size_bytes());
-                            mem.load(&ptr, 0, self.from_device(), self.current_line)
+                            mem.load(&ptr, 0, self.is_device_access(), self.current_line)
                         }
                         _ => Err(ExecError::NullPointer { line: self.current_line }),
                     }
@@ -444,7 +503,7 @@ impl<'a> Evaluator<'a> {
                 match b {
                     Value::Ptr(ptr) => {
                         self.cost.bytes_read += mem.buffer_elem(ptr.buffer).map_or(8, |t| t.size_bytes());
-                        mem.load(&ptr, i, self.from_device(), self.current_line)
+                        mem.load(&ptr, i, self.is_device_access(), self.current_line)
                     }
                     Value::NullPtr => Err(ExecError::NullPointer { line: self.current_line }),
                     _ => Err(ExecError::other(format!(
@@ -492,7 +551,13 @@ impl<'a> Evaluator<'a> {
         if let Some(binding) = env.get(name) {
             return Ok(binding.value.clone());
         }
-        if let EvalContext::DeviceThread { thread_idx, block_idx, block_dim, grid_dim } = self.ctx {
+        if let EvalContext::DeviceThread {
+            thread_idx,
+            block_idx,
+            block_dim,
+            grid_dim,
+        } = self.ctx
+        {
             match name {
                 "threadIdx" => return Ok(Value::Dim3(thread_idx)),
                 "blockIdx" => return Ok(Value::Dim3(block_idx)),
@@ -517,10 +582,16 @@ impl<'a> Evaluator<'a> {
         // Pointer arithmetic and comparisons.
         if let Value::Ptr(p) = l {
             return match op {
-                Add => Ok(Value::Ptr(PtrValue { offset: p.offset + r.as_int(), ..*p })),
+                Add => Ok(Value::Ptr(PtrValue {
+                    offset: p.offset + r.as_int(),
+                    ..*p
+                })),
                 Sub => match r {
                     Value::Ptr(q) => Ok(Value::Int(p.offset - q.offset)),
-                    other => Ok(Value::Ptr(PtrValue { offset: p.offset - other.as_int(), ..*p })),
+                    other => Ok(Value::Ptr(PtrValue {
+                        offset: p.offset - other.as_int(),
+                        ..*p
+                    })),
                 },
                 Eq | Ne | Lt | Gt | Le | Ge => {
                     let rq = match r {
@@ -534,7 +605,10 @@ impl<'a> Evaluator<'a> {
         }
         if let Value::Ptr(q) = r {
             if op == Add {
-                return Ok(Value::Ptr(PtrValue { offset: q.offset + l.as_int(), ..*q }));
+                return Ok(Value::Ptr(PtrValue {
+                    offset: q.offset + l.as_int(),
+                    ..*q
+                }));
             }
         }
 
@@ -552,13 +626,17 @@ impl<'a> Evaluator<'a> {
                 Mul => Value::Int(a.wrapping_mul(b)),
                 Div => {
                     if b == 0 {
-                        return Err(ExecError::DivisionByZero { line: self.current_line });
+                        return Err(ExecError::DivisionByZero {
+                            line: self.current_line,
+                        });
                     }
                     Value::Int(a.wrapping_div(b))
                 }
                 Rem => {
                     if b == 0 {
-                        return Err(ExecError::DivisionByZero { line: self.current_line });
+                        return Err(ExecError::DivisionByZero {
+                            line: self.current_line,
+                        });
                     }
                     Value::Int(a.wrapping_rem(b))
                 }
@@ -600,7 +678,13 @@ impl<'a> Evaluator<'a> {
 
     // -------------------------------------------------------------------- calls
 
-    fn eval_call(&mut self, callee: &str, args: &[Expr], env: &mut Env, mem: &Memory) -> Result<Value, ExecError> {
+    fn eval_call(
+        &mut self,
+        callee: &str,
+        args: &[Expr],
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<Value, ExecError> {
         self.cost.calls += 1;
 
         // User-defined functions first.
@@ -635,7 +719,9 @@ impl<'a> Evaluator<'a> {
                         Ok(Value::Int(0))
                     }
                     Value::NullPtr => Ok(Value::Int(0)),
-                    _ => Err(ExecError::InvalidFree { line: self.current_line }),
+                    _ => Err(ExecError::InvalidFree {
+                        line: self.current_line,
+                    }),
                 }
             }
             "cudaMalloc" => self.eval_cuda_malloc(args, env, mem),
@@ -645,7 +731,9 @@ impl<'a> Evaluator<'a> {
                 let bytes = self.eval_expr(&args[2], env, mem)?.as_int().max(0) as u64;
                 // The 4th argument (direction) only matters for cost.
                 let (Value::Ptr(d), Value::Ptr(s)) = (&dst, &src) else {
-                    return Err(ExecError::NullPointer { line: self.current_line });
+                    return Err(ExecError::NullPointer {
+                        line: self.current_line,
+                    });
                 };
                 mem.copy(d, s, bytes, self.current_line)?;
                 if let Some(backend) = self.backend {
@@ -660,13 +748,26 @@ impl<'a> Evaluator<'a> {
                 let fill = self.eval_expr(&args[1], env, mem)?;
                 let bytes = self.eval_expr(&args[2], env, mem)?.as_int().max(0) as u64;
                 if let Value::Ptr(ptr) = dst {
-                    let elem_size = mem.buffer_elem(ptr.buffer).map_or(8, |t| t.size_bytes()).max(1);
+                    let elem_size = mem
+                        .buffer_elem(ptr.buffer)
+                        .map_or(8, |t| t.size_bytes())
+                        .max(1);
                     let count = (bytes / elem_size) as i64;
                     // memset semantics beyond zero-fill are byte-based; ParC
                     // programs only ever use 0, which is type-agnostic.
-                    let v = if fill.as_int() == 0 { Value::Int(0) } else { fill.clone() };
+                    let v = if fill.as_int() == 0 {
+                        Value::Int(0)
+                    } else {
+                        fill.clone()
+                    };
                     for i in 0..count {
-                        mem.store(&ptr, i, &v, self.from_device() || ptr.space != MemSpace::Host, self.current_line)?;
+                        mem.store(
+                            &ptr,
+                            i,
+                            &v,
+                            self.is_device_access() || ptr.space != MemSpace::Host,
+                            self.current_line,
+                        )?;
                     }
                     self.cost.bytes_written += bytes;
                 }
@@ -698,8 +799,12 @@ impl<'a> Evaluator<'a> {
                 let delta = self.eval_expr(&args[1], env, mem)?;
                 self.cost.atomics += 1;
                 match target {
-                    Value::Ptr(ptr) => mem.atomic_add(&ptr, 0, &delta, self.from_device(), self.current_line),
-                    _ => Err(ExecError::NullPointer { line: self.current_line }),
+                    Value::Ptr(ptr) => {
+                        mem.atomic_add(&ptr, 0, &delta, self.is_device_access(), self.current_line)
+                    }
+                    _ => Err(ExecError::NullPointer {
+                        line: self.current_line,
+                    }),
                 }
             }
             "atomicMax" | "atomicMin" => {
@@ -712,10 +817,12 @@ impl<'a> Evaluator<'a> {
                         0,
                         &operand,
                         callee == "atomicMax",
-                        self.from_device(),
+                        self.is_device_access(),
                         self.current_line,
                     ),
-                    _ => Err(ExecError::NullPointer { line: self.current_line }),
+                    _ => Err(ExecError::NullPointer {
+                        line: self.current_line,
+                    }),
                 }
             }
             "omp_get_wtime" => Ok(Value::Float(self.extra_seconds + self.steps as f64 * 1e-9)),
@@ -743,10 +850,18 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn eval_cuda_malloc(&mut self, args: &[Expr], env: &mut Env, mem: &Memory) -> Result<Value, ExecError> {
+    fn eval_cuda_malloc(
+        &mut self,
+        args: &[Expr],
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<Value, ExecError> {
         let bytes = self.eval_expr(&args[1], env, mem)?.as_int().max(0) as u64;
         match &args[0] {
-            Expr::Unary { op: UnOp::AddrOf, operand } => {
+            Expr::Unary {
+                op: UnOp::AddrOf,
+                operand,
+            } => {
                 if let Expr::Ident(name) = operand.as_ref() {
                     let elem = env
                         .get(name)
@@ -776,7 +891,13 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn eval_math_builtin(&mut self, callee: &str, args: &[Expr], env: &mut Env, mem: &Memory) -> Result<Value, ExecError> {
+    fn eval_math_builtin(
+        &mut self,
+        callee: &str,
+        args: &[Expr],
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<Value, ExecError> {
         let mut vals = Vec::with_capacity(args.len());
         for a in args {
             vals.push(self.eval_expr(a, env, mem)?);
@@ -852,7 +973,12 @@ impl<'a> Evaluator<'a> {
 
     // ---------------------------------------------------------- parallel hand-off
 
-    fn eval_launch_geometry(&mut self, e: &Expr, env: &mut Env, mem: &Memory) -> Result<Dim3Val, ExecError> {
+    fn eval_launch_geometry(
+        &mut self,
+        e: &Expr,
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<Dim3Val, ExecError> {
         let v = self.eval_expr(e, env, mem)?;
         Ok(match v {
             Value::Dim3(d) => d,
@@ -867,7 +993,9 @@ impl<'a> Evaluator<'a> {
         mem: &Memory,
     ) -> Result<(), ExecError> {
         let Some(backend) = self.backend else {
-            return Err(ExecError::other("kernel launch attempted without a device backend"));
+            return Err(ExecError::other(
+                "kernel launch attempted without a device backend",
+            ));
         };
         let Some(kernel) = self.program.function(&launch.kernel) else {
             return Err(ExecError::other(format!(
@@ -907,7 +1035,12 @@ impl<'a> Evaluator<'a> {
         Ok(())
     }
 
-    fn exec_pragma(&mut self, pragma: &PragmaStmt, env: &mut Env, mem: &Memory) -> Result<ControlFlow, ExecError> {
+    fn exec_pragma(
+        &mut self,
+        pragma: &PragmaStmt,
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<ControlFlow, ExecError> {
         match pragma.directive.kind {
             OmpDirectiveKind::Barrier => Ok(ControlFlow::Normal),
             OmpDirectiveKind::Atomic => {
@@ -928,7 +1061,13 @@ impl<'a> Evaluator<'a> {
                                     },
                                     _ => delta,
                                 };
-                                mem.atomic_add(&ptr, index, &signed, self.from_device(), self.current_line)?;
+                                mem.atomic_add(
+                                    &ptr,
+                                    index,
+                                    &signed,
+                                    self.is_device_access(),
+                                    self.current_line,
+                                )?;
                                 return Ok(ControlFlow::Normal);
                             }
                         }
@@ -972,10 +1111,12 @@ impl<'a> Evaluator<'a> {
                             mem.set_mapped(ptr.buffer, true);
                             mapped.push(ptr.buffer);
                             if charge_transfers {
-                                let elem = mem.buffer_elem(ptr.buffer).map_or(8, |t| t.size_bytes());
+                                let elem =
+                                    mem.buffer_elem(ptr.buffer).map_or(8, |t| t.size_bytes());
                                 let len = match (&s.lower, &s.len) {
                                     (Some(_), Some(len_expr)) => {
-                                        self.eval_expr(&len_expr.clone(), env, mem)?.as_int().max(0) as u64
+                                        self.eval_expr(&len_expr.clone(), env, mem)?.as_int().max(0)
+                                            as u64
                                     }
                                     _ => mem.buffer_len(ptr.buffer) as u64,
                                 };
@@ -993,12 +1134,21 @@ impl<'a> Evaluator<'a> {
         Ok(mapped)
     }
 
-    fn exec_worksharing_loop(&mut self, pragma: &PragmaStmt, env: &mut Env, mem: &Memory) -> Result<(), ExecError> {
+    fn exec_worksharing_loop(
+        &mut self,
+        pragma: &PragmaStmt,
+        env: &mut Env,
+        mem: &Memory,
+    ) -> Result<(), ExecError> {
         let Some(backend) = self.backend else {
-            return Err(ExecError::other("OpenMP region attempted without a runtime backend"));
+            return Err(ExecError::other(
+                "OpenMP region attempted without a runtime backend",
+            ));
         };
         let Some(body_stmt) = pragma.body.as_deref() else {
-            return Err(ExecError::other("work-sharing pragma without an associated loop"));
+            return Err(ExecError::other(
+                "work-sharing pragma without an associated loop",
+            ));
         };
         let StmtKind::For(for_stmt) = &body_stmt.kind else {
             return Err(ExecError::other(format!(
@@ -1096,7 +1246,9 @@ mod tests {
 
     #[test]
     fn arithmetic_and_loops() {
-        let (v, ..) = eval_main("int main() { int s = 0; for (int i = 1; i <= 10; i++) { s += i; } return s; }");
+        let (v, ..) = eval_main(
+            "int main() { int s = 0; for (int i = 1; i <= 10; i++) { s += i; } return s; }",
+        );
         assert_eq!(v, Value::Int(55));
     }
 
@@ -1153,7 +1305,11 @@ mod tests {
 
     #[test]
     fn division_by_zero_detected() {
-        let program = parse("int main() { int a = 0; return 10 / a; }", Dialect::CudaLite).unwrap();
+        let program = parse(
+            "int main() { int a = 0; return 10 / a; }",
+            Dialect::CudaLite,
+        )
+        .unwrap();
         let mem = Memory::new();
         let mut env = Env::new();
         let mut eval = Evaluator::for_context(&program, EvalContext::Host, 1_000_000);
@@ -1173,7 +1329,9 @@ mod tests {
         let mem = Memory::new();
         let mut env = Env::new();
         let mut eval = Evaluator::for_context(&program, EvalContext::Host, 1_000_000);
-        let err = eval.exec_block(&program.main().unwrap().body, &mut env, &mem).unwrap_err();
+        let err = eval
+            .exec_block(&program.main().unwrap().body, &mut env, &mem)
+            .unwrap_err();
         assert_eq!(err.category(), "out_of_bounds");
     }
 
@@ -1183,7 +1341,9 @@ mod tests {
         let mem = Memory::new();
         let mut env = Env::new();
         let mut eval = Evaluator::for_context(&program, EvalContext::Host, 10_000);
-        let err = eval.exec_block(&program.main().unwrap().body, &mut env, &mem).unwrap_err();
+        let err = eval
+            .exec_block(&program.main().unwrap().body, &mut env, &mem)
+            .unwrap_err();
         assert_eq!(err.category(), "step_limit");
     }
 
@@ -1237,7 +1397,8 @@ mod tests {
 
     #[test]
     fn sizeof_values() {
-        let (v, ..) = eval_main("int main() { return (int)(sizeof(double) + sizeof(float) + sizeof(int)); }");
+        let (v, ..) =
+            eval_main("int main() { return (int)(sizeof(double) + sizeof(float) + sizeof(int)); }");
         assert_eq!(v, Value::Int(16));
     }
 }

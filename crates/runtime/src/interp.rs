@@ -25,7 +25,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { step_limit: 200_000_000, host_op_seconds: 1.2e-9, startup_seconds: 2.0e-3 }
+        RunConfig {
+            step_limit: 200_000_000,
+            host_op_seconds: 1.2e-9,
+            startup_seconds: 2.0e-3,
+        }
     }
 }
 
@@ -59,7 +63,11 @@ pub struct HostInterpreter<'p> {
 impl<'p> HostInterpreter<'p> {
     /// Create an interpreter for `program`.
     pub fn new(program: &'p Program, config: RunConfig) -> Self {
-        HostInterpreter { program, config, memory: Memory::new() }
+        HostInterpreter {
+            program,
+            config,
+            memory: Memory::new(),
+        }
     }
 
     /// Execute `main(argv...)`. `args` are the benchmark's runtime arguments;
@@ -179,19 +187,14 @@ mod tests {
 
     #[test]
     fn runtime_error_propagates() {
-        let err = run_src(
-            "int main() { int a[2]; a[5] = 1; return 0; }",
-        )
-        .unwrap_err();
+        let err = run_src("int main() { int a[2]; a[5] = 1; return 0; }").unwrap_err();
         assert_eq!(err.category(), "out_of_bounds");
     }
 
     #[test]
     fn memory_stats_reported() {
-        let report = run_src(
-            "int main() { double* a = (double*)malloc(80); free(a); return 0; }",
-        )
-        .unwrap();
+        let report =
+            run_src("int main() { double* a = (double*)malloc(80); free(a); return 0; }").unwrap();
         assert_eq!(report.memory.allocations, 1);
         assert!(report.memory.allocated_bytes >= 80);
     }

@@ -158,7 +158,11 @@ impl Memory {
         let mut stats = self.stats.lock();
         stats.allocations += 1;
         stats.allocated_bytes += raw_bytes;
-        PtrValue { buffer: id, offset: 0, space }
+        PtrValue {
+            buffer: id,
+            offset: 0,
+            space,
+        }
     }
 
     /// Allocate a raw byte region (`malloc`) whose element type is not yet
@@ -259,9 +263,14 @@ impl Memory {
         f: impl FnOnce(&Buffer, usize) -> R,
     ) -> Result<R, ExecError> {
         let buffers = self.buffers.read();
-        let buf = buffers.get(ptr.buffer.0).ok_or(ExecError::NullPointer { line })?;
+        let buf = buffers
+            .get(ptr.buffer.0)
+            .ok_or(ExecError::NullPointer { line })?;
         if buf.freed {
-            return Err(ExecError::UseAfterFree { buffer: buf.name.clone(), line });
+            return Err(ExecError::UseAfterFree {
+                buffer: buf.name.clone(),
+                line,
+            });
         }
         match (buf.space, from_device) {
             (MemSpace::Host, true) if buf.mapped => {}
@@ -313,7 +322,9 @@ impl Memory {
         from_device: bool,
         line: u32,
     ) -> Result<(), ExecError> {
-        self.with_access(ptr, index, from_device, line, |buf, idx| buf.store_raw(idx, value))
+        self.with_access(ptr, index, from_device, line, |buf, idx| {
+            buf.store_raw(idx, value)
+        })
     }
 
     /// Atomic add (`atomicAdd` / `#pragma omp atomic`): returns the old value.
@@ -331,7 +342,9 @@ impl Memory {
                 let old_bits = cell.load(Ordering::Relaxed);
                 let old = buf.decode(old_bits);
                 let new = match buf.elem {
-                    Type::Int | Type::Long | Type::Bool => Value::Int(old.as_int() + delta.as_int()),
+                    Type::Int | Type::Long | Type::Bool => {
+                        Value::Int(old.as_int() + delta.as_int())
+                    }
                     _ => Value::Float(old.as_float() + delta.as_float()),
                 };
                 let new_bits = buf.encode(&new);
@@ -392,15 +405,29 @@ impl Memory {
         line: u32,
     ) -> Result<(), ExecError> {
         let buffers = self.buffers.read();
-        let src_buf = buffers.get(src.buffer.0).ok_or(ExecError::NullPointer { line })?;
-        let dst_buf = buffers.get(dst.buffer.0).ok_or(ExecError::NullPointer { line })?;
+        let src_buf = buffers
+            .get(src.buffer.0)
+            .ok_or(ExecError::NullPointer { line })?;
+        let dst_buf = buffers
+            .get(dst.buffer.0)
+            .ok_or(ExecError::NullPointer { line })?;
         if src_buf.freed {
-            return Err(ExecError::UseAfterFree { buffer: src_buf.name.clone(), line });
+            return Err(ExecError::UseAfterFree {
+                buffer: src_buf.name.clone(),
+                line,
+            });
         }
         if dst_buf.freed {
-            return Err(ExecError::UseAfterFree { buffer: dst_buf.name.clone(), line });
+            return Err(ExecError::UseAfterFree {
+                buffer: dst_buf.name.clone(),
+                line,
+            });
         }
-        let elem_size = dst_buf.elem.size_bytes().max(1).min(src_buf.elem.size_bytes().max(1));
+        let elem_size = dst_buf
+            .elem
+            .size_bytes()
+            .max(1)
+            .min(src_buf.elem.size_bytes().max(1));
         let count = (count_bytes / elem_size) as i64;
         for i in 0..count {
             let sidx = src.offset + i;
@@ -466,7 +493,10 @@ mod tests {
         let p = mem.alloc("x", Type::Float, 1, MemSpace::Host);
         let v = 0.123456789012345_f64;
         mem.store(&p, 0, &Value::Float(v), false, 1).unwrap();
-        assert_eq!(mem.load(&p, 0, false, 1).unwrap(), Value::Float(v as f32 as f64));
+        assert_eq!(
+            mem.load(&p, 0, false, 1).unwrap(),
+            Value::Float(v as f32 as f64)
+        );
     }
 
     #[test]
@@ -502,7 +532,10 @@ mod tests {
         let mem = Memory::new();
         let p = mem.alloc("a", Type::Int, 4, MemSpace::Host);
         mem.free(&p, 5).unwrap();
-        assert_eq!(mem.load(&p, 0, false, 6).unwrap_err().category(), "use_after_free");
+        assert_eq!(
+            mem.load(&p, 0, false, 6).unwrap_err().category(),
+            "use_after_free"
+        );
         assert_eq!(mem.free(&p, 7).unwrap_err().category(), "invalid_free");
     }
 
@@ -549,9 +582,11 @@ mod tests {
         let mem = Memory::new();
         let p = mem.alloc("m", Type::Int, 1, MemSpace::Device);
         mem.store(&p, 0, &Value::Int(5), true, 1).unwrap();
-        mem.atomic_minmax(&p, 0, &Value::Int(9), true, true, 1).unwrap();
+        mem.atomic_minmax(&p, 0, &Value::Int(9), true, true, 1)
+            .unwrap();
         assert_eq!(mem.load(&p, 0, true, 1).unwrap(), Value::Int(9));
-        mem.atomic_minmax(&p, 0, &Value::Int(2), false, true, 1).unwrap();
+        mem.atomic_minmax(&p, 0, &Value::Int(2), false, true, 1)
+            .unwrap();
         assert_eq!(mem.load(&p, 0, true, 1).unwrap(), Value::Int(2));
     }
 
@@ -573,7 +608,10 @@ mod tests {
         let mem = Memory::new();
         let h = mem.alloc("h", Type::Float, 4, MemSpace::Host);
         let d = mem.alloc("d", Type::Float, 2, MemSpace::Device);
-        assert_eq!(mem.copy(&d, &h, 16, 1).unwrap_err().category(), "out_of_bounds");
+        assert_eq!(
+            mem.copy(&d, &h, 16, 1).unwrap_err().category(),
+            "out_of_bounds"
+        );
     }
 
     #[test]

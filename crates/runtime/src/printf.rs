@@ -113,7 +113,13 @@ fn split_width(spec: &str) -> (Option<i64>, Option<usize>) {
         return (None, None);
     }
     let mut parts = spec.splitn(2, '.');
-    let width = parts.next().and_then(|w| if w.is_empty() { None } else { w.parse::<i64>().ok() });
+    let width = parts.next().and_then(|w| {
+        if w.is_empty() {
+            None
+        } else {
+            w.parse::<i64>().ok()
+        }
+    });
     let precision = parts.next().and_then(|p| p.parse::<usize>().ok());
     (width, precision)
 }
@@ -190,14 +196,17 @@ mod tests {
 
     #[test]
     fn basic_integers_and_floats() {
-        assert_eq!(format("n=%d s=%f\n", &[Value::Int(7), Value::Float(2.5)]), "n=7 s=2.500000\n");
+        assert_eq!(
+            format("n=%d s=%f\n", &[Value::Int(7), Value::Float(2.5)]),
+            "n=7 s=2.500000\n"
+        );
         assert_eq!(format("%ld", &[Value::Int(-12)]), "-12");
         assert_eq!(format("%lu", &[Value::Int(12)]), "12");
     }
 
     #[test]
     fn precision_and_width() {
-        assert_eq!(format("%.2f", &[Value::Float(3.14159)]), "3.14");
+        assert_eq!(format("%.2f", &[Value::Float(2.46913)]), "2.47");
         assert_eq!(format("%8.3f", &[Value::Float(1.5)]), "   1.500");
         assert_eq!(format("%5d", &[Value::Int(42)]), "   42");
         assert_eq!(format("%-5d|", &[Value::Int(42)]), "42   |");
@@ -218,7 +227,10 @@ mod tests {
 
     #[test]
     fn percent_literal_and_strings() {
-        assert_eq!(format("100%% done: %s", &[Value::Str("ok".into())]), "100% done: ok");
+        assert_eq!(
+            format("100%% done: %s", &[Value::Str("ok".into())]),
+            "100% done: ok"
+        );
     }
 
     #[test]

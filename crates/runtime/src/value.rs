@@ -18,7 +18,11 @@ pub struct Dim3Val {
 impl Dim3Val {
     /// Construct a dim3, defaulting missing components to 1.
     pub fn new(x: u32, y: u32, z: u32) -> Self {
-        Dim3Val { x: x.max(1), y: y.max(1), z: z.max(1) }
+        Dim3Val {
+            x: x.max(1),
+            y: y.max(1),
+            z: z.max(1),
+        }
     }
 
     /// 1-dimensional geometry.
@@ -149,7 +153,11 @@ mod tests {
     #[test]
     fn dim3_counts() {
         assert_eq!(Dim3Val::new(4, 2, 1).count(), 8);
-        assert_eq!(Dim3Val::linear(0).count(), 1, "components clamp to at least 1");
+        assert_eq!(
+            Dim3Val::linear(0).count(),
+            1,
+            "components clamp to at least 1"
+        );
     }
 
     #[test]

@@ -62,54 +62,312 @@ pub struct BuiltinSig {
 /// Signatures of every builtin function known to ParC.
 pub const BUILTINS: &[BuiltinSig] = &[
     // ------------------------------------------------------------------ libc
-    BuiltinSig { name: "printf", min_args: 1, max_args: usize::MAX, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "malloc", min_args: 1, max_args: 1, result: ValueClass::Ptr, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "free", min_args: 1, max_args: 1, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "memset", min_args: 3, max_args: 3, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "memcpy", min_args: 3, max_args: 3, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "exit", min_args: 1, max_args: 1, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
+    BuiltinSig {
+        name: "printf",
+        min_args: 1,
+        max_args: usize::MAX,
+        result: ValueClass::Int,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "malloc",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Ptr,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "free",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Void,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "memset",
+        min_args: 3,
+        max_args: 3,
+        result: ValueClass::Void,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "memcpy",
+        min_args: 3,
+        max_args: 3,
+        result: ValueClass::Void,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "exit",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Void,
+        scope: BuiltinScope::HostOnly,
+    },
     // ------------------------------------------------------------------ math
-    BuiltinSig { name: "sqrt", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "sqrtf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "fabs", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "fabsf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "exp", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "expf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "log", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "logf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "log2", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "sin", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "cos", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "sinf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "cosf", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "atan2", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "pow", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "floor", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "ceil", min_args: 1, max_args: 1, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "fmin", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "fmax", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::Any },
-    BuiltinSig { name: "min", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::Any },
-    BuiltinSig { name: "max", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::Any },
-    BuiltinSig { name: "abs", min_args: 1, max_args: 1, result: ValueClass::Int, scope: BuiltinScope::Any },
+    BuiltinSig {
+        name: "sqrt",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "sqrtf",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "fabs",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "fabsf",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "exp",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "expf",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "log",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "logf",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "log2",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "sin",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "cos",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "sinf",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "cosf",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "atan2",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "pow",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "floor",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "ceil",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "fmin",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "fmax",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Float,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "min",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Int,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "max",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Int,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "abs",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Int,
+        scope: BuiltinScope::Any,
+    },
     // ------------------------------------------------------------ CUDA (host)
-    BuiltinSig { name: "cudaMalloc", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "cudaFree", min_args: 1, max_args: 1, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "cudaMemcpy", min_args: 4, max_args: 4, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "cudaMemset", min_args: 3, max_args: 3, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "cudaDeviceSynchronize", min_args: 0, max_args: 0, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+    BuiltinSig {
+        name: "cudaMalloc",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Int,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "cudaFree",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Int,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "cudaMemcpy",
+        min_args: 4,
+        max_args: 4,
+        result: ValueClass::Int,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "cudaMemset",
+        min_args: 3,
+        max_args: 3,
+        result: ValueClass::Int,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "cudaDeviceSynchronize",
+        min_args: 0,
+        max_args: 0,
+        result: ValueClass::Int,
+        scope: BuiltinScope::HostOnly,
+    },
     // ---------------------------------------------------------- CUDA (device)
-    BuiltinSig { name: "__syncthreads", min_args: 0, max_args: 0, result: ValueClass::Void, scope: BuiltinScope::DeviceOnly },
-    BuiltinSig { name: "atomicAdd", min_args: 2, max_args: 2, result: ValueClass::Float, scope: BuiltinScope::DeviceOnly },
-    BuiltinSig { name: "atomicMax", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::DeviceOnly },
-    BuiltinSig { name: "atomicMin", min_args: 2, max_args: 2, result: ValueClass::Int, scope: BuiltinScope::DeviceOnly },
+    BuiltinSig {
+        name: "__syncthreads",
+        min_args: 0,
+        max_args: 0,
+        result: ValueClass::Void,
+        scope: BuiltinScope::DeviceOnly,
+    },
+    BuiltinSig {
+        name: "atomicAdd",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Float,
+        scope: BuiltinScope::DeviceOnly,
+    },
+    BuiltinSig {
+        name: "atomicMax",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Int,
+        scope: BuiltinScope::DeviceOnly,
+    },
+    BuiltinSig {
+        name: "atomicMin",
+        min_args: 2,
+        max_args: 2,
+        result: ValueClass::Int,
+        scope: BuiltinScope::DeviceOnly,
+    },
     // ---------------------------------------------------------------- OpenMP
-    BuiltinSig { name: "omp_get_wtime", min_args: 0, max_args: 0, result: ValueClass::Float, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "omp_get_num_threads", min_args: 0, max_args: 0, result: ValueClass::Int, scope: BuiltinScope::Any },
-    BuiltinSig { name: "omp_get_thread_num", min_args: 0, max_args: 0, result: ValueClass::Int, scope: BuiltinScope::Any },
-    BuiltinSig { name: "omp_get_max_threads", min_args: 0, max_args: 0, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
-    BuiltinSig { name: "omp_set_num_threads", min_args: 1, max_args: 1, result: ValueClass::Void, scope: BuiltinScope::HostOnly },
+    BuiltinSig {
+        name: "omp_get_wtime",
+        min_args: 0,
+        max_args: 0,
+        result: ValueClass::Float,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "omp_get_num_threads",
+        min_args: 0,
+        max_args: 0,
+        result: ValueClass::Int,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "omp_get_thread_num",
+        min_args: 0,
+        max_args: 0,
+        result: ValueClass::Int,
+        scope: BuiltinScope::Any,
+    },
+    BuiltinSig {
+        name: "omp_get_max_threads",
+        min_args: 0,
+        max_args: 0,
+        result: ValueClass::Int,
+        scope: BuiltinScope::HostOnly,
+    },
+    BuiltinSig {
+        name: "omp_set_num_threads",
+        min_args: 1,
+        max_args: 1,
+        result: ValueClass::Void,
+        scope: BuiltinScope::HostOnly,
+    },
     // dim3 constructor (appears as a call in declarations).
-    BuiltinSig { name: "dim3", min_args: 1, max_args: 3, result: ValueClass::Int, scope: BuiltinScope::HostOnly },
+    BuiltinSig {
+        name: "dim3",
+        min_args: 1,
+        max_args: 3,
+        result: ValueClass::Int,
+        scope: BuiltinScope::HostOnly,
+    },
 ];
 
 /// Look up the signature of a builtin function.
@@ -126,7 +384,11 @@ pub fn is_builtin_function(name: &str) -> bool {
 pub const DEVICE_GEOMETRY_VARS: &[&str] = &["threadIdx", "blockIdx", "blockDim", "gridDim"];
 
 /// Host-side constants understood by `cudaMemcpy`.
-pub const MEMCPY_KIND_CONSTS: &[&str] = &["cudaMemcpyHostToDevice", "cudaMemcpyDeviceToHost", "cudaMemcpyDeviceToDevice"];
+pub const MEMCPY_KIND_CONSTS: &[&str] = &[
+    "cudaMemcpyHostToDevice",
+    "cudaMemcpyDeviceToHost",
+    "cudaMemcpyDeviceToDevice",
+];
 
 #[cfg(test)]
 mod tests {
@@ -149,8 +411,14 @@ mod tests {
 
     #[test]
     fn scopes_are_recorded() {
-        assert_eq!(builtin_signature("__syncthreads").unwrap().scope, BuiltinScope::DeviceOnly);
-        assert_eq!(builtin_signature("cudaMemcpy").unwrap().scope, BuiltinScope::HostOnly);
+        assert_eq!(
+            builtin_signature("__syncthreads").unwrap().scope,
+            BuiltinScope::DeviceOnly
+        );
+        assert_eq!(
+            builtin_signature("cudaMemcpy").unwrap().scope,
+            BuiltinScope::HostOnly
+        );
         assert_eq!(builtin_signature("sqrt").unwrap().scope, BuiltinScope::Any);
     }
 

@@ -3,13 +3,12 @@
 use std::collections::HashMap;
 
 use lassi_lang::{
-    AssignOp, BinOp, Block, Diagnostic, Dialect, Expr, FnQualifier, ForStmt, Function, KernelLaunch,
-    OmpClause, OmpDirectiveKind, PragmaStmt, Program, Stmt, StmtKind, Type, UnOp, VarDecl,
+    AssignOp, BinOp, Block, Diagnostic, Dialect, Expr, FnQualifier, ForStmt, Function,
+    KernelLaunch, OmpClause, OmpDirectiveKind, PragmaStmt, Program, Stmt, StmtKind, Type, UnOp,
+    VarDecl,
 };
 
-use crate::builtins::{
-    builtin_signature, BuiltinScope, DEVICE_GEOMETRY_VARS, MEMCPY_KIND_CONSTS,
-};
+use crate::builtins::{builtin_signature, BuiltinScope, DEVICE_GEOMETRY_VARS, MEMCPY_KIND_CONSTS};
 
 /// Whether code is being checked as host code or device (kernel) code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +101,8 @@ impl<'p> Checker<'p> {
     }
 
     fn warn(&mut self, msg: impl Into<String>) {
-        self.warnings.push(Diagnostic::warning(self.current_line, msg));
+        self.warnings
+            .push(Diagnostic::warning(self.current_line, msg));
     }
 
     fn run(&mut self) {
@@ -112,14 +112,18 @@ impl<'p> Checker<'p> {
             if let Some(prev) = seen.insert(f.name.as_str(), f.line) {
                 self.errors.push(Diagnostic::error(
                     f.line,
-                    format!("redefinition of function '{}' (previously defined at line {prev})", f.name),
+                    format!(
+                        "redefinition of function '{}' (previously defined at line {prev})",
+                        f.name
+                    ),
                 ));
             }
         }
 
         // A translation unit must define main.
         if self.program.main().is_none() {
-            self.errors.push(Diagnostic::error(0, "undefined reference to 'main'"));
+            self.errors
+                .push(Diagnostic::error(0, "undefined reference to 'main'"));
         }
 
         let funcs: Vec<&Function> = self.program.functions().collect();
@@ -137,7 +141,10 @@ impl<'p> Checker<'p> {
         self.current_ret = f.ret.clone();
 
         if f.qualifier == FnQualifier::Kernel && f.ret != Type::Void {
-            self.error(format!("__global__ function '{}' must have void return type", f.name));
+            self.error(format!(
+                "__global__ function '{}' must have void return type",
+                f.name
+            ));
         }
         if f.name == "main" {
             if f.ret != Type::Int {
@@ -170,7 +177,8 @@ impl<'p> Checker<'p> {
         if let Some(scope) = self.scopes.last_mut() {
             if scope.contains_key(name) {
                 let line = self.current_line;
-                self.errors.push(Diagnostic::error(line, format!("redefinition of '{name}'")));
+                self.errors
+                    .push(Diagnostic::error(line, format!("redefinition of '{name}'")));
             }
             scope.insert(name.to_string(), VarInfo { ty, is_const });
         }
@@ -197,7 +205,11 @@ impl<'p> Checker<'p> {
         match &stmt.kind {
             StmtKind::VarDecl(d) => self.check_var_decl(d),
             StmtKind::Assign { target, op, value } => self.check_assign(target, *op, value),
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.check_condition(cond);
                 self.check_block(then_branch);
                 if let Some(e) = else_branch {
@@ -218,7 +230,9 @@ impl<'p> Checker<'p> {
                         self.error("void function should not return a value");
                     }
                     (None, t) if *t != Type::Void => {
-                        self.warn(format!("non-void function should return a value of type '{t}'"));
+                        self.warn(format!(
+                            "non-void function should return a value of type '{t}'"
+                        ));
                     }
                     (Some(v), _) => {
                         if let Some(vt) = self.check_expr(v) {
@@ -249,7 +263,10 @@ impl<'p> Checker<'p> {
     fn check_var_decl(&mut self, d: &VarDecl) {
         if d.is_shared {
             if self.ctx != ExecContext::Device {
-                self.error(format!("'__shared__' variable '{}' is only allowed in device code", d.name));
+                self.error(format!(
+                    "'__shared__' variable '{}' is only allowed in device code",
+                    d.name
+                ));
             }
             if self.program.dialect == Dialect::OmpLite {
                 self.error(format!(
@@ -261,7 +278,10 @@ impl<'p> Checker<'p> {
         if let Some(len) = &d.array_len {
             if let Some(t) = self.check_expr(len) {
                 if !t.is_integer() {
-                    self.error(format!("array size of '{}' must have integer type, got '{t}'", d.name));
+                    self.error(format!(
+                        "array size of '{}' must have integer type, got '{t}'",
+                        d.name
+                    ));
                 }
             }
         }
@@ -276,7 +296,11 @@ impl<'p> Checker<'p> {
                         for a in args {
                             self.check_expr(a);
                         }
-                        let declared_ty = if d.array_len.is_some() { d.ty.clone().ptr() } else { d.ty.clone() };
+                        let declared_ty = if d.array_len.is_some() {
+                            d.ty.clone().ptr()
+                        } else {
+                            d.ty.clone()
+                        };
                         self.declare(&d.name, declared_ty, d.is_const);
                         return;
                     }
@@ -291,7 +315,11 @@ impl<'p> Checker<'p> {
                 }
             }
         }
-        let declared_ty = if d.array_len.is_some() { d.ty.clone().ptr() } else { d.ty.clone() };
+        let declared_ty = if d.array_len.is_some() {
+            d.ty.clone().ptr()
+        } else {
+            d.ty.clone()
+        };
         self.declare(&d.name, declared_ty, d.is_const);
     }
 
@@ -307,7 +335,9 @@ impl<'p> Checker<'p> {
         if let Some(vt) = self.check_expr(value) {
             if op == AssignOp::Assign {
                 if !assignment_compatible(&target_ty, &vt) {
-                    self.error(format!("assigning to '{target_ty}' from incompatible type '{vt}'"));
+                    self.error(format!(
+                        "assigning to '{target_ty}' from incompatible type '{vt}'"
+                    ));
                 }
             } else if !target_ty.is_arithmetic() || !vt.is_arithmetic() {
                 // Pointer compound assignment (p += n) is allowed for pointers.
@@ -336,17 +366,24 @@ impl<'p> Checker<'p> {
                     }
                 };
                 if info.is_const {
-                    self.error(format!("cannot assign to variable '{name}' with const-qualified type"));
+                    self.error(format!(
+                        "cannot assign to variable '{name}' with const-qualified type"
+                    ));
                 }
                 Some(info.ty)
             }
             Expr::Index { .. } | Expr::Member { .. } => self.check_expr(target),
-            Expr::Unary { op: UnOp::Deref, operand } => {
+            Expr::Unary {
+                op: UnOp::Deref,
+                operand,
+            } => {
                 let t = self.check_expr(operand)?;
                 match t.pointee() {
                     Some(p) => Some(p.clone()),
                     None => {
-                        self.error(format!("indirection requires pointer operand ('{t}' invalid)"));
+                        self.error(format!(
+                            "indirection requires pointer operand ('{t}' invalid)"
+                        ));
                         None
                     }
                 }
@@ -398,7 +435,11 @@ impl<'p> Checker<'p> {
         }
         self.check_launch_dim(&l.grid);
         self.check_launch_dim(&l.block);
-        match self.funcs.get(&l.kernel).map(|f| (f.qualifier, f.params.len())) {
+        match self
+            .funcs
+            .get(&l.kernel)
+            .map(|f| (f.qualifier, f.params.len()))
+        {
             None => {
                 self.error(format!("use of undeclared kernel '{}' in launch", l.kernel));
             }
@@ -426,7 +467,9 @@ impl<'p> Checker<'p> {
     fn check_launch_dim(&mut self, e: &Expr) {
         if let Some(t) = self.check_expr(e) {
             if !(t.is_integer() || t == Type::Dim3) {
-                self.error(format!("kernel launch configuration must be an integer or dim3, got '{t}'"));
+                self.error(format!(
+                    "kernel launch configuration must be an integer or dim3, got '{t}'"
+                ));
             }
         }
     }
@@ -463,12 +506,8 @@ impl<'p> Checker<'p> {
                                 }
                             }
                         }
-                        let exprs: Vec<Expr> = s
-                            .lower
-                            .iter()
-                            .chain(s.len.iter())
-                            .cloned()
-                            .collect();
+                        let exprs: Vec<Expr> =
+                            s.lower.iter().chain(s.len.iter()).cloned().collect();
                         for e in &exprs {
                             self.check_expr(e);
                         }
@@ -480,7 +519,9 @@ impl<'p> Checker<'p> {
                 | OmpClause::Shared(vars) => {
                     for v in vars.clone() {
                         if self.lookup(&v).is_none() {
-                            self.error(format!("use of undeclared identifier '{v}' in OpenMP clause"));
+                            self.error(format!(
+                                "use of undeclared identifier '{v}' in OpenMP clause"
+                            ));
                         }
                     }
                 }
@@ -488,7 +529,9 @@ impl<'p> Checker<'p> {
                     let e = e.clone();
                     if let Some(t) = self.check_expr(&e) {
                         if !t.is_integer() {
-                            self.error(format!("OpenMP clause expects an integer expression, got '{t}'"));
+                            self.error(format!(
+                                "OpenMP clause expects an integer expression, got '{t}'"
+                            ));
                         }
                     }
                 }
@@ -508,7 +551,10 @@ impl<'p> Checker<'p> {
         match p.directive.kind {
             OmpDirectiveKind::ParallelFor | OmpDirectiveKind::TargetTeamsDistributeParallelFor => {
                 match p.body.as_deref() {
-                    Some(Stmt { kind: StmtKind::For(f), .. }) => {
+                    Some(Stmt {
+                        kind: StmtKind::For(f),
+                        ..
+                    }) => {
                         if f.canonical().is_none() {
                             self.error(format!(
                                 "the loop following '#pragma omp {}' is not in canonical form (expected 'for (int i = lo; i < hi; i += step)')",
@@ -541,9 +587,18 @@ impl<'p> Checker<'p> {
                 }
             }
             OmpDirectiveKind::TargetData => match p.body.as_deref() {
-                Some(Stmt { kind: StmtKind::Block(_), .. })
-                | Some(Stmt { kind: StmtKind::Pragma(_), .. })
-                | Some(Stmt { kind: StmtKind::For(_), .. }) => {
+                Some(Stmt {
+                    kind: StmtKind::Block(_),
+                    ..
+                })
+                | Some(Stmt {
+                    kind: StmtKind::Pragma(_),
+                    ..
+                })
+                | Some(Stmt {
+                    kind: StmtKind::For(_),
+                    ..
+                }) => {
                     self.check_stmt(p.body.as_ref().unwrap());
                 }
                 _ => {
@@ -551,12 +606,18 @@ impl<'p> Checker<'p> {
                 }
             },
             OmpDirectiveKind::Atomic => match p.body.as_deref() {
-                Some(Stmt { kind: StmtKind::Assign { op, .. }, .. })
-                    if matches!(
-                        op,
-                        AssignOp::AddAssign | AssignOp::SubAssign | AssignOp::MulAssign | AssignOp::DivAssign
-                    ) =>
-                {
+                Some(Stmt {
+                    kind:
+                        StmtKind::Assign {
+                            op:
+                                AssignOp::AddAssign
+                                | AssignOp::SubAssign
+                                | AssignOp::MulAssign
+                                | AssignOp::DivAssign,
+                            ..
+                        },
+                    ..
+                }) => {
                     self.check_stmt(p.body.as_ref().unwrap());
                 }
                 _ => {
@@ -597,7 +658,9 @@ impl<'p> Checker<'p> {
                     UnOp::Deref => match t.pointee() {
                         Some(p) => Some(p.clone()),
                         None => {
-                            self.error(format!("indirection requires pointer operand ('{t}' invalid)"));
+                            self.error(format!(
+                                "indirection requires pointer operand ('{t}' invalid)"
+                            ));
                             None
                         }
                     },
@@ -614,7 +677,9 @@ impl<'p> Checker<'p> {
                 match bt.pointee() {
                     Some(p) => Some(p.clone()),
                     None => {
-                        self.error(format!("subscripted value of type '{bt}' is not a pointer or array"));
+                        self.error(format!(
+                            "subscripted value of type '{bt}' is not a pointer or array"
+                        ));
                         None
                     }
                 }
@@ -629,7 +694,9 @@ impl<'p> Checker<'p> {
                         None
                     }
                 } else {
-                    self.error(format!("member reference base type '{bt}' is not a structure"));
+                    self.error(format!(
+                        "member reference base type '{bt}' is not a structure"
+                    ));
                     None
                 }
             }
@@ -637,7 +704,11 @@ impl<'p> Checker<'p> {
                 self.check_expr(expr)?;
                 Some(ty.clone())
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.check_condition(cond);
                 let tt = self.check_expr(then_expr);
                 let et = self.check_expr(else_expr);
@@ -671,7 +742,9 @@ impl<'p> Checker<'p> {
             return Some(Type::Int);
         }
         if self.funcs.contains_key(name) || builtin_signature(name).is_some() {
-            self.error(format!("function '{name}' used as a value (missing call parentheses?)"));
+            self.error(format!(
+                "function '{name}' used as a value (missing call parentheses?)"
+            ));
             return None;
         }
         self.error(format!("use of undeclared identifier '{name}'"));
@@ -689,10 +762,15 @@ impl<'p> Checker<'p> {
                 ));
             }
             if qualifier == FnQualifier::Device && self.ctx == ExecContext::Host {
-                self.error(format!("__device__ function '{callee}' cannot be called from host code"));
+                self.error(format!(
+                    "__device__ function '{callee}' cannot be called from host code"
+                ));
             }
-            if qualifier == FnQualifier::Host && self.ctx == ExecContext::Device && callee != "main" {
-                self.error(format!("host function '{callee}' cannot be called from device code"));
+            if qualifier == FnQualifier::Host && self.ctx == ExecContext::Device && callee != "main"
+            {
+                self.error(format!(
+                    "host function '{callee}' cannot be called from device code"
+                ));
             }
             if nparams != args.len() {
                 self.error(format!(
@@ -751,13 +829,18 @@ impl<'p> Checker<'p> {
             ));
         }
         if callee.starts_with("omp_") && self.program.dialect == Dialect::CudaLite {
-            self.warn(format!("'{callee}' requires linking against the OpenMP runtime"));
+            self.warn(format!(
+                "'{callee}' requires linking against the OpenMP runtime"
+            ));
         }
 
         // Structural checks for the CUDA memory API.
         if callee == "cudaMalloc" {
             match args.first() {
-                Some(Expr::Unary { op: UnOp::AddrOf, operand }) => {
+                Some(Expr::Unary {
+                    op: UnOp::AddrOf,
+                    operand,
+                }) => {
                     if let Some(t) = self.check_expr(operand) {
                         if !matches!(t, Type::Ptr(_)) {
                             self.error(format!(
@@ -769,7 +852,9 @@ impl<'p> Checker<'p> {
                 Some(other) => {
                     let t = self.check_expr(other);
                     if !matches!(t, Some(Type::Ptr(ref p)) if matches!(**p, Type::Ptr(_))) {
-                        self.error("cudaMalloc expects a pointer-to-pointer first argument (e.g. &d_buf)");
+                        self.error(
+                            "cudaMalloc expects a pointer-to-pointer first argument (e.g. &d_buf)",
+                        );
                     }
                 }
                 None => {}
@@ -831,7 +916,9 @@ impl<'p> Checker<'p> {
             };
         }
         if !lt.is_arithmetic() || !rt.is_arithmetic() {
-            self.error(format!("invalid operands to binary expression ('{lt}' and '{rt}')"));
+            self.error(format!(
+                "invalid operands to binary expression ('{lt}' and '{rt}')"
+            ));
             return None;
         }
         match op {
@@ -874,9 +961,7 @@ fn assignment_compatible(target: &Type, value: &Type) -> bool {
     }
     match (target, value) {
         // void* interchanges with any pointer (malloc results).
-        (Type::Ptr(a), Type::Ptr(b)) => {
-            **a == Type::Void || **b == Type::Void || a == b
-        }
+        (Type::Ptr(a), Type::Ptr(b)) => **a == Type::Void || **b == Type::Void || a == b,
         (Type::Dim3, v) if v.is_integer() => true,
         _ => false,
     }
@@ -908,7 +993,10 @@ mod tests {
 
     #[test]
     fn redefinition_is_reported() {
-        let msg = first_error("int main() { int a = 1; int a = 2; return a; }", Dialect::CudaLite);
+        let msg = first_error(
+            "int main() { int a = 1; int a = 2; return a; }",
+            Dialect::CudaLite,
+        );
         assert!(msg.contains("redefinition of 'a'"), "{msg}");
     }
 
@@ -942,7 +1030,10 @@ mod tests {
             "__global__ void k(float* a, int n) {} int main() { float* d; k<<<1, 32>>>(d); return 0; }",
             Dialect::CudaLite,
         );
-        assert!(msg.contains("takes 2 argument(s) but 1 were provided"), "{msg}");
+        assert!(
+            msg.contains("takes 2 argument(s) but 1 were provided"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -960,7 +1051,11 @@ mod tests {
             "__global__ void k(float* a) { a[0] = 1.0; } int main() { float* d; k<<<1, 32>>>(d); return 0; }",
         )
         .unwrap_err();
-        let all = errs.iter().map(|e| e.message.clone()).collect::<Vec<_>>().join("\n");
+        let all = errs
+            .iter()
+            .map(|e| e.message.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(all.contains("not valid in OpenMP"), "{all}");
     }
 
@@ -970,7 +1065,9 @@ mod tests {
             "int main() { int n = 4; double s = 0.0;\n#pragma omp parallel for reduction(+:s)\nfor (int i = 0; i < n; i++) { s += i; } return 0; }",
         )
         .unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("not recognized by the CUDA compiler")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("not recognized by the CUDA compiler")));
     }
 
     #[test]
@@ -979,12 +1076,18 @@ mod tests {
             "int main() { int i = threadIdx.x; return i; }",
             Dialect::CudaLite,
         );
-        assert!(msg.contains("device built-in 'threadIdx' in host code"), "{msg}");
+        assert!(
+            msg.contains("device built-in 'threadIdx' in host code"),
+            "{msg}"
+        );
     }
 
     #[test]
     fn syncthreads_only_in_device_code() {
-        let msg = first_error("int main() { __syncthreads(); return 0; }", Dialect::CudaLite);
+        let msg = first_error(
+            "int main() { __syncthreads(); return 0; }",
+            Dialect::CudaLite,
+        );
         assert!(msg.contains("can only be called from device code"), "{msg}");
     }
 
@@ -1003,7 +1106,9 @@ mod tests {
             "int main() { int i = 0; double s = 0.0;\n#pragma omp parallel for\nwhile (i < 4) { i++; } return 0; }",
         )
         .unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("expected a for loop")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("expected a for loop")));
     }
 
     #[test]
@@ -1012,15 +1117,16 @@ mod tests {
             "int main() { int n = 4;\n#pragma omp target teams distribute parallel for map(to: a[0:n])\nfor (int i = 0; i < n; i++) { } return 0; }",
         )
         .unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("undeclared identifier 'a' in map clause")));
+        assert!(errs.iter().any(|e| e
+            .message
+            .contains("undeclared identifier 'a' in map clause")));
     }
 
     #[test]
     fn atomic_requires_update_statement() {
-        let errs = compile_omp(
-            "int main() { double s = 0.0;\n#pragma omp atomic\ns = 1.0; return 0; }",
-        )
-        .unwrap_err();
+        let errs =
+            compile_omp("int main() { double s = 0.0;\n#pragma omp atomic\ns = 1.0; return 0; }")
+                .unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("omp atomic")));
     }
 
@@ -1035,7 +1141,10 @@ mod tests {
 
     #[test]
     fn subscript_of_scalar_rejected() {
-        let msg = first_error("int main() { int n = 4; int x = n[2]; return x; }", Dialect::CudaLite);
+        let msg = first_error(
+            "int main() { int n = 4; int x = n[2]; return x; }",
+            Dialect::CudaLite,
+        );
         assert!(msg.contains("not a pointer or array"), "{msg}");
     }
 
@@ -1084,7 +1193,10 @@ mod tests {
             "int twice(int x) { return 2 * x; } int main() { return twice(1, 2); }",
             Dialect::CudaLite,
         );
-        assert!(msg.contains("takes 1 argument(s) but 2 were provided"), "{msg}");
+        assert!(
+            msg.contains("takes 1 argument(s) but 2 were provided"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -1111,7 +1223,9 @@ mod tests {
             "int main() { int n = 4;\n#pragma omp target teams distribute parallel for collapse(2)\nfor (int i = 0; i < n; i++) { int x = i; } return 0; }",
         )
         .unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("collapse(2) requires")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("collapse(2) requires")));
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Vendored stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the *subset* of the criterion API its benches use: [`Criterion`]
+//! with `sample_size` and `bench_function`, a [`Bencher`] with `iter`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros (struct form with
+//! `name`/`config`/`targets` and plain list form).
+//!
+//! Measurement is intentionally simple — median of `sample_size` timed
+//! samples after one warm-up, printed in a criterion-like one-line format.
+//! It exists so `cargo bench` gives usable relative numbers offline; swap the
+//! real criterion back in for publication-grade statistics. Bench binaries
+//! accept and ignore the arguments cargo passes (`--bench`, test filters),
+//! and run a single fast iteration per benchmark when invoked with `--test`
+//! (what `cargo test --benches` does).
+
+use std::time::{Duration, Instant};
+
+/// Shim of `criterion::Criterion`, the benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark. The closure receives a [`Bencher`] and is
+    /// expected to call [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher {
+            samples,
+            timings: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut timings = bencher.timings;
+        timings.sort();
+        let median = timings.get(timings.len() / 2).copied().unwrap_or_default();
+        let lo = timings.first().copied().unwrap_or_default();
+        let hi = timings.last().copied().unwrap_or_default();
+        println!(
+            "{:<44} time: [{} {} {}]",
+            id.as_ref(),
+            format_duration(lo),
+            format_duration(median),
+            format_duration(hi)
+        );
+        self
+    }
+}
+
+/// Shim of `criterion::Bencher`: times the routine under measurement.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples (plus one
+    /// untimed warm-up), black-boxing the output so it is not optimised away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Shim of `criterion::criterion_group!`. Supports the struct form
+/// (`name = ...; config = ...; targets = ...`) and the list form
+/// (`criterion_group!(benches, f1, f2)`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Shim of `criterion::criterion_main!`: expands to `fn main` running each
+/// group, ignoring the CLI arguments cargo passes to bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        // one warm-up + three samples (test_mode is false under `cargo test`
+        // only when --test is absent from argv; accept either count).
+        assert!(calls == 4 || calls == 2, "unexpected call count {calls}");
+    }
+
+    #[test]
+    fn duration_formatting_picks_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.0000 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.0000 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.0000 s");
+    }
+}

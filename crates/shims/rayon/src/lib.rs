@@ -1,0 +1,145 @@
+//! Vendored stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the *subset* of rayon it actually uses:
+//! `slice.par_iter().map(f).collect::<C>()`. Work is genuinely executed in
+//! parallel with `std::thread::scope`, chunking the input across
+//! `available_parallelism` threads, and results are collected in input order
+//! so the substitution is observationally equivalent for pure `f`.
+//!
+//! Replace with the real rayon (same API surface) when a registry is
+//! available; no call sites need to change.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Mirrors `rayon::prelude`: importing it brings the `par_iter` extension
+/// trait into scope. The adapter types use inherent methods, so nothing else
+/// is needed.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Extension trait adding `par_iter` to slices (and, via deref, `Vec`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map each element through `f`, preserving input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Evaluate the map in parallel and collect the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let threads = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.items.len().max(1));
+        if threads <= 1 || self.items.len() <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+
+        let chunk_size = self.items.len().div_ceil(threads);
+        let f = &self.f;
+        let mut per_chunk: Vec<Vec<R>> = Vec::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            per_chunk = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect();
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collects_into_result_short_circuit_semantics() {
+        let xs: Vec<u64> = (0..100).collect();
+        let ok: Result<Vec<u64>, String> = xs.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u64>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn works_on_empty_and_single_element_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

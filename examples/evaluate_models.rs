@@ -15,11 +15,18 @@ fn main() {
         .collect();
 
     for direction in Direction::both() {
-        println!("=== {} ({} applications x 4 models) ===", direction.label(), apps.len());
+        println!(
+            "=== {} ({} applications x 4 models) ===",
+            direction.label(),
+            apps.len()
+        );
         let records = run_direction_with(direction, &config, &all_models(), &apps);
         for model in all_models() {
-            let model_records: Vec<_> =
-                records.iter().filter(|r| r.model == model.name).cloned().collect();
+            let model_records: Vec<_> = records
+                .iter()
+                .filter(|r| r.model == model.name)
+                .cloned()
+                .collect();
             let stats = AggregateStats::from_outcomes(&scenario_outcomes(&model_records));
             println!(
                 "  {:<20} success {:>5.1}%   zero-corrections {:>5.1}%   mean corr {:.2}",

@@ -22,14 +22,21 @@ fn main() {
 
     println!("application        : {}", record.application);
     println!("model              : {}", record.model);
-    println!("direction          : {} -> {}", record.source_dialect, record.target_dialect);
+    println!(
+        "direction          : {} -> {}",
+        record.source_dialect, record.target_dialect
+    );
     println!("status             : {:?}", record.status);
     println!("self-corrections   : {}", record.self_corrections);
     println!("reference runtime  : {:.6} s", record.reference_runtime);
     if let Some(runtime) = record.generated_runtime {
         println!("generated runtime  : {runtime:.6} s");
         println!("ratio              : {:.3}", record.ratio.unwrap_or(0.0));
-        println!("Sim-T / Sim-L      : {:.2} / {:.2}", record.sim_t.unwrap_or(0.0), record.sim_l.unwrap_or(0.0));
+        println!(
+            "Sim-T / Sim-L      : {:.2} / {:.2}",
+            record.sim_t.unwrap_or(0.0),
+            record.sim_l.unwrap_or(0.0)
+        );
     }
     println!("\n--- generated code -------------------------------------------");
     println!("{}", record.generated_code.unwrap_or_default());

@@ -8,7 +8,9 @@ use lassi::pipeline::{direction_table, run_direction_with, Direction};
 use lassi::prelude::*;
 
 fn main() {
-    let model_name = std::env::args().nth(1).unwrap_or_else(|| "Codestral".to_string());
+    let model_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Codestral".to_string());
     let model = model_by_name(&model_name).unwrap_or_else(|| {
         eprintln!("unknown model '{model_name}', falling back to Codestral");
         model_by_name("Codestral").unwrap()

@@ -33,7 +33,9 @@ fn table_iv_shape_matches_the_paper() {
     // The paper's Table IV: jacobi and dense-embedding are dramatically slower
     // in OpenMP, bsearch and colorwheel are faster in OpenMP.
     let runtime = |name: &str, dialect| {
-        run_application(&application(name).unwrap(), dialect).unwrap().simulated_seconds
+        run_application(&application(name).unwrap(), dialect)
+            .unwrap()
+            .simulated_seconds
     };
     assert!(runtime("jacobi", Dialect::OmpLite) > 3.0 * runtime("jacobi", Dialect::CudaLite));
     assert!(
@@ -47,7 +49,10 @@ fn table_iv_shape_matches_the_paper() {
 #[test]
 fn perfect_model_translates_every_application_cuda_to_openmp() {
     // One timed run per execution keeps this sweep fast in debug builds.
-    let config = PipelineConfig { timing_runs: 1, ..PipelineConfig::default() };
+    let config = PipelineConfig {
+        timing_runs: 1,
+        ..PipelineConfig::default()
+    };
     for app in applications() {
         let mut pipeline = Lassi::new(perfect("GPT-4"), config.clone());
         let record = pipeline.translate_application(&app, Dialect::CudaLite);
@@ -65,7 +70,10 @@ fn perfect_model_translates_every_application_cuda_to_openmp() {
 
 #[test]
 fn perfect_model_translates_every_application_openmp_to_cuda() {
-    let config = PipelineConfig { timing_runs: 1, ..PipelineConfig::default() };
+    let config = PipelineConfig {
+        timing_runs: 1,
+        ..PipelineConfig::default()
+    };
     for app in applications() {
         let mut pipeline = Lassi::new(perfect("GPT-4"), config.clone());
         let record = pipeline.translate_application(&app, Dialect::OmpLite);
@@ -107,16 +115,24 @@ fn faulty_models_produce_na_rows_and_self_corrections() {
     let app = application("atomicCost").unwrap();
     let mut pipeline = Lassi::new(llm, PipelineConfig::default());
     let record = pipeline.translate_application(&app, Dialect::CudaLite);
-    assert!(record.status.is_na(), "semantic fault must not count as success");
+    assert!(
+        record.status.is_na(),
+        "semantic fault must not count as success"
+    );
     assert!(record.ratio.is_none());
 }
 
 #[test]
 fn small_two_model_sweep_produces_paper_style_statistics() {
     let config = PipelineConfig::default();
-    let apps: Vec<Application> =
-        ["layout", "entropy"].iter().map(|n| application(n).unwrap()).collect();
-    let models = vec![model_by_name("GPT-4").unwrap(), model_by_name("Codestral").unwrap()];
+    let apps: Vec<Application> = ["layout", "entropy"]
+        .iter()
+        .map(|n| application(n).unwrap())
+        .collect();
+    let models = vec![
+        model_by_name("GPT-4").unwrap(),
+        model_by_name("Codestral").unwrap(),
+    ];
     let records = run_direction_with(Direction::CudaToOmp, &config, &models, &apps);
     assert_eq!(records.len(), 4);
     let stats = AggregateStats::from_outcomes(&scenario_outcomes(&records));

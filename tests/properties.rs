@@ -13,12 +13,20 @@ fn arb_expr(depth: u32) -> BoxedStrategy<String> {
     if depth == 0 {
         prop_oneof![
             (0i64..1000).prop_map(|v| v.to_string()),
-            prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("n".to_string())],
+            prop_oneof![
+                Just("a".to_string()),
+                Just("b".to_string()),
+                Just("n".to_string())
+            ],
         ]
         .boxed()
     } else {
         let sub = arb_expr(depth - 1);
-        (sub.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], sub)
+        (
+            sub.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*")],
+            sub,
+        )
             .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
             .boxed()
     }

@@ -1,0 +1,42 @@
+//! Smoke test backing the umbrella crate's front-page doctest claim
+//! (`src/lib.rs`): running the `layout` application under
+//! `Dialect::CudaLite` prints a `layout checksum` line. The doctest only runs
+//! under `cargo test --doc`; this integration test pins the same behaviour in
+//! the ordinary test pass so a regression cannot hide behind a skipped
+//! doctest run.
+
+use lassi::prelude::*;
+
+#[test]
+fn layout_reference_run_prints_a_checksum_line() {
+    let app = application("layout").expect("the layout benchmark exists");
+    let report = run_application(&app, Dialect::CudaLite).expect("reference run succeeds");
+    assert_eq!(report.exit_code, 0, "stdout was: {}", report.stdout);
+    let checksum_line = report
+        .stdout
+        .lines()
+        .find(|l| l.contains("layout checksum"))
+        .unwrap_or_else(|| panic!("no 'layout checksum' line in stdout: {}", report.stdout));
+    assert!(
+        checksum_line
+            .split_whitespace()
+            .last()
+            .is_some_and(|v| v.parse::<f64>().is_ok()),
+        "checksum line does not end in a number: {checksum_line}"
+    );
+    assert!(
+        report.simulated_seconds > 0.0,
+        "reference run reports no simulated time"
+    );
+}
+
+#[test]
+fn both_dialect_references_agree_on_stdout() {
+    let app = application("layout").expect("the layout benchmark exists");
+    let cuda = run_application(&app, Dialect::CudaLite).expect("CUDA reference run");
+    let omp = run_application(&app, Dialect::OmpLite).expect("OpenMP reference run");
+    assert_eq!(
+        cuda.stdout, omp.stdout,
+        "reference dialects must be functionally equivalent"
+    );
+}
