@@ -1,15 +1,79 @@
 //! Regenerate the §V headline statistics for both translation directions
-//! (success rate, within-10% rate, Sim-T >= 0.6 rate, zero-self-correction rate).
+//! (success rate, within-10% rate, Sim-T >= 0.6 rate, zero-self-correction
+//! rate), executed on the `lassi-harness` worker pool.
+//!
+//! The run (records + per-direction summaries) is saved to
+//! `artifacts/run-summary/`; `--replay <run-dir>` re-renders a saved
+//! artifact without running anything. Other flags: `--artifacts <dir>`,
+//! `--no-cache`, `--workers <n>`.
 
-use lassi_core::{run_direction, scenario_outcomes, Direction};
+use lassi_core::{scenario_outcomes, Direction};
+use lassi_harness::{RunArtifact, SweepGrid};
 use lassi_metrics::AggregateStats;
 
-fn main() {
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let common = lassi_bench::parse_common_args(args)?;
+    if let Some(extra) = common.rest.first() {
+        return Err(format!("unknown argument `{extra}`"));
+    }
+
+    let mut out = String::new();
+    if let Some(dir) = &common.replay {
+        let artifact = RunArtifact::load(dir).map_err(|e| e.to_string())?;
+        for direction in Direction::both() {
+            let records = artifact
+                .records(direction.slug())
+                .map_err(|e| e.to_string())?;
+            let stats = AggregateStats::from_outcomes(&scenario_outcomes(&records));
+            out.push_str(&format!("=== {} ===\n{stats}\n\n", direction.label()));
+        }
+        return Ok(out);
+    }
+
     let config = lassi_bench::default_config();
+    let harness = lassi_bench::build_harness(&common)?;
+    let models = lassi_llm::all_models();
+    let apps = lassi_hecbench::applications();
+
+    let store = lassi_bench::artifact_store(&common);
+    let writer = store.create_run("summary").map_err(|e| e.to_string())?;
+    let mut scenarios = 0;
     for direction in Direction::both() {
-        let records = run_direction(direction, &config);
+        let records = harness.run_direction_with(direction, &config, &models, &apps);
         let stats = AggregateStats::from_outcomes(&scenario_outcomes(&records));
-        println!("=== {} ===", direction.label());
-        println!("{stats}\n");
+        scenarios += records.len();
+        writer
+            .write_records(direction.slug(), &records)
+            .map_err(|e| e.to_string())?;
+        writer
+            .write_summary(direction.slug(), &stats)
+            .map_err(|e| e.to_string())?;
+        out.push_str(&format!("=== {} ===\n{stats}\n\n", direction.label()));
+    }
+
+    let record_sets: Vec<String> = Direction::both()
+        .iter()
+        .map(|d| d.slug().to_string())
+        .collect();
+    let grid = SweepGrid::single(config, models, apps, Direction::both().to_vec());
+    let manifest = grid.manifest("summary", record_sets, scenarios, harness.cache_snapshot());
+    writer
+        .write_manifest(&manifest)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "artifact saved to {}; re-render with --replay {0}",
+        writer.dir().display()
+    );
+    Ok(out)
+}
+
+fn main() {
+    match run() {
+        Ok(text) => print!("{text}"),
+        Err(message) => {
+            eprintln!("summary: {message}");
+            std::process::exit(2);
+        }
     }
 }

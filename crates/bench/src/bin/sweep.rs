@@ -1,0 +1,407 @@
+//! `sweep` — run arbitrary config-grid sweeps on the `lassi-harness`
+//! experiment service, with a persistent scenario cache and a JSON artifact
+//! per run.
+//!
+//! ```text
+//! sweep [--models L] [--apps L] [--directions L|both]
+//!       [--max-self-corrections L] [--timing-runs L] [--seed N]
+//!       [--run-id ID] [--artifacts DIR] [--no-cache] [--workers N]
+//! sweep --smoke [--artifacts DIR] [--workers N]
+//! sweep --verify <run-dir>
+//! ```
+//!
+//! Lists are comma-separated. Every (direction, max_self_corrections,
+//! timing_runs) cell of the grid becomes one record set in the artifact.
+//!
+//! `--smoke` is the self-checking CI entry point: it runs a tiny
+//! 2-application × 1-model grid twice in-process (cold, then warm), requires
+//! the warm pass to be 100% cache hits, verifies the written artifact
+//! round-trips (including a byte-identical table re-rendering), and emits a
+//! `BENCH_harness.json` perf-trajectory artifact. Because the cache is on
+//! disk, a *second* `sweep --smoke` invocation reports 100% hits on its cold
+//! pass too — CI asserts exactly that.
+//!
+//! `--verify <run-dir>` reloads a saved artifact with the round-trip loader,
+//! recomputes every summary from the records and compares it against the
+//! stored one.
+
+use std::time::Instant;
+
+use lassi_core::{direction_table, scenario_outcomes, Direction, PipelineConfig};
+use lassi_harness::{
+    CacheSnapshot, GridCell, Harness, Job, JobOutput, Json, RunArtifact, SweepGrid,
+};
+use lassi_hecbench::{application, applications, Application};
+use lassi_llm::{all_models, model_by_name, ModelSpec};
+use lassi_metrics::AggregateStats;
+
+struct SweepArgs {
+    common: lassi_bench::CommonArgs,
+    smoke: bool,
+    verify: Option<String>,
+    models: Vec<ModelSpec>,
+    apps: Vec<Application>,
+    directions: Vec<Direction>,
+    max_self_corrections: Vec<u32>,
+    timing_runs: Vec<u32>,
+    seed: Option<u64>,
+    run_id: Option<String>,
+}
+
+fn parse_list<T, E: std::fmt::Display>(
+    raw: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Result<T, E>,
+) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s).map_err(|e| format!("bad {what} `{s}`: {e}")))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("empty {what} list"));
+    }
+    Ok(items)
+}
+
+fn parse_args() -> Result<SweepArgs, String> {
+    let common = lassi_bench::parse_common_args(std::env::args().skip(1))?;
+    let mut args = SweepArgs {
+        common: common.clone(),
+        smoke: false,
+        verify: None,
+        models: all_models(),
+        apps: applications(),
+        directions: Direction::both().to_vec(),
+        max_self_corrections: vec![PipelineConfig::default().max_self_corrections],
+        timing_runs: vec![PipelineConfig::default().timing_runs],
+        seed: None,
+        run_id: None,
+    };
+    let mut iter = common.rest.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--verify" => args.verify = Some(value("--verify")?),
+            "--models" => {
+                args.models = parse_list(&value("--models")?, "model", |s| {
+                    model_by_name(s).ok_or("unknown model")
+                })?;
+            }
+            "--apps" => {
+                args.apps = parse_list(&value("--apps")?, "application", |s| {
+                    application(s).ok_or("unknown application")
+                })?;
+            }
+            "--directions" => {
+                let raw = value("--directions")?;
+                if raw == "both" {
+                    args.directions = Direction::both().to_vec();
+                } else {
+                    args.directions = parse_list(&raw, "direction", |s| {
+                        Direction::from_slug(s).ok_or("use omp-to-cuda / cuda-to-omp / both")
+                    })?;
+                }
+            }
+            "--max-self-corrections" | "--msc" => {
+                args.max_self_corrections =
+                    parse_list(&value("--max-self-corrections")?, "cap", str::parse::<u32>)?;
+            }
+            "--timing-runs" => {
+                args.timing_runs =
+                    parse_list(&value("--timing-runs")?, "timing-runs", str::parse::<u32>)?;
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                args.seed = Some(raw.parse().map_err(|_| format!("bad seed `{raw}`"))?);
+            }
+            "--run-id" => args.run_id = Some(value("--run-id")?),
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (see --help in the docs)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// One harness pass over the grid's jobs; returns submission-ordered outputs,
+/// wall-clock and the pass's cache-counter delta.
+fn run_pass(harness: &Harness, jobs: Vec<Job>) -> (Vec<JobOutput>, f64, CacheSnapshot) {
+    let before = harness.cache_snapshot();
+    let started = Instant::now();
+    let outputs = harness.submit(jobs).collect_outputs();
+    let wall = started.elapsed().as_secs_f64();
+    (outputs, wall, harness.cache_snapshot().since(before))
+}
+
+fn pass_line(label: &str, outputs: &[JobOutput], wall: f64, delta: CacheSnapshot) -> String {
+    format!(
+        "{label} pass: {} scenarios, wall {:.3}s, cache hits {}/{} ({:.1}%)",
+        outputs.len(),
+        wall,
+        delta.hits,
+        delta.hits + delta.misses,
+        delta.hit_rate() * 100.0,
+    )
+}
+
+/// Write one run artifact: per-cell record sets + summaries + manifest.
+/// Returns the per-cell records for later verification.
+fn write_artifact(
+    args: &SweepArgs,
+    grid: &SweepGrid,
+    run_id: &str,
+    jobs: &[Job],
+    outputs: &[JobOutput],
+    snapshot: CacheSnapshot,
+) -> Result<Vec<(GridCell, Vec<lassi_core::TranslationRecord>)>, String> {
+    let cells = grid.cells();
+    let mut per_cell: Vec<(GridCell, Vec<lassi_core::TranslationRecord>)> =
+        cells.iter().map(|&c| (c, Vec::new())).collect();
+    for output in outputs {
+        let cell = grid.cell_of(&jobs[output.index]);
+        let slot = per_cell
+            .iter_mut()
+            .find(|(c, _)| *c == cell)
+            .expect("every job belongs to a grid cell");
+        slot.1.push(output.record.clone());
+    }
+
+    let store = lassi_bench::artifact_store(&args.common);
+    let writer = store.create_run(run_id).map_err(|e| e.to_string())?;
+    for (cell, records) in &per_cell {
+        let slug = cell.slug();
+        let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
+        writer
+            .write_records(&slug, records)
+            .map_err(|e| e.to_string())?;
+        writer
+            .write_summary(&slug, &stats)
+            .map_err(|e| e.to_string())?;
+    }
+    let record_sets = cells.iter().map(GridCell::slug).collect();
+    let manifest = grid.manifest(run_id, record_sets, outputs.len(), snapshot);
+    writer
+        .write_manifest(&manifest)
+        .map_err(|e| e.to_string())?;
+    eprintln!("artifact saved to {}", writer.dir().display());
+    Ok(per_cell)
+}
+
+/// Reload an artifact and check every record set round-trips: records parse,
+/// summaries match a recomputation, and the manifest lists every set.
+fn verify_artifact(dir: &std::path::Path) -> Result<String, String> {
+    let artifact = RunArtifact::load(dir).map_err(|e| e.to_string())?;
+    let mut records_total = 0;
+    for set in &artifact.manifest.record_sets {
+        let records = artifact.records(set).map_err(|e| e.to_string())?;
+        let stored = artifact.summary(set).map_err(|e| e.to_string())?;
+        let recomputed = AggregateStats::from_outcomes(&scenario_outcomes(&records));
+        if stored != recomputed {
+            return Err(format!(
+                "summary-{set}.json does not match its records: stored {stored:?}, \
+                 recomputed {recomputed:?}"
+            ));
+        }
+        records_total += records.len();
+    }
+    if records_total != artifact.manifest.scenarios {
+        return Err(format!(
+            "manifest claims {} scenarios but record sets hold {records_total}",
+            artifact.manifest.scenarios
+        ));
+    }
+    Ok(format!(
+        "artifact OK: {} record sets, {records_total} records, schema v{}",
+        artifact.manifest.record_sets.len(),
+        artifact.manifest.schema_version
+    ))
+}
+
+fn write_bench_trajectory(
+    scenarios: usize,
+    workers: usize,
+    cold: (f64, CacheSnapshot),
+    warm: (f64, CacheSnapshot),
+) -> Result<(), String> {
+    let speedup = if warm.0 > 0.0 { cold.0 / warm.0 } else { 0.0 };
+    let value = Json::Object(vec![
+        ("bench".into(), Json::Str("harness-smoke".into())),
+        ("schema_version".into(), Json::Int(1)),
+        ("created_unix".into(), Json::uint(lassi_bench::unix_now())),
+        ("scenarios".into(), Json::Int(scenarios as i128)),
+        ("workers".into(), Json::Int(workers as i128)),
+        ("cold_wall_seconds".into(), Json::Float(cold.0)),
+        ("warm_wall_seconds".into(), Json::Float(warm.0)),
+        ("warm_speedup".into(), Json::Float(speedup)),
+        ("cold_cache_hit_rate".into(), Json::Float(cold.1.hit_rate())),
+        ("warm_cache_hit_rate".into(), Json::Float(warm.1.hit_rate())),
+    ]);
+    let mut text = value.to_pretty();
+    text.push('\n');
+    std::fs::write("BENCH_harness.json", text)
+        .map_err(|e| format!("cannot write BENCH_harness.json: {e}"))
+}
+
+fn smoke(args: &SweepArgs) -> Result<(), String> {
+    let base = PipelineConfig {
+        timing_runs: 1,
+        ..PipelineConfig::default()
+    };
+    let grid = SweepGrid::single(
+        base,
+        vec![model_by_name("GPT-4").expect("GPT-4 exists")],
+        vec![
+            application("layout").expect("layout exists"),
+            application("entropy").expect("entropy exists"),
+        ],
+        vec![Direction::CudaToOmp],
+    );
+    let harness = lassi_bench::build_harness(&args.common)?;
+    if harness.cache().is_none() {
+        return Err("--smoke needs the scenario cache (drop --no-cache)".into());
+    }
+    let workers = lassi_harness::HarnessOptions::default()
+        .with_workers(args.common.workers)
+        .workers;
+
+    let (cold_out, cold_wall, cold_delta) = run_pass(&harness, grid.jobs());
+    println!("{}", pass_line("cold", &cold_out, cold_wall, cold_delta));
+    let (warm_out, warm_wall, warm_delta) = run_pass(&harness, grid.jobs());
+    println!("{}", pass_line("warm", &warm_out, warm_wall, warm_delta));
+
+    if warm_delta.hits as usize != warm_out.len() || warm_delta.misses != 0 {
+        return Err(format!(
+            "warm pass must be 100% cache hits, got {}/{}",
+            warm_delta.hits,
+            warm_delta.hits + warm_delta.misses
+        ));
+    }
+    for (cold, warm) in cold_out.iter().zip(&warm_out) {
+        if cold.record != warm.record {
+            return Err(format!(
+                "cache returned a different record for {}",
+                cold.record.application
+            ));
+        }
+    }
+
+    let jobs = grid.jobs();
+    let per_cell = write_artifact(
+        args,
+        &grid,
+        "smoke",
+        &jobs,
+        &warm_out,
+        harness.cache_snapshot(),
+    )?;
+
+    // Round-trip check: reload the artifact and require the re-rendered
+    // table to be byte-identical to the live rendering.
+    let store = lassi_bench::artifact_store(&args.common);
+    let run_dir = store.run_dir("smoke");
+    println!("{}", verify_artifact(&run_dir)?);
+    let artifact = RunArtifact::load(&run_dir).map_err(|e| e.to_string())?;
+    for (cell, live_records) in &per_cell {
+        let loaded = artifact.records(&cell.slug()).map_err(|e| e.to_string())?;
+        if loaded != *live_records {
+            return Err(format!(
+                "record set {} changed across save/load",
+                cell.slug()
+            ));
+        }
+        let live_table = direction_table(cell.direction, live_records);
+        let replayed_table = direction_table(cell.direction, &loaded);
+        if live_table != replayed_table {
+            return Err(format!(
+                "replayed table for {} is not byte-identical",
+                cell.slug()
+            ));
+        }
+    }
+    println!("replayed tables byte-identical to live rendering");
+
+    write_bench_trajectory(
+        warm_out.len(),
+        workers,
+        (cold_wall, cold_delta),
+        (warm_wall, warm_delta),
+    )?;
+    println!(
+        "BENCH_harness.json written (cold {:.3}s vs warm {:.3}s)",
+        cold_wall, warm_wall
+    );
+    Ok(())
+}
+
+fn full_sweep(args: &SweepArgs) -> Result<(), String> {
+    let mut base = PipelineConfig::default();
+    if let Some(seed) = args.seed {
+        base.seed = seed;
+    }
+    let grid = SweepGrid {
+        base,
+        models: args.models.clone(),
+        apps: args.apps.clone(),
+        directions: args.directions.clone(),
+        max_self_corrections: args.max_self_corrections.clone(),
+        timing_runs: args.timing_runs.clone(),
+    };
+    if grid.is_empty() {
+        return Err("the sweep grid is empty".into());
+    }
+    let run_id = args
+        .run_id
+        .clone()
+        .unwrap_or_else(|| format!("sweep-{}", lassi_bench::unix_now()));
+    eprintln!(
+        "sweeping {} scenarios over {} grid cells (run id: {run_id})",
+        grid.len(),
+        grid.cells().len()
+    );
+
+    let harness = lassi_bench::build_harness(&args.common)?;
+    let jobs = grid.jobs();
+    let (outputs, wall, delta) = run_pass(&harness, jobs.clone());
+    println!("{}", pass_line("sweep", &outputs, wall, delta));
+
+    let per_cell = write_artifact(
+        args,
+        &grid,
+        &run_id,
+        &jobs,
+        &outputs,
+        harness.cache_snapshot(),
+    )?;
+    for (cell, records) in &per_cell {
+        let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
+        println!("\n=== {} ===\n{stats}", cell.slug());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("sweep: {message}");
+            std::process::exit(2);
+        }
+    };
+    let result = if let Some(dir) = &args.verify {
+        verify_artifact(std::path::Path::new(dir)).map(|report| println!("{report}"))
+    } else if args.smoke {
+        smoke(&args)
+    } else {
+        full_sweep(&args)
+    };
+    if let Err(message) = result {
+        eprintln!("sweep: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,8 +1,33 @@
-//! Regenerate Table V: the four LLM configurations.
+//! Regenerate Table V: the four LLM configurations. `--json` emits the
+//! model specifications (including the cache-identity fingerprint) as JSON
+//! through the harness serializer instead of the text table.
 
+use lassi_harness::Json;
 use lassi_llm::all_models;
 
+fn model_json() -> Json {
+    Json::Array(
+        all_models()
+            .iter()
+            .map(|m| {
+                Json::Object(vec![
+                    ("name".into(), Json::Str(m.name.into())),
+                    ("parameters".into(), Json::Str(m.parameters.into())),
+                    ("size_gb".into(), Json::opt_float(m.size_gb)),
+                    ("quantization".into(), Json::Str(m.quantization.into())),
+                    ("context_tokens".into(), Json::Int(m.context_tokens as i128)),
+                    ("fingerprint".into(), Json::Str(m.fingerprint())),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", model_json().to_pretty());
+        return;
+    }
     println!("Table V: selected Large Language Models\n");
     println!(
         "{:<20} {:<12} {:<10} {:<14} {:>16}",

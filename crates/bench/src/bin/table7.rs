@@ -1,10 +1,20 @@
 //! Regenerate Table VII: CUDA → OpenMP translation results for all ten
-//! applications and all four models (40 pipeline scenarios).
+//! applications and all four models (40 pipeline scenarios), executed on the
+//! `lassi-harness` worker pool with the persistent scenario cache.
+//!
+//! The run is saved to `artifacts/run-table7/`; `--replay <run-dir>`
+//! re-renders a saved artifact byte-identically without running anything.
+//! Other flags: `--artifacts <dir>`, `--no-cache`, `--workers <n>`.
 
-use lassi_core::{direction_table, run_direction, Direction};
+use lassi_core::Direction;
 
 fn main() {
-    let config = lassi_bench::default_config();
-    let records = run_direction(Direction::CudaToOmp, &config);
-    print!("{}", direction_table(Direction::CudaToOmp, &records));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lassi_bench::direction_table_bin(Direction::CudaToOmp, "table7", args) {
+        Ok(table) => print!("{table}"),
+        Err(message) => {
+            eprintln!("table7: {message}");
+            std::process::exit(2);
+        }
+    }
 }

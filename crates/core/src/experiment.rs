@@ -46,10 +46,27 @@ impl Direction {
             Direction::CudaToOmp => "CUDA to OpenMP",
         }
     }
+
+    /// Filename-safe identifier (artifact record sets, cache keys).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Direction::OmpToCuda => "omp-to-cuda",
+            Direction::CudaToOmp => "cuda-to-omp",
+        }
+    }
+
+    /// Inverse of [`Direction::slug`].
+    pub fn from_slug(slug: &str) -> Option<Direction> {
+        match slug {
+            "omp-to-cuda" => Some(Direction::OmpToCuda),
+            "cuda-to-omp" => Some(Direction::CudaToOmp),
+            _ => None,
+        }
+    }
 }
 
 /// One row of Table IV.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table4Row {
     /// Category (Table IV column 1).
     pub category: String,
@@ -98,6 +115,11 @@ pub fn run_direction(direction: Direction, config: &PipelineConfig) -> Vec<Trans
 
 /// Run a direction for an explicit set of models and applications (used by
 /// the examples and by tests that need a smaller sweep).
+///
+/// This is the *blocking* sweep path: every scenario is a [`run_scenario`]
+/// call fanned out with `par_iter`. The `lassi-harness` crate wraps the same
+/// [`run_scenario`] entry point in a job queue with caching, streaming and
+/// cancellation — prefer it for anything interactive or repeated.
 pub fn run_direction_with(
     direction: Direction,
     config: &PipelineConfig,
@@ -110,13 +132,24 @@ pub fn run_direction_with(
         .collect();
     scenarios
         .par_iter()
-        .map(|(model, app)| {
-            let seed = config.model_scenario_seed(model.name, app.name, direction);
-            let llm = SimulatedLlm::with_seed(model.clone(), seed);
-            let mut pipeline = Lassi::new(llm, config.clone());
-            pipeline.translate_application(app, direction.source())
-        })
+        .map(|(model, app)| run_scenario(model, app, direction, config))
         .collect()
+}
+
+/// Run exactly one (model, application, direction) scenario with the
+/// deterministic per-scenario seed derived from `config`. This is the unit
+/// of work the harness scheduler enqueues; `run_direction*` are thin sweeps
+/// over it.
+pub fn run_scenario(
+    model: &ModelSpec,
+    app: &Application,
+    direction: Direction,
+    config: &PipelineConfig,
+) -> TranslationRecord {
+    let seed = config.model_scenario_seed(model.name, app.name, direction);
+    let llm = SimulatedLlm::with_seed(model.clone(), seed);
+    let mut pipeline = Lassi::new(llm, config.clone());
+    pipeline.translate_application(app, direction.source())
 }
 
 /// Convert records into the metric outcomes used for the summary statistics.

@@ -24,8 +24,8 @@ pub mod pipeline;
 
 pub use config::PipelineConfig;
 pub use experiment::{
-    direction_table, run_direction, run_direction_with, run_table4, scenario_outcomes, table4_text,
-    Direction, Table4Row,
+    direction_table, run_direction, run_direction_with, run_scenario, run_table4,
+    scenario_outcomes, table4_text, Direction, Table4Row,
 };
 pub use pipeline::{Lassi, ScenarioStatus, TranslationRecord};
 

@@ -35,7 +35,7 @@ impl ScenarioStatus {
 
 /// Everything recorded about one (application, model, direction) scenario —
 /// one row of Tables VI/VII.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TranslationRecord {
     /// Application name.
     pub application: String,
@@ -133,6 +133,11 @@ impl<M: ChatModel> Lassi<M> {
         let source_code = app.source(source_dialect);
         let reference_code = app.source(target_dialect);
 
+        // The struct-level accumulators survive across scenarios on a reused
+        // pipeline instance; the record must report this scenario's delta.
+        let prompt_token_base = self.prompt_tokens;
+        let response_token_base = self.response_tokens;
+
         let mut record = TranslationRecord {
             application: app.name.to_string(),
             model: self.llm.name().to_string(),
@@ -198,8 +203,8 @@ impl<M: ChatModel> Lassi<M> {
             Some(c) => c,
             None => {
                 record.status = ScenarioStatus::CompileGaveUp;
-                record.prompt_tokens = self.prompt_tokens;
-                record.response_tokens = self.response_tokens;
+                record.prompt_tokens = self.prompt_tokens - prompt_token_base;
+                record.response_tokens = self.response_tokens - response_token_base;
                 return record;
             }
         };
@@ -266,8 +271,8 @@ impl<M: ChatModel> Lassi<M> {
         }
 
         record.generated_code = Some(code.clone());
-        record.prompt_tokens = self.prompt_tokens;
-        record.response_tokens = self.response_tokens;
+        record.prompt_tokens = self.prompt_tokens - prompt_token_base;
+        record.response_tokens = self.response_tokens - response_token_base;
 
         let Some(report) = final_report else {
             return record;
@@ -277,7 +282,13 @@ impl<M: ChatModel> Lassi<M> {
         // The prototype pipeline in the paper compares standard output by
         // hand; here the comparison is automated and exact.
         if normalize_output(&report.stdout) != normalize_output(&reference_report.stdout) {
+            // The generated code *did* run — keep the measured runtime and
+            // similarity scores as diagnostics. Ratio stays `None` so the
+            // row still renders as the paper's N/A.
             record.status = ScenarioStatus::OutputMismatch;
+            record.generated_runtime = Some(report.simulated_seconds);
+            record.sim_t = Some(sim_t(reference_code, &code));
+            record.sim_l = Some(sim_l(reference_code, &code));
             return record;
         }
 
@@ -359,6 +370,39 @@ mod tests {
             record.self_corrections >= 1,
             "the compile loop must have iterated"
         );
+    }
+
+    #[test]
+    fn token_accounting_resets_between_scenarios_on_one_instance() {
+        // A reused pipeline must not carry the first scenario's token totals
+        // into the second record. With a perfect model both runs take the
+        // identical zero-correction path, so the deltas must be equal.
+        let app = application("layout").unwrap();
+        let mut pipeline = Lassi::new(perfect_model(), PipelineConfig::default());
+        let first = pipeline.translate_application(&app, Dialect::CudaLite);
+        let second = pipeline.translate_application(&app, Dialect::CudaLite);
+        assert!(first.prompt_tokens > 0 && first.response_tokens > 0);
+        assert_eq!(first.prompt_tokens, second.prompt_tokens);
+        assert_eq!(first.response_tokens, second.response_tokens);
+    }
+
+    #[test]
+    fn output_mismatch_keeps_runtime_and_similarity_diagnostics() {
+        // Force an unrecoverable semantic fault: the generated code runs but
+        // prints the wrong output.
+        let mut spec = models::gpt4();
+        spec.profile.p_compile_fault = 0.0;
+        spec.profile.p_runtime_fault = 0.0;
+        spec.profile.p_semantic_fault = 1.0;
+        spec.profile.p_perf_regression = 0.0;
+        let llm = SimulatedLlm::with_seed(spec, 11);
+        let app = application("layout").unwrap();
+        let mut pipeline = Lassi::new(llm, PipelineConfig::default());
+        let record = pipeline.translate_application(&app, Dialect::CudaLite);
+        assert_eq!(record.status, ScenarioStatus::OutputMismatch);
+        assert!(record.generated_runtime.is_some(), "measured runtime kept");
+        assert!(record.sim_t.is_some() && record.sim_l.is_some());
+        assert!(record.ratio.is_none(), "Ratio column stays N/A");
     }
 
     #[test]

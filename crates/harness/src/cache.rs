@@ -1,0 +1,297 @@
+//! Content-addressed scenario cache.
+//!
+//! A scenario's [`TranslationRecord`] is fully determined by the application
+//! sources, the model fingerprint, the direction, the derived per-scenario
+//! seed and the pipeline configuration — the pipeline is deterministic, so a
+//! cached record is *exact*, not approximate. The cache key hashes all of
+//! those with FNV-1a (hand-rolled: `DefaultHasher` is explicitly not stable
+//! across Rust releases, and disk entries must outlive a toolchain bump —
+//! a changed hash only costs a miss, a *reused* wrong hash would corrupt).
+//!
+//! Two backings share one interface: a process-local in-memory map, and an
+//! optional on-disk layer (one JSON file per scenario) that lets repeated
+//! sweep *invocations* skip already-computed scenarios. Hit/miss counters
+//! prove the speedup (`sweep --smoke` asserts a warm rerun is 100% hits).
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use lassi_core::TranslationRecord;
+
+use crate::codec::{record_from_json, record_to_json};
+use crate::json;
+use crate::scheduler::Job;
+
+/// 64-bit FNV-1a over arbitrary bytes: small, stable, good enough dispersion
+/// for a few thousand scenario keys.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The content-addressed identity of one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioKey(pub u64);
+
+impl ScenarioKey {
+    /// Hex form used as the on-disk file stem.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Derive the cache key for a job from everything that determines its record.
+pub fn scenario_key(job: &Job) -> ScenarioKey {
+    let config = &job.config;
+    let canonical = format!(
+        "v1;app={};cuda={:016x};omp={:016x};model={};dir={};seed={};msc={};runs={};\
+         step={};hostop={:016x};startup={:016x}",
+        job.application.name,
+        fnv1a64(job.application.cuda_source.as_bytes()),
+        fnv1a64(job.application.omp_source.as_bytes()),
+        job.model.fingerprint(),
+        job.direction.slug(),
+        job.scenario_seed(),
+        config.max_self_corrections,
+        config.timing_runs,
+        config.run_config.step_limit,
+        config.run_config.host_op_seconds.to_bits(),
+        config.run_config.startup_seconds.to_bits(),
+    );
+    ScenarioKey(fnv1a64(canonical.as_bytes()))
+}
+
+/// Hit/miss/store counters, cheap enough to share across worker threads.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+/// A point-in-time copy of the counters (for per-pass deltas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a pipeline run.
+    pub misses: u64,
+    /// Records written into the cache.
+    pub stores: u64,
+}
+
+impl CacheSnapshot {
+    /// Hit fraction in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            stores: self.stores - earlier.stores,
+        }
+    }
+}
+
+/// The scenario cache: always an in-memory map, optionally backed by a
+/// directory of `<key>.json` files.
+pub struct ScenarioCache {
+    dir: Option<PathBuf>,
+    memory: Mutex<HashMap<u64, TranslationRecord>>,
+    stats: CacheStats,
+}
+
+impl ScenarioCache {
+    /// Process-local cache with no persistence.
+    pub fn in_memory() -> Self {
+        ScenarioCache {
+            dir: None,
+            memory: Mutex::new(HashMap::new()),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Disk-backed cache rooted at `dir` (created if missing). Entries
+    /// survive across processes, which is what makes a second `sweep`
+    /// invocation 100% hits.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ScenarioCache {
+            dir: Some(dir),
+            memory: Mutex::new(HashMap::new()),
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// The backing directory, if this cache persists to disk.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Look a scenario up, counting the hit or miss.
+    pub fn lookup(&self, key: ScenarioKey) -> Option<TranslationRecord> {
+        if let Some(record) = self.memory.lock().expect("cache mutex").get(&key.0) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(record.clone());
+        }
+        if let Some(record) = self.disk_lookup(key) {
+            self.memory
+                .lock()
+                .expect("cache mutex")
+                .insert(key.0, record.clone());
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(record);
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn disk_lookup(&self, key: ScenarioKey) -> Option<TranslationRecord> {
+        let dir = self.dir.as_ref()?;
+        let text = std::fs::read_to_string(self.entry_path(dir, key)).ok()?;
+        // A corrupt or truncated entry is treated as a miss and will be
+        // overwritten by the recomputed record.
+        let value = json::parse(&text).ok()?;
+        record_from_json(&value).ok()
+    }
+
+    /// Store a freshly computed record under its key.
+    pub fn store(&self, key: ScenarioKey, record: &TranslationRecord) {
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        self.memory
+            .lock()
+            .expect("cache mutex")
+            .insert(key.0, record.clone());
+        if let Some(dir) = &self.dir {
+            let path = self.entry_path(dir, key);
+            let tmp = path.with_extension("json.tmp");
+            let text = record_to_json(record).to_pretty();
+            // Write-then-rename so a concurrent reader never sees a torn file.
+            if std::fs::write(&tmp, text).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    }
+
+    fn entry_path(&self, dir: &Path, key: ScenarioKey) -> PathBuf {
+        dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            stores: self.stats.stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Job;
+    use lassi_core::{Direction, PipelineConfig};
+    use lassi_hecbench::application;
+    use lassi_llm::gpt4;
+    use std::sync::atomic::AtomicUsize;
+
+    fn test_dir(label: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "lassi-cache-test-{}-{label}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn job(app: &str, msc: u32) -> Job {
+        Job::new(
+            application(app).unwrap(),
+            gpt4(),
+            Direction::CudaToOmp,
+            PipelineConfig {
+                max_self_corrections: msc,
+                timing_runs: 1,
+                ..PipelineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn keys_separate_every_dimension() {
+        let base = scenario_key(&job("layout", 40));
+        assert_eq!(base, scenario_key(&job("layout", 40)), "stable");
+        assert_ne!(base, scenario_key(&job("entropy", 40)), "application");
+        assert_ne!(base, scenario_key(&job("layout", 10)), "config override");
+        let mut other_dir = job("layout", 40);
+        other_dir.direction = Direction::OmpToCuda;
+        assert_ne!(base, scenario_key(&other_dir), "direction");
+        let mut other_model = job("layout", 40);
+        other_model.model.profile.p_compile_fault += 0.01;
+        assert_ne!(base, scenario_key(&other_model), "model profile");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn memory_cache_counts_hits_and_misses() {
+        let cache = ScenarioCache::in_memory();
+        let key = scenario_key(&job("layout", 40));
+        assert!(cache.lookup(key).is_none());
+        let record = job("layout", 40).run();
+        cache.store(key, &record);
+        assert_eq!(cache.lookup(key).as_ref(), Some(&record));
+        let snap = cache.snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.stores), (1, 1, 1));
+        assert!((snap.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_cache_persists_across_instances() {
+        let dir = test_dir("persist");
+        let key = scenario_key(&job("entropy", 40));
+        let record = job("entropy", 40).run();
+        {
+            let cache = ScenarioCache::on_disk(&dir).unwrap();
+            cache.store(key, &record);
+        }
+        let fresh = ScenarioCache::on_disk(&dir).unwrap();
+        assert_eq!(fresh.lookup(key).as_ref(), Some(&record));
+        assert_eq!(fresh.snapshot().hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_disk_entries_degrade_to_misses() {
+        let dir = test_dir("corrupt");
+        let cache = ScenarioCache::on_disk(&dir).unwrap();
+        let key = scenario_key(&job("layout", 40));
+        std::fs::write(dir.join(format!("{}.json", key.hex())), "{ not json").unwrap();
+        assert!(cache.lookup(key).is_none());
+        assert_eq!(cache.snapshot().misses, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,242 @@
+//! Config-grid sweeps: the cartesian product of models × applications ×
+//! directions × configuration overrides, flattened into scheduler jobs.
+//!
+//! This is what opens workloads beyond the paper's fixed 2×40 grid — e.g.
+//! sweeping `max_self_corrections × timing_runs` over a model subset to map
+//! how the self-correction budget trades off against wall-clock. Overlapping
+//! grids share scenario-cache entries, so refining a sweep only pays for the
+//! new cells.
+
+use lassi_core::{Direction, PipelineConfig};
+use lassi_hecbench::Application;
+use lassi_llm::ModelSpec;
+
+use crate::cache::CacheSnapshot;
+use crate::scheduler::Job;
+use crate::store::{detect_git_commit, RunManifest};
+
+/// A sweep specification. Every `Vec` dimension must be non-empty.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Base configuration; grid dimensions override its fields per job.
+    pub base: PipelineConfig,
+    /// Models to sweep.
+    pub models: Vec<ModelSpec>,
+    /// Applications to sweep.
+    pub apps: Vec<Application>,
+    /// Directions to sweep.
+    pub directions: Vec<Direction>,
+    /// `max_self_corrections` values to sweep.
+    pub max_self_corrections: Vec<u32>,
+    /// `timing_runs` values to sweep.
+    pub timing_runs: Vec<u32>,
+}
+
+impl SweepGrid {
+    /// A 1×1 grid over the base config's own values.
+    pub fn single(
+        base: PipelineConfig,
+        models: Vec<ModelSpec>,
+        apps: Vec<Application>,
+        directions: Vec<Direction>,
+    ) -> SweepGrid {
+        SweepGrid {
+            max_self_corrections: vec![base.max_self_corrections],
+            timing_runs: vec![base.timing_runs],
+            base,
+            models,
+            apps,
+            directions,
+        }
+    }
+
+    /// Number of scenarios the grid expands to.
+    pub fn len(&self) -> usize {
+        self.models.len()
+            * self.apps.len()
+            * self.directions.len()
+            * self.max_self_corrections.len()
+            * self.timing_runs.len()
+    }
+
+    /// True when any dimension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The distinct (direction, msc, timing_runs) cells, in iteration order —
+    /// each cell becomes one artifact record set.
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut cells = Vec::new();
+        for &direction in &self.directions {
+            for &msc in &self.max_self_corrections {
+                for &runs in &self.timing_runs {
+                    cells.push(GridCell {
+                        direction,
+                        max_self_corrections: msc,
+                        timing_runs: runs,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Expand the grid into jobs, cell-major then model-major (the paper's
+    /// sweep order within each cell, so tables render identically).
+    pub fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(self.len());
+        for cell in self.cells() {
+            let config = PipelineConfig {
+                max_self_corrections: cell.max_self_corrections,
+                timing_runs: cell.timing_runs,
+                ..self.base.clone()
+            };
+            for model in &self.models {
+                for app in &self.apps {
+                    jobs.push(Job::new(
+                        app.clone(),
+                        model.clone(),
+                        cell.direction,
+                        config.clone(),
+                    ));
+                }
+            }
+        }
+        jobs
+    }
+
+    /// The run manifest describing a sweep over this grid — the single place
+    /// every binary builds its manifest from, so the schema cannot drift
+    /// between `table6`, `summary` and `sweep`. `record_sets` is
+    /// caller-chosen because set naming differs (plain direction slugs for
+    /// the table binaries, full cell slugs for grid sweeps).
+    pub fn manifest(
+        &self,
+        run_id: &str,
+        record_sets: Vec<String>,
+        scenarios: usize,
+        snapshot: CacheSnapshot,
+    ) -> RunManifest {
+        let mut manifest = RunManifest::new(run_id, self.base.seed);
+        manifest.git_commit = detect_git_commit();
+        manifest.created_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| Some(d.as_secs()))
+            .unwrap_or(None);
+        manifest.timing_runs = self.timing_runs.clone();
+        manifest.max_self_corrections = self.max_self_corrections.clone();
+        manifest.models = self.models.iter().map(|m| m.name.to_string()).collect();
+        manifest.applications = self.apps.iter().map(|a| a.name.to_string()).collect();
+        manifest.directions = self
+            .directions
+            .iter()
+            .map(|d| d.slug().to_string())
+            .collect();
+        manifest.record_sets = record_sets;
+        manifest.scenarios = scenarios;
+        manifest.cache_hits = snapshot.hits;
+        manifest.cache_misses = snapshot.misses;
+        manifest
+    }
+
+    /// The cell a job belongs to.
+    pub fn cell_of(&self, job: &Job) -> GridCell {
+        GridCell {
+            direction: job.direction,
+            max_self_corrections: job.config.max_self_corrections,
+            timing_runs: job.config.timing_runs,
+        }
+    }
+}
+
+/// One configuration cell of a grid sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridCell {
+    /// Translation direction.
+    pub direction: Direction,
+    /// Self-correction cap for this cell.
+    pub max_self_corrections: u32,
+    /// Timed executions averaged per runtime measurement.
+    pub timing_runs: u32,
+}
+
+impl GridCell {
+    /// Filename-safe record-set slug, e.g. `cuda-to-omp-msc40-runs1`.
+    pub fn slug(&self) -> String {
+        format!(
+            "{}-msc{}-runs{}",
+            self.direction.slug(),
+            self.max_self_corrections,
+            self.timing_runs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lassi_hecbench::application;
+    use lassi_llm::{codestral, gpt4};
+
+    fn grid() -> SweepGrid {
+        SweepGrid {
+            base: PipelineConfig::default(),
+            models: vec![gpt4(), codestral()],
+            apps: vec![
+                application("layout").unwrap(),
+                application("entropy").unwrap(),
+            ],
+            directions: vec![Direction::CudaToOmp, Direction::OmpToCuda],
+            max_self_corrections: vec![10, 40],
+            timing_runs: vec![1],
+        }
+    }
+
+    #[test]
+    fn grid_expands_to_the_full_product() {
+        let g = grid();
+        assert_eq!(g.len(), 2 * 2 * 2 * 2);
+        let jobs = g.jobs();
+        assert_eq!(jobs.len(), g.len());
+        assert_eq!(g.cells().len(), 4);
+        // Every job's config reflects its cell overrides.
+        for job in &jobs {
+            assert!(matches!(job.config.max_self_corrections, 10 | 40));
+            assert_eq!(job.config.timing_runs, 1);
+        }
+        // Cells partition the jobs evenly.
+        for cell in g.cells() {
+            let n = jobs.iter().filter(|j| g.cell_of(j) == cell).count();
+            assert_eq!(n, 4, "{}", cell.slug());
+        }
+    }
+
+    #[test]
+    fn cell_slugs_are_distinct_and_filename_safe() {
+        let g = grid();
+        let slugs: Vec<String> = g.cells().iter().map(GridCell::slug).collect();
+        for (i, a) in slugs.iter().enumerate() {
+            assert!(a.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+            for b in &slugs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn single_grid_matches_base_config() {
+        let base = PipelineConfig::default();
+        let g = SweepGrid::single(
+            base.clone(),
+            vec![gpt4()],
+            vec![application("layout").unwrap()],
+            vec![Direction::CudaToOmp],
+        );
+        assert_eq!(g.len(), 1);
+        assert_eq!(
+            g.jobs()[0].config.max_self_corrections,
+            base.max_self_corrections
+        );
+    }
+}

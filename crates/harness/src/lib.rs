@@ -1,0 +1,43 @@
+//! # lassi-harness
+//!
+//! The concurrent experiment service for the LASSI reproduction. Where
+//! `lassi-core::experiment` runs one blocking sweep shape (the paper's
+//! 2×40 grid), this crate turns scenario execution into a *service* with
+//! three pillars:
+//!
+//! * [`scheduler`] — a [`Job`](scheduler::Job) per scenario, fed through a
+//!   bounded [`queue`] into a worker pool that streams
+//!   [`JobOutput`](scheduler::JobOutput)s back as they complete, with
+//!   cooperative cancellation and per-job wall-clock timing,
+//! * [`cache`] — a content-addressed scenario cache (stable FNV-1a over
+//!   application sources, model fingerprint, direction, derived seed and
+//!   config) whose disk backing makes repeated and overlapping sweeps skip
+//!   already-computed scenarios — cached records are exact because the
+//!   pipeline is deterministically seeded,
+//! * [`store`] + [`json`] + [`codec`] — a dependency-free JSON artifact
+//!   store (`artifacts/run-<id>/` with a manifest, record sets and
+//!   summaries) that re-renders tables byte-identically without re-running.
+//!
+//! [`grid`] expands config-grid sweeps (e.g. `max_self_corrections ×
+//! timing_runs × model subset`) into jobs — the `sweep` binary in
+//! `lassi-bench` is a thin CLI over it.
+
+pub mod cache;
+pub mod codec;
+pub mod grid;
+pub mod json;
+pub mod queue;
+pub mod scheduler;
+pub mod store;
+
+pub use cache::{fnv1a64, scenario_key, CacheSnapshot, ScenarioCache, ScenarioKey};
+pub use grid::{GridCell, SweepGrid};
+pub use json::Json;
+pub use queue::BoundedQueue;
+pub use scheduler::{
+    direction_jobs, CancelToken, Harness, HarnessOptions, Job, JobOutput, JobStream,
+};
+pub use store::{
+    detect_git_commit, ArtifactError, ArtifactStore, RunArtifact, RunManifest, RunWriter,
+    SCHEMA_VERSION,
+};

@@ -1,0 +1,163 @@
+//! A bounded, blocking MPMC work queue built on `Mutex` + `Condvar`.
+//!
+//! `push` blocks while the queue is full (backpressure against unbounded
+//! sweep submission), `pop` blocks while it is empty, and `close` wakes
+//! every waiter so producers and consumers drain deterministically.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue. Shared between the feeder and the worker threads via `Arc`.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Block until there is room, then enqueue. Returns `Err(item)` if the
+    /// queue was closed before the item could be enqueued.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue mutex poisoned");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available; `None` once the queue is closed
+    /// and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Close the queue: pending `push`es fail, `pop` drains what is left
+    /// then returns `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        state.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Close and throw away everything still queued (cancellation path).
+    pub fn close_and_clear(&self) {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        state.closed = true;
+        state.items.clear();
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Number of queued items right now (tests / introspection).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_until_capacity_frees() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer can only finish after this pop makes room.
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.push(3).is_err());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_and_clear_discards_pending_work() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close_and_clear();
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_unblocks_waiting_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,368 @@
+//! The JSON artifact store: `artifacts/run-<id>/` directories holding a run
+//! manifest, record sets, outcome sets and aggregate summaries — everything
+//! needed to re-render tables without re-running the sweep.
+//!
+//! Layout of one run directory:
+//!
+//! ```text
+//! artifacts/run-<id>/
+//!   manifest.json             # RunManifest: seed, config grid, version, cache stats
+//!   records-<set>.json        # TranslationRecord array per record set
+//!   summary-<set>.json        # AggregateStats per record set (optional)
+//!   table4.json               # Table IV rows (table4 binary only)
+//! ```
+//!
+//! Record-set names are caller-chosen slugs (e.g. `omp-to-cuda`, or
+//! `cuda-to-omp-msc10-runs1` for grid sweeps) and are listed in the
+//! manifest, so a loader can enumerate a run without globbing.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lassi_core::{Table4Row, TranslationRecord};
+use lassi_metrics::AggregateStats;
+
+use crate::codec::{
+    self, manifest_from_json, manifest_to_json, records_from_json, records_to_json, CodecError,
+};
+use crate::json::{self, Json, ParseError};
+
+/// Artifact schema version; bump on breaking layout changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Everything recorded about a run besides the records themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Artifact schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Caller-chosen run identifier (the `<id>` in `run-<id>/`).
+    pub run_id: String,
+    /// `lassi-harness` package version that wrote the artifact.
+    pub package_version: String,
+    /// `git rev-parse --short HEAD` at write time, when available.
+    pub git_commit: Option<String>,
+    /// Unix timestamp at write time; `None` keeps golden files stable.
+    pub created_unix: Option<u64>,
+    /// Base RNG seed of the sweep.
+    pub seed: u64,
+    /// Grid values swept for `timing_runs`.
+    pub timing_runs: Vec<u32>,
+    /// Grid values swept for `max_self_corrections`.
+    pub max_self_corrections: Vec<u32>,
+    /// Model names in sweep order.
+    pub models: Vec<String>,
+    /// Application names in sweep order.
+    pub applications: Vec<String>,
+    /// Direction slugs in sweep order.
+    pub directions: Vec<String>,
+    /// Record-set slugs present in the run directory.
+    pub record_sets: Vec<String>,
+    /// Total scenarios executed (or served from cache).
+    pub scenarios: usize,
+    /// Cache hits during the run (0 when no cache was attached).
+    pub cache_hits: u64,
+    /// Cache misses during the run.
+    pub cache_misses: u64,
+}
+
+impl RunManifest {
+    /// A manifest with only identity fields filled in; callers set the rest.
+    pub fn new(run_id: impl Into<String>, seed: u64) -> RunManifest {
+        RunManifest {
+            schema_version: SCHEMA_VERSION,
+            run_id: run_id.into(),
+            package_version: env!("CARGO_PKG_VERSION").to_string(),
+            git_commit: None,
+            created_unix: None,
+            seed,
+            timing_runs: Vec::new(),
+            max_self_corrections: Vec::new(),
+            models: Vec::new(),
+            applications: Vec::new(),
+            directions: Vec::new(),
+            record_sets: Vec::new(),
+            scenarios: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}
+
+/// Best-effort `git rev-parse --short HEAD`, for the manifest version field.
+pub fn detect_git_commit() -> Option<String> {
+    let output = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let commit = String::from_utf8(output.stdout).ok()?.trim().to_string();
+    (!commit.is_empty()).then_some(commit)
+}
+
+/// Anything that can go wrong reading an artifact back.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file was not valid JSON.
+    Json(ParseError),
+    /// The JSON did not match the schema.
+    Codec(CodecError),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::Json(e) => write!(f, "artifact JSON error: {e}"),
+            ArtifactError::Codec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<io::Error> for ArtifactError {
+    fn from(e: io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<ParseError> for ArtifactError {
+    fn from(e: ParseError) -> Self {
+        ArtifactError::Json(e)
+    }
+}
+
+impl From<CodecError> for ArtifactError {
+    fn from(e: CodecError) -> Self {
+        ArtifactError::Codec(e)
+    }
+}
+
+/// The root of the artifact tree (default `artifacts/`).
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        ArtifactStore::new("artifacts")
+    }
+}
+
+impl ArtifactStore {
+    /// A store rooted at `root` (not created until a run is written).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ArtifactStore { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory a run id maps to.
+    pub fn run_dir(&self, run_id: &str) -> PathBuf {
+        self.root.join(format!("run-{run_id}"))
+    }
+
+    /// The conventional scenario-cache directory inside this store.
+    pub fn cache_dir(&self) -> PathBuf {
+        self.root.join("cache")
+    }
+
+    /// Create (or reuse) a run directory and return a writer for it.
+    pub fn create_run(&self, run_id: &str) -> io::Result<RunWriter> {
+        let dir = self.run_dir(run_id);
+        std::fs::create_dir_all(&dir)?;
+        Ok(RunWriter { dir })
+    }
+
+    /// Load a run by id.
+    pub fn load_run(&self, run_id: &str) -> Result<RunArtifact, ArtifactError> {
+        RunArtifact::load(self.run_dir(run_id))
+    }
+}
+
+/// Writes the files of one run directory.
+pub struct RunWriter {
+    dir: PathBuf,
+}
+
+impl RunWriter {
+    /// The run directory being written.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn write_file(&self, name: &str, value: &Json) -> io::Result<()> {
+        let mut text = value.to_pretty();
+        text.push('\n');
+        std::fs::write(self.dir.join(name), text)
+    }
+
+    /// Write `manifest.json`.
+    pub fn write_manifest(&self, manifest: &RunManifest) -> io::Result<()> {
+        self.write_file("manifest.json", &manifest_to_json(manifest))
+    }
+
+    /// Write one record set as `records-<set>.json`.
+    pub fn write_records(&self, set: &str, records: &[TranslationRecord]) -> io::Result<()> {
+        self.write_file(&format!("records-{set}.json"), &records_to_json(records))
+    }
+
+    /// Write one aggregate summary as `summary-<set>.json`.
+    pub fn write_summary(&self, set: &str, stats: &AggregateStats) -> io::Result<()> {
+        self.write_file(&format!("summary-{set}.json"), &codec::stats_to_json(stats))
+    }
+
+    /// Write Table IV rows as `table4.json`.
+    pub fn write_table4(&self, rows: &[Table4Row]) -> io::Result<()> {
+        let value = Json::Array(rows.iter().map(codec::table4_row_to_json).collect());
+        self.write_file("table4.json", &value)
+    }
+}
+
+/// A run directory loaded back from disk.
+#[derive(Debug)]
+pub struct RunArtifact {
+    dir: PathBuf,
+    /// The parsed manifest.
+    pub manifest: RunManifest,
+}
+
+impl RunArtifact {
+    /// Load `manifest.json` from a run directory.
+    pub fn load(dir: impl Into<PathBuf>) -> Result<RunArtifact, ArtifactError> {
+        let dir = dir.into();
+        let text = std::fs::read_to_string(dir.join("manifest.json"))?;
+        let manifest = manifest_from_json(&json::parse(&text)?)?;
+        Ok(RunArtifact { dir, manifest })
+    }
+
+    /// The run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn read_json(&self, name: &str) -> Result<Json, ArtifactError> {
+        let text = std::fs::read_to_string(self.dir.join(name))?;
+        Ok(json::parse(&text)?)
+    }
+
+    /// Load one record set.
+    pub fn records(&self, set: &str) -> Result<Vec<TranslationRecord>, ArtifactError> {
+        Ok(records_from_json(
+            &self.read_json(&format!("records-{set}.json"))?,
+        )?)
+    }
+
+    /// Load one aggregate summary.
+    pub fn summary(&self, set: &str) -> Result<AggregateStats, ArtifactError> {
+        Ok(codec::stats_from_json(
+            &self.read_json(&format!("summary-{set}.json"))?,
+        )?)
+    }
+
+    /// Load Table IV rows.
+    pub fn table4(&self) -> Result<Vec<Table4Row>, ArtifactError> {
+        self.read_json("table4.json")?
+            .as_array()
+            .ok_or_else(|| CodecError("table4.json must be an array".into()).into())
+            .and_then(|rows| {
+                rows.iter()
+                    .map(|r| codec::table4_row_from_json(r).map_err(ArtifactError::from))
+                    .collect()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lassi_core::{Direction, PipelineConfig};
+    use lassi_hecbench::application;
+    use lassi_llm::gpt4;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn test_root(label: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "lassi-store-test-{}-{label}-{n}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn run_round_trips_through_disk() {
+        let root = test_root("roundtrip");
+        let store = ArtifactStore::new(&root);
+        let config = PipelineConfig {
+            timing_runs: 1,
+            ..PipelineConfig::default()
+        };
+        let record = lassi_core::run_scenario(
+            &gpt4(),
+            &application("layout").unwrap(),
+            Direction::CudaToOmp,
+            &config,
+        );
+        let records = vec![record];
+        let outcomes = lassi_core::scenario_outcomes(&records);
+        let stats = AggregateStats::from_outcomes(&outcomes);
+
+        let mut manifest = RunManifest::new("test", config.seed);
+        manifest.timing_runs = vec![1];
+        manifest.max_self_corrections = vec![config.max_self_corrections];
+        manifest.models = vec!["GPT-4".into()];
+        manifest.applications = vec!["layout".into()];
+        manifest.directions = vec![Direction::CudaToOmp.slug().into()];
+        manifest.record_sets = vec!["cuda-to-omp".into()];
+        manifest.scenarios = 1;
+
+        let writer = store.create_run("test").unwrap();
+        writer.write_manifest(&manifest).unwrap();
+        writer.write_records("cuda-to-omp", &records).unwrap();
+        writer.write_summary("cuda-to-omp", &stats).unwrap();
+
+        let loaded = store.load_run("test").unwrap();
+        assert_eq!(loaded.manifest, manifest);
+        assert_eq!(loaded.records("cuda-to-omp").unwrap(), records);
+        assert_eq!(loaded.summary("cuda-to-omp").unwrap(), stats);
+
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn table4_rows_round_trip() {
+        let root = test_root("table4");
+        let store = ArtifactStore::new(&root);
+        let rows = vec![Table4Row {
+            category: "Math".into(),
+            application: "jacobi".into(),
+            runtime_args: "[]".into(),
+            cuda_seconds: 0.25,
+            omp_seconds: 1.5,
+        }];
+        let writer = store.create_run("t4").unwrap();
+        writer.write_table4(&rows).unwrap();
+        writer.write_manifest(&RunManifest::new("t4", 0)).unwrap();
+        let loaded = store.load_run("t4").unwrap();
+        assert_eq!(loaded.table4().unwrap(), rows);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn loading_a_missing_run_is_an_io_error() {
+        let store = ArtifactStore::new(test_root("missing"));
+        match store.load_run("nope") {
+            Err(ArtifactError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

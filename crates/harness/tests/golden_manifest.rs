@@ -1,0 +1,61 @@
+//! Golden-file test pinning the run-manifest schema. If this fails because
+//! the schema deliberately changed, bump `SCHEMA_VERSION`, regenerate the
+//! golden file (the failure message prints the new text) and update any
+//! readers.
+
+use lassi_harness::codec::{manifest_from_json, manifest_to_json};
+use lassi_harness::json::parse;
+use lassi_harness::{RunManifest, SCHEMA_VERSION};
+
+const GOLDEN: &str = include_str!("golden/run-manifest.v1.json");
+
+fn fixed_manifest() -> RunManifest {
+    RunManifest {
+        schema_version: SCHEMA_VERSION,
+        run_id: "golden".into(),
+        package_version: "0.1.0".into(),
+        git_commit: Some("0123abc".into()),
+        created_unix: Some(1_700_000_000),
+        seed: 20240704,
+        timing_runs: vec![1, 3],
+        max_self_corrections: vec![10, 40],
+        models: vec!["GPT-4".into(), "Codestral".into()],
+        applications: vec!["layout".into(), "entropy".into()],
+        directions: vec!["cuda-to-omp".into(), "omp-to-cuda".into()],
+        record_sets: vec![
+            "cuda-to-omp-msc10-runs1".into(),
+            "omp-to-cuda-msc40-runs3".into(),
+        ],
+        scenarios: 16,
+        cache_hits: 12,
+        cache_misses: 4,
+    }
+}
+
+#[test]
+fn manifest_schema_matches_the_golden_file() {
+    let mut rendered = manifest_to_json(&fixed_manifest()).to_pretty();
+    rendered.push('\n');
+    assert_eq!(
+        rendered, GOLDEN,
+        "manifest schema drifted; if intentional, bump SCHEMA_VERSION and \
+         regenerate tests/golden/run-manifest.v1.json with the text above"
+    );
+}
+
+#[test]
+fn golden_file_parses_back_to_the_same_manifest() {
+    let loaded = manifest_from_json(&parse(GOLDEN).unwrap()).unwrap();
+    assert_eq!(loaded, fixed_manifest());
+}
+
+#[test]
+fn absent_optional_fields_serialize_as_null_and_load_as_none() {
+    let manifest = RunManifest::new("minimal", 7);
+    let text = manifest_to_json(&manifest).to_pretty();
+    assert!(text.contains("\"git_commit\": null"));
+    assert!(text.contains("\"created_unix\": null"));
+    let back = manifest_from_json(&parse(&text).unwrap()).unwrap();
+    assert_eq!(back.git_commit, None);
+    assert_eq!(back.created_unix, None);
+}

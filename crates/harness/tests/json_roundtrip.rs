@@ -1,0 +1,136 @@
+//! Property tests for the JSON artifact layer: any `TranslationRecord` the
+//! pipeline can produce must survive serialize → parse → decode unchanged,
+//! including `None` fields, awkward-but-finite floats and strings full of
+//! characters that need escaping.
+
+use lassi_core::{ScenarioStatus, TranslationRecord};
+use lassi_harness::codec::{record_from_json, record_to_json};
+use lassi_harness::json::{parse, Json};
+use lassi_lang::Dialect;
+use proptest::prelude::*;
+
+fn status_from_index(i: u32) -> ScenarioStatus {
+    match i % 5 {
+        0 => ScenarioStatus::Success,
+        1 => ScenarioStatus::BaselineFailed,
+        2 => ScenarioStatus::CompileGaveUp,
+        3 => ScenarioStatus::ExecuteGaveUp,
+        _ => ScenarioStatus::OutputMismatch,
+    }
+}
+
+// Characters that exercise the escaper: quotes, backslashes, braces,
+// newlines, tabs — the shapes generated ParC code actually contains.
+const CODE_PATTERN: &str = "[a-zA-Z0-9 _(){}<>#*&+=.:;,!/\"\\\\\\n\\t-]{0,200}";
+
+fn opt_f64(range: std::ops::Range<f64>) -> BoxedStrategy<Option<f64>> {
+    prop_oneof![Just(None), range.prop_map(Some)].boxed()
+}
+
+fn opt_code() -> BoxedStrategy<Option<String>> {
+    prop_oneof![Just(None), CODE_PATTERN.prop_map(Some)].boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn record_round_trips_for_arbitrary_contents(
+        (name_a, name_m, status_ix, corrections) in (
+            "[a-zA-Z0-9 _-]{0,40}",
+            "[a-zA-Z0-9 ._-]{0,40}",
+            0u32..10,
+            0u32..100,
+        ),
+        (code, generated_runtime, reference_runtime, source_runtime) in (
+            opt_code(),
+            opt_f64(0.0..1.0e6),
+            1.0e-9..1.0e6,
+            1.0e-9..1.0e6,
+        ),
+        (ratio, sim_t, sim_l) in (
+            opt_f64(0.0..1.0e3),
+            opt_f64(0.0..1.0),
+            opt_f64(0.0..1.0),
+        ),
+        (prompt_tokens, response_tokens, flip) in (0usize..1_000_000, 0usize..1_000_000, 0u32..2),
+    ) {
+        let (source_dialect, target_dialect) = if flip == 0 {
+            (Dialect::CudaLite, Dialect::OmpLite)
+        } else {
+            (Dialect::OmpLite, Dialect::CudaLite)
+        };
+        let record = TranslationRecord {
+            application: name_a,
+            model: name_m,
+            source_dialect,
+            target_dialect,
+            status: status_from_index(status_ix),
+            self_corrections: corrections,
+            generated_code: code,
+            generated_runtime,
+            reference_runtime,
+            source_runtime,
+            ratio,
+            sim_t,
+            sim_l,
+            prompt_tokens,
+            response_tokens,
+        };
+
+        // Compact and pretty renderings must both decode to the same record.
+        let compact = record_to_json(&record).to_compact();
+        let decoded = record_from_json(&parse(&compact).unwrap()).unwrap();
+        prop_assert_eq!(&decoded, &record);
+
+        let pretty = record_to_json(&record).to_pretty();
+        let decoded = record_from_json(&parse(&pretty).unwrap()).unwrap();
+        prop_assert_eq!(&decoded, &record);
+
+        // Serialization is deterministic: the same record always renders to
+        // the same bytes (this is what byte-identical --replay relies on).
+        prop_assert_eq!(record_to_json(&record).to_pretty(), pretty);
+    }
+
+    #[test]
+    fn arbitrary_strings_survive_json_escaping(s in "[a-zA-Z0-9 \"\\\\\\n\\t\\r{}:,/._-]{0,300}") {
+        let value = Json::Str(s.clone());
+        prop_assert_eq!(parse(&value.to_compact()).unwrap(), Json::Str(s.clone()));
+        prop_assert_eq!(parse(&value.to_pretty()).unwrap(), Json::Str(s));
+    }
+
+    #[test]
+    fn finite_floats_round_trip_bit_exact(mantissa in -1.0e9..1.0e9, scale in -300.0f64..300.0) {
+        let x: f64 = mantissa * 10f64.powf(scale % 30.0);
+        prop_assert!(x.is_finite());
+        let text = Json::Float(x).to_compact();
+        match parse(&text).unwrap() {
+            Json::Float(back) => prop_assert_eq!(back.to_bits(), x.to_bits()),
+            other => prop_assert!(false, "{} parsed as {:?}", text, other),
+        }
+    }
+}
+
+#[test]
+fn record_with_every_none_field_round_trips() {
+    let record = TranslationRecord {
+        application: String::new(),
+        model: String::new(),
+        source_dialect: Dialect::CudaLite,
+        target_dialect: Dialect::OmpLite,
+        status: ScenarioStatus::BaselineFailed,
+        self_corrections: 0,
+        generated_code: None,
+        generated_runtime: None,
+        reference_runtime: 0.0,
+        source_runtime: 0.0,
+        ratio: None,
+        sim_t: None,
+        sim_l: None,
+        prompt_tokens: 0,
+        response_tokens: 0,
+    };
+    let text = record_to_json(&record).to_pretty();
+    let back = record_from_json(&parse(&text).unwrap()).unwrap();
+    assert_eq!(back, record);
+}

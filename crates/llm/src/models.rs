@@ -46,6 +46,34 @@ pub struct ModelSpec {
 }
 
 impl ModelSpec {
+    /// Stable identity string covering everything that influences the
+    /// simulated model's behaviour: the Table V metadata *and* the capability
+    /// profile (float fields rendered as IEEE-754 bit patterns so the string
+    /// is exact). Used by the harness scenario cache to content-address
+    /// results — two specs with equal fingerprints produce identical records
+    /// for the same (application, direction, seed, config).
+    pub fn fingerprint(&self) -> String {
+        let p = &self.profile;
+        format!(
+            "{}|{}|{}|{}|{}|{:016x}:{:016x}:{:016x}:{:016x}:{:016x}:{:016x}:{:016x}",
+            self.name,
+            self.parameters,
+            match self.size_gb {
+                Some(gb) => format!("{:016x}", gb.to_bits()),
+                None => "api".to_string(),
+            },
+            self.quantization,
+            self.context_tokens,
+            p.p_compile_fault.to_bits(),
+            p.p_runtime_fault.to_bits(),
+            p.p_semantic_fault.to_bits(),
+            p.p_perf_regression.to_bits(),
+            p.p_perf_improvement.to_bits(),
+            p.p_repair_success.to_bits(),
+            p.p_repair_regression.to_bits(),
+        )
+    }
+
     /// Short identifier usable in file names and seeds.
     pub fn slug(&self) -> String {
         self.name
@@ -193,6 +221,21 @@ mod tests {
                 slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
                 "{slug}"
             );
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_profiles() {
+        assert_eq!(gpt4().fingerprint(), gpt4().fingerprint());
+        let mut tweaked = gpt4();
+        tweaked.profile.p_compile_fault += 0.01;
+        assert_ne!(gpt4().fingerprint(), tweaked.fingerprint());
+        // Distinct models never collide.
+        let fps: Vec<String> = all_models().iter().map(ModelSpec::fingerprint).collect();
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b);
+            }
         }
     }
 

@@ -13,13 +13,15 @@ pub struct ScenarioOutcome {
     /// True when the generated code compiled, executed and produced the
     /// expected output (i.e. not an "N/A" row).
     pub success: bool,
-    /// Runtime of the generated code, seconds (None for N/A rows).
+    /// Runtime of the generated code, seconds. May be present on *failed*
+    /// rows too: an output-mismatch scenario did run, and its measured
+    /// runtime is kept as a diagnostic. Aggregates only consider successes.
     pub runtime_seconds: Option<f64>,
-    /// Original-over-generated runtime ratio (None for N/A rows).
+    /// Original-over-generated runtime ratio (always None for N/A rows).
     pub ratio: Option<f64>,
-    /// Token-based similarity (None for N/A rows).
+    /// Token-based similarity (may be present on output-mismatch rows).
     pub sim_t: Option<f64>,
-    /// Line-based similarity (None for N/A rows).
+    /// Line-based similarity (may be present on output-mismatch rows).
     pub sim_l: Option<f64>,
     /// Number of self-correction iterations (None for N/A rows).
     pub self_corrections: Option<u32>,

@@ -39,11 +39,18 @@ pub use lassi_hecbench as hecbench;
 /// The LASSI pipeline and experiment driver.
 pub use lassi_core as pipeline;
 
+/// Concurrent experiment service: job scheduler, scenario cache, artifact store.
+pub use lassi_harness as harness;
+
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use lassi_core::{
-        run_direction, run_table4, scenario_outcomes, Direction, Lassi, PipelineConfig,
-        ScenarioStatus, TranslationRecord,
+        run_direction, run_scenario, run_table4, scenario_outcomes, Direction, Lassi,
+        PipelineConfig, ScenarioStatus, TranslationRecord,
+    };
+    pub use lassi_harness::{
+        ArtifactStore, Harness, HarnessOptions, Job, JobOutput, RunArtifact, RunManifest,
+        ScenarioCache, SweepGrid,
     };
     pub use lassi_hecbench::{application, applications, run_application, Application, Machine};
     pub use lassi_lang::{parse, print_program, Dialect};
