@@ -1,0 +1,54 @@
+//! Old-vs-new similarity microbenchmarks: the interned, iterative
+//! [`SimilarityEngine`] against the pre-interning reference implementation
+//! (recursive Ratcliff–Obershelp over owned `String` tokens, preserved in
+//! `lassi_metrics::similarity::reference`). The pairs are the real benchmark
+//! sources, so the token counts match what a grid sweep actually feeds the
+//! metric; `*_all_pairs` is the similarity workload of one full-grid pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lassi_hecbench::applications;
+use lassi_metrics::similarity::{reference, SimilarityEngine};
+
+fn bench_similarity(c: &mut Criterion) {
+    let apps = applications();
+    let jacobi = apps.iter().find(|a| a.name == "jacobi").unwrap();
+    let mut engine = SimilarityEngine::new();
+
+    c.bench_function("sim_t_interned_jacobi_pair", |b| {
+        b.iter(|| black_box(engine.sim_t(jacobi.cuda_source, jacobi.omp_source)))
+    });
+    c.bench_function("sim_t_reference_jacobi_pair", |b| {
+        b.iter(|| black_box(reference::sim_t(jacobi.cuda_source, jacobi.omp_source)))
+    });
+
+    c.bench_function("sim_l_interned_jacobi_pair", |b| {
+        b.iter(|| black_box(engine.sim_l(jacobi.cuda_source, jacobi.omp_source)))
+    });
+    c.bench_function("sim_l_reference_jacobi_pair", |b| {
+        b.iter(|| black_box(reference::sim_l(jacobi.cuda_source, jacobi.omp_source)))
+    });
+
+    c.bench_function("sim_t_interned_all_pairs", |b| {
+        b.iter(|| {
+            for app in &apps {
+                black_box(engine.sim_t(app.cuda_source, app.omp_source));
+            }
+        })
+    });
+    c.bench_function("sim_t_reference_all_pairs", |b| {
+        b.iter(|| {
+            for app in &apps {
+                black_box(reference::sim_t(app.cuda_source, app.omp_source));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_similarity
+}
+criterion_main!(benches);

@@ -37,7 +37,9 @@ fn run() -> Result<String, String> {
     let apps = lassi_hecbench::applications();
 
     let store = lassi_bench::artifact_store(&common);
-    let writer = store.create_run("summary").map_err(|e| e.to_string())?;
+    let writer = store
+        .create_or_replace_run("summary")
+        .map_err(|e| e.to_string())?;
     let mut scenarios = 0;
     for direction in Direction::both() {
         let records = harness.run_direction_with(direction, &config, &models, &apps);

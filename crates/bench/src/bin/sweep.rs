@@ -6,12 +6,23 @@
 //! sweep [--models L] [--apps L] [--directions L|both]
 //!       [--max-self-corrections L] [--timing-runs L] [--seed N]
 //!       [--run-id ID] [--artifacts DIR] [--no-cache] [--workers N]
+//! sweep --full [--max-self-corrections L] [--timing-runs L] [--seed N]
+//!       [--artifacts DIR] [--workers N]
 //! sweep --smoke [--artifacts DIR] [--workers N]
 //! sweep --verify <run-dir>
 //! ```
 //!
 //! Lists are comma-separated. Every (direction, max_self_corrections,
 //! timing_runs) cell of the grid becomes one record set in the artifact.
+//!
+//! `--full` runs the paper's complete Table-IV grid — every application ×
+//! every model × both directions (10 × 4 × 2 = 80 scenarios per config
+//! cell) — twice through the worker pool and the scenario cache (cold, then
+//! warm), saves the artifact as `run-fullgrid/` (replacing any previous
+//! one), verifies it round-trips, and emits a `BENCH_fullgrid.json`
+//! perf-trajectory artifact (cold/warm wall clock, scenarios/sec, cache hit
+//! rates). The grid dimensions are fixed by definition; narrowing flags
+//! (`--models`, `--apps`, `--directions`) are rejected.
 //!
 //! `--smoke` is the self-checking CI entry point: it runs a tiny
 //! 2-application × 1-model grid twice in-process (cold, then warm), requires
@@ -28,6 +39,7 @@
 use std::time::Instant;
 
 use lassi_core::{direction_table, scenario_outcomes, Direction, PipelineConfig};
+use lassi_harness::codec::record_to_json;
 use lassi_harness::{
     CacheSnapshot, GridCell, Harness, Job, JobOutput, Json, RunArtifact, SweepGrid,
 };
@@ -38,10 +50,14 @@ use lassi_metrics::AggregateStats;
 struct SweepArgs {
     common: lassi_bench::CommonArgs,
     smoke: bool,
+    full: bool,
     verify: Option<String>,
     models: Vec<ModelSpec>,
     apps: Vec<Application>,
     directions: Vec<Direction>,
+    /// True once --models/--apps/--directions narrowed the product
+    /// (incompatible with --full, which is the full product by definition).
+    narrowed: bool,
     max_self_corrections: Vec<u32>,
     timing_runs: Vec<u32>,
     seed: Option<u64>,
@@ -71,10 +87,12 @@ fn parse_args() -> Result<SweepArgs, String> {
     let mut args = SweepArgs {
         common: common.clone(),
         smoke: false,
+        full: false,
         verify: None,
         models: all_models(),
         apps: applications(),
         directions: Direction::both().to_vec(),
+        narrowed: false,
         max_self_corrections: vec![PipelineConfig::default().max_self_corrections],
         timing_runs: vec![PipelineConfig::default().timing_runs],
         seed: None,
@@ -85,16 +103,19 @@ fn parse_args() -> Result<SweepArgs, String> {
         let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
             "--smoke" => args.smoke = true,
+            "--full" => args.full = true,
             "--verify" => args.verify = Some(value("--verify")?),
             "--models" => {
                 args.models = parse_list(&value("--models")?, "model", |s| {
                     model_by_name(s).ok_or("unknown model")
                 })?;
+                args.narrowed = true;
             }
             "--apps" => {
                 args.apps = parse_list(&value("--apps")?, "application", |s| {
                     application(s).ok_or("unknown application")
                 })?;
+                args.narrowed = true;
             }
             "--directions" => {
                 let raw = value("--directions")?;
@@ -105,6 +126,7 @@ fn parse_args() -> Result<SweepArgs, String> {
                         Direction::from_slug(s).ok_or("use omp-to-cuda / cuda-to-omp / both")
                     })?;
                 }
+                args.narrowed = true;
             }
             "--max-self-corrections" | "--msc" => {
                 args.max_self_corrections =
@@ -151,11 +173,14 @@ fn pass_line(label: &str, outputs: &[JobOutput], wall: f64, delta: CacheSnapshot
 }
 
 /// Write one run artifact: per-cell record sets + summaries + manifest.
+/// `replace` wipes a previous run under the same (fixed) id; without it a
+/// colliding run id is an error rather than a silent merge.
 /// Returns the per-cell records for later verification.
 fn write_artifact(
     args: &SweepArgs,
     grid: &SweepGrid,
     run_id: &str,
+    replace: bool,
     jobs: &[Job],
     outputs: &[JobOutput],
     snapshot: CacheSnapshot,
@@ -173,7 +198,12 @@ fn write_artifact(
     }
 
     let store = lassi_bench::artifact_store(&args.common);
-    let writer = store.create_run(run_id).map_err(|e| e.to_string())?;
+    let writer = if replace {
+        store.create_or_replace_run(run_id)
+    } else {
+        store.create_run(run_id)
+    }
+    .map_err(|e| e.to_string())?;
     for (cell, records) in &per_cell {
         let slug = cell.slug();
         let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
@@ -223,29 +253,101 @@ fn verify_artifact(dir: &std::path::Path) -> Result<String, String> {
     ))
 }
 
-fn write_bench_trajectory(
+/// One cold pass then one warm pass over the grid's jobs, with the shared
+/// gate both self-checking modes enforce: the warm pass must be 100% cache
+/// hits and must reproduce the cold records exactly. "Exactly" is judged on
+/// the serialized (codec) form — derived `PartialEq` would declare a
+/// NaN-carrying record unequal to itself, failing precisely the degenerate
+/// records the artifact store is built to tolerate.
+#[allow(clippy::type_complexity)]
+fn cold_then_warm(
+    harness: &Harness,
+    grid: &SweepGrid,
+) -> Result<
+    (
+        (Vec<JobOutput>, f64, CacheSnapshot),
+        (Vec<JobOutput>, f64, CacheSnapshot),
+    ),
+    String,
+> {
+    let (cold_out, cold_wall, cold_delta) = run_pass(harness, grid.jobs());
+    println!("{}", pass_line("cold", &cold_out, cold_wall, cold_delta));
+    let (warm_out, warm_wall, warm_delta) = run_pass(harness, grid.jobs());
+    println!("{}", pass_line("warm", &warm_out, warm_wall, warm_delta));
+
+    if warm_delta.hits as usize != warm_out.len() || warm_delta.misses != 0 {
+        return Err(format!(
+            "warm pass must be 100% cache hits, got {}/{}",
+            warm_delta.hits,
+            warm_delta.hits + warm_delta.misses
+        ));
+    }
+    for (cold, warm) in cold_out.iter().zip(&warm_out) {
+        let cold_text = record_to_json(&cold.record).to_compact();
+        let warm_text = record_to_json(&warm.record).to_compact();
+        if cold_text != warm_text {
+            return Err(format!(
+                "cache returned a different record for {}",
+                cold.record.application
+            ));
+        }
+    }
+    Ok((
+        (cold_out, cold_wall, cold_delta),
+        (warm_out, warm_wall, warm_delta),
+    ))
+}
+
+/// Throughput of one pass (0.0 for a degenerate zero wall-clock) — the one
+/// definition shared by the trajectory artifacts and the console lines.
+fn scenarios_per_second(scenarios: usize, wall: f64) -> f64 {
+    if wall > 0.0 {
+        scenarios as f64 / wall
+    } else {
+        0.0
+    }
+}
+
+/// Write a `BENCH_*.json` perf-trajectory artifact: identity fields, any
+/// bench-specific extras, then the shared cold/warm wall-clock, throughput,
+/// speedup and cache-hit-rate tail.
+fn write_trajectory(
+    path: &str,
+    bench: &str,
+    extra: Vec<(String, Json)>,
     scenarios: usize,
     workers: usize,
     cold: (f64, CacheSnapshot),
     warm: (f64, CacheSnapshot),
 ) -> Result<(), String> {
+    let per_second = |wall: f64| scenarios_per_second(scenarios, wall);
     let speedup = if warm.0 > 0.0 { cold.0 / warm.0 } else { 0.0 };
-    let value = Json::Object(vec![
-        ("bench".into(), Json::Str("harness-smoke".into())),
+    let mut fields = vec![
+        ("bench".into(), Json::Str(bench.into())),
         ("schema_version".into(), Json::Int(1)),
         ("created_unix".into(), Json::uint(lassi_bench::unix_now())),
+    ];
+    fields.extend(extra);
+    fields.extend([
         ("scenarios".into(), Json::Int(scenarios as i128)),
         ("workers".into(), Json::Int(workers as i128)),
         ("cold_wall_seconds".into(), Json::Float(cold.0)),
         ("warm_wall_seconds".into(), Json::Float(warm.0)),
+        (
+            "cold_scenarios_per_second".into(),
+            Json::Float(per_second(cold.0)),
+        ),
+        (
+            "warm_scenarios_per_second".into(),
+            Json::Float(per_second(warm.0)),
+        ),
         ("warm_speedup".into(), Json::Float(speedup)),
         ("cold_cache_hit_rate".into(), Json::Float(cold.1.hit_rate())),
         ("warm_cache_hit_rate".into(), Json::Float(warm.1.hit_rate())),
     ]);
-    let mut text = value.to_pretty();
+    let mut text = Json::Object(fields).to_pretty();
     text.push('\n');
-    std::fs::write("BENCH_harness.json", text)
-        .map_err(|e| format!("cannot write BENCH_harness.json: {e}"))
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn smoke(args: &SweepArgs) -> Result<(), String> {
@@ -270,32 +372,15 @@ fn smoke(args: &SweepArgs) -> Result<(), String> {
         .with_workers(args.common.workers)
         .workers;
 
-    let (cold_out, cold_wall, cold_delta) = run_pass(&harness, grid.jobs());
-    println!("{}", pass_line("cold", &cold_out, cold_wall, cold_delta));
-    let (warm_out, warm_wall, warm_delta) = run_pass(&harness, grid.jobs());
-    println!("{}", pass_line("warm", &warm_out, warm_wall, warm_delta));
-
-    if warm_delta.hits as usize != warm_out.len() || warm_delta.misses != 0 {
-        return Err(format!(
-            "warm pass must be 100% cache hits, got {}/{}",
-            warm_delta.hits,
-            warm_delta.hits + warm_delta.misses
-        ));
-    }
-    for (cold, warm) in cold_out.iter().zip(&warm_out) {
-        if cold.record != warm.record {
-            return Err(format!(
-                "cache returned a different record for {}",
-                cold.record.application
-            ));
-        }
-    }
+    let ((_, cold_wall, cold_delta), (warm_out, warm_wall, warm_delta)) =
+        cold_then_warm(&harness, &grid)?;
 
     let jobs = grid.jobs();
     let per_cell = write_artifact(
         args,
         &grid,
         "smoke",
+        true,
         &jobs,
         &warm_out,
         harness.cache_snapshot(),
@@ -326,7 +411,10 @@ fn smoke(args: &SweepArgs) -> Result<(), String> {
     }
     println!("replayed tables byte-identical to live rendering");
 
-    write_bench_trajectory(
+    write_trajectory(
+        "BENCH_harness.json",
+        "harness-smoke",
+        Vec::new(),
         warm_out.len(),
         workers,
         (cold_wall, cold_delta),
@@ -374,10 +462,107 @@ fn full_sweep(args: &SweepArgs) -> Result<(), String> {
         args,
         &grid,
         &run_id,
+        false,
         &jobs,
         &outputs,
         harness.cache_snapshot(),
     )?;
+    for (cell, records) in &per_cell {
+        let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
+        println!("\n=== {} ===\n{stats}", cell.slug());
+    }
+    Ok(())
+}
+
+/// The complete paper grid — every application × every model × both
+/// directions — run cold then warm through the worker pool and the scenario
+/// cache, with a `BENCH_fullgrid.json` perf-trajectory artifact.
+fn full_grid(args: &SweepArgs) -> Result<(), String> {
+    if args.narrowed {
+        return Err(
+            "--full runs the complete application × model × direction grid; \
+             drop --models/--apps/--directions (use --max-self-corrections / \
+             --timing-runs to sweep config cells)"
+                .into(),
+        );
+    }
+    if args.run_id.is_some() {
+        return Err("--full always writes (and replaces) run-fullgrid/; drop \
+             --run-id, or use the default sweep mode for custom run ids"
+            .into());
+    }
+    let mut base = PipelineConfig::default();
+    if let Some(seed) = args.seed {
+        base.seed = seed;
+    }
+    let grid = SweepGrid {
+        base,
+        models: all_models(),
+        apps: applications(),
+        directions: Direction::both().to_vec(),
+        max_self_corrections: args.max_self_corrections.clone(),
+        timing_runs: args.timing_runs.clone(),
+    };
+    let harness = lassi_bench::build_harness(&args.common)?;
+    if harness.cache().is_none() {
+        return Err("--full needs the scenario cache (drop --no-cache)".into());
+    }
+    let workers = lassi_harness::HarnessOptions::default()
+        .with_workers(args.common.workers)
+        .workers;
+    eprintln!(
+        "full grid: {} applications × {} models × {} directions × {} config \
+         cells = {} scenarios on {workers} workers",
+        grid.apps.len(),
+        grid.models.len(),
+        grid.directions.len(),
+        grid.max_self_corrections.len() * grid.timing_runs.len(),
+        grid.len(),
+    );
+
+    let ((cold_out, cold_wall, cold_delta), (_, warm_wall, warm_delta)) =
+        cold_then_warm(&harness, &grid)?;
+
+    let jobs = grid.jobs();
+    let per_cell = write_artifact(
+        args,
+        &grid,
+        "fullgrid",
+        true,
+        &jobs,
+        &cold_out,
+        harness.cache_snapshot(),
+    )?;
+    let store = lassi_bench::artifact_store(&args.common);
+    println!("{}", verify_artifact(&store.run_dir("fullgrid"))?);
+
+    write_trajectory(
+        "BENCH_fullgrid.json",
+        "fullgrid-sweep",
+        vec![
+            ("applications".into(), Json::Int(grid.apps.len() as i128)),
+            ("models".into(), Json::Int(grid.models.len() as i128)),
+            (
+                "directions".into(),
+                Json::Int(grid.directions.len() as i128),
+            ),
+            (
+                "config_cells".into(),
+                Json::Int((grid.max_self_corrections.len() * grid.timing_runs.len()) as i128),
+            ),
+        ],
+        grid.len(),
+        workers,
+        (cold_wall, cold_delta),
+        (warm_wall, warm_delta),
+    )?;
+    println!(
+        "BENCH_fullgrid.json written (cold {:.3}s = {:.1} scenarios/s, \
+         warm {:.3}s)",
+        cold_wall,
+        scenarios_per_second(grid.len(), cold_wall),
+        warm_wall
+    );
     for (cell, records) in &per_cell {
         let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
         println!("\n=== {} ===\n{stats}", cell.slug());
@@ -397,6 +582,8 @@ fn main() {
         verify_artifact(std::path::Path::new(dir)).map(|report| println!("{report}"))
     } else if args.smoke {
         smoke(&args)
+    } else if args.full {
+        full_grid(&args)
     } else {
         full_sweep(&args)
     };

@@ -24,7 +24,9 @@ fn rows() -> Result<Vec<Table4Row>, String> {
     let rows = run_table4(&config);
 
     let store = lassi_bench::artifact_store(&common);
-    let writer = store.create_run("table4").map_err(|e| e.to_string())?;
+    let writer = store
+        .create_or_replace_run("table4")
+        .map_err(|e| e.to_string())?;
     let mut manifest = RunManifest::new("table4", config.seed);
     manifest.git_commit = detect_git_commit();
     manifest.created_unix = Some(lassi_bench::unix_now());

@@ -144,7 +144,11 @@ pub fn direction_table_bin(
     let manifest = grid.manifest(run_id, vec![set.to_string()], records.len(), snapshot);
 
     let store = artifact_store(&common);
-    let writer = store.create_run(run_id).map_err(|e| e.to_string())?;
+    // Fixed run id, intentionally regenerated on every invocation: replace
+    // the previous run wholesale rather than merging files into it.
+    let writer = store
+        .create_or_replace_run(run_id)
+        .map_err(|e| e.to_string())?;
     writer
         .write_manifest(&manifest)
         .map_err(|e| e.to_string())?;

@@ -5,7 +5,7 @@ use lassi_hecbench::{Application, Machine};
 use lassi_lang::{parse, Dialect, Program};
 use lassi_llm::prompts::{extract_code_block, PromptDictionary};
 use lassi_llm::ChatModel;
-use lassi_metrics::{runtime_ratio, sim_l, sim_t};
+use lassi_metrics::{runtime_ratio, with_engine};
 use lassi_runtime::{ExecutionReport, HostInterpreter};
 
 use crate::config::PipelineConfig;
@@ -287,16 +287,22 @@ impl<M: ChatModel> Lassi<M> {
             // row still renders as the paper's N/A.
             record.status = ScenarioStatus::OutputMismatch;
             record.generated_runtime = Some(report.simulated_seconds);
-            record.sim_t = Some(sim_t(reference_code, &code));
-            record.sim_l = Some(sim_l(reference_code, &code));
+            // The thread-local engine reuses one symbol table and one set of
+            // DP scratch buffers across every scenario a worker thread runs.
+            with_engine(|engine| {
+                record.sim_t = Some(engine.sim_t(reference_code, &code));
+                record.sim_l = Some(engine.sim_l(reference_code, &code));
+            });
             return record;
         }
 
         record.status = ScenarioStatus::Success;
         record.generated_runtime = Some(report.simulated_seconds);
         record.ratio = runtime_ratio(record.reference_runtime, report.simulated_seconds);
-        record.sim_t = Some(sim_t(reference_code, &code));
-        record.sim_l = Some(sim_l(reference_code, &code));
+        with_engine(|engine| {
+            record.sim_t = Some(engine.sim_t(reference_code, &code));
+            record.sim_l = Some(engine.sim_l(reference_code, &code));
+        });
         record
     }
 }

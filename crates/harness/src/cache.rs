@@ -48,10 +48,16 @@ impl ScenarioKey {
 }
 
 /// Derive the cache key for a job from everything that determines its record.
+///
+/// The leading version tag covers the *pipeline semantics* too: bump it when
+/// a code change alters what a record would contain for identical inputs
+/// (v2: the Sim-T tokenizer stopped gluing `.` into identifiers, shifting
+/// similarity scores), so stale disk entries miss instead of resurfacing
+/// scores the current code would never produce.
 pub fn scenario_key(job: &Job) -> ScenarioKey {
     let config = &job.config;
     let canonical = format!(
-        "v1;app={};cuda={:016x};omp={:016x};model={};dir={};seed={};msc={};runs={};\
+        "v2;app={};cuda={:016x};omp={:016x};model={};dir={};seed={};msc={};runs={};\
          step={};hostop={:016x};startup={:016x}",
         job.application.name,
         fnv1a64(job.application.cuda_source.as_bytes()),

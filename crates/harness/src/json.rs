@@ -11,8 +11,10 @@
 //! * floats are written with Rust's shortest round-trip `Display` (plus a
 //!   forced `.0` so they re-parse as floats), which guarantees
 //!   `parse(write(x)) == x` bit-for-bit for every finite `f64`,
-//! * non-finite floats are rejected at write time rather than silently
-//!   emitted as invalid JSON.
+//! * non-finite floats serialize as `null` (JSON has no NaN/∞ literal) —
+//!   a degenerate metric value (say, a ratio over a zero runtime) must
+//!   never abort a whole run mid-write. Decoders map `null` back to
+//!   `f64::NAN` where a float is required (see `codec::f64_field`).
 
 use std::fmt;
 
@@ -147,10 +149,12 @@ impl Json {
             Json::Bool(false) => out.push_str("false"),
             Json::Int(i) => out.push_str(&i.to_string()),
             Json::Float(f) => {
-                assert!(
-                    f.is_finite(),
-                    "JSON cannot represent non-finite float {f:?}"
-                );
+                if !f.is_finite() {
+                    // JSON cannot represent NaN/±∞; `null` keeps the
+                    // document valid instead of panicking mid-write.
+                    out.push_str("null");
+                    return;
+                }
                 let text = f.to_string();
                 out.push_str(&text);
                 // `1f64` renders as "1"; force a fraction so the value
@@ -535,6 +539,22 @@ mod tests {
                 other => panic!("{text} parsed as {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Float(f).to_compact(), "null");
+            assert_eq!(parse(&Json::Float(f).to_compact()).unwrap(), Json::Null);
+        }
+        // Inside containers too — the document must stay valid JSON.
+        let v = Json::Object(vec![
+            ("ok".into(), Json::Float(1.5)),
+            ("bad".into(), Json::Float(f64::NAN)),
+            ("inf".into(), Json::Array(vec![Json::Float(f64::INFINITY)])),
+        ]);
+        assert_eq!(v.to_compact(), r#"{"ok":1.5,"bad":null,"inf":[null]}"#);
+        assert!(parse(&v.to_pretty()).is_ok());
     }
 
     #[test]

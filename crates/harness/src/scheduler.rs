@@ -89,8 +89,12 @@ pub struct JobOutput {
 pub struct HarnessOptions {
     /// Worker threads. Defaults to `available_parallelism`.
     pub workers: usize,
-    /// Bounded queue capacity. Defaults to `2 × workers`.
-    pub queue_capacity: usize,
+    /// Bounded queue capacity. `None` (the default) derives `2 × workers`
+    /// at submission time, so overriding the worker count *after*
+    /// construction still yields a queue proportional to the pool —
+    /// `--workers 1` on a many-core machine must not keep a huge default
+    /// capacity and defeat backpressure.
+    pub queue_capacity: Option<usize>,
 }
 
 impl Default for HarnessOptions {
@@ -100,19 +104,31 @@ impl Default for HarnessOptions {
             .unwrap_or(1);
         HarnessOptions {
             workers,
-            queue_capacity: workers * 2,
+            queue_capacity: None,
         }
     }
 }
 
 impl HarnessOptions {
-    /// Override the worker count (0 means "default").
+    /// Override the worker count (0 means "default"). An auto-derived queue
+    /// capacity follows the new count; an explicit one is preserved.
     pub fn with_workers(mut self, workers: usize) -> Self {
         if workers > 0 {
             self.workers = workers;
-            self.queue_capacity = self.queue_capacity.max(workers * 2);
         }
         self
+    }
+
+    /// Pin the bounded queue capacity explicitly (clamped to ≥ 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The capacity the bounded queue is created with: the explicit value
+    /// when one was set, otherwise `2 × workers`.
+    pub fn effective_queue_capacity(&self) -> usize {
+        self.queue_capacity.unwrap_or(self.workers.max(1) * 2)
     }
 }
 
@@ -179,7 +195,7 @@ impl Harness {
     pub fn submit(&self, jobs: Vec<Job>) -> JobStream {
         let total = jobs.len();
         let queue = Arc::new(BoundedQueue::<(usize, Job)>::new(
-            self.options.queue_capacity,
+            self.options.effective_queue_capacity(),
         ));
         let cancel = CancelToken::default();
         let (tx, rx) = mpsc::channel::<JobOutput>();
@@ -466,7 +482,7 @@ mod tests {
             .collect();
         let harness = Harness::new(HarnessOptions {
             workers: 1,
-            queue_capacity: 2,
+            queue_capacity: Some(2),
         });
         let total = jobs.len();
         let mut stream = harness.submit(jobs);
@@ -493,6 +509,28 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_override_recomputes_queue_capacity() {
+        // `--workers 1` on a many-core machine must shrink the queue with
+        // the pool; the old `max(existing, workers * 2)` kept the huge
+        // default capacity and defeated backpressure.
+        let opts = HarnessOptions::default().with_workers(1);
+        assert_eq!(opts.effective_queue_capacity(), 2);
+        let opts = HarnessOptions::default().with_workers(3);
+        assert_eq!(opts.effective_queue_capacity(), 6);
+        // An explicit capacity survives a later worker override, and a
+        // zero worker override leaves the default worker count alone.
+        let opts = HarnessOptions::default()
+            .with_queue_capacity(64)
+            .with_workers(1);
+        assert_eq!(opts.effective_queue_capacity(), 64);
+        let default_workers = HarnessOptions::default().workers;
+        assert_eq!(
+            HarnessOptions::default().with_workers(0).workers,
+            default_workers
+        );
     }
 
     #[test]

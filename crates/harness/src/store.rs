@@ -175,9 +175,36 @@ impl ArtifactStore {
         self.root.join("cache")
     }
 
-    /// Create (or reuse) a run directory and return a writer for it.
+    /// Create a *fresh* run directory and return a writer for it.
+    ///
+    /// Errors with [`io::ErrorKind::AlreadyExists`] when `run-<id>/` is
+    /// already present: silently reusing it would mix record files from
+    /// different runs into one artifact. Callers that intentionally
+    /// regenerate a fixed run id use [`ArtifactStore::create_or_replace_run`].
     pub fn create_run(&self, run_id: &str) -> io::Result<RunWriter> {
         let dir = self.run_dir(run_id);
+        if dir.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "run directory {} already exists; pick a fresh run id \
+                     or replace the run explicitly",
+                    dir.display()
+                ),
+            ));
+        }
+        std::fs::create_dir_all(&dir)?;
+        Ok(RunWriter { dir })
+    }
+
+    /// Create a run directory, deleting any previous run under the same id
+    /// first — the whole directory is replaced, never merged, so no stale
+    /// record set from an earlier run can survive into the new artifact.
+    pub fn create_or_replace_run(&self, run_id: &str) -> io::Result<RunWriter> {
+        let dir = self.run_dir(run_id);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
         std::fs::create_dir_all(&dir)?;
         Ok(RunWriter { dir })
     }
@@ -354,6 +381,29 @@ mod tests {
         writer.write_manifest(&RunManifest::new("t4", 0)).unwrap();
         let loaded = store.load_run("t4").unwrap();
         assert_eq!(loaded.table4().unwrap(), rows);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn creating_an_existing_run_errors_and_replace_starts_clean() {
+        let root = test_root("collision");
+        let store = ArtifactStore::new(&root);
+        let writer = store.create_run("dup").unwrap();
+        writer.write_manifest(&RunManifest::new("dup", 0)).unwrap();
+        std::fs::write(writer.dir().join("records-stale.json"), "[]").unwrap();
+
+        // A second run under the same id must not merge into the first.
+        match store.create_run("dup") {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::AlreadyExists),
+            Ok(_) => panic!("colliding create_run must error"),
+        }
+
+        // Replacing wipes the stale files rather than mixing them in.
+        let writer = store.create_or_replace_run("dup").unwrap();
+        writer.write_manifest(&RunManifest::new("dup", 1)).unwrap();
+        assert!(!writer.dir().join("records-stale.json").exists());
+        assert_eq!(store.load_run("dup").unwrap().manifest.seed, 1);
+
         std::fs::remove_dir_all(&root).unwrap();
     }
 

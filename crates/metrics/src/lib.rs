@@ -3,8 +3,8 @@
 //! The evaluation metrics from §V-A of the LASSI paper:
 //!
 //! * **Sim-T** — token-based similarity using the Ratcliff–Obershelp
-//!   (longest-contiguous-matching-subsequence) algorithm over code tokens;
-//!   values ≥ 0.6 are treated as "high similarity",
+//!   (longest-contiguous-matching-subsequence) algorithm over interned code
+//!   tokens; values ≥ 0.6 are treated as "high similarity",
 //! * **Sim-L** — line-based similarity: identical lines (regardless of order)
 //!   over the line count of the longer program,
 //! * **Ratio** — runtime of the original code in the target language divided
@@ -17,7 +17,7 @@ pub mod aggregate;
 pub mod similarity;
 
 pub use aggregate::{AggregateStats, ScenarioOutcome};
-pub use similarity::{sim_l, sim_t, tokenize_code};
+pub use similarity::{sim_l, sim_t, tokenize_code, with_engine, SimilarityEngine, SymbolTable};
 
 /// The Sim-T threshold the paper uses as "reasonable similarity".
 pub const SIM_T_HIGH_SIMILARITY: f64 = 0.6;
