@@ -1,0 +1,469 @@
+//! `loadgen` — drive a running `lassi-server` with N concurrent clients
+//! over overlapping sweep grids, in a cold phase then a warm phase, and
+//! record throughput and latency percentiles.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--clients N] [--requests R] [--artifacts DIR]
+//!         [--smoke] [--shutdown] [--out PATH] [--run-prefix P]
+//! ```
+//!
+//! Each client submits `R` sweeps per phase; client `c`'s `r`-th request
+//! covers an *overlapping* two-application window of the benchmark list, so
+//! concurrent clients contend for the same scenario-cache entries. The warm
+//! phase resubmits the same grids (fresh run ids): every scenario must then
+//! be served from the shared scenario cache.
+//!
+//! `--smoke` is the self-checking CI mode. It asserts that
+//!
+//! * every response across both phases is 2xx,
+//! * the warm phase adds **zero** cache misses and exactly
+//!   `scenarios-per-phase` hits (verified via `GET /v1/cache/stats`
+//!   before/after),
+//! * a fetched run manifest and record set are **byte-identical** to the
+//!   files in the server's artifact store (requires `--artifacts` pointing
+//!   at the same directory the server writes),
+//! * `GET /v1/runs` lists every run id the load created,
+//!
+//! and then writes the `BENCH_server.json` perf-trajectory artifact
+//! (cold/warm requests/sec and p50/p99 latency). `--shutdown` sends
+//! `POST /v1/shutdown` at the end so a scripted server process exits.
+
+use std::time::Instant;
+
+use lassi_harness::Json;
+use lassi_server::http;
+
+struct LoadgenArgs {
+    common: lassi_bench::CommonArgs,
+    addr: String,
+    clients: usize,
+    requests: usize,
+    smoke: bool,
+    shutdown: bool,
+    out: String,
+    run_prefix: String,
+}
+
+fn parse_args() -> Result<LoadgenArgs, String> {
+    let common = lassi_bench::parse_common_args(std::env::args().skip(1))?;
+    let mut args = LoadgenArgs {
+        common: common.clone(),
+        addr: String::new(),
+        clients: 4,
+        requests: 2,
+        smoke: false,
+        shutdown: false,
+        out: "BENCH_server.json".into(),
+        run_prefix: "lg".into(),
+    };
+    let mut iter = common.rest.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--clients" => {
+                let raw = value("--clients")?;
+                args.clients = raw
+                    .parse()
+                    .map_err(|_| format!("bad client count `{raw}`"))?;
+            }
+            "--requests" => {
+                let raw = value("--requests")?;
+                args.requests = raw
+                    .parse()
+                    .map_err(|_| format!("bad request count `{raw}`"))?;
+            }
+            "--smoke" => args.smoke = true,
+            "--shutdown" => args.shutdown = true,
+            "--out" => args.out = value("--out")?,
+            "--run-prefix" => args.run_prefix = value("--run-prefix")?,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("--addr HOST:PORT is required".into());
+    }
+    if args.clients == 0 || args.requests == 0 {
+        return Err("--clients and --requests must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// Number of applications in each submitted sweep window.
+const APPS_PER_REQUEST: usize = 2;
+
+/// Read timeout for sweep submissions: the response only starts once the
+/// sweep has run, so this is sized to the work (a cold two-app scenario
+/// pair queued behind other clients), not to the wire.
+const SWEEP_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(600);
+
+/// The sweep body client `c` submits as its `r`-th request of `phase`:
+/// a two-application window starting at `c + r`, wrapping around the
+/// benchmark list — adjacent clients overlap on one application.
+fn sweep_body(app_names: &[String], prefix: &str, phase: &str, c: usize, r: usize) -> String {
+    let apps: Vec<String> = (0..APPS_PER_REQUEST)
+        .map(|k| format!("\"{}\"", app_names[(c + r + k) % app_names.len()]))
+        .collect();
+    format!(
+        r#"{{"models": ["GPT-4"], "apps": [{}], "directions": ["cuda-to-omp"],
+           "timing_runs": [1], "run_id": "{prefix}-{phase}-c{c}-r{r}"}}"#,
+        apps.join(", ")
+    )
+}
+
+/// One phase's measurements.
+struct PhaseOutcome {
+    wall_seconds: f64,
+    /// Per-request latencies, milliseconds, sorted ascending.
+    latencies_ms: Vec<f64>,
+    /// Every run id created during the phase.
+    run_ids: Vec<String>,
+}
+
+impl PhaseOutcome {
+    fn requests(&self) -> usize {
+        self.latencies_ms.len()
+    }
+
+    fn requests_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank percentile over the sorted latencies.
+    fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.latencies_ms.len() as f64).ceil() as usize;
+        self.latencies_ms[rank.clamp(1, self.latencies_ms.len()) - 1]
+    }
+}
+
+/// Run one phase: `clients` threads each submitting `requests` sweeps.
+fn run_phase(
+    args: &LoadgenArgs,
+    app_names: &[String],
+    phase: &'static str,
+) -> Result<PhaseOutcome, String> {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..args.clients {
+        let addr = args.addr.clone();
+        let prefix = args.run_prefix.clone();
+        let names = app_names.to_vec();
+        let requests = args.requests;
+        handles.push(std::thread::spawn(
+            move || -> Result<Vec<(f64, String)>, String> {
+                let mut results = Vec::with_capacity(requests);
+                for r in 0..requests {
+                    let body = sweep_body(&names, &prefix, phase, c, r);
+                    let sent = Instant::now();
+                    let resp = http::request_with_timeout(
+                        &addr,
+                        "POST",
+                        "/v1/sweeps",
+                        Some(body.as_bytes()),
+                        SWEEP_TIMEOUT,
+                    )
+                    .map_err(|e| format!("client {c} request {r}: {e}"))?;
+                    let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+                    if !resp.is_success() {
+                        return Err(format!(
+                            "client {c} request {r}: HTTP {} — {}",
+                            resp.status,
+                            resp.text()
+                        ));
+                    }
+                    let manifest = lassi_harness::json::parse(&resp.text())
+                        .map_err(|e| format!("client {c} request {r}: bad manifest: {e}"))?;
+                    let run_id = manifest
+                        .get("run_id")
+                        .and_then(|v| v.as_str())
+                        .ok_or_else(|| format!("client {c} request {r}: manifest lacks run_id"))?
+                        .to_string();
+                    results.push((latency_ms, run_id));
+                }
+                Ok(results)
+            },
+        ));
+    }
+    let mut latencies_ms = Vec::new();
+    let mut run_ids = Vec::new();
+    for handle in handles {
+        let results = handle.join().map_err(|_| "client thread panicked")??;
+        for (latency, run_id) in results {
+            latencies_ms.push(latency);
+            run_ids.push(run_id);
+        }
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Ok(PhaseOutcome {
+        wall_seconds,
+        latencies_ms,
+        run_ids,
+    })
+}
+
+/// `GET /v1/cache/stats` → (hits, misses).
+fn cache_stats(addr: &str) -> Result<(u64, u64), String> {
+    let resp = http::request(addr, "GET", "/v1/cache/stats", None)
+        .map_err(|e| format!("cache stats: {e}"))?;
+    if !resp.is_success() {
+        return Err(format!("cache stats: HTTP {}", resp.status));
+    }
+    let value =
+        lassi_harness::json::parse(&resp.text()).map_err(|e| format!("cache stats: {e}"))?;
+    let field = |name: &str| {
+        value
+            .get(name)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("cache stats: missing `{name}`"))
+    };
+    Ok((field("hits")?, field("misses")?))
+}
+
+fn phase_line(label: &str, outcome: &PhaseOutcome) -> String {
+    format!(
+        "{label} phase: {} requests in {:.3}s ({:.1} req/s), p50 {:.3}ms, p99 {:.3}ms",
+        outcome.requests(),
+        outcome.wall_seconds,
+        outcome.requests_per_second(),
+        outcome.percentile_ms(50.0),
+        outcome.percentile_ms(99.0),
+    )
+}
+
+/// Fetch `path` and require the body to be byte-identical to the file the
+/// server's artifact store holds at `disk_path`.
+fn check_bytes_match(addr: &str, path: &str, disk_path: &std::path::Path) -> Result<usize, String> {
+    let resp = http::request(addr, "GET", path, None).map_err(|e| format!("GET {path}: {e}"))?;
+    if !resp.is_success() {
+        return Err(format!("GET {path}: HTTP {}", resp.status));
+    }
+    let disk = std::fs::read(disk_path)
+        .map_err(|e| format!("cannot read {}: {e}", disk_path.display()))?;
+    if resp.body != disk {
+        return Err(format!(
+            "GET {path} returned {} bytes that differ from {} ({} bytes)",
+            resp.body.len(),
+            disk_path.display(),
+            disk.len()
+        ));
+    }
+    Ok(disk.len())
+}
+
+fn run(args: &LoadgenArgs) -> Result<(), String> {
+    let addr = args.addr.as_str();
+
+    // Liveness before loading.
+    let health =
+        http::request(addr, "GET", "/v1/healthz", None).map_err(|e| format!("healthz: {e}"))?;
+    if !health.is_success() {
+        return Err(format!("healthz: HTTP {}", health.status));
+    }
+
+    let app_names: Vec<String> = lassi_hecbench::applications()
+        .iter()
+        .map(|a| a.name.to_string())
+        .collect();
+    let scenarios_per_phase = args.clients * args.requests * APPS_PER_REQUEST;
+    println!(
+        "loadgen: {} clients x {} requests/phase against http://{addr} \
+         ({APPS_PER_REQUEST} scenarios per request)",
+        args.clients, args.requests
+    );
+
+    let (hits0, misses0) = cache_stats(addr)?;
+    let cold = run_phase(args, &app_names, "cold")?;
+    println!("{}", phase_line("cold", &cold));
+    let (hits1, misses1) = cache_stats(addr)?;
+    let warm = run_phase(args, &app_names, "warm")?;
+    println!("{}", phase_line("warm", &warm));
+    let (hits2, misses2) = cache_stats(addr)?;
+
+    let cold_hits = hits1 - hits0;
+    let cold_misses = misses1 - misses0;
+    let warm_hits = hits2 - hits1;
+    let warm_misses = misses2 - misses1;
+    println!(
+        "cache: cold {cold_hits} hits / {cold_misses} misses, \
+         warm {warm_hits} hits / {warm_misses} misses"
+    );
+
+    if args.smoke {
+        // Warm requests must be served from the scenario cache, not re-run.
+        if warm_misses != 0 {
+            return Err(format!(
+                "warm phase caused {warm_misses} cache misses; expected 0"
+            ));
+        }
+        if warm_hits != scenarios_per_phase as u64 {
+            return Err(format!(
+                "warm phase hit the cache {warm_hits} times; expected {scenarios_per_phase}"
+            ));
+        }
+        if cold_misses == 0 {
+            return Err("cold phase had no cache misses; the cache was pre-warmed \
+                 and these numbers would be meaningless — point the server at a \
+                 fresh --artifacts directory"
+                .into());
+        }
+
+        // Every run the load created is listed.
+        let resp =
+            http::request(addr, "GET", "/v1/runs", None).map_err(|e| format!("list runs: {e}"))?;
+        if !resp.is_success() {
+            return Err(format!("list runs: HTTP {} — {}", resp.status, resp.text()));
+        }
+        let listing = resp.text();
+        for run_id in cold.run_ids.iter().chain(&warm.run_ids) {
+            if !listing.contains(&format!("\"{run_id}\"")) {
+                return Err(format!("GET /v1/runs does not list `{run_id}`"));
+            }
+        }
+
+        // Byte-identity: a fetched manifest and record set must match the
+        // artifact store exactly.
+        let store = lassi_bench::artifact_store(&args.common);
+        let run_id = &cold.run_ids[0];
+        let run_dir = store.run_dir(run_id);
+        if !run_dir.exists() {
+            return Err(format!(
+                "{} does not exist; pass the server's --artifacts directory \
+                 to loadgen for the byte-identity check",
+                run_dir.display()
+            ));
+        }
+        check_bytes_match(
+            addr,
+            &format!("/v1/runs/{run_id}"),
+            &run_dir.join("manifest.json"),
+        )?;
+        let artifact = store.load_run(run_id).map_err(|e| e.to_string())?;
+        let mut record_bytes = 0;
+        for set in &artifact.manifest.record_sets {
+            record_bytes += check_bytes_match(
+                addr,
+                &format!("/v1/runs/{run_id}/records/{set}"),
+                &run_dir.join(format!("records-{set}.json")),
+            )?;
+        }
+        println!(
+            "smoke checks passed: warm phase 100% cache hits, run-{run_id} \
+             manifest + {} record sets byte-identical ({record_bytes} bytes)",
+            artifact.manifest.record_sets.len()
+        );
+    }
+
+    write_bench(
+        args,
+        scenarios_per_phase,
+        &cold,
+        &warm,
+        [cold_hits, cold_misses, warm_hits, warm_misses],
+    )?;
+    println!(
+        "{} written (cold p50 {:.3}ms vs warm p50 {:.3}ms)",
+        args.out,
+        cold.percentile_ms(50.0),
+        warm.percentile_ms(50.0)
+    );
+
+    if args.shutdown {
+        let resp = http::request(addr, "POST", "/v1/shutdown", None)
+            .map_err(|e| format!("shutdown: {e}"))?;
+        if !resp.is_success() {
+            return Err(format!("shutdown: HTTP {}", resp.status));
+        }
+        println!("server asked to shut down");
+    }
+    Ok(())
+}
+
+fn write_bench(
+    args: &LoadgenArgs,
+    scenarios_per_phase: usize,
+    cold: &PhaseOutcome,
+    warm: &PhaseOutcome,
+    [cold_hits, cold_misses, warm_hits, warm_misses]: [u64; 4],
+) -> Result<(), String> {
+    let phase_fields = |label: &str, outcome: &PhaseOutcome| {
+        vec![
+            (
+                format!("{label}_wall_seconds"),
+                Json::Float(outcome.wall_seconds),
+            ),
+            (
+                format!("{label}_requests_per_second"),
+                Json::Float(outcome.requests_per_second()),
+            ),
+            (
+                format!("{label}_p50_ms"),
+                Json::Float(outcome.percentile_ms(50.0)),
+            ),
+            (
+                format!("{label}_p99_ms"),
+                Json::Float(outcome.percentile_ms(99.0)),
+            ),
+        ]
+    };
+    let warm_speedup = if warm.wall_seconds > 0.0 {
+        cold.wall_seconds / warm.wall_seconds
+    } else {
+        0.0
+    };
+    let mut fields = vec![
+        ("bench".into(), Json::Str("server-loadgen".into())),
+        ("schema_version".into(), Json::Int(1)),
+        ("created_unix".into(), Json::uint(lassi_bench::unix_now())),
+        ("clients".into(), Json::Int(args.clients as i128)),
+        (
+            "requests_per_client_per_phase".into(),
+            Json::Int(args.requests as i128),
+        ),
+        (
+            "scenarios_per_request".into(),
+            Json::Int(APPS_PER_REQUEST as i128),
+        ),
+        (
+            "scenarios_per_phase".into(),
+            Json::Int(scenarios_per_phase as i128),
+        ),
+        (
+            "requests_per_phase".into(),
+            Json::Int(cold.requests() as i128),
+        ),
+    ];
+    fields.extend(phase_fields("cold", cold));
+    fields.extend(phase_fields("warm", warm));
+    fields.extend([
+        ("warm_speedup".into(), Json::Float(warm_speedup)),
+        ("cold_cache_hits".into(), Json::uint(cold_hits)),
+        ("cold_cache_misses".into(), Json::uint(cold_misses)),
+        ("warm_cache_hits".into(), Json::uint(warm_hits)),
+        ("warm_cache_misses".into(), Json::uint(warm_misses)),
+    ]);
+    let mut text = Json::Object(fields).to_pretty();
+    text.push('\n');
+    std::fs::write(&args.out, text).map_err(|e| format!("cannot write {}: {e}", args.out))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(&args) {
+        eprintln!("loadgen: {message}");
+        std::process::exit(1);
+    }
+}

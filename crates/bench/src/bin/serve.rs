@@ -1,0 +1,105 @@
+//! `serve` — run `lassi-server`, the HTTP front end for the experiment
+//! service, over a long-lived harness + scenario cache + artifact store.
+//!
+//! ```text
+//! serve [--host ADDR] [--port N] [--artifacts DIR] [--workers N]
+//!       [--no-cache] [--max-connections N] [--addr-file PATH]
+//! ```
+//!
+//! `--port 0` (the default) binds an ephemeral port; the bound address is
+//! printed on stdout and, with `--addr-file`, written atomically to a file
+//! so scripts (CI, `loadgen`) can wait for it and read it. The process
+//! serves until a client `POST`s `/v1/shutdown`, then drains in-flight
+//! connections and sweeps and exits 0.
+
+use std::sync::Arc;
+
+use lassi_server::{AppState, Server, DEFAULT_MAX_CONNECTIONS};
+
+struct ServeArgs {
+    common: lassi_bench::CommonArgs,
+    host: String,
+    port: u16,
+    max_connections: usize,
+    addr_file: Option<String>,
+}
+
+fn parse_args() -> Result<ServeArgs, String> {
+    let common = lassi_bench::parse_common_args(std::env::args().skip(1))?;
+    let mut args = ServeArgs {
+        common: common.clone(),
+        host: "127.0.0.1".into(),
+        port: 0,
+        max_connections: DEFAULT_MAX_CONNECTIONS,
+        addr_file: None,
+    };
+    let mut iter = common.rest.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--host" => args.host = value("--host")?,
+            "--port" => {
+                let raw = value("--port")?;
+                args.port = raw.parse().map_err(|_| format!("bad port `{raw}`"))?;
+            }
+            "--max-connections" => {
+                let raw = value("--max-connections")?;
+                args.max_connections = raw
+                    .parse()
+                    .map_err(|_| format!("bad connection count `{raw}`"))?;
+            }
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if common.replay.is_some() {
+        return Err("--replay makes no sense for serve".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &ServeArgs) -> Result<(), String> {
+    let harness = lassi_bench::build_harness(&args.common)?;
+    let store = lassi_bench::artifact_store(&args.common);
+    let state = Arc::new(AppState::new(harness, store));
+    let server = Server::bind((args.host.as_str(), args.port), state)
+        .map_err(|e| format!("cannot bind {}:{}: {e}", args.host, args.port))?
+        .with_max_connections(args.max_connections);
+    let addr = server.local_addr();
+    println!("lassi-server listening on http://{addr}");
+    println!(
+        "artifacts: {}; cache: {}",
+        args.common.artifacts.display(),
+        if args.common.use_cache { "disk" } else { "off" }
+    );
+
+    if let Some(path) = &args.addr_file {
+        // Write-then-rename so a watcher never reads a half-written file.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, addr.to_string())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let result = server.run().map_err(|e| format!("server error: {e}"));
+    if let Some(path) = &args.addr_file {
+        let _ = std::fs::remove_file(path);
+    }
+    result?;
+    println!("lassi-server drained; exiting");
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("serve: {message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(&args) {
+        eprintln!("serve: {message}");
+        std::process::exit(1);
+    }
+}

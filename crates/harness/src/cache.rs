@@ -17,7 +17,8 @@ use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+
+use parking_lot::Mutex;
 
 use lassi_core::TranslationRecord;
 
@@ -152,15 +153,12 @@ impl ScenarioCache {
 
     /// Look a scenario up, counting the hit or miss.
     pub fn lookup(&self, key: ScenarioKey) -> Option<TranslationRecord> {
-        if let Some(record) = self.memory.lock().expect("cache mutex").get(&key.0) {
+        if let Some(record) = self.memory.lock().get(&key.0) {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             return Some(record.clone());
         }
         if let Some(record) = self.disk_lookup(key) {
-            self.memory
-                .lock()
-                .expect("cache mutex")
-                .insert(key.0, record.clone());
+            self.memory.lock().insert(key.0, record.clone());
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             return Some(record);
         }
@@ -180,10 +178,7 @@ impl ScenarioCache {
     /// Store a freshly computed record under its key.
     pub fn store(&self, key: ScenarioKey, record: &TranslationRecord) {
         self.stats.stores.fetch_add(1, Ordering::Relaxed);
-        self.memory
-            .lock()
-            .expect("cache mutex")
-            .insert(key.0, record.clone());
+        self.memory.lock().insert(key.0, record.clone());
         if let Some(dir) = &self.dir {
             let path = self.entry_path(dir, key);
             let tmp = path.with_extension("json.tmp");

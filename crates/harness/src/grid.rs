@@ -7,13 +7,14 @@
 //! grids share scenario-cache entries, so refining a sweep only pays for the
 //! new cells.
 
-use lassi_core::{Direction, PipelineConfig};
+use lassi_core::{scenario_outcomes, Direction, PipelineConfig, TranslationRecord};
 use lassi_hecbench::Application;
 use lassi_llm::ModelSpec;
+use lassi_metrics::AggregateStats;
 
 use crate::cache::CacheSnapshot;
-use crate::scheduler::Job;
-use crate::store::{detect_git_commit, RunManifest};
+use crate::scheduler::{Job, JobOutput};
+use crate::store::{detect_git_commit, ArtifactError, ArtifactStore, RunManifest};
 
 /// A sweep specification. Every `Vec` dimension must be non-empty.
 #[derive(Debug, Clone)]
@@ -138,6 +139,63 @@ impl SweepGrid {
         manifest.cache_hits = snapshot.hits;
         manifest.cache_misses = snapshot.misses;
         manifest
+    }
+
+    /// Group sweep outputs by grid cell, in [`SweepGrid::cells`] order.
+    /// `jobs` must be the job list the outputs were produced from (the
+    /// output's `index` field points into it).
+    pub fn group_by_cell(
+        &self,
+        jobs: &[Job],
+        outputs: &[JobOutput],
+    ) -> Vec<(GridCell, Vec<TranslationRecord>)> {
+        let mut per_cell: Vec<(GridCell, Vec<TranslationRecord>)> =
+            self.cells().into_iter().map(|c| (c, Vec::new())).collect();
+        for output in outputs {
+            let cell = self.cell_of(&jobs[output.index]);
+            let slot = per_cell
+                .iter_mut()
+                .find(|(c, _)| *c == cell)
+                .expect("every job belongs to a grid cell");
+            slot.1.push(output.record.clone());
+        }
+        per_cell
+    }
+
+    /// Write one run artifact for a completed sweep over this grid: a
+    /// record set and summary per grid cell, plus the manifest. This is the
+    /// single writer the `sweep` CLI and the HTTP service share, so their
+    /// artifacts are interchangeable (`--replay`, `--verify` and
+    /// `GET /v1/runs/{id}` all read the same layout).
+    ///
+    /// `replace` wipes a previous run under the same (fixed) id; without it
+    /// a colliding run id is an `AlreadyExists` error rather than a silent
+    /// merge. Returns the per-cell records for later verification.
+    pub fn write_artifact(
+        &self,
+        store: &ArtifactStore,
+        run_id: &str,
+        replace: bool,
+        jobs: &[Job],
+        outputs: &[JobOutput],
+        snapshot: CacheSnapshot,
+    ) -> Result<Vec<(GridCell, Vec<TranslationRecord>)>, ArtifactError> {
+        let per_cell = self.group_by_cell(jobs, outputs);
+        let writer = if replace {
+            store.create_or_replace_run(run_id)
+        } else {
+            store.create_run(run_id)
+        }?;
+        for (cell, records) in &per_cell {
+            let slug = cell.slug();
+            let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
+            writer.write_records(&slug, records)?;
+            writer.write_summary(&slug, &stats)?;
+        }
+        let record_sets = self.cells().iter().map(GridCell::slug).collect();
+        let manifest = self.manifest(run_id, record_sets, outputs.len(), snapshot);
+        writer.write_manifest(&manifest)?;
+        Ok(per_cell)
     }
 
     /// The cell a job belongs to.

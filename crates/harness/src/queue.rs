@@ -3,9 +3,15 @@
 //! `push` blocks while the queue is full (backpressure against unbounded
 //! sweep submission), `pop` blocks while it is empty, and `close` wakes
 //! every waiter so producers and consumers drain deterministically.
+//!
+//! The locks are the vendored `parking_lot` shim, which does not poison:
+//! when one worker panics mid-operation, every other client of a shared
+//! queue keeps working instead of cascading `PoisonError` panics through
+//! the long-lived service.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+
+use parking_lot::{Condvar, Mutex};
 
 struct State<T> {
     items: VecDeque<T>,
@@ -37,9 +43,9 @@ impl<T> BoundedQueue<T> {
     /// Block until there is room, then enqueue. Returns `Err(item)` if the
     /// queue was closed before the item could be enqueued.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = self.state.lock();
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue mutex poisoned");
+            state = self.not_full.wait(state);
         }
         if state.closed {
             return Err(item);
@@ -52,7 +58,7 @@ impl<T> BoundedQueue<T> {
     /// Block until an item is available; `None` once the queue is closed
     /// and drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = self.state.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.not_full.notify_one();
@@ -61,14 +67,14 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue mutex poisoned");
+            state = self.not_empty.wait(state);
         }
     }
 
     /// Close the queue: pending `push`es fail, `pop` drains what is left
     /// then returns `None`.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = self.state.lock();
         state.closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
@@ -76,7 +82,7 @@ impl<T> BoundedQueue<T> {
 
     /// Close and throw away everything still queued (cancellation path).
     pub fn close_and_clear(&self) {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = self.state.lock();
         state.closed = true;
         state.items.clear();
         self.not_full.notify_all();
@@ -85,7 +91,7 @@ impl<T> BoundedQueue<T> {
 
     /// Number of queued items right now (tests / introspection).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue mutex poisoned").items.len()
+        self.state.lock().items.len()
     }
 
     /// True when nothing is queued.

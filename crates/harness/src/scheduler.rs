@@ -178,6 +178,19 @@ impl Harness {
         self
     }
 
+    /// Attach an already-shared scenario cache. This is what a long-lived
+    /// service uses: the same `Arc` can feed the harness *and* e.g. a
+    /// cache-stats endpoint, without the harness owning the only handle.
+    pub fn with_shared_cache(mut self, cache: Arc<ScenarioCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// A clone of the shared cache handle, if one is attached.
+    pub fn shared_cache(&self) -> Option<Arc<ScenarioCache>> {
+        self.cache.clone()
+    }
+
     /// The attached cache, if any.
     pub fn cache(&self) -> Option<&ScenarioCache> {
         self.cache.as_deref()

@@ -213,6 +213,49 @@ impl ArtifactStore {
     pub fn load_run(&self, run_id: &str) -> Result<RunArtifact, ArtifactError> {
         RunArtifact::load(self.run_dir(run_id))
     }
+
+    /// Atomically claim `run-<id>` by creating its (empty) directory.
+    ///
+    /// Unlike [`ArtifactStore::create_run`]'s exists-then-create sequence,
+    /// the single `create_dir` makes this race-free: of two concurrent
+    /// claimants exactly one succeeds and the other gets
+    /// [`io::ErrorKind::AlreadyExists`]. The HTTP service reserves the id
+    /// this way *before* running a sweep, then writes into the claimed
+    /// directory with [`ArtifactStore::create_or_replace_run`].
+    pub fn reserve_run(&self, run_id: &str) -> io::Result<()> {
+        std::fs::create_dir_all(&self.root)?;
+        std::fs::create_dir(self.run_dir(run_id))
+    }
+
+    /// The run ids present under the store root, sorted lexicographically.
+    ///
+    /// Only directories named `run-<id>` that contain a `manifest.json`
+    /// count: the scenario cache (`cache/`), stray files and half-written
+    /// runs are skipped. A missing store root is an empty store, not an
+    /// error — nothing has been written yet.
+    pub fn list_runs(&self) -> io::Result<Vec<String>> {
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut runs = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some(id) = name.to_str().and_then(|n| n.strip_prefix("run-")) else {
+                continue;
+            };
+            if !id.is_empty() && entry.path().join("manifest.json").is_file() {
+                runs.push(id.to_string());
+            }
+        }
+        runs.sort();
+        Ok(runs)
+    }
 }
 
 /// Writes the files of one run directory.
@@ -404,6 +447,43 @@ mod tests {
         assert!(!writer.dir().join("records-stale.json").exists());
         assert_eq!(store.load_run("dup").unwrap().manifest.seed, 1);
 
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reserve_run_claims_atomically_and_is_not_listed() {
+        let root = test_root("reserve");
+        let store = ArtifactStore::new(&root);
+        store.reserve_run("claimed").unwrap();
+        assert_eq!(
+            store.reserve_run("claimed").unwrap_err().kind(),
+            std::io::ErrorKind::AlreadyExists,
+            "the second claimant must lose"
+        );
+        // A reserved-but-unwritten run has no manifest yet, so it does not
+        // surface in listings.
+        assert_eq!(store.list_runs().unwrap(), Vec::<String>::new());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn list_runs_is_sorted_and_skips_non_run_entries() {
+        let root = test_root("list");
+        let store = ArtifactStore::new(&root);
+        assert_eq!(store.list_runs().unwrap(), Vec::<String>::new());
+
+        for id in ["zeta", "alpha", "mid"] {
+            let writer = store.create_run(id).unwrap();
+            writer.write_manifest(&RunManifest::new(id, 0)).unwrap();
+        }
+        // Non-run clutter that must be skipped: the scenario cache, a stray
+        // file, a run directory with no manifest, and an unrelated directory.
+        std::fs::create_dir_all(root.join("cache")).unwrap();
+        std::fs::create_dir_all(root.join("run-halfwritten")).unwrap();
+        std::fs::create_dir_all(root.join("not-a-run")).unwrap();
+        std::fs::write(root.join("run-file"), "not a directory").unwrap();
+
+        assert_eq!(store.list_runs().unwrap(), vec!["alpha", "mid", "zeta"]);
         std::fs::remove_dir_all(&root).unwrap();
     }
 

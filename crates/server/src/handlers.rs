@@ -1,0 +1,366 @@
+//! Request handlers: decode, run against the shared state, encode.
+//!
+//! Artifact retrieval (`GET /v1/runs/{id}` and `…/records/{set}`) serves the
+//! *raw file bytes* from the artifact store, so responses are byte-identical
+//! to what `--replay` and `--verify` read from disk — the server adds no
+//! serialization of its own on the read path. `POST /v1/sweeps` responds
+//! with the manifest bytes it just wrote, so submit responses and later
+//! manifest fetches are byte-identical too.
+
+use std::io;
+
+use lassi_core::PipelineConfig;
+use lassi_harness::{Json, SweepGrid};
+use lassi_hecbench::{application, applications, Application};
+use lassi_llm::{all_models, model_by_name, ModelSpec};
+
+use crate::http::{Request, Response};
+use crate::router::{is_slug, route, Route, RouteError};
+use crate::state::AppState;
+
+/// Cap on scenarios per submitted sweep: a single request must not be able
+/// to occupy the worker pool for an unbounded amount of time.
+pub const MAX_SCENARIOS_PER_SWEEP: usize = 4096;
+
+/// Dispatch one request.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    match route(&req.method, &req.path) {
+        Err(RouteError::NotFound) => Response::error(404, "no such endpoint"),
+        Err(RouteError::MethodNotAllowed) => {
+            Response::error(405, &format!("{} not allowed here", req.method))
+        }
+        Err(RouteError::BadSlug(slug)) => {
+            Response::error(400, &format!("invalid path segment `{slug}`"))
+        }
+        Ok(Route::Healthz) => healthz(),
+        Ok(Route::CacheStats) => cache_stats(state),
+        Ok(Route::ListRuns) => list_runs(state),
+        Ok(Route::GetRun(id)) => get_run(state, &id),
+        Ok(Route::GetRecords(id, set)) => get_records(state, &id, &set),
+        Ok(Route::SubmitSweep) => submit_sweep(state, &req.body),
+        Ok(Route::Shutdown) => shutdown(state),
+    }
+}
+
+fn healthz() -> Response {
+    let body = Json::Object(vec![
+        ("status".into(), Json::Str("ok".into())),
+        ("service".into(), Json::Str("lassi-server".into())),
+        (
+            "version".into(),
+            Json::Str(env!("CARGO_PKG_VERSION").into()),
+        ),
+    ]);
+    Response::json(200, body.to_compact())
+}
+
+fn cache_stats(state: &AppState) -> Response {
+    let harness = state.harness();
+    let snapshot = harness.cache_snapshot();
+    let body = Json::Object(vec![
+        ("attached".into(), Json::Bool(harness.cache().is_some())),
+        (
+            "disk".into(),
+            Json::Bool(harness.cache().and_then(|c| c.dir()).is_some()),
+        ),
+        ("hits".into(), Json::uint(snapshot.hits)),
+        ("misses".into(), Json::uint(snapshot.misses)),
+        ("stores".into(), Json::uint(snapshot.stores)),
+        ("hit_rate".into(), Json::Float(snapshot.hit_rate())),
+    ]);
+    Response::json(200, body.to_compact())
+}
+
+fn list_runs(state: &AppState) -> Response {
+    match state.store().list_runs() {
+        Ok(runs) => {
+            let body = Json::Object(vec![(
+                "runs".into(),
+                Json::Array(runs.into_iter().map(Json::Str).collect()),
+            )]);
+            Response::json(200, body.to_compact())
+        }
+        Err(e) => Response::error(500, &format!("cannot list runs: {e}")),
+    }
+}
+
+/// Serve an artifact file's raw bytes, mapping a missing file to 404.
+fn serve_file(path: std::path::PathBuf, chunked: bool) -> Response {
+    match std::fs::read(&path) {
+        Ok(bytes) => Response {
+            status: 200,
+            content_type: "application/json",
+            body: bytes,
+            chunked,
+        },
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            Response::error(404, &format!("{} does not exist", path.display()))
+        }
+        Err(e) => Response::error(500, &format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+fn get_run(state: &AppState, id: &str) -> Response {
+    serve_file(state.store().run_dir(id).join("manifest.json"), false)
+}
+
+fn get_records(state: &AppState, id: &str, set: &str) -> Response {
+    // Record sets can be large (a full grid is 80 records per cell), so the
+    // body goes out chunked.
+    serve_file(
+        state
+            .store()
+            .run_dir(id)
+            .join(format!("records-{set}.json")),
+        true,
+    )
+}
+
+fn shutdown(state: &AppState) -> Response {
+    state.begin_shutdown();
+    let body = Json::Object(vec![("status".into(), Json::Str("draining".into()))]);
+    Response::json(200, body.to_compact())
+}
+
+/// A decoded `POST /v1/sweeps` body.
+#[derive(Debug)]
+struct SweepRequest {
+    grid: SweepGrid,
+    run_id: Option<String>,
+}
+
+fn str_list<T>(
+    value: &Json,
+    what: &str,
+    lookup: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("`{what}` must be an array of strings"))?;
+    if items.is_empty() {
+        return Err(format!("`{what}` must not be empty"));
+    }
+    items
+        .iter()
+        .map(|item| {
+            let name = item
+                .as_str()
+                .ok_or_else(|| format!("`{what}` must be an array of strings"))?;
+            lookup(name).ok_or_else(|| format!("unknown {what} `{name}`"))
+        })
+        .collect()
+}
+
+fn u32_list(value: &Json, what: &str) -> Result<Vec<u32>, String> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("`{what}` must be an array of non-negative integers"))?;
+    if items.is_empty() {
+        return Err(format!("`{what}` must not be empty"));
+    }
+    items
+        .iter()
+        .map(|item| {
+            item.as_u32()
+                .ok_or_else(|| format!("`{what}` must be an array of non-negative integers"))
+        })
+        .collect()
+}
+
+/// Decode a sweep request. Every field is optional — the default is the
+/// paper's full product at the default configuration — but present fields
+/// are validated strictly, and unknown fields are rejected (a typo'd
+/// dimension silently ignored would sweep the wrong grid).
+fn decode_sweep_request(body: &[u8]) -> Result<SweepRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("empty body; send a JSON object (may be `{}`)".into());
+    }
+    let value = lassi_harness::json::parse(text).map_err(|e| e.to_string())?;
+    let Json::Object(fields) = &value else {
+        return Err("body must be a JSON object".into());
+    };
+
+    let mut base = PipelineConfig::default();
+    let mut models: Vec<ModelSpec> = all_models();
+    let mut apps: Vec<Application> = applications();
+    let mut directions = lassi_core::Direction::both().to_vec();
+    let mut max_self_corrections = vec![base.max_self_corrections];
+    let mut timing_runs = vec![base.timing_runs];
+    let mut run_id = None;
+
+    for (key, field) in fields {
+        match key.as_str() {
+            "models" => models = str_list(field, "model", model_by_name)?,
+            "apps" => apps = str_list(field, "application", application)?,
+            "directions" => {
+                directions = str_list(field, "direction", lassi_core::Direction::from_slug)?
+            }
+            "max_self_corrections" => {
+                max_self_corrections = u32_list(field, "max_self_corrections")?
+            }
+            "timing_runs" => timing_runs = u32_list(field, "timing_runs")?,
+            "seed" => {
+                base.seed = field
+                    .as_u64()
+                    .ok_or_else(|| "`seed` must be a non-negative integer".to_string())?
+            }
+            "run_id" => {
+                let id = field
+                    .as_str()
+                    .ok_or_else(|| "`run_id` must be a string".to_string())?;
+                if !is_slug(id) {
+                    return Err(format!("`run_id` `{id}` is not a valid slug"));
+                }
+                run_id = Some(id.to_string());
+            }
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+
+    Ok(SweepRequest {
+        grid: SweepGrid {
+            base,
+            models,
+            apps,
+            directions,
+            max_self_corrections,
+            timing_runs,
+        },
+        run_id,
+    })
+}
+
+fn submit_sweep(state: &AppState, body: &[u8]) -> Response {
+    if state.shutting_down() {
+        return Response::error(503, "server is shutting down");
+    }
+    let request = match decode_sweep_request(body) {
+        Ok(request) => request,
+        Err(message) => return Response::error(400, &message),
+    };
+    let grid = request.grid;
+    if grid.len() > MAX_SCENARIOS_PER_SWEEP {
+        return Response::error(
+            400,
+            &format!(
+                "sweep expands to {} scenarios, above the per-request cap of {}",
+                grid.len(),
+                MAX_SCENARIOS_PER_SWEEP
+            ),
+        );
+    }
+
+    // Reserve the run id (atomically claiming its directory) before doing
+    // any work, so a colliding client-chosen id — even one submitted
+    // concurrently — is a fast 409, not a wasted sweep.
+    let store = state.store();
+    let run_id = match request.run_id {
+        Some(id) => match store.reserve_run(&id) {
+            Ok(()) => id,
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                return Response::error(409, &format!("run `{id}` already exists"));
+            }
+            Err(e) => return Response::error(500, &format!("cannot reserve run `{id}`: {e}")),
+        },
+        None => loop {
+            let id = state.next_run_id();
+            match store.reserve_run(&id) {
+                Ok(()) => break id,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Response::error(500, &format!("cannot reserve a run id: {e}")),
+            }
+        },
+    };
+
+    // Run the sweep through the shared worker pool, registered for
+    // cooperative shutdown. The per-run cache delta is measured around the
+    // submission; under concurrent clients the counters interleave, so the
+    // delta is attributed, not exact — /v1/cache/stats has the authoritative
+    // totals.
+    let harness = state.harness();
+    let jobs = grid.jobs();
+    let total = jobs.len();
+    let before = harness.cache_snapshot();
+    let stream = harness.submit(jobs.clone());
+    let ticket = state.register_sweep(stream.cancel_token());
+    let outputs = stream.collect_outputs();
+    state.finish_sweep(ticket);
+    if outputs.len() != total {
+        // Release the reserved (still empty) run directory.
+        let _ = std::fs::remove_dir_all(store.run_dir(&run_id));
+        return Response::error(503, "sweep cancelled: server is shutting down");
+    }
+    let delta = harness.cache_snapshot().since(before);
+
+    // `replace` because the reservation above already created the (empty)
+    // run directory this sweep owns.
+    if let Err(e) = grid.write_artifact(store, &run_id, true, &jobs, &outputs, delta) {
+        let _ = std::fs::remove_dir_all(store.run_dir(&run_id));
+        return Response::error(500, &format!("cannot write artifact: {e}"));
+    }
+    // Respond with the manifest bytes just written, so the submit response
+    // is byte-identical to a later `GET /v1/runs/{id}`.
+    match std::fs::read(store.run_dir(&run_id).join("manifest.json")) {
+        Ok(bytes) => Response::json(201, bytes),
+        Err(e) => Response::error(500, &format!("cannot read back manifest: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_defaults_from_an_empty_object() {
+        let req = decode_sweep_request(b"{}").unwrap();
+        assert_eq!(req.grid.models.len(), all_models().len());
+        assert_eq!(req.grid.apps.len(), applications().len());
+        assert_eq!(req.grid.directions.len(), 2);
+        assert!(req.run_id.is_none());
+    }
+
+    #[test]
+    fn decodes_a_narrowed_grid() {
+        let body = br#"{
+            "models": ["GPT-4"],
+            "apps": ["layout", "entropy"],
+            "directions": ["cuda-to-omp"],
+            "max_self_corrections": [10, 40],
+            "timing_runs": [1],
+            "seed": 7,
+            "run_id": "client-1"
+        }"#;
+        let req = decode_sweep_request(body).unwrap();
+        assert_eq!(req.grid.models.len(), 1);
+        assert_eq!(req.grid.apps.len(), 2);
+        assert_eq!(req.grid.directions, vec![lassi_core::Direction::CudaToOmp]);
+        assert_eq!(req.grid.max_self_corrections, vec![10, 40]);
+        assert_eq!(req.grid.base.seed, 7);
+        assert_eq!(req.grid.len(), 4, "1 model x 2 apps x 1 dir x 2 msc");
+        assert_eq!(req.run_id.as_deref(), Some("client-1"));
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_a_reason() {
+        for (body, needle) in [
+            (&b"not json"[..], "JSON"),
+            (b"", "empty body"),
+            (b"[1]", "must be a JSON object"),
+            (br#"{"models": ["no-such-model"]}"#, "unknown model"),
+            (br#"{"apps": []}"#, "must not be empty"),
+            (br#"{"directions": ["sideways"]}"#, "unknown direction"),
+            (br#"{"timing_runs": [-1]}"#, "non-negative"),
+            (br#"{"seed": "abc"}"#, "`seed`"),
+            (br#"{"run_id": "../evil"}"#, "not a valid slug"),
+            (br#"{"modles": ["GPT-4"]}"#, "unknown field `modles`"),
+        ] {
+            let err = decode_sweep_request(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{:?} -> {err:?} (wanted {needle:?})",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+}

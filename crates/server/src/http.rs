@@ -1,0 +1,436 @@
+//! Hand-rolled HTTP/1.1 wire handling: request parsing, response writing
+//! (`Content-Length` or chunked) and a small blocking client.
+//!
+//! The repository's dependency policy rules out hyper & co., and the
+//! service only needs the HTTP/1.1 subset a JSON API uses: one request per
+//! connection (`Connection: close`), `Content-Length` bodies on requests,
+//! and `Content-Length` or `Transfer-Encoding: chunked` bodies on
+//! responses. Limits are enforced while reading so a misbehaving peer
+//! cannot balloon memory: 8 KiB per header line, 100 header lines, 8 MiB
+//! of body.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Longest accepted request/status/header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most accepted header lines per message.
+const MAX_HEADERS: usize = 100;
+/// Largest accepted message body, in bytes.
+const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Chunk size used for chunked response bodies.
+const CHUNK: usize = 16 * 1024;
+/// Socket read/write timeout: a stuck peer must not pin a connection slot.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Read one CRLF-terminated line, rejecting lines longer than [`MAX_LINE`].
+/// The returned string has the line ending stripped.
+fn read_line_limited<R: BufRead>(reader: &mut R) -> io::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Err(invalid("connection closed mid-line"));
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(available.len());
+        if line.len() + take > MAX_LINE {
+            return Err(invalid("header line too long"));
+        }
+        line.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| invalid("header line is not UTF-8"))
+}
+
+/// Parse `Name: value` header lines until the blank line, lower-casing names.
+fn read_headers<R: BufRead>(reader: &mut R) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_limited(reader)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(invalid("too many header lines"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| invalid("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn read_body<R: BufRead>(reader: &mut R, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+    if header(headers, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        return read_chunked(reader);
+    }
+    let length = match header(headers, "content-length") {
+        None => return Ok(Vec::new()),
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| invalid("bad Content-Length"))?,
+    };
+    if length > MAX_BODY {
+        return Err(invalid("body too large"));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Decode a `Transfer-Encoding: chunked` body (sizes are hex, each chunk is
+/// CRLF-terminated, a zero-size chunk ends the body; trailers are ignored).
+fn read_chunked<R: BufRead>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line_limited(reader)?;
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|_| invalid(format!("bad chunk size `{size_hex}`")))?;
+        if body.len() + size > MAX_BODY {
+            return Err(invalid("chunked body too large"));
+        }
+        if size == 0 {
+            // Consume optional trailers up to the final blank line.
+            while !read_line_limited(reader)?.is_empty() {}
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        if !read_line_limited(reader)?.is_empty() {
+            return Err(invalid("missing CRLF after chunk"));
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Lower-cased header names with trimmed values, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when there was none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lower-case) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
+    }
+}
+
+/// Read and parse one request from a connection.
+pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    read_request_from(&mut BufReader::new(stream))
+}
+
+/// [`read_request`] over any buffered reader (tests use in-memory wires).
+pub fn read_request_from<R: BufRead>(reader: &mut R) -> io::Result<Request> {
+    let request_line = read_line_limited(reader)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(invalid(format!("malformed request line `{request_line}`")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("unsupported protocol `{version}`")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        headers,
+        body,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response ready to be written to a connection.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// Send the body with `Transfer-Encoding: chunked` instead of
+    /// `Content-Length` (used for potentially large artifact files).
+    pub chunked: bool,
+}
+
+impl Response {
+    /// A JSON response with a `Content-Length` body.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            chunked: false,
+        }
+    }
+
+    /// A JSON error response: `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = lassi_harness::Json::Object(vec![(
+            "error".into(),
+            lassi_harness::Json::Str(message.into()),
+        )]);
+        Response::json(status, body.to_compact())
+    }
+
+    /// Serialize onto a connection. The response always closes the
+    /// connection (`Connection: close`): one request per connection keeps
+    /// the server trivially correct, and keep-alive is an explicit roadmap
+    /// follow-on.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nConnection: close\r\nContent-Type: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type
+        )?;
+        if self.chunked {
+            write!(out, "Transfer-Encoding: chunked\r\n\r\n")?;
+            for chunk in self.body.chunks(CHUNK) {
+                write!(out, "{:x}\r\n", chunk.len())?;
+                out.write_all(chunk)?;
+                write!(out, "\r\n")?;
+            }
+            write!(out, "0\r\n\r\n")?;
+        } else {
+            write!(out, "Content-Length: {}\r\n\r\n", self.body.len())?;
+            out.write_all(&self.body)?;
+        }
+        out.flush()
+    }
+}
+
+/// A response parsed by the blocking client.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased headers.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body (de-chunked when the server sent chunks).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// True for any 2xx status.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// The body as UTF-8 (lossy, for error messages and JSON).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issue one request against `addr` and read the full response, with the
+/// default [`IO_TIMEOUT`]. This is the client side used by `loadgen`, the
+/// CI smoke checks and the integration tests — it understands exactly what
+/// [`Response::write_to`] emits, plus `Content-Length` bodies from any
+/// other HTTP/1.1 server.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<ClientResponse> {
+    request_with_timeout(addr, method, path, body, IO_TIMEOUT)
+}
+
+/// [`request`] with an explicit read/write timeout. `POST /v1/sweeps` for a
+/// large grid computes for as long as the sweep takes (a cold full grid is
+/// minutes) before the response starts, so callers submitting big sweeps
+/// must size the timeout to the work, not to the wire.
+pub fn request_with_timeout(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut out = io::BufWriter::new(&stream);
+    write!(
+        out,
+        "{method} {path} HTTP/1.1\r\nHost: lassi\r\nConnection: close\r\n"
+    )?;
+    match body {
+        Some(body) => {
+            write!(
+                out,
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )?;
+            out.write_all(body)?;
+        }
+        None => write!(out, "\r\n")?,
+    }
+    out.flush()?;
+    drop(out);
+
+    let mut reader = BufReader::new(&stream);
+    let status_line = read_line_limited(&mut reader)?;
+    let mut parts = status_line.split_ascii_whitespace();
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(invalid(format!("malformed status line `{status_line}`")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("unsupported protocol `{version}`")));
+    }
+    let status = code
+        .parse::<u16>()
+        .map_err(|_| invalid(format!("bad status code `{code}`")))?;
+    let headers = read_headers(&mut reader)?;
+    let body = read_body(&mut reader, &headers)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse_request(raw: &[u8]) -> io::Result<Request> {
+        read_request_from(&mut BufReader::new(Cursor::new(raw.to_vec())))
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_strips_query() {
+        let raw = b"POST /v1/sweeps?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let req = parse_request(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sweeps");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET / SPDY/3\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            assert!(parse_request(raw).is_err(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn content_length_response_round_trips() {
+        let resp = Response::json(200, r#"{"ok":true}"#);
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with(r#"{"ok":true}"#));
+
+        let mut reader = BufReader::new(Cursor::new(wire));
+        let _status = read_line_limited(&mut reader).unwrap();
+        let headers = read_headers(&mut reader).unwrap();
+        assert_eq!(read_body(&mut reader, &headers).unwrap(), resp.body);
+    }
+
+    #[test]
+    fn chunked_response_decodes_byte_identically() {
+        // Body larger than one chunk, with non-ASCII bytes.
+        let mut body = Vec::new();
+        for i in 0..(3 * CHUNK + 17) {
+            body.push((i % 251) as u8);
+        }
+        let resp = Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            body: body.clone(),
+            chunked: true,
+        };
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let head = String::from_utf8_lossy(&wire[..200]);
+        assert!(head.contains("Transfer-Encoding: chunked\r\n"));
+
+        let mut reader = BufReader::new(Cursor::new(wire));
+        let _status = read_line_limited(&mut reader).unwrap();
+        let headers = read_headers(&mut reader).unwrap();
+        assert_eq!(read_body(&mut reader, &headers).unwrap(), body);
+    }
+
+    #[test]
+    fn chunked_decoder_rejects_garbage_sizes() {
+        let wire = b"zz\r\nabc\r\n0\r\n\r\n";
+        let mut reader = BufReader::new(Cursor::new(wire.to_vec()));
+        assert!(read_chunked(&mut reader).is_err());
+    }
+
+    #[test]
+    fn error_responses_are_json() {
+        let resp = Response::error(404, "no such run");
+        assert_eq!(resp.status, 404);
+        let parsed = lassi_harness::json::parse(&String::from_utf8(resp.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("error").and_then(|v| v.as_str()),
+            Some("no such run")
+        );
+    }
+
+    #[test]
+    fn oversized_header_lines_are_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE + 1));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(parse_request(&raw).is_err());
+    }
+}

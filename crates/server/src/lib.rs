@@ -1,0 +1,192 @@
+//! # lassi-server
+//!
+//! A dependency-free HTTP/1.1 front end for the `lassi-harness` experiment
+//! service. Where every previous consumer of the pipeline was a one-shot
+//! CLI — the scenario cache died with the process — this crate keeps one
+//! [`Harness`](lassi_harness::Harness) (worker pool + scenario cache) and
+//! one [`ArtifactStore`](lassi_harness::ArtifactStore) alive behind a
+//! network socket, so the cache's speedup is amortised across many clients.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path | Purpose |
+//! |--------|------|---------|
+//! | `POST` | `/v1/sweeps` | Submit a models × apps × directions × config grid; runs it through the shared worker pool and returns the run manifest (201). |
+//! | `GET` | `/v1/runs` | List run ids in the artifact store. |
+//! | `GET` | `/v1/runs/{id}` | The run manifest — raw artifact bytes. |
+//! | `GET` | `/v1/runs/{id}/records/{set}` | One record set — raw artifact bytes, chunked. |
+//! | `GET` | `/v1/cache/stats` | Scenario-cache hit/miss/store counters. |
+//! | `GET` | `/v1/healthz` | Liveness. |
+//! | `POST` | `/v1/shutdown` | Cooperative drain: refuse new sweeps, cancel queued jobs, finish in-flight scenarios, exit. |
+//!
+//! ## Concurrency model
+//!
+//! Thread-per-connection behind a bounded [connection budget](Server): when
+//! `max_connections` handlers are busy the acceptor blocks, TCP backlog
+//! absorbs the burst, and clients queue instead of overwhelming the
+//! process. Inside, each sweep feeds the harness's *bounded* job queue, so
+//! backpressure composes end-to-end: socket → connection budget → job
+//! queue → worker pool.
+
+pub mod handlers;
+pub mod http;
+pub mod router;
+pub mod state;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::{Condvar, Mutex};
+
+pub use handlers::MAX_SCENARIOS_PER_SWEEP;
+pub use http::{request, request_with_timeout, ClientResponse, Request, Response};
+pub use state::AppState;
+
+/// Default cap on concurrently-served connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// A counting gate over connection-handler threads: `acquire` blocks while
+/// the budget is exhausted, and `wait_idle` is the drain barrier shutdown
+/// uses. Built on the non-poisoning `parking_lot` shim so a panicking
+/// handler releases its slot (via `Permit`'s `Drop`) without wedging the
+/// acceptor.
+struct ConnectionGate {
+    count: Mutex<usize>,
+    changed: Condvar,
+    max: usize,
+}
+
+impl ConnectionGate {
+    fn new(max: usize) -> Arc<ConnectionGate> {
+        Arc::new(ConnectionGate {
+            count: Mutex::new(0),
+            changed: Condvar::new(),
+            max: max.max(1),
+        })
+    }
+
+    fn acquire(self: &Arc<ConnectionGate>) -> Permit {
+        let mut count = self.count.lock();
+        while *count >= self.max {
+            count = self.changed.wait(count);
+        }
+        *count += 1;
+        Permit {
+            gate: Arc::clone(self),
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut count = self.count.lock();
+        while *count > 0 {
+            count = self.changed.wait(count);
+        }
+    }
+}
+
+struct Permit {
+    gate: Arc<ConnectionGate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        *self.gate.count.lock() -= 1;
+        self.gate.changed.notify_all();
+    }
+}
+
+/// The HTTP service: a bound listener plus the shared [`AppState`].
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<AppState>,
+    max_connections: usize,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, state: Arc<AppState>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            state,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+        })
+    }
+
+    /// Override the connection budget (clamped to ≥ 1).
+    pub fn with_max_connections(mut self, max: usize) -> Server {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state.
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Serve until a cooperative shutdown (`POST /v1/shutdown`) drains the
+    /// service: in-flight connections and sweeps finish, then this returns.
+    pub fn run(&self) -> io::Result<()> {
+        let gate = ConnectionGate::new(self.max_connections);
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) => {
+                    if self.state.shutting_down() {
+                        break;
+                    }
+                    // accept() errors are about the *attempted* connection
+                    // (peer reset in the backlog, fd pressure, EINTR), not
+                    // the listener: a long-lived server must not die — and
+                    // skip the drain barrier — over one of them. The pause
+                    // keeps fd-exhaustion from spinning the acceptor.
+                    eprintln!("lassi-server: accept error (retrying): {e}");
+                    thread::sleep(std::time::Duration::from_millis(50));
+                    continue;
+                }
+            };
+            if self.state.shutting_down() {
+                // The wake-up connection (or a late client) during drain.
+                drop(stream);
+                break;
+            }
+            // Backpressure: block the acceptor until a handler slot frees.
+            let permit = gate.acquire();
+            let state = Arc::clone(&self.state);
+            let local_addr = self.local_addr;
+            thread::spawn(move || {
+                handle_connection(&stream, &state, permit);
+                if state.shutting_down() {
+                    // Poke the acceptor out of its blocking `accept` so it
+                    // notices the shutdown flag.
+                    let _ = TcpStream::connect(local_addr);
+                }
+            });
+        }
+        gate.wait_idle();
+        Ok(())
+    }
+}
+
+/// Serve one connection: parse, dispatch, respond; parse failures get a 400.
+/// The permit rides along so the slot frees exactly when handling ends.
+fn handle_connection(stream: &TcpStream, state: &AppState, _permit: Permit) {
+    let _ = stream.set_read_timeout(Some(http::IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(http::IO_TIMEOUT));
+    let response = match http::read_request(stream) {
+        Ok(request) => handlers::handle(state, &request),
+        Err(e) => Response::error(400, &format!("bad request: {e}")),
+    };
+    let mut out = io::BufWriter::new(stream);
+    let _ = response.write_to(&mut out);
+}

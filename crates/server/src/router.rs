@@ -1,0 +1,154 @@
+//! URL routing: map `(method, path)` onto typed [`Route`]s.
+//!
+//! Path parameters (run ids, record-set names) are validated here so no
+//! handler ever joins attacker-controlled segments into a filesystem path:
+//! only `[A-Za-z0-9._-]` slugs that are not all dots are accepted, which
+//! rules out `..`, empty segments and separators.
+
+/// A recognised endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /v1/healthz`
+    Healthz,
+    /// `GET /v1/cache/stats`
+    CacheStats,
+    /// `GET /v1/runs`
+    ListRuns,
+    /// `GET /v1/runs/{id}` — the run manifest, byte-identical to disk.
+    GetRun(String),
+    /// `GET /v1/runs/{id}/records/{set}` — one record set, byte-identical.
+    GetRecords(String, String),
+    /// `POST /v1/sweeps` — submit a sweep grid.
+    SubmitSweep,
+    /// `POST /v1/shutdown` — cooperative drain.
+    Shutdown,
+}
+
+/// Why a request did not map to a [`Route`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// No such path.
+    NotFound,
+    /// The path exists but not with this method.
+    MethodNotAllowed,
+    /// A path parameter was not a valid slug.
+    BadSlug(String),
+}
+
+/// True for path parameters safe to embed in a filename: non-empty ASCII
+/// `[A-Za-z0-9._-]` and not composed entirely of dots (`.`/`..`).
+pub fn is_slug(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+        && !s.bytes().all(|b| b == b'.')
+}
+
+/// Resolve a request to a route.
+pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let get = |r: Route| match method {
+        "GET" => Ok(r),
+        _ => Err(RouteError::MethodNotAllowed),
+    };
+    let post = |r: Route| match method {
+        "POST" => Ok(r),
+        _ => Err(RouteError::MethodNotAllowed),
+    };
+    let slug = |s: &str| -> Result<String, RouteError> {
+        if is_slug(s) {
+            Ok(s.to_string())
+        } else {
+            Err(RouteError::BadSlug(s.to_string()))
+        }
+    };
+    match segments.as_slice() {
+        ["v1", "healthz"] => get(Route::Healthz),
+        ["v1", "cache", "stats"] => get(Route::CacheStats),
+        ["v1", "runs"] => get(Route::ListRuns),
+        ["v1", "runs", id] => {
+            let id = slug(id)?;
+            get(Route::GetRun(id))
+        }
+        ["v1", "runs", id, "records", set] => {
+            let id = slug(id)?;
+            let set = slug(set)?;
+            get(Route::GetRecords(id, set))
+        }
+        ["v1", "sweeps"] => post(Route::SubmitSweep),
+        ["v1", "shutdown"] => post(Route::Shutdown),
+        _ => Err(RouteError::NotFound),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_every_endpoint() {
+        assert_eq!(route("GET", "/v1/healthz"), Ok(Route::Healthz));
+        assert_eq!(route("GET", "/v1/cache/stats"), Ok(Route::CacheStats));
+        assert_eq!(route("GET", "/v1/runs"), Ok(Route::ListRuns));
+        assert_eq!(route("GET", "/v1/runs/"), Ok(Route::ListRuns), "trailing /");
+        assert_eq!(
+            route("GET", "/v1/runs/smoke"),
+            Ok(Route::GetRun("smoke".into()))
+        );
+        assert_eq!(
+            route("GET", "/v1/runs/smoke/records/cuda-to-omp-msc40-runs1"),
+            Ok(Route::GetRecords(
+                "smoke".into(),
+                "cuda-to-omp-msc40-runs1".into()
+            ))
+        );
+        assert_eq!(route("POST", "/v1/sweeps"), Ok(Route::SubmitSweep));
+        assert_eq!(route("POST", "/v1/shutdown"), Ok(Route::Shutdown));
+    }
+
+    #[test]
+    fn wrong_method_is_405_not_404() {
+        assert_eq!(
+            route("POST", "/v1/healthz"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("GET", "/v1/sweeps"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("DELETE", "/v1/runs/x"),
+            Err(RouteError::MethodNotAllowed)
+        );
+    }
+
+    #[test]
+    fn unknown_paths_are_404() {
+        for path in [
+            "/",
+            "/v1",
+            "/v2/healthz",
+            "/v1/runs/a/b",
+            "/v1/runs/a/records",
+        ] {
+            assert_eq!(route("GET", path), Err(RouteError::NotFound), "{path}");
+        }
+    }
+
+    #[test]
+    fn traversal_and_junk_slugs_are_rejected() {
+        assert!(matches!(
+            route("GET", "/v1/runs/.."),
+            Err(RouteError::BadSlug(_))
+        ));
+        assert!(matches!(
+            route("GET", "/v1/runs/ok/records/%2e%2e"),
+            Err(RouteError::BadSlug(_))
+        ));
+        assert!(is_slug("run_1.2-x"));
+        assert!(!is_slug(""));
+        assert!(!is_slug("."));
+        assert!(!is_slug("a b"));
+        assert!(!is_slug("a/b"));
+    }
+}

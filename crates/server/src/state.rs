@@ -1,0 +1,127 @@
+//! Shared service state: one long-lived [`Harness`] (worker pool + scenario
+//! cache) and one [`ArtifactStore`], plus the bookkeeping that cooperative
+//! shutdown needs — a registry of in-flight sweeps' [`CancelToken`]s and a
+//! monotone run-id counter.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use lassi_harness::{ArtifactStore, CancelToken, Harness};
+use parking_lot::Mutex;
+
+/// Everything the request handlers share, kept behind one `Arc`.
+pub struct AppState {
+    harness: Harness,
+    store: ArtifactStore,
+    run_counter: AtomicU64,
+    sweep_ticket: AtomicU64,
+    active_sweeps: Mutex<Vec<(u64, CancelToken)>>,
+    shutdown: AtomicBool,
+}
+
+impl AppState {
+    /// Wrap a harness and an artifact store into service state.
+    pub fn new(harness: Harness, store: ArtifactStore) -> AppState {
+        AppState {
+            harness,
+            store,
+            run_counter: AtomicU64::new(0),
+            sweep_ticket: AtomicU64::new(0),
+            active_sweeps: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The shared experiment service.
+    pub fn harness(&self) -> &Harness {
+        &self.harness
+    }
+
+    /// The shared artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Next server-assigned run id (`srv-000001`, `srv-000002`, …).
+    pub fn next_run_id(&self) -> String {
+        let n = self.run_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        format!("srv-{n:06}")
+    }
+
+    /// Has a cooperative shutdown been requested?
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown: new sweeps are refused, and every registered
+    /// in-flight sweep is cancelled (its queued jobs are discarded, its
+    /// in-flight scenarios finish — the harness's normal drain semantics).
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for (_, token) in self.active_sweeps.lock().iter() {
+            token.cancel();
+        }
+    }
+
+    /// Register an in-flight sweep's cancel token; the returned ticket
+    /// unregisters it in [`AppState::finish_sweep`]. If shutdown raced in
+    /// between the caller's check and this registration, the token is
+    /// cancelled immediately so the sweep still drains.
+    pub fn register_sweep(&self, token: CancelToken) -> u64 {
+        let ticket = self.sweep_ticket.fetch_add(1, Ordering::Relaxed);
+        self.active_sweeps.lock().push((ticket, token.clone()));
+        if self.shutting_down() {
+            token.cancel();
+        }
+        ticket
+    }
+
+    /// Drop a completed sweep from the shutdown registry.
+    pub fn finish_sweep(&self, ticket: u64) {
+        self.active_sweeps.lock().retain(|(t, _)| *t != ticket);
+    }
+
+    /// Number of registered in-flight sweeps (introspection / tests).
+    pub fn active_sweeps(&self) -> usize {
+        self.active_sweeps.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> AppState {
+        AppState::new(Harness::default(), ArtifactStore::new("artifacts-test"))
+    }
+
+    #[test]
+    fn run_ids_are_unique_and_ordered() {
+        let s = state();
+        assert_eq!(s.next_run_id(), "srv-000001");
+        assert_eq!(s.next_run_id(), "srv-000002");
+    }
+
+    #[test]
+    fn shutdown_cancels_registered_sweeps() {
+        let s = state();
+        let token = CancelToken::default();
+        let ticket = s.register_sweep(token.clone());
+        assert_eq!(s.active_sweeps(), 1);
+        assert!(!token.is_cancelled());
+
+        s.begin_shutdown();
+        assert!(s.shutting_down());
+        assert!(
+            token.is_cancelled(),
+            "shutdown must cancel in-flight sweeps"
+        );
+
+        s.finish_sweep(ticket);
+        assert_eq!(s.active_sweeps(), 0);
+
+        // A sweep registered after shutdown is cancelled on registration.
+        let late = CancelToken::default();
+        s.register_sweep(late.clone());
+        assert!(late.is_cancelled());
+    }
+}

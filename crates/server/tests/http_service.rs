@@ -1,0 +1,225 @@
+//! End-to-end test of the HTTP service over real TCP: submit sweeps, fetch
+//! artifacts byte-identically, watch cache counters, and drain cleanly.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+
+use lassi_harness::{ArtifactStore, Harness, HarnessOptions, ScenarioCache};
+use lassi_server::{http, AppState, Server};
+
+fn test_root(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lassi-server-test-{}-{label}", std::process::id()))
+}
+
+/// Spin up a full server (2 workers, disk cache) on an ephemeral port.
+fn start_server(root: &PathBuf) -> (std::net::SocketAddr, thread::JoinHandle<()>, Arc<AppState>) {
+    let store = ArtifactStore::new(root);
+    let cache = ScenarioCache::on_disk(store.cache_dir()).expect("cache dir");
+    let harness = Harness::new(HarnessOptions::default().with_workers(2)).with_cache(cache);
+    let state = Arc::new(AppState::new(harness, store));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&state))
+        .expect("bind")
+        .with_max_connections(8);
+    let addr = server.local_addr();
+    let state_handle = Arc::clone(server.state());
+    let join = thread::spawn(move || server.run().expect("server run"));
+    (addr, join, state_handle)
+}
+
+fn get_json(addr: std::net::SocketAddr, path: &str) -> (u16, lassi_harness::Json) {
+    let resp = http::request(addr, "GET", path, None).expect("request");
+    let value = lassi_harness::json::parse(&resp.text()).expect("json body");
+    (resp.status, value)
+}
+
+#[test]
+fn serves_sweeps_and_artifacts_end_to_end() {
+    let root = test_root("e2e");
+    let _ = std::fs::remove_dir_all(&root);
+    let (addr, join, _state) = start_server(&root);
+
+    // Liveness.
+    let (status, health) = get_json(addr, "/v1/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+
+    // No runs yet.
+    let (status, runs) = get_json(addr, "/v1/runs");
+    assert_eq!(status, 200);
+    assert_eq!(
+        runs.get("runs").and_then(|v| v.as_array()).unwrap().len(),
+        0
+    );
+
+    // Submit a tiny sweep with a client-chosen run id.
+    let body = br#"{
+        "models": ["GPT-4"],
+        "apps": ["layout", "entropy"],
+        "directions": ["cuda-to-omp"],
+        "timing_runs": [1],
+        "run_id": "itest"
+    }"#;
+    let resp = http::request(addr, "POST", "/v1/sweeps", Some(body)).expect("submit");
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let manifest = lassi_harness::json::parse(&resp.text()).expect("manifest json");
+    assert_eq!(
+        manifest.get("run_id").and_then(|v| v.as_str()),
+        Some("itest")
+    );
+    let sets: Vec<String> = manifest
+        .get("record_sets")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .map(|s| s.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(sets.len(), 1);
+
+    // The submit response is byte-identical to the manifest on disk and to
+    // a later GET.
+    let manifest_path = root.join("run-itest").join("manifest.json");
+    let on_disk = std::fs::read(&manifest_path).expect("manifest on disk");
+    assert_eq!(resp.body, on_disk, "submit response == disk bytes");
+    let fetched = http::request(addr, "GET", "/v1/runs/itest", None).expect("get run");
+    assert_eq!(fetched.status, 200);
+    assert_eq!(fetched.body, on_disk, "GET manifest == disk bytes");
+
+    // Records come back chunked and byte-identical to the artifact store.
+    let records_path = root
+        .join("run-itest")
+        .join(format!("records-{}.json", sets[0]));
+    let records_disk = std::fs::read(&records_path).expect("records on disk");
+    let records = http::request(
+        addr,
+        "GET",
+        &format!("/v1/runs/itest/records/{}", sets[0]),
+        None,
+    )
+    .expect("get records");
+    assert_eq!(records.status, 200);
+    assert!(
+        records
+            .headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && v == "chunked"),
+        "record sets are served chunked"
+    );
+    assert_eq!(records.body, records_disk, "records == disk bytes");
+
+    // Cache stats: the cold submit was all misses.
+    let (_, stats) = get_json(addr, "/v1/cache/stats");
+    assert_eq!(stats.get("attached").and_then(|v| v.as_bool()), Some(true));
+    let misses0 = stats.get("misses").and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(misses0, 2, "two scenarios, both cold");
+
+    // Same grid again (server-assigned id): warm, zero new misses.
+    let warm_body = br#"{
+        "models": ["GPT-4"],
+        "apps": ["layout", "entropy"],
+        "directions": ["cuda-to-omp"],
+        "timing_runs": [1]
+    }"#;
+    let warm = http::request(addr, "POST", "/v1/sweeps", Some(warm_body)).expect("warm submit");
+    assert_eq!(warm.status, 201, "{}", warm.text());
+    let warm_manifest = lassi_harness::json::parse(&warm.text()).unwrap();
+    let warm_id = warm_manifest
+        .get("run_id")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .to_string();
+    assert!(warm_id.starts_with("srv-"), "server-assigned id: {warm_id}");
+    assert_eq!(
+        warm_manifest.get("cache_hits").and_then(|v| v.as_u64()),
+        Some(2),
+        "warm run is served from the scenario cache"
+    );
+    let (_, stats) = get_json(addr, "/v1/cache/stats");
+    assert_eq!(
+        stats.get("misses").and_then(|v| v.as_u64()),
+        Some(misses0),
+        "warm submit added no misses"
+    );
+    // The warm run's records are byte-identical to the cold run's.
+    let cold_records = std::fs::read(&records_path).unwrap();
+    let warm_records = std::fs::read(
+        root.join(format!("run-{warm_id}"))
+            .join(format!("records-{}.json", sets[0])),
+    )
+    .unwrap();
+    assert_eq!(cold_records, warm_records, "cache returns exact records");
+
+    // Both runs are listed, sorted.
+    let (_, runs) = get_json(addr, "/v1/runs");
+    let listed: Vec<&str> = runs
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert_eq!(listed, vec!["itest", warm_id.as_str()]);
+
+    // Error paths.
+    let resp = http::request(addr, "GET", "/v1/runs/does-not-exist", None).unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = http::request(addr, "GET", "/v1/runs/..", None).unwrap();
+    assert_eq!(resp.status, 400, "traversal slug is rejected");
+    let resp = http::request(addr, "GET", "/nope", None).unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = http::request(addr, "POST", "/v1/healthz", None).unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = http::request(addr, "POST", "/v1/sweeps", Some(b"{\"apps\": []}")).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = http::request(addr, "POST", "/v1/sweeps", Some(body)).unwrap();
+    assert_eq!(resp.status, 409, "duplicate client-chosen run id");
+
+    // Cooperative shutdown: the server drains and `run` returns.
+    let resp = http::request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    join.join().expect("server thread exits cleanly");
+
+    // After drain, new connections are refused or dropped.
+    let late = http::request(addr, "GET", "/v1/healthz", None);
+    assert!(late.is_err(), "server socket is closed after drain");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_clients_share_one_cache() {
+    let root = test_root("concurrent");
+    let _ = std::fs::remove_dir_all(&root);
+    let (addr, join, state) = start_server(&root);
+
+    // Four clients submit overlapping two-app grids concurrently.
+    let apps = ["layout", "entropy", "layout", "entropy"];
+    let mut clients = Vec::new();
+    for (i, app) in apps.iter().enumerate() {
+        let body = format!(
+            r#"{{"models": ["GPT-4"], "apps": ["{app}"],
+                "directions": ["cuda-to-omp"], "timing_runs": [1],
+                "run_id": "client-{i}"}}"#
+        );
+        clients.push(thread::spawn(move || {
+            http::request(addr, "POST", "/v1/sweeps", Some(body.as_bytes())).expect("submit")
+        }));
+    }
+    for client in clients {
+        let resp = client.join().expect("client thread");
+        assert_eq!(resp.status, 201, "{}", resp.text());
+    }
+
+    // 4 submissions of 1 scenario each over 2 distinct scenarios: the
+    // counters must account for every lookup, and every distinct scenario
+    // missed at least once.
+    let snapshot = state.harness().cache_snapshot();
+    assert_eq!(snapshot.hits + snapshot.misses, 4);
+    assert!(snapshot.misses >= 2 && snapshot.misses <= 4);
+    assert_eq!(snapshot.stores, snapshot.misses);
+
+    let resp = http::request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    join.join().expect("server thread exits cleanly");
+    let _ = std::fs::remove_dir_all(&root);
+}

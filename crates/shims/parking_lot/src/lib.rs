@@ -1,10 +1,15 @@
 //! Vendored stand-in for [parking_lot](https://crates.io/crates/parking_lot).
 //!
 //! The build environment has no crates-registry access, so the workspace
-//! vendors the subset it uses: [`Mutex`] and [`RwLock`] whose `lock` /
-//! `read` / `write` return guards directly instead of `Result`s. Built on
-//! `std::sync`; a poisoned lock (a holder panicked) panics here too, which
-//! matches how the workspace treats worker panics as fatal.
+//! vendors the subset it uses: [`Mutex`], [`RwLock`] and [`Condvar`] whose
+//! `lock` / `read` / `write` / `wait` return guards directly instead of
+//! `Result`s. Built on `std::sync`, but — like the real crate — *without
+//! lock poisoning*: if a holder panicked, the next acquirer simply gets the
+//! lock. That property is load-bearing for the long-lived experiment
+//! service: one panicking worker must not cascade poison-panics through
+//! every other client of a shared queue or cache.
+
+use std::sync::PoisonError;
 
 /// `parking_lot::Mutex` look-alike over `std::sync::Mutex`.
 #[derive(Debug, Default)]
@@ -18,23 +23,48 @@ impl<T> Mutex<T> {
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, returning the guard directly.
+    /// Acquire the lock, returning the guard directly. Never poisons: a
+    /// panicked previous holder is recovered from, matching `parking_lot`.
     pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-        self.0
-            .lock()
-            .expect("mutex poisoned: a previous holder panicked")
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0
-            .get_mut()
-            .expect("mutex poisoned: a previous holder panicked")
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// `parking_lot::Condvar` look-alike over `std::sync::Condvar`, paired with
+/// the [`Mutex`] above (whose guards are plain `std::sync::MutexGuard`s).
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// A fresh condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block on the condition, releasing the guard while waiting. Like the
+    /// locks, recovers instead of propagating poison.
+    pub fn wait<'a, T>(&self, guard: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
@@ -50,36 +80,32 @@ impl<T> RwLock<T> {
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
     pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.0
-            .read()
-            .expect("rwlock poisoned: a previous holder panicked")
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        self.0
-            .write()
-            .expect("rwlock poisoned: a previous holder panicked")
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0
-            .get_mut()
-            .expect("rwlock poisoned: a previous holder panicked")
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use std::thread;
 
     #[test]
     fn mutex_roundtrip() {
@@ -99,5 +125,41 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn a_panicking_holder_does_not_poison() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let result = thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("holder dies while holding the lock");
+        })
+        .join();
+        assert!(result.is_err(), "the holder thread must have panicked");
+        // A std::sync::Mutex would now be poisoned and panic here; the shim
+        // recovers, because one dead worker must not take the service down.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wakes_waiters() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cvar.wait(ready);
+            }
+            true
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        assert!(waiter.join().unwrap());
     }
 }

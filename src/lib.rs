@@ -42,6 +42,9 @@ pub use lassi_core as pipeline;
 /// Concurrent experiment service: job scheduler, scenario cache, artifact store.
 pub use lassi_harness as harness;
 
+/// HTTP/1.1 front end for the experiment service.
+pub use lassi_server as server;
+
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use lassi_core::{
