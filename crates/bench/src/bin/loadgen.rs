@@ -13,25 +13,48 @@
 //! phase resubmits the same grids (fresh run ids): every scenario must then
 //! be served from the shared scenario cache.
 //!
+//! Every client holds **one keep-alive connection for the whole phase**
+//! (the server speaks HTTP/1.1 keep-alive since the warm-path overhaul), so
+//! the TCP handshake is paid once per client, not once per request. If the
+//! server closes a reused connection **at a request boundary** (idle
+//! timeout, request cap, drain — provable because no response byte
+//! arrived), the client retries that request once on a fresh connection and
+//! counts the retry; any other failure — a response timeout, a mid-response
+//! error — is a hard, clearly-worded error, never a retry, because the
+//! server may already be running the non-idempotent sweep. Each phase
+//! reports `connections_opened` and requests-per-connection.
+//!
 //! `--smoke` is the self-checking CI mode. It asserts that
 //!
 //! * every response across both phases is 2xx,
 //! * the warm phase adds **zero** cache misses and exactly
 //!   `scenarios-per-phase` hits (verified via `GET /v1/cache/stats`
 //!   before/after),
+//! * each phase opened at most one connection per client (keep-alive is
+//!   actually being honoured, not silently renegotiated),
 //! * a fetched run manifest and record set are **byte-identical** to the
 //!   files in the server's artifact store (requires `--artifacts` pointing
 //!   at the same directory the server writes),
-//! * `GET /v1/runs` lists every run id the load created,
+//! * `GET /v1/runs` lists every run id the load created, and
+//!   `DELETE /v1/runs/{id}` removes one,
 //!
 //! and then writes the `BENCH_server.json` perf-trajectory artifact
-//! (cold/warm requests/sec and p50/p99 latency). `--shutdown` sends
-//! `POST /v1/shutdown` at the end so a scripted server process exits.
+//! (schema_version 2: cold/warm requests/sec, p50/p99 latency, connection
+//! accounting, and the pre-keep-alive baseline for before/after).
+//! `--shutdown` sends `POST /v1/shutdown` at the end so a scripted server
+//! process exits.
 
 use std::time::Instant;
 
 use lassi_harness::Json;
 use lassi_server::http;
+use lassi_server::http::ClientConnection;
+
+/// The committed warm-phase numbers from the PR 4 `BENCH_server.json`
+/// (`Connection: close`, single-mutex cache, synchronous cache-disk
+/// writes), kept in the artifact so before/after is one file.
+const BASELINE_WARM_P50_MS: f64 = 6.767844;
+const BASELINE_WARM_P99_MS: f64 = 11.774078;
 
 struct LoadgenArgs {
     common: lassi_bench::CommonArgs,
@@ -111,6 +134,98 @@ fn sweep_body(app_names: &[String], prefix: &str, phase: &str, c: usize, r: usiz
     )
 }
 
+/// One client's keep-alive session: a lazily (re)opened connection plus the
+/// accounting the phase summary reports.
+struct ClientSession {
+    addr: String,
+    conn: Option<ClientConnection>,
+    connections_opened: usize,
+    retries: usize,
+}
+
+impl ClientSession {
+    fn new(addr: String) -> ClientSession {
+        ClientSession {
+            addr,
+            conn: None,
+            connections_opened: 0,
+            retries: 0,
+        }
+    }
+
+    fn connect(&mut self) -> Result<&mut ClientConnection, String> {
+        if self.conn.is_none() {
+            let conn = ClientConnection::connect(self.addr.as_str(), SWEEP_TIMEOUT)
+                .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+            self.conn = Some(conn);
+            self.connections_opened += 1;
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Send one request over the session's connection. If the server closed
+    /// the reused connection *at the request boundary* (idle timeout,
+    /// request cap, drain — provable because not one response byte
+    /// arrived), retry exactly once on a fresh connection — counted — and
+    /// fail fast with a clear error otherwise. A response timeout or a
+    /// failure mid-response is never retried: the server may already be
+    /// running the (non-idempotent) sweep, and a resubmission under the
+    /// same run id would only turn into a confusing 409.
+    fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<http::ClientResponse, String> {
+        // A close the server is allowed to perform between requests
+        // surfaces as one of these on the write or the first read; anything
+        // else means the request may have been (or is being) processed.
+        fn closed_at_boundary(e: &std::io::Error) -> bool {
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+            )
+        }
+        let reused = self.conn.is_some();
+        for attempt in 0..2 {
+            match self.connect()?.send(method, path, body) {
+                Ok(resp) => {
+                    if resp.closes_connection() {
+                        // The server announced the close (request cap or
+                        // drain); reconnect lazily before the next request.
+                        self.conn = None;
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.conn = None;
+                    if reused && attempt == 0 && closed_at_boundary(&e) {
+                        self.retries += 1;
+                        eprintln!(
+                            "loadgen: server closed a reused connection on {method} {path}; \
+                             retrying once on a fresh connection"
+                        );
+                        continue;
+                    }
+                    let what = if attempt == 1 {
+                        "retry on a fresh connection failed"
+                    } else if reused {
+                        "reused connection failed and the error does not prove the \
+                         server skipped the request, so it is not retried"
+                    } else {
+                        "fresh connection failed"
+                    };
+                    return Err(format!("{method} {path} to {}: {what}: {e}", self.addr));
+                }
+            }
+        }
+        unreachable!("every second attempt returns")
+    }
+}
+
 /// One phase's measurements.
 struct PhaseOutcome {
     wall_seconds: f64,
@@ -118,6 +233,11 @@ struct PhaseOutcome {
     latencies_ms: Vec<f64>,
     /// Every run id created during the phase.
     run_ids: Vec<String>,
+    /// TCP connections opened across all clients (keep-alive means this
+    /// stays at one per client unless the server closed one mid-phase).
+    connections_opened: usize,
+    /// Requests retried on a fresh connection after a mid-phase close.
+    retries: usize,
 }
 
 impl PhaseOutcome {
@@ -133,6 +253,14 @@ impl PhaseOutcome {
         }
     }
 
+    fn requests_per_connection(&self) -> f64 {
+        if self.connections_opened > 0 {
+            self.requests() as f64 / self.connections_opened as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Nearest-rank percentile over the sorted latencies.
     fn percentile_ms(&self, p: f64) -> f64 {
         if self.latencies_ms.is_empty() {
@@ -143,12 +271,19 @@ impl PhaseOutcome {
     }
 }
 
-/// Run one phase: `clients` threads each submitting `requests` sweeps.
+/// Run one phase: `clients` threads, each holding one keep-alive connection
+/// and submitting `requests` sweeps over it.
 fn run_phase(
     args: &LoadgenArgs,
     app_names: &[String],
     phase: &'static str,
 ) -> Result<PhaseOutcome, String> {
+    struct ClientResult {
+        results: Vec<(f64, String)>,
+        connections_opened: usize,
+        retries: usize,
+    }
+
     let started = Instant::now();
     let mut handles = Vec::new();
     for c in 0..args.clients {
@@ -157,19 +292,15 @@ fn run_phase(
         let names = app_names.to_vec();
         let requests = args.requests;
         handles.push(std::thread::spawn(
-            move || -> Result<Vec<(f64, String)>, String> {
+            move || -> Result<ClientResult, String> {
+                let mut session = ClientSession::new(addr);
                 let mut results = Vec::with_capacity(requests);
                 for r in 0..requests {
                     let body = sweep_body(&names, &prefix, phase, c, r);
                     let sent = Instant::now();
-                    let resp = http::request_with_timeout(
-                        &addr,
-                        "POST",
-                        "/v1/sweeps",
-                        Some(body.as_bytes()),
-                        SWEEP_TIMEOUT,
-                    )
-                    .map_err(|e| format!("client {c} request {r}: {e}"))?;
+                    let resp = session
+                        .send("POST", "/v1/sweeps", Some(body.as_bytes()))
+                        .map_err(|e| format!("client {c} request {r}: {e}"))?;
                     let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
                     if !resp.is_success() {
                         return Err(format!(
@@ -187,18 +318,26 @@ fn run_phase(
                         .to_string();
                     results.push((latency_ms, run_id));
                 }
-                Ok(results)
+                Ok(ClientResult {
+                    results,
+                    connections_opened: session.connections_opened,
+                    retries: session.retries,
+                })
             },
         ));
     }
     let mut latencies_ms = Vec::new();
     let mut run_ids = Vec::new();
+    let mut connections_opened = 0;
+    let mut retries = 0;
     for handle in handles {
-        let results = handle.join().map_err(|_| "client thread panicked")??;
-        for (latency, run_id) in results {
+        let client = handle.join().map_err(|_| "client thread panicked")??;
+        for (latency, run_id) in client.results {
             latencies_ms.push(latency);
             run_ids.push(run_id);
         }
+        connections_opened += client.connections_opened;
+        retries += client.retries;
     }
     let wall_seconds = started.elapsed().as_secs_f64();
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -206,6 +345,8 @@ fn run_phase(
         wall_seconds,
         latencies_ms,
         run_ids,
+        connections_opened,
+        retries,
     })
 }
 
@@ -229,12 +370,16 @@ fn cache_stats(addr: &str) -> Result<(u64, u64), String> {
 
 fn phase_line(label: &str, outcome: &PhaseOutcome) -> String {
     format!(
-        "{label} phase: {} requests in {:.3}s ({:.1} req/s), p50 {:.3}ms, p99 {:.3}ms",
+        "{label} phase: {} requests in {:.3}s ({:.1} req/s), p50 {:.3}ms, p99 {:.3}ms, \
+         {} connections ({:.1} req/conn, {} retries)",
         outcome.requests(),
         outcome.wall_seconds,
         outcome.requests_per_second(),
         outcome.percentile_ms(50.0),
         outcome.percentile_ms(99.0),
+        outcome.connections_opened,
+        outcome.requests_per_connection(),
+        outcome.retries,
     )
 }
 
@@ -275,7 +420,7 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
     let scenarios_per_phase = args.clients * args.requests * APPS_PER_REQUEST;
     println!(
         "loadgen: {} clients x {} requests/phase against http://{addr} \
-         ({APPS_PER_REQUEST} scenarios per request)",
+         ({APPS_PER_REQUEST} scenarios per request, keep-alive)",
         args.clients, args.requests
     );
 
@@ -295,6 +440,13 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         "cache: cold {cold_hits} hits / {cold_misses} misses, \
          warm {warm_hits} hits / {warm_misses} misses"
     );
+    println!(
+        "connections: cold {} opened / {} requests, warm {} opened / {} requests",
+        cold.connections_opened,
+        cold.requests(),
+        warm.connections_opened,
+        warm.requests(),
+    );
 
     if args.smoke {
         // Warm requests must be served from the scenario cache, not re-run.
@@ -313,6 +465,18 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
                  and these numbers would be meaningless — point the server at a \
                  fresh --artifacts directory"
                 .into());
+        }
+
+        // Keep-alive must actually be in effect: one connection per client
+        // per phase (retries may add one, but must not in a clean run).
+        for (label, outcome) in [("cold", &cold), ("warm", &warm)] {
+            if outcome.connections_opened > args.clients {
+                return Err(format!(
+                    "{label} phase opened {} connections for {} clients; \
+                     keep-alive is not being honoured",
+                    outcome.connections_opened, args.clients
+                ));
+            }
         }
 
         // Every run the load created is listed.
@@ -354,9 +518,37 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
                 &run_dir.join(format!("records-{set}.json")),
             )?;
         }
+
+        // Artifact GC: DELETE one warm run and require it gone from disk
+        // and from the listing.
+        let victim = &warm.run_ids[0];
+        let resp = http::request(addr, "DELETE", &format!("/v1/runs/{victim}"), None)
+            .map_err(|e| format!("DELETE {victim}: {e}"))?;
+        if !resp.is_success() {
+            return Err(format!(
+                "DELETE {victim}: HTTP {} — {}",
+                resp.status,
+                resp.text()
+            ));
+        }
+        if store.run_dir(victim).exists() {
+            return Err(format!("run `{victim}` still on disk after DELETE"));
+        }
+        let listing = http::request(addr, "GET", "/v1/runs", None)
+            .map_err(|e| format!("list runs: {e}"))?
+            .text();
+        if listing.contains(&format!("\"{victim}\"")) {
+            return Err(format!("GET /v1/runs still lists deleted `{victim}`"));
+        }
+
         println!(
-            "smoke checks passed: warm phase 100% cache hits, run-{run_id} \
-             manifest + {} record sets byte-identical ({record_bytes} bytes)",
+            "smoke checks passed: warm phase 100% cache hits, keep-alive \
+             ({} + {} connections for {} requests), run-{run_id} manifest + \
+             {} record sets byte-identical ({record_bytes} bytes), \
+             DELETE /v1/runs/{victim} cleaned up",
+            cold.connections_opened,
+            warm.connections_opened,
+            cold.requests() + warm.requests(),
             artifact.manifest.record_sets.len()
         );
     }
@@ -369,7 +561,8 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         [cold_hits, cold_misses, warm_hits, warm_misses],
     )?;
     println!(
-        "{} written (cold p50 {:.3}ms vs warm p50 {:.3}ms)",
+        "{} written (cold p50 {:.3}ms vs warm p50 {:.3}ms; baseline warm p50 \
+         {BASELINE_WARM_P50_MS:.3}ms)",
         args.out,
         cold.percentile_ms(50.0),
         warm.percentile_ms(50.0)
@@ -411,6 +604,18 @@ fn write_bench(
                 format!("{label}_p99_ms"),
                 Json::Float(outcome.percentile_ms(99.0)),
             ),
+            (
+                format!("{label}_connections_opened"),
+                Json::Int(outcome.connections_opened as i128),
+            ),
+            (
+                format!("{label}_requests_per_connection"),
+                Json::Float(outcome.requests_per_connection()),
+            ),
+            (
+                format!("{label}_connection_retries"),
+                Json::Int(outcome.retries as i128),
+            ),
         ]
     };
     let warm_speedup = if warm.wall_seconds > 0.0 {
@@ -420,7 +625,9 @@ fn write_bench(
     };
     let mut fields = vec![
         ("bench".into(), Json::Str("server-loadgen".into())),
-        ("schema_version".into(), Json::Int(1)),
+        // v2: keep-alive loadgen — adds per-phase connection accounting and
+        // the pre-keep-alive baseline warm latencies for before/after.
+        ("schema_version".into(), Json::Int(2)),
         ("created_unix".into(), Json::uint(lassi_bench::unix_now())),
         ("clients".into(), Json::Int(args.clients as i128)),
         (
@@ -448,6 +655,14 @@ fn write_bench(
         ("cold_cache_misses".into(), Json::uint(cold_misses)),
         ("warm_cache_hits".into(), Json::uint(warm_hits)),
         ("warm_cache_misses".into(), Json::uint(warm_misses)),
+        (
+            "baseline_warm_p50_ms".into(),
+            Json::Float(BASELINE_WARM_P50_MS),
+        ),
+        (
+            "baseline_warm_p99_ms".into(),
+            Json::Float(BASELINE_WARM_P99_MS),
+        ),
     ]);
     let mut text = Json::Object(fields).to_pretty();
     text.push('\n');

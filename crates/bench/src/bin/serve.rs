@@ -4,23 +4,35 @@
 //! ```text
 //! serve [--host ADDR] [--port N] [--artifacts DIR] [--workers N]
 //!       [--no-cache] [--max-connections N] [--addr-file PATH]
+//!       [--idle-timeout-ms N] [--max-requests-per-connection N]
 //! ```
 //!
 //! `--port 0` (the default) binds an ephemeral port; the bound address is
 //! printed on stdout and, with `--addr-file`, written atomically to a file
 //! so scripts (CI, `loadgen`) can wait for it and read it. The process
 //! serves until a client `POST`s `/v1/shutdown`, then drains in-flight
-//! connections and sweeps and exits 0.
+//! connections and sweeps, flushes the scenario cache, and exits 0.
+//!
+//! Connections are HTTP/1.1 keep-alive by default: `--idle-timeout-ms`
+//! bounds how long one may sit between requests, and
+//! `--max-requests-per-connection` bounds how many requests it may carry
+//! before the server closes it.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use lassi_server::{AppState, Server, DEFAULT_MAX_CONNECTIONS};
+use lassi_server::{
+    AppState, Server, DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+};
 
 struct ServeArgs {
     common: lassi_bench::CommonArgs,
     host: String,
     port: u16,
     max_connections: usize,
+    idle_timeout: Duration,
+    max_requests_per_connection: usize,
     addr_file: Option<String>,
 }
 
@@ -31,6 +43,8 @@ fn parse_args() -> Result<ServeArgs, String> {
         host: "127.0.0.1".into(),
         port: 0,
         max_connections: DEFAULT_MAX_CONNECTIONS,
+        idle_timeout: DEFAULT_IDLE_TIMEOUT,
+        max_requests_per_connection: DEFAULT_MAX_REQUESTS_PER_CONNECTION,
         addr_file: None,
     };
     let mut iter = common.rest.into_iter();
@@ -48,6 +62,19 @@ fn parse_args() -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|_| format!("bad connection count `{raw}`"))?;
             }
+            "--idle-timeout-ms" => {
+                let raw = value("--idle-timeout-ms")?;
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad idle timeout `{raw}`"))?;
+                args.idle_timeout = Duration::from_millis(ms);
+            }
+            "--max-requests-per-connection" => {
+                let raw = value("--max-requests-per-connection")?;
+                args.max_requests_per_connection = raw
+                    .parse()
+                    .map_err(|_| format!("bad request cap `{raw}`"))?;
+            }
             "--addr-file" => args.addr_file = Some(value("--addr-file")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -64,7 +91,9 @@ fn run(args: &ServeArgs) -> Result<(), String> {
     let state = Arc::new(AppState::new(harness, store));
     let server = Server::bind((args.host.as_str(), args.port), state)
         .map_err(|e| format!("cannot bind {}:{}: {e}", args.host, args.port))?
-        .with_max_connections(args.max_connections);
+        .with_max_connections(args.max_connections)
+        .with_idle_timeout(args.idle_timeout)
+        .with_max_requests_per_connection(args.max_requests_per_connection);
     let addr = server.local_addr();
     println!("lassi-server listening on http://{addr}");
     println!(

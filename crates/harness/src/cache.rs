@@ -12,11 +12,30 @@
 //! optional on-disk layer (one JSON file per scenario) that lets repeated
 //! sweep *invocations* skip already-computed scenarios. Hit/miss counters
 //! prove the speedup (`sweep --smoke` asserts a warm rerun is 100% hits).
+//!
+//! ## Scaling under concurrency
+//!
+//! The in-memory map is sharded [`SHARD_COUNT`] ways by key hash, each shard
+//! behind its own (non-poisoning) `parking_lot::Mutex`, so concurrent
+//! clients of a long-lived service do not serialize on one lock. Counters
+//! are kept per shard and summed in [`ScenarioCache::snapshot`], so the
+//! `hits + misses == lookups` invariant survives sharding.
+//!
+//! Disk persistence is *batched*: [`ScenarioCache::store`] enqueues the
+//! record onto a bounded channel drained by one writer thread, so the
+//! request path never does a synchronous file write. [`ScenarioCache::flush`]
+//! blocks until everything enqueued so far is on disk; dropping the cache
+//! flushes implicitly (the writer drains its queue and is joined). Crash
+//! consistency is trivial: an entry that never reached disk is just a
+//! future miss, and the write-then-rename protocol means a reader never
+//! sees a torn file.
 
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
 
 use parking_lot::Mutex;
 
@@ -25,6 +44,15 @@ use lassi_core::TranslationRecord;
 use crate::codec::{record_from_json, record_to_json};
 use crate::json;
 use crate::scheduler::Job;
+
+/// Number of independent in-memory shards (a power of two so the shard
+/// index is a mask over the key hash).
+pub const SHARD_COUNT: usize = 16;
+
+/// Capacity of the disk-writer channel: enough to absorb a burst of stores
+/// without blocking the workers, small enough that a slow disk applies
+/// backpressure instead of ballooning memory.
+const WRITER_QUEUE_CAPACITY: usize = 256;
 
 /// 64-bit FNV-1a over arbitrary bytes: small, stable, good enough dispersion
 /// for a few thousand scenario keys.
@@ -45,6 +73,13 @@ impl ScenarioKey {
     /// Hex form used as the on-disk file stem.
     pub fn hex(self) -> String {
         format!("{:016x}", self.0)
+    }
+
+    /// Which shard this key lives in: the FNV hash folded down and masked.
+    /// Folding the high half in keeps the shard choice sensitive to every
+    /// input byte, not just the tail the final multiplies mixed last.
+    fn shard_index(self) -> usize {
+        ((self.0 ^ (self.0 >> 32)) as usize) & (SHARD_COUNT - 1)
     }
 }
 
@@ -115,34 +150,129 @@ impl CacheSnapshot {
     }
 }
 
-/// The scenario cache: always an in-memory map, optionally backed by a
-/// directory of `<key>.json` files.
-pub struct ScenarioCache {
-    dir: Option<PathBuf>,
-    memory: Mutex<HashMap<u64, TranslationRecord>>,
+/// One in-memory shard: its slice of the key space plus its own counters.
+/// Records are held behind `Arc`s so the lock is only ever held across a
+/// map operation and a refcount bump — deep clones (the records carry the
+/// scenario's source strings) happen outside the lock.
+#[derive(Default)]
+struct Shard {
+    map: Mutex<HashMap<u64, Arc<TranslationRecord>>>,
     stats: CacheStats,
 }
 
+/// What the cache asks of its disk-writer thread.
+enum DiskCommand {
+    /// Persist one record at `path` (write-then-rename). The `Arc` is
+    /// shared with the in-memory shard: enqueueing copies a pointer, not
+    /// the record.
+    Store {
+        path: PathBuf,
+        record: Arc<TranslationRecord>,
+    },
+    /// Acknowledge once every command enqueued before this one is on disk.
+    Flush(mpsc::SyncSender<()>),
+}
+
+/// The dedicated disk-writer thread and its bounded command channel.
+struct DiskWriter {
+    tx: Option<mpsc::SyncSender<DiskCommand>>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl DiskWriter {
+    fn spawn() -> DiskWriter {
+        let (tx, rx) = mpsc::sync_channel::<DiskCommand>(WRITER_QUEUE_CAPACITY);
+        let handle = thread::Builder::new()
+            .name("lassi-cache-writer".into())
+            .spawn(move || {
+                while let Ok(command) = rx.recv() {
+                    match command {
+                        DiskCommand::Store { path, record } => {
+                            // Serialization happens here, off the request
+                            // path. Write-then-rename so a concurrent reader
+                            // never sees a torn file; failures are tolerated
+                            // (a missing entry is just a future miss).
+                            let tmp = path.with_extension("json.tmp");
+                            let text = record_to_json(&record).to_pretty();
+                            if std::fs::write(&tmp, text).is_ok() {
+                                let _ = std::fs::rename(&tmp, &path);
+                            }
+                        }
+                        DiskCommand::Flush(ack) => {
+                            // The channel is FIFO, so reaching this command
+                            // means every earlier store has been written.
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+            })
+            .expect("spawn cache writer thread");
+        DiskWriter {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    fn send(&self, command: DiskCommand) {
+        if let Some(tx) = &self.tx {
+            // A full channel blocks here: backpressure against a disk slower
+            // than the workers, never unbounded memory.
+            let _ = tx.send(command);
+        }
+    }
+
+    fn flush(&self) {
+        let (ack_tx, ack_rx) = mpsc::sync_channel::<()>(1);
+        self.send(DiskCommand::Flush(ack_tx));
+        let _ = ack_rx.recv();
+    }
+}
+
+impl Drop for DiskWriter {
+    fn drop(&mut self) {
+        // Close the channel so the writer drains what is queued and exits,
+        // then join it: dropping the cache is an implicit flush.
+        self.tx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The scenario cache: a sharded in-memory map, optionally backed by a
+/// directory of `<key>.json` files maintained by a batched writer thread.
+pub struct ScenarioCache {
+    dir: Option<PathBuf>,
+    shards: Vec<Shard>,
+    writer: Option<DiskWriter>,
+}
+
 impl ScenarioCache {
+    fn shards() -> Vec<Shard> {
+        (0..SHARD_COUNT).map(|_| Shard::default()).collect()
+    }
+
     /// Process-local cache with no persistence.
     pub fn in_memory() -> Self {
         ScenarioCache {
             dir: None,
-            memory: Mutex::new(HashMap::new()),
-            stats: CacheStats::default(),
+            shards: Self::shards(),
+            writer: None,
         }
     }
 
     /// Disk-backed cache rooted at `dir` (created if missing). Entries
     /// survive across processes, which is what makes a second `sweep`
-    /// invocation 100% hits.
+    /// invocation 100% hits. Writes are batched through a dedicated writer
+    /// thread; call [`ScenarioCache::flush`] (or drop the cache) before
+    /// another process needs to observe them.
     pub fn on_disk(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(ScenarioCache {
             dir: Some(dir),
-            memory: Mutex::new(HashMap::new()),
-            stats: CacheStats::default(),
+            shards: Self::shards(),
+            writer: Some(DiskWriter::spawn()),
         })
     }
 
@@ -151,18 +281,27 @@ impl ScenarioCache {
         self.dir.as_deref()
     }
 
+    fn shard(&self, key: ScenarioKey) -> &Shard {
+        &self.shards[key.shard_index()]
+    }
+
     /// Look a scenario up, counting the hit or miss.
     pub fn lookup(&self, key: ScenarioKey) -> Option<TranslationRecord> {
-        if let Some(record) = self.memory.lock().get(&key.0) {
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(record.clone());
+        let shard = self.shard(key);
+        // Only the refcount bump happens under the lock; the deep clone the
+        // caller receives is made after it is released.
+        let resident = shard.map.lock().get(&key.0).map(Arc::clone);
+        if let Some(record) = resident {
+            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Some((*record).clone());
         }
         if let Some(record) = self.disk_lookup(key) {
-            self.memory.lock().insert(key.0, record.clone());
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(record);
+            let shared = Arc::new(record);
+            shard.map.lock().insert(key.0, Arc::clone(&shared));
+            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Some((*shared).clone());
         }
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        shard.stats.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
@@ -175,18 +314,30 @@ impl ScenarioCache {
         record_from_json(&value).ok()
     }
 
-    /// Store a freshly computed record under its key.
+    /// Store a freshly computed record under its key. The in-memory shard is
+    /// updated synchronously (later lookups in this process hit); the disk
+    /// write is queued onto the writer thread and lands asynchronously. One
+    /// deep clone happens here, outside the lock; the shard map and the
+    /// writer queue share it behind an `Arc`.
     pub fn store(&self, key: ScenarioKey, record: &TranslationRecord) {
-        self.stats.stores.fetch_add(1, Ordering::Relaxed);
-        self.memory.lock().insert(key.0, record.clone());
-        if let Some(dir) = &self.dir {
-            let path = self.entry_path(dir, key);
-            let tmp = path.with_extension("json.tmp");
-            let text = record_to_json(record).to_pretty();
-            // Write-then-rename so a concurrent reader never sees a torn file.
-            if std::fs::write(&tmp, text).is_ok() {
-                let _ = std::fs::rename(&tmp, &path);
-            }
+        let shard = self.shard(key);
+        shard.stats.stores.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(record.clone());
+        shard.map.lock().insert(key.0, Arc::clone(&shared));
+        if let (Some(dir), Some(writer)) = (&self.dir, &self.writer) {
+            writer.send(DiskCommand::Store {
+                path: self.entry_path(dir, key),
+                record: shared,
+            });
+        }
+    }
+
+    /// Block until every store enqueued so far has reached disk. A no-op for
+    /// an in-memory cache. Call before handing the backing directory to
+    /// another process (or asserting on its contents).
+    pub fn flush(&self) {
+        if let Some(writer) = &self.writer {
+            writer.flush();
         }
     }
 
@@ -194,13 +345,17 @@ impl ScenarioCache {
         dir.join(format!("{}.json", key.hex()))
     }
 
-    /// Current counter values.
+    /// Current counter values, summed across shards. Each shard's counters
+    /// are exact, so the invariant `hits + misses == lookups` holds for the
+    /// aggregate too.
     pub fn snapshot(&self) -> CacheSnapshot {
-        CacheSnapshot {
-            hits: self.stats.hits.load(Ordering::Relaxed),
-            misses: self.stats.misses.load(Ordering::Relaxed),
-            stores: self.stats.stores.load(Ordering::Relaxed),
+        let mut snapshot = CacheSnapshot::default();
+        for shard in &self.shards {
+            snapshot.hits += shard.stats.hits.load(Ordering::Relaxed);
+            snapshot.misses += shard.stats.misses.load(Ordering::Relaxed);
+            snapshot.stores += shard.stats.stores.load(Ordering::Relaxed);
         }
+        snapshot
     }
 }
 
@@ -271,6 +426,25 @@ mod tests {
     }
 
     #[test]
+    fn counters_aggregate_across_shards() {
+        // Synthetic keys chosen to land in distinct shards; the aggregate
+        // snapshot must still account for every lookup exactly once.
+        let cache = ScenarioCache::in_memory();
+        let record = job("layout", 40).run();
+        let keys: Vec<ScenarioKey> = (0..SHARD_COUNT as u64).map(ScenarioKey).collect();
+        for &key in &keys {
+            assert!(cache.lookup(key).is_none());
+            cache.store(key, &record);
+        }
+        for &key in &keys {
+            assert!(cache.lookup(key).is_some());
+        }
+        let snap = cache.snapshot();
+        let n = keys.len() as u64;
+        assert_eq!((snap.hits, snap.misses, snap.stores), (n, n, n));
+    }
+
+    #[test]
     fn disk_cache_persists_across_instances() {
         let dir = test_dir("persist");
         let key = scenario_key(&job("entropy", 40));
@@ -278,10 +452,27 @@ mod tests {
         {
             let cache = ScenarioCache::on_disk(&dir).unwrap();
             cache.store(key, &record);
+            // Dropping the cache joins the writer thread — an implicit flush.
         }
         let fresh = ScenarioCache::on_disk(&dir).unwrap();
         assert_eq!(fresh.lookup(key).as_ref(), Some(&record));
         assert_eq!(fresh.snapshot().hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_makes_stores_visible_on_disk() {
+        let dir = test_dir("flush");
+        let cache = ScenarioCache::on_disk(&dir).unwrap();
+        let key = scenario_key(&job("layout", 40));
+        let record = job("layout", 40).run();
+        cache.store(key, &record);
+        cache.flush();
+        // Without dropping `cache`, the entry must already be a complete
+        // JSON file another cache instance can read.
+        let fresh = ScenarioCache::on_disk(&dir).unwrap();
+        assert_eq!(fresh.lookup(key).as_ref(), Some(&record));
+        drop(cache);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -293,6 +484,7 @@ mod tests {
         std::fs::write(dir.join(format!("{}.json", key.hex())), "{ not json").unwrap();
         assert!(cache.lookup(key).is_none());
         assert_eq!(cache.snapshot().misses, 1);
+        drop(cache);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -30,7 +30,7 @@ pub mod queue;
 pub mod scheduler;
 pub mod store;
 
-pub use cache::{fnv1a64, scenario_key, CacheSnapshot, ScenarioCache, ScenarioKey};
+pub use cache::{fnv1a64, scenario_key, CacheSnapshot, ScenarioCache, ScenarioKey, SHARD_COUNT};
 pub use grid::{GridCell, SweepGrid};
 pub use json::Json;
 pub use queue::BoundedQueue;
@@ -38,6 +38,6 @@ pub use scheduler::{
     direction_jobs, CancelToken, Harness, HarnessOptions, Job, JobOutput, JobStream,
 };
 pub use store::{
-    detect_git_commit, ArtifactError, ArtifactStore, RunArtifact, RunManifest, RunWriter,
+    detect_git_commit, is_slug, ArtifactError, ArtifactStore, RunArtifact, RunManifest, RunWriter,
     SCHEMA_VERSION,
 };

@@ -186,11 +186,6 @@ impl Harness {
         self
     }
 
-    /// A clone of the shared cache handle, if one is attached.
-    pub fn shared_cache(&self) -> Option<Arc<ScenarioCache>> {
-        self.cache.clone()
-    }
-
     /// The attached cache, if any.
     pub fn cache(&self) -> Option<&ScenarioCache> {
         self.cache.as_deref()
@@ -204,6 +199,16 @@ impl Harness {
             .unwrap_or_default()
     }
 
+    /// Block until every cache store so far has reached disk (a no-op
+    /// without a cache, or with an in-memory one). Long-lived services call
+    /// this on shutdown; batch CLIs call it before another process reads
+    /// the cache directory.
+    pub fn flush_cache(&self) {
+        if let Some(cache) = self.cache.as_deref() {
+            cache.flush();
+        }
+    }
+
     /// Submit a batch of jobs and stream their outputs as they complete.
     pub fn submit(&self, jobs: Vec<Job>) -> JobStream {
         let total = jobs.len();
@@ -213,7 +218,11 @@ impl Harness {
         let cancel = CancelToken::default();
         let (tx, rx) = mpsc::channel::<JobOutput>();
 
-        let mut handles = Vec::with_capacity(self.options.workers + 1);
+        // Never spawn more workers than there are jobs: a warm two-scenario
+        // submission on a many-core service must not pay dozens of thread
+        // spawns for threads that would pop an empty queue and exit.
+        let workers = self.options.workers.min(total).max(1);
+        let mut handles = Vec::with_capacity(workers + 1);
 
         // Feeder: pushes into the bounded queue (blocking on backpressure),
         // then closes it so workers drain and exit.
@@ -230,7 +239,7 @@ impl Harness {
             }));
         }
 
-        for _ in 0..self.options.workers.max(1) {
+        for _ in 0..workers {
             let queue = Arc::clone(&queue);
             let cancel = cancel.clone();
             let cache = self.cache.clone();

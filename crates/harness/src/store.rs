@@ -89,6 +89,17 @@ impl RunManifest {
     }
 }
 
+/// True for identifiers safe to embed in a filename: non-empty ASCII
+/// `[A-Za-z0-9._-]` and not composed entirely of dots (`.`/`..`), which
+/// rules out traversal, empty segments and separators. This is the single
+/// definition both the artifact store and the HTTP router validate against.
+pub fn is_slug(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+        && !s.bytes().all(|b| b == b'.')
+}
+
 /// Best-effort `git rev-parse --short HEAD`, for the manifest version field.
 pub fn detect_git_commit() -> Option<String> {
     let output = std::process::Command::new("git")
@@ -225,6 +236,42 @@ impl ArtifactStore {
     pub fn reserve_run(&self, run_id: &str) -> io::Result<()> {
         std::fs::create_dir_all(&self.root)?;
         std::fs::create_dir(self.run_dir(run_id))
+    }
+
+    /// Delete a run directory and everything in it.
+    ///
+    /// Refuses ids that are not plain slugs ([`is_slug`]) with
+    /// [`io::ErrorKind::InvalidInput`] — an id with a path separator or
+    /// `..` must never reach the filesystem — and maps a missing run to
+    /// [`io::ErrorKind::NotFound`]. A run directory *without* a manifest
+    /// is refused with [`io::ErrorKind::Other`]: it is a reservation (or a
+    /// half-written run) a sweep may still be computing into, and deleting
+    /// it would let a second client re-reserve the id and race the first
+    /// sweep's artifact write. Only completed artifacts are GC-able. The
+    /// scenario cache (`cache/`) is structurally out of reach: runs live
+    /// under `run-<id>`, and this method only ever removes such a
+    /// directory.
+    pub fn delete_run(&self, run_id: &str) -> io::Result<()> {
+        if !is_slug(run_id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("run id `{run_id}` is not a valid slug"),
+            ));
+        }
+        let dir = self.run_dir(run_id);
+        if !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("run `{run_id}` does not exist"),
+            ));
+        }
+        if !dir.join("manifest.json").is_file() {
+            return Err(io::Error::other(format!(
+                "run `{run_id}` has no manifest (reserved or still being \
+                 written); refusing to delete an in-flight run"
+            )));
+        }
+        std::fs::remove_dir_all(dir)
     }
 
     /// The run ids present under the store root, sorted lexicographically.
@@ -484,6 +531,46 @@ mod tests {
         std::fs::write(root.join("run-file"), "not a directory").unwrap();
 
         assert_eq!(store.list_runs().unwrap(), vec!["alpha", "mid", "zeta"]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn delete_run_removes_exactly_one_run() {
+        let root = test_root("delete");
+        let store = ArtifactStore::new(&root);
+        for id in ["keep", "gone"] {
+            let writer = store.create_run(id).unwrap();
+            writer.write_manifest(&RunManifest::new(id, 0)).unwrap();
+        }
+        std::fs::create_dir_all(store.cache_dir()).unwrap();
+
+        store.delete_run("gone").unwrap();
+        assert_eq!(store.list_runs().unwrap(), vec!["keep"]);
+        assert!(store.cache_dir().is_dir(), "the cache is untouched");
+
+        // Missing runs are NotFound; malformed ids never hit the filesystem.
+        assert_eq!(
+            store.delete_run("gone").unwrap_err().kind(),
+            std::io::ErrorKind::NotFound
+        );
+        for bad in ["", ".", "..", "a/b", "../keep"] {
+            assert_eq!(
+                store.delete_run(bad).unwrap_err().kind(),
+                std::io::ErrorKind::InvalidInput,
+                "{bad:?}"
+            );
+        }
+
+        // A reserved (manifest-less) run is in flight: deleting it would
+        // let a second client re-reserve the id mid-sweep, so it is refused.
+        store.reserve_run("inflight").unwrap();
+        assert_eq!(
+            store.delete_run("inflight").unwrap_err().kind(),
+            std::io::ErrorKind::Other
+        );
+        assert!(store.run_dir("inflight").is_dir(), "reservation survives");
+
+        assert_eq!(store.list_runs().unwrap(), vec!["keep"]);
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -1,0 +1,146 @@
+//! Stress the sharded scenario cache: N threads hammering M keys through
+//! every shard concurrently must keep the counter invariants exact
+//! (`hits + misses == lookups`, `stores == misses` under store-on-miss),
+//! and an explicit `flush()` must make every store visible on disk to a
+//! fresh cache instance — without dropping the original.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use lassi_core::{Direction, PipelineConfig, TranslationRecord};
+use lassi_harness::{Job, ScenarioCache, ScenarioKey, SHARD_COUNT};
+use lassi_hecbench::application;
+use lassi_llm::gpt4;
+
+const THREADS: usize = 8;
+const KEYS: usize = 64;
+const ROUNDS: usize = 4;
+
+fn test_dir(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lassi-shard-stress-{}-{label}", std::process::id()))
+}
+
+fn sample_record() -> TranslationRecord {
+    Job::new(
+        application("layout").expect("layout exists"),
+        gpt4(),
+        Direction::CudaToOmp,
+        PipelineConfig {
+            timing_runs: 1,
+            ..PipelineConfig::default()
+        },
+    )
+    .run()
+}
+
+/// Synthetic keys spread deliberately across every shard: the low bits walk
+/// the shard index, the high bits make each key distinct.
+fn keys() -> Vec<ScenarioKey> {
+    (0..KEYS as u64)
+        .map(|i| ScenarioKey((i << 32) | (i % SHARD_COUNT as u64)))
+        .collect()
+}
+
+#[test]
+fn concurrent_threads_keep_counters_exact() {
+    let cache = Arc::new(ScenarioCache::in_memory());
+    let record = sample_record();
+    let lookups = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let record = record.clone();
+            let lookups = Arc::clone(&lookups);
+            thread::spawn(move || {
+                // Each thread walks the key set from a different offset so
+                // shards see genuinely interleaved traffic, storing on miss
+                // exactly like a harness worker.
+                let keys = keys();
+                for round in 0..ROUNDS {
+                    for i in 0..KEYS {
+                        let key = keys[(i + t + round) % KEYS];
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                        if cache.lookup(key).is_none() {
+                            cache.store(key, &record);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("stress thread");
+    }
+
+    let snap = cache.snapshot();
+    let total = lookups.load(Ordering::Relaxed);
+    assert_eq!(total, (THREADS * ROUNDS * KEYS) as u64);
+    assert_eq!(
+        snap.hits + snap.misses,
+        total,
+        "every lookup is exactly one hit or one miss"
+    );
+    assert_eq!(snap.stores, snap.misses, "store-on-miss stores every miss");
+    // Every distinct key missed at least once; racing threads may both miss
+    // the same cold key, but never more often than once per thread.
+    assert!(snap.misses >= KEYS as u64);
+    assert!(snap.misses <= (KEYS * THREADS) as u64);
+    // After the stress, every key is resident: a sweep re-walk is all hits.
+    let before = cache.snapshot();
+    for key in keys() {
+        assert!(cache.lookup(key).is_some());
+    }
+    let delta = cache.snapshot().since(before);
+    assert_eq!((delta.hits, delta.misses), (KEYS as u64, 0));
+}
+
+#[test]
+fn flush_publishes_concurrent_stores_to_disk() {
+    let dir = test_dir("flush");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Arc::new(ScenarioCache::on_disk(&dir).expect("cache dir"));
+    let record = sample_record();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let record = record.clone();
+            thread::spawn(move || {
+                for key in keys()
+                    .into_iter()
+                    .skip(t * (KEYS / THREADS))
+                    .take(KEYS / THREADS)
+                {
+                    cache.store(key, &record);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("store thread");
+    }
+
+    // The writer thread batches; flush() is the visibility barrier.
+    cache.flush();
+    let files = std::fs::read_dir(&dir)
+        .expect("read cache dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .count();
+    assert_eq!(files, KEYS, "every store is a complete file after flush()");
+
+    // A fresh instance (separate process stand-in) reads them all back.
+    let fresh = ScenarioCache::on_disk(&dir).expect("fresh cache");
+    for key in keys() {
+        assert_eq!(fresh.lookup(key).as_ref(), Some(&record));
+    }
+    let snap = fresh.snapshot();
+    assert_eq!((snap.hits, snap.misses), (KEYS as u64, 0));
+
+    drop(fresh);
+    drop(cache);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

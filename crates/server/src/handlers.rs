@@ -36,6 +36,7 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         Ok(Route::CacheStats) => cache_stats(state),
         Ok(Route::ListRuns) => list_runs(state),
         Ok(Route::GetRun(id)) => get_run(state, &id),
+        Ok(Route::DeleteRun(id)) => delete_run(state, &id),
         Ok(Route::GetRecords(id, set)) => get_records(state, &id, &set),
         Ok(Route::SubmitSweep) => submit_sweep(state, &req.body),
         Ok(Route::Shutdown) => shutdown(state),
@@ -102,6 +103,31 @@ fn serve_file(path: std::path::PathBuf, chunked: bool) -> Response {
 
 fn get_run(state: &AppState, id: &str) -> Response {
     serve_file(state.store().run_dir(id).join("manifest.json"), false)
+}
+
+/// `DELETE /v1/runs/{id}`: the first piece of artifact GC. The router has
+/// already slug-validated `id`, and the store refuses anything that is not
+/// a plain run directory (the scenario cache under `cache/` is untouchable
+/// by construction). A reserved-but-unwritten run — a sweep still in
+/// flight — is a 409, not a delete: removing the reservation would let
+/// another client claim the id and race the first sweep's artifact write.
+fn delete_run(state: &AppState, id: &str) -> Response {
+    match state.store().delete_run(id) {
+        Ok(()) => {
+            let body = Json::Object(vec![("deleted".into(), Json::Str(id.into()))]);
+            Response::json(200, body.to_compact())
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            Response::error(404, &format!("run `{id}` does not exist"))
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+            Response::error(400, &format!("invalid run id `{id}`"))
+        }
+        Err(e) if e.kind() == io::ErrorKind::Other => {
+            Response::error(409, &format!("cannot delete run `{id}`: {e}"))
+        }
+        Err(e) => Response::error(500, &format!("cannot delete run `{id}`: {e}")),
+    }
 }
 
 fn get_records(state: &AppState, id: &str, set: &str) -> Response {

@@ -2,12 +2,18 @@
 //! (`Content-Length` or chunked) and a small blocking client.
 //!
 //! The repository's dependency policy rules out hyper & co., and the
-//! service only needs the HTTP/1.1 subset a JSON API uses: one request per
-//! connection (`Connection: close`), `Content-Length` bodies on requests,
-//! and `Content-Length` or `Transfer-Encoding: chunked` bodies on
-//! responses. Limits are enforced while reading so a misbehaving peer
+//! service only needs the HTTP/1.1 subset a JSON API uses: persistent
+//! connections with `Connection: keep-alive`/`close` semantics (HTTP/1.1
+//! defaults to keep-alive, HTTP/1.0 to close), `Content-Length` bodies on
+//! requests, and `Content-Length` or `Transfer-Encoding: chunked` bodies
+//! on responses. Limits are enforced while reading so a misbehaving peer
 //! cannot balloon memory: 8 KiB per header line, 100 header lines, 8 MiB
 //! of body.
+//!
+//! The client side offers both a one-shot [`request`] (sends
+//! `Connection: close`) and a reusable [`ClientConnection`] that keeps one
+//! socket open across many requests — what `loadgen` and the keep-alive
+//! tests drive.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -106,8 +112,11 @@ fn read_chunked<R: BufRead>(reader: &mut R) -> io::Result<Vec<u8>> {
         let size_hex = size_line.split(';').next().unwrap_or("").trim();
         let size = usize::from_str_radix(size_hex, 16)
             .map_err(|_| invalid(format!("bad chunk size `{size_hex}`")))?;
-        if body.len() + size > MAX_BODY {
-            return Err(invalid("chunked body too large"));
+        // checked_add: a near-usize::MAX chunk size must be rejected here,
+        // not wrap past the cap and panic in the resize below.
+        match body.len().checked_add(size) {
+            Some(total) if total <= MAX_BODY => {}
+            _ => return Err(invalid("chunked body too large")),
         }
         if size == 0 {
             // Consume optional trailers up to the final blank line.
@@ -130,6 +139,8 @@ pub struct Request {
     pub method: String,
     /// Request path, query string stripped.
     pub path: String,
+    /// Minor HTTP/1.x version (0 for `HTTP/1.0`, 1 for `HTTP/1.1`).
+    pub http1_minor: u8,
     /// Lower-cased header names with trimmed values, in arrival order.
     pub headers: Vec<(String, String)>,
     /// The request body (empty when there was none).
@@ -141,14 +152,29 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         header(&self.headers, name)
     }
+
+    /// Does this request ask for the connection to stay open afterwards?
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let connection = self.header("connection").unwrap_or("");
+        let has_token = |token: &str| {
+            connection
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case(token))
+        };
+        if self.http1_minor == 0 {
+            has_token("keep-alive")
+        } else {
+            !has_token("close")
+        }
+    }
 }
 
-/// Read and parse one request from a connection.
-pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
-    read_request_from(&mut BufReader::new(stream))
-}
-
-/// [`read_request`] over any buffered reader (tests use in-memory wires).
+/// Read and parse one request from a buffered reader. The server's
+/// connection loop owns one `BufReader` per connection and parses every
+/// request through it, so bytes of a pipelined next request buffered behind
+/// the current one are never dropped (tests use in-memory wires).
 pub fn read_request_from<R: BufRead>(reader: &mut R) -> io::Result<Request> {
     let request_line = read_line_limited(reader)?;
     let mut parts = request_line.split_ascii_whitespace();
@@ -156,15 +182,19 @@ pub fn read_request_from<R: BufRead>(reader: &mut R) -> io::Result<Request> {
     else {
         return Err(invalid(format!("malformed request line `{request_line}`")));
     };
-    if !version.starts_with("HTTP/1.") {
+    let Some(minor) = version
+        .strip_prefix("HTTP/1.")
+        .and_then(|m| m.parse::<u8>().ok())
+    else {
         return Err(invalid(format!("unsupported protocol `{version}`")));
-    }
+    };
     let path = target.split('?').next().unwrap_or(target).to_string();
     let headers = read_headers(reader)?;
     let body = read_body(reader, &headers)?;
     Ok(Request {
         method: method.to_ascii_uppercase(),
         path,
+        http1_minor: minor.min(1),
         headers,
         body,
     })
@@ -218,16 +248,20 @@ impl Response {
         Response::json(status, body.to_compact())
     }
 
-    /// Serialize onto a connection. The response always closes the
-    /// connection (`Connection: close`): one request per connection keeps
-    /// the server trivially correct, and keep-alive is an explicit roadmap
-    /// follow-on.
-    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+    /// Serialize onto a connection. `keep_alive` selects the `Connection`
+    /// header: the per-connection request loop passes `true` while it
+    /// intends to serve another request on the same socket, and `false` on
+    /// the final response (client asked to close, idle/request caps hit, or
+    /// the server is draining). Every response is framed with
+    /// `Content-Length` or chunked encoding, so keep-alive never depends on
+    /// connection close to delimit a body.
+    pub fn write_to<W: Write>(&self, out: &mut W, keep_alive: bool) -> io::Result<()> {
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nConnection: close\r\nContent-Type: {}\r\n",
+            "HTTP/1.1 {} {}\r\nConnection: {}\r\nContent-Type: {}\r\n",
             self.status,
             reason(self.status),
+            if keep_alive { "keep-alive" } else { "close" },
             self.content_type
         )?;
         if self.chunked {
@@ -267,6 +301,113 @@ impl ClientResponse {
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// Did the server announce it will close the connection after this
+    /// response? A [`ClientConnection`] must reconnect before reusing it.
+    pub fn closes_connection(&self) -> bool {
+        header(&self.headers, "connection")
+            .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close")))
+    }
+}
+
+/// Serialize one request. `close` selects the `Connection` header.
+fn write_request<W: Write>(
+    out: &mut W,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    close: bool,
+) -> io::Result<()> {
+    write!(
+        out,
+        "{method} {path} HTTP/1.1\r\nHost: lassi\r\nConnection: {}\r\n",
+        if close { "close" } else { "keep-alive" }
+    )?;
+    match body {
+        Some(body) => {
+            write!(
+                out,
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )?;
+            out.write_all(body)?;
+        }
+        None => write!(out, "\r\n")?,
+    }
+    out.flush()
+}
+
+/// Parse one response (status line, headers, de-chunked body).
+fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
+    // Distinguish "the server closed at the request boundary without
+    // sending a single byte" ([`io::ErrorKind::UnexpectedEof`]) from every
+    // other failure: it is the one read error a caller may safely retry on
+    // a fresh connection, because the server provably sent no response —
+    // the request raced an idle-timeout / request-cap close.
+    if reader.fill_buf()?.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection before sending a response",
+        ));
+    }
+    let status_line = read_line_limited(reader)?;
+    let mut parts = status_line.split_ascii_whitespace();
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(invalid(format!("malformed status line `{status_line}`")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("unsupported protocol `{version}`")));
+    }
+    let status = code
+        .parse::<u16>()
+        .map_err(|_| invalid(format!("bad status code `{code}`")))?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// A blocking client connection that stays open across requests
+/// (`Connection: keep-alive`), amortising the TCP handshake over a whole
+/// session — the client half of the server's per-connection request loop.
+///
+/// [`ClientConnection::send`] fails with an I/O error when the server has
+/// closed the socket (idle timeout, per-connection request cap, drain);
+/// callers reconnect and retry. Responses are fully framed, so a single
+/// connection can carry any number of sequential requests.
+pub struct ClientConnection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientConnection {
+    /// Connect to `addr` with the given read/write timeout.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<ClientConnection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ClientConnection { stream, reader })
+    }
+
+    /// Issue one request on the open connection and read the full response.
+    /// The request advertises `Connection: keep-alive`; inspect
+    /// [`ClientResponse::closes_connection`] to learn whether the server
+    /// will honour it.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        let mut out = io::BufWriter::new(&self.stream);
+        write_request(&mut out, method, path, body, false)?;
+        drop(out);
+        read_response(&mut self.reader)
+    }
 }
 
 /// Issue one request against `addr` and read the full response, with the
@@ -298,43 +439,9 @@ pub fn request_with_timeout(
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let mut out = io::BufWriter::new(&stream);
-    write!(
-        out,
-        "{method} {path} HTTP/1.1\r\nHost: lassi\r\nConnection: close\r\n"
-    )?;
-    match body {
-        Some(body) => {
-            write!(
-                out,
-                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-                body.len()
-            )?;
-            out.write_all(body)?;
-        }
-        None => write!(out, "\r\n")?,
-    }
-    out.flush()?;
+    write_request(&mut out, method, path, body, true)?;
     drop(out);
-
-    let mut reader = BufReader::new(&stream);
-    let status_line = read_line_limited(&mut reader)?;
-    let mut parts = status_line.split_ascii_whitespace();
-    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
-        return Err(invalid(format!("malformed status line `{status_line}`")));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(invalid(format!("unsupported protocol `{version}`")));
-    }
-    let status = code
-        .parse::<u16>()
-        .map_err(|_| invalid(format!("bad status code `{code}`")))?;
-    let headers = read_headers(&mut reader)?;
-    let body = read_body(&mut reader, &headers)?;
-    Ok(ClientResponse {
-        status,
-        headers,
-        body,
-    })
+    read_response(&mut BufReader::new(&stream))
 }
 
 #[cfg(test)]
@@ -372,9 +479,10 @@ mod tests {
     fn content_length_response_round_trips() {
         let resp = Response::json(200, r#"{"ok":true}"#);
         let mut wire = Vec::new();
-        resp.write_to(&mut wire).unwrap();
+        resp.write_to(&mut wire, false).unwrap();
         let text = String::from_utf8(wire.clone()).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.ends_with(r#"{"ok":true}"#));
 
@@ -398,9 +506,10 @@ mod tests {
             chunked: true,
         };
         let mut wire = Vec::new();
-        resp.write_to(&mut wire).unwrap();
+        resp.write_to(&mut wire, true).unwrap();
         let head = String::from_utf8_lossy(&wire[..200]);
         assert!(head.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(head.contains("Connection: keep-alive\r\n"));
 
         let mut reader = BufReader::new(Cursor::new(wire));
         let _status = read_line_limited(&mut reader).unwrap();
@@ -416,6 +525,16 @@ mod tests {
     }
 
     #[test]
+    fn chunked_decoder_rejects_overflowing_sizes_without_panicking() {
+        // 16 bytes of real body, then a chunk size of 2^64 - 8: the unchecked
+        // `len + size` once wrapped below MAX_BODY and panicked in resize.
+        let wire = b"10\r\naaaaaaaaaaaaaaaa\r\nfffffffffffffff8\r\n";
+        let mut reader = BufReader::new(Cursor::new(wire.to_vec()));
+        let err = read_chunked(&mut reader).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+    }
+
+    #[test]
     fn error_responses_are_json() {
         let resp = Response::error(404, "no such run");
         assert_eq!(resp.status, 404);
@@ -424,6 +543,36 @@ mod tests {
             parsed.get("error").and_then(|v| v.as_str()),
             Some("no such run")
         );
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_http_version() {
+        let req = |raw: &[u8]| parse_request(raw).unwrap();
+        // HTTP/1.1: keep-alive unless told otherwise.
+        assert!(req(b"GET / HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").wants_keep_alive());
+        // HTTP/1.0: close unless the client opts in.
+        assert!(!req(b"GET / HTTP/1.0\r\n\r\n").wants_keep_alive());
+        assert!(req(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").wants_keep_alive());
+        // Token lists are scanned, not string-matched.
+        assert!(
+            req(b"GET / HTTP/1.0\r\nConnection: upgrade, Keep-Alive\r\n\r\n").wants_keep_alive()
+        );
+    }
+
+    #[test]
+    fn client_detects_a_closing_response() {
+        let closing = Response::json(200, "{}");
+        let mut wire = Vec::new();
+        closing.write_to(&mut wire, false).unwrap();
+        let resp = read_response(&mut BufReader::new(Cursor::new(wire))).unwrap();
+        assert!(resp.closes_connection());
+
+        let mut wire = Vec::new();
+        closing.write_to(&mut wire, true).unwrap();
+        let resp = read_response(&mut BufReader::new(Cursor::new(wire))).unwrap();
+        assert!(!resp.closes_connection());
     }
 
     #[test]

@@ -27,25 +27,53 @@
 //! process. Inside, each sweep feeds the harness's *bounded* job queue, so
 //! backpressure composes end-to-end: socket → connection budget → job
 //! queue → worker pool.
+//!
+//! ## Keep-alive
+//!
+//! Each connection runs a request loop: HTTP/1.1 requests keep the socket
+//! open by default (`Connection: close` opts out, HTTP/1.0 must opt *in*
+//! with `Connection: keep-alive`), so a client session pays one TCP
+//! handshake instead of one per request. The loop closes the connection
+//! when the client asks, after [`DEFAULT_MAX_REQUESTS_PER_CONNECTION`]
+//! requests (so one client cannot pin a connection slot forever), after
+//! [`DEFAULT_IDLE_TIMEOUT`] with no next request, or when a cooperative
+//! shutdown begins — the in-flight request still finishes and is answered
+//! with `Connection: close`, then the loop exits and the budget slot frees.
 
 pub mod handlers;
 pub mod http;
 pub mod router;
 pub mod state;
 
-use std::io;
+use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 pub use handlers::MAX_SCENARIOS_PER_SWEEP;
-pub use http::{request, request_with_timeout, ClientResponse, Request, Response};
+pub use http::{
+    request, request_with_timeout, ClientConnection, ClientResponse, Request, Response,
+};
 pub use state::AppState;
 
 /// Default cap on concurrently-served connections.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// Default idle read timeout: how long a keep-alive connection may sit
+/// between requests before the server closes it and frees the slot.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default cap on requests served over one connection before the server
+/// closes it (announced via `Connection: close` on the final response).
+pub const DEFAULT_MAX_REQUESTS_PER_CONNECTION: usize = 1024;
+
+/// How often an idle connection re-checks the shutdown flag while waiting
+/// for its next request — bounds how long an idle keep-alive client can
+/// delay a cooperative drain.
+const IDLE_POLL: Duration = Duration::from_millis(100);
 
 /// A counting gate over connection-handler threads: `acquire` blocks while
 /// the budget is exhausted, and `wait_idle` is the drain barrier shutdown
@@ -97,12 +125,20 @@ impl Drop for Permit {
     }
 }
 
+/// Per-connection keep-alive policy, shared by every handler thread.
+#[derive(Debug, Clone, Copy)]
+struct KeepAlivePolicy {
+    idle_timeout: Duration,
+    max_requests: usize,
+}
+
 /// The HTTP service: a bound listener plus the shared [`AppState`].
 pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     state: Arc<AppState>,
     max_connections: usize,
+    keep_alive: KeepAlivePolicy,
 }
 
 impl Server {
@@ -115,12 +151,30 @@ impl Server {
             local_addr,
             state,
             max_connections: DEFAULT_MAX_CONNECTIONS,
+            keep_alive: KeepAlivePolicy {
+                idle_timeout: DEFAULT_IDLE_TIMEOUT,
+                max_requests: DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+            },
         })
     }
 
     /// Override the connection budget (clamped to ≥ 1).
     pub fn with_max_connections(mut self, max: usize) -> Server {
         self.max_connections = max.max(1);
+        self
+    }
+
+    /// Override how long a keep-alive connection may idle between requests
+    /// before the server closes it (clamped to ≥ 1 ms).
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Server {
+        self.keep_alive.idle_timeout = idle_timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Override how many requests one connection may carry before the
+    /// server closes it (clamped to ≥ 1).
+    pub fn with_max_requests_per_connection(mut self, max: usize) -> Server {
+        self.keep_alive.max_requests = max.max(1);
         self
     }
 
@@ -164,8 +218,9 @@ impl Server {
             let permit = gate.acquire();
             let state = Arc::clone(&self.state);
             let local_addr = self.local_addr;
+            let keep_alive = self.keep_alive;
             thread::spawn(move || {
-                handle_connection(&stream, &state, permit);
+                handle_connection(&stream, &state, keep_alive, permit);
                 if state.shutting_down() {
                     // Poke the acceptor out of its blocking `accept` so it
                     // notices the shutdown flag.
@@ -174,19 +229,104 @@ impl Server {
             });
         }
         gate.wait_idle();
+        // Everything is drained; push any batched scenario-cache writes to
+        // disk before the process (or test) moves on to read them.
+        self.state.harness().flush_cache();
         Ok(())
     }
 }
 
-/// Serve one connection: parse, dispatch, respond; parse failures get a 400.
-/// The permit rides along so the slot frees exactly when handling ends.
-fn handle_connection(stream: &TcpStream, state: &AppState, _permit: Permit) {
-    let _ = stream.set_read_timeout(Some(http::IO_TIMEOUT));
+/// What happened while waiting for the next request on a kept-alive
+/// connection.
+enum NextRequest {
+    /// Bytes are available: parse a request.
+    Ready,
+    /// The peer closed (or errored) the connection at a request boundary.
+    Closed,
+    /// No request arrived within the idle timeout.
+    IdleTimeout,
+    /// A cooperative shutdown began while idle.
+    Draining,
+}
+
+/// Wait for the first byte of the next request, polling in [`IDLE_POLL`]
+/// slices so an idle connection notices a shutdown quickly instead of
+/// pinning the drain barrier for the whole idle timeout.
+fn wait_for_request(
+    reader: &mut BufReader<&TcpStream>,
+    stream: &TcpStream,
+    policy: KeepAlivePolicy,
+    state: &AppState,
+) -> NextRequest {
+    // A monotonic deadline, not accumulated poll slices: an `Interrupted`
+    // read returns in microseconds and must not be charged a whole slice
+    // of the idle budget.
+    let deadline = std::time::Instant::now() + policy.idle_timeout;
+    loop {
+        if state.shutting_down() {
+            return NextRequest::Draining;
+        }
+        let slice = IDLE_POLL.min(policy.idle_timeout);
+        let _ = stream.set_read_timeout(Some(slice));
+        match reader.fill_buf() {
+            // A pipelined request may already be buffered; otherwise this
+            // blocks up to one poll slice for fresh bytes.
+            Ok([]) => return NextRequest::Closed,
+            Ok(_) => return NextRequest::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if std::time::Instant::now() >= deadline {
+                    return NextRequest::IdleTimeout;
+                }
+            }
+            Err(_) => return NextRequest::Closed,
+        }
+    }
+}
+
+/// Serve one connection's request loop: parse, dispatch, respond, repeat
+/// while keep-alive applies; parse failures get a 400 and a close. The
+/// permit rides along so the budget slot frees exactly when handling ends.
+fn handle_connection(
+    stream: &TcpStream,
+    state: &AppState,
+    policy: KeepAlivePolicy,
+    _permit: Permit,
+) {
     let _ = stream.set_write_timeout(Some(http::IO_TIMEOUT));
-    let response = match http::read_request(stream) {
-        Ok(request) => handlers::handle(state, &request),
-        Err(e) => Response::error(400, &format!("bad request: {e}")),
-    };
-    let mut out = io::BufWriter::new(stream);
-    let _ = response.write_to(&mut out);
+    // One buffered reader for the connection's whole lifetime: bytes of a
+    // pipelined next request buffered behind the current one must not be
+    // lost between loop iterations.
+    let mut reader = BufReader::new(stream);
+    let mut served = 0usize;
+    // A non-Ready wait ends the loop: nothing is in flight at a request
+    // boundary (peer closed, idle timeout, drain), so close silently.
+    while let NextRequest::Ready = wait_for_request(&mut reader, stream, policy, state) {
+        // Mid-request reads get the normal I/O timeout: a peer that stalls
+        // inside a request is misbehaving, not idle.
+        let _ = stream.set_read_timeout(Some(http::IO_TIMEOUT));
+        let (response, keep_alive) = match http::read_request_from(&mut reader) {
+            Ok(request) => {
+                served += 1;
+                let keep = request.wants_keep_alive() && served < policy.max_requests;
+                (handlers::handle(state, &request), keep)
+            }
+            // A malformed request leaves the stream position unknown, so
+            // the connection cannot be reused.
+            Err(e) => (Response::error(400, &format!("bad request: {e}")), false),
+        };
+        // Re-check the flag after handling: if this very request started
+        // the shutdown (or one raced in), announce the close.
+        let keep_alive = keep_alive && !state.shutting_down();
+        let mut out = io::BufWriter::new(stream);
+        if response.write_to(&mut out, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+    }
 }

@@ -16,6 +16,8 @@ pub enum Route {
     ListRuns,
     /// `GET /v1/runs/{id}` — the run manifest, byte-identical to disk.
     GetRun(String),
+    /// `DELETE /v1/runs/{id}` — remove one run's artifact directory.
+    DeleteRun(String),
     /// `GET /v1/runs/{id}/records/{set}` — one record set, byte-identical.
     GetRecords(String, String),
     /// `POST /v1/sweeps` — submit a sweep grid.
@@ -35,13 +37,11 @@ pub enum RouteError {
     BadSlug(String),
 }
 
-/// True for path parameters safe to embed in a filename: non-empty ASCII
-/// `[A-Za-z0-9._-]` and not composed entirely of dots (`.`/`..`).
+/// True for path parameters safe to embed in a filename. Delegates to the
+/// artifact store's [`lassi_harness::is_slug`] so the router and the store
+/// can never drift apart on what a valid run id is.
 pub fn is_slug(s: &str) -> bool {
-    !s.is_empty()
-        && s.bytes()
-            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
-        && !s.bytes().all(|b| b == b'.')
+    lassi_harness::is_slug(s)
 }
 
 /// Resolve a request to a route.
@@ -68,7 +68,11 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
         ["v1", "runs"] => get(Route::ListRuns),
         ["v1", "runs", id] => {
             let id = slug(id)?;
-            get(Route::GetRun(id))
+            match method {
+                "GET" => Ok(Route::GetRun(id)),
+                "DELETE" => Ok(Route::DeleteRun(id)),
+                _ => Err(RouteError::MethodNotAllowed),
+            }
         }
         ["v1", "runs", id, "records", set] => {
             let id = slug(id)?;
@@ -117,9 +121,25 @@ mod tests {
             Err(RouteError::MethodNotAllowed)
         );
         assert_eq!(
-            route("DELETE", "/v1/runs/x"),
+            route("PUT", "/v1/runs/x"),
             Err(RouteError::MethodNotAllowed)
         );
+        assert_eq!(
+            route("DELETE", "/v1/runs"),
+            Err(RouteError::MethodNotAllowed)
+        );
+    }
+
+    #[test]
+    fn delete_run_routes_with_a_validated_slug() {
+        assert_eq!(
+            route("DELETE", "/v1/runs/old-run"),
+            Ok(Route::DeleteRun("old-run".into()))
+        );
+        assert!(matches!(
+            route("DELETE", "/v1/runs/.."),
+            Err(RouteError::BadSlug(_))
+        ));
     }
 
     #[test]

@@ -1,30 +1,43 @@
 //! End-to-end test of the HTTP service over real TCP: submit sweeps, fetch
-//! artifacts byte-identically, watch cache counters, and drain cleanly.
+//! artifacts byte-identically, watch cache counters, keep connections
+//! alive across requests, and drain cleanly.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use lassi_harness::{ArtifactStore, Harness, HarnessOptions, ScenarioCache};
-use lassi_server::{http, AppState, Server};
+use lassi_server::{http, AppState, ClientConnection, Server};
 
 fn test_root(label: &str) -> PathBuf {
     std::env::temp_dir().join(format!("lassi-server-test-{}-{label}", std::process::id()))
 }
 
-/// Spin up a full server (2 workers, disk cache) on an ephemeral port.
-fn start_server(root: &PathBuf) -> (std::net::SocketAddr, thread::JoinHandle<()>, Arc<AppState>) {
+/// Spin up a full server (2 workers, disk cache) on an ephemeral port,
+/// after applying `configure` to the bound server (keep-alive knobs).
+fn start_server_with(
+    root: &PathBuf,
+    configure: impl FnOnce(Server) -> Server,
+) -> (std::net::SocketAddr, thread::JoinHandle<()>, Arc<AppState>) {
     let store = ArtifactStore::new(root);
     let cache = ScenarioCache::on_disk(store.cache_dir()).expect("cache dir");
     let harness = Harness::new(HarnessOptions::default().with_workers(2)).with_cache(cache);
     let state = Arc::new(AppState::new(harness, store));
-    let server = Server::bind("127.0.0.1:0", Arc::clone(&state))
-        .expect("bind")
-        .with_max_connections(8);
+    let server = configure(
+        Server::bind("127.0.0.1:0", Arc::clone(&state))
+            .expect("bind")
+            .with_max_connections(8),
+    );
     let addr = server.local_addr();
     let state_handle = Arc::clone(server.state());
     let join = thread::spawn(move || server.run().expect("server run"));
     (addr, join, state_handle)
+}
+
+/// Spin up a full server with the default keep-alive policy.
+fn start_server(root: &PathBuf) -> (std::net::SocketAddr, thread::JoinHandle<()>, Arc<AppState>) {
+    start_server_with(root, |server| server)
 }
 
 fn get_json(addr: std::net::SocketAddr, path: &str) -> (u16, lassi_harness::Json) {
@@ -160,9 +173,34 @@ fn serves_sweeps_and_artifacts_end_to_end() {
         .collect();
     assert_eq!(listed, vec!["itest", warm_id.as_str()]);
 
+    // DELETE removes a run and only that run; deleting again is a 404.
+    let resp = http::request(addr, "DELETE", &format!("/v1/runs/{warm_id}"), None).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(
+        !root.join(format!("run-{warm_id}")).exists(),
+        "deleted run directory is gone"
+    );
+    let (_, runs) = get_json(addr, "/v1/runs");
+    let listed: Vec<&str> = runs
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert_eq!(listed, vec!["itest"], "the other run survives the delete");
+    assert!(
+        root.join("cache").is_dir(),
+        "the scenario cache is untouched"
+    );
+    let resp = http::request(addr, "DELETE", &format!("/v1/runs/{warm_id}"), None).unwrap();
+    assert_eq!(resp.status, 404, "double delete is NotFound");
+
     // Error paths.
     let resp = http::request(addr, "GET", "/v1/runs/does-not-exist", None).unwrap();
     assert_eq!(resp.status, 404);
+    let resp = http::request(addr, "DELETE", "/v1/runs/..", None).unwrap();
+    assert_eq!(resp.status, 400, "traversal delete is rejected");
     let resp = http::request(addr, "GET", "/v1/runs/..", None).unwrap();
     assert_eq!(resp.status, 400, "traversal slug is rejected");
     let resp = http::request(addr, "GET", "/nope", None).unwrap();
@@ -183,6 +221,151 @@ fn serves_sweeps_and_artifacts_end_to_end() {
     let late = http::request(addr, "GET", "/v1/healthz", None);
     assert!(late.is_err(), "server socket is closed after drain");
 
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_socket() {
+    let root = test_root("keepalive");
+    let _ = std::fs::remove_dir_all(&root);
+    let (addr, join, _state) = start_server(&root);
+
+    // Many sequential requests over ONE connection: every response arrives,
+    // announces keep-alive, and is byte-identical to its one-shot twin.
+    let one_shot = http::request(addr, "GET", "/v1/healthz", None).expect("one-shot");
+    let mut conn = ClientConnection::connect(addr, CLIENT_TIMEOUT).expect("connect");
+    for i in 0..50 {
+        let resp = conn
+            .send("GET", "/v1/healthz", None)
+            .expect("keep-alive send");
+        assert_eq!(resp.status, 200, "request {i}");
+        assert!(!resp.closes_connection(), "request {i} keeps the socket");
+        assert_eq!(resp.body, one_shot.body, "request {i} body is identical");
+    }
+    // Mixed methods and chunked bodies ride the same socket: submit a sweep,
+    // then fetch its records (served chunked) without reconnecting.
+    let body = br#"{"models": ["GPT-4"], "apps": ["layout"],
+                   "directions": ["cuda-to-omp"], "timing_runs": [1],
+                   "run_id": "ka"}"#;
+    let resp = conn.send("POST", "/v1/sweeps", Some(body)).expect("sweep");
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let manifest = lassi_harness::json::parse(&resp.text()).expect("manifest json");
+    let set = manifest
+        .get("record_sets")
+        .and_then(|v| v.as_array())
+        .and_then(|sets| sets.first())
+        .and_then(|s| s.as_str())
+        .expect("one record set")
+        .to_string();
+    let records = conn
+        .send("GET", &format!("/v1/runs/ka/records/{set}"), None)
+        .expect("records over keep-alive");
+    assert_eq!(records.status, 200);
+    assert!(
+        records
+            .headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && v == "chunked"),
+        "chunked framing works mid-connection"
+    );
+    let on_disk = std::fs::read(root.join("run-ka").join(format!("records-{set}.json"))).unwrap();
+    assert_eq!(records.body, on_disk, "chunked body is byte-identical");
+
+    // An explicit Connection: close (the one-shot client) still closes.
+    let resp = http::request(addr, "GET", "/v1/healthz", None).expect("one-shot");
+    assert!(resp.closes_connection());
+
+    let resp = conn.send("POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.closes_connection(),
+        "the shutdown response announces the close"
+    );
+    join.join().expect("server drains");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed() {
+    let root = test_root("idle");
+    let _ = std::fs::remove_dir_all(&root);
+    let (addr, join, _state) =
+        start_server_with(&root, |s| s.with_idle_timeout(Duration::from_millis(200)));
+
+    let mut conn = ClientConnection::connect(addr, CLIENT_TIMEOUT).expect("connect");
+    let resp = conn.send("GET", "/v1/healthz", None).expect("first send");
+    assert_eq!(resp.status, 200);
+    assert!(!resp.closes_connection());
+
+    // Sit idle past the timeout: the server closes the socket, so the next
+    // send fails instead of hanging.
+    thread::sleep(Duration::from_millis(800));
+    assert!(
+        conn.send("GET", "/v1/healthz", None).is_err(),
+        "idle-timed-out connection must be closed by the server"
+    );
+
+    // The server itself is fine — fresh connections still work.
+    let resp = http::request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    join.join().expect("server drains");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn per_connection_request_cap_closes_politely() {
+    let root = test_root("reqcap");
+    let _ = std::fs::remove_dir_all(&root);
+    let (addr, join, _state) = start_server_with(&root, |s| s.with_max_requests_per_connection(3));
+
+    let mut conn = ClientConnection::connect(addr, CLIENT_TIMEOUT).expect("connect");
+    for i in 0..2 {
+        let resp = conn.send("GET", "/v1/healthz", None).expect("send");
+        assert!(!resp.closes_connection(), "request {i} is under the cap");
+    }
+    // The capped request is still answered — with an announced close.
+    let resp = conn.send("GET", "/v1/healthz", None).expect("capped send");
+    assert_eq!(resp.status, 200);
+    assert!(resp.closes_connection(), "the cap announces the close");
+    assert!(
+        conn.send("GET", "/v1/healthz", None).is_err(),
+        "the socket is closed after the cap"
+    );
+
+    let resp = http::request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    join.join().expect("server drains");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn drain_during_keep_alive_finishes_in_flight_and_exits_quickly() {
+    let root = test_root("drainka");
+    let _ = std::fs::remove_dir_all(&root);
+    let (addr, join, state) = start_server(&root);
+
+    // A keep-alive client parks idle on the connection...
+    let mut parked = ClientConnection::connect(addr, CLIENT_TIMEOUT).expect("connect");
+    let resp = parked.send("GET", "/v1/healthz", None).expect("send");
+    assert!(!resp.closes_connection());
+
+    // ...while another client begins the drain. The parked (idle) client
+    // must not pin the drain barrier anywhere near the 5 s idle timeout.
+    let begun = Instant::now();
+    let resp = http::request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    join.join().expect("server drains");
+    assert!(
+        begun.elapsed() < Duration::from_secs(3),
+        "idle keep-alive connection delayed the drain by {:?}",
+        begun.elapsed()
+    );
+    assert!(state.shutting_down());
+
+    // The parked connection was closed at a request boundary.
+    assert!(parked.send("GET", "/v1/healthz", None).is_err());
     let _ = std::fs::remove_dir_all(&root);
 }
 
