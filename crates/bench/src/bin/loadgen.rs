@@ -1,60 +1,74 @@
 //! `loadgen` — drive a running `lassi-server` with N concurrent clients
 //! over overlapping sweep grids, in a cold phase then a warm phase, and
-//! record throughput and latency percentiles.
+//! record submission latency and end-to-end sweep latency separately.
 //!
 //! ```text
 //! loadgen --addr HOST:PORT [--clients N] [--requests R] [--artifacts DIR]
 //!         [--smoke] [--shutdown] [--out PATH] [--run-prefix P]
 //! ```
 //!
-//! Each client submits `R` sweeps per phase; client `c`'s `r`-th request
-//! covers an *overlapping* two-application window of the benchmark list, so
-//! concurrent clients contend for the same scenario-cache entries. The warm
-//! phase resubmits the same grids (fresh run ids): every scenario must then
-//! be served from the shared scenario cache.
+//! Sweep submission is asynchronous: `POST /v1/sweeps` answers `202
+//! Accepted` with a `Location` pointing at the run resource, and the sweep
+//! executes on the server's executor pool. Each client therefore submits
+//! all `R` of its sweeps up front — measuring **submit latency**, the time
+//! to the `202` — and then polls `GET /v1/runs/{id}` until every run is
+//! `done`, measuring **end-to-end sweep latency** from the submit instant
+//! to the poll that observed `done`. The two distributions answer different
+//! questions (is the control plane responsive? how long does the work
+//! take?) and the `BENCH_server.json` artifact reports both.
 //!
-//! Every client holds **one keep-alive connection for the whole phase**
-//! (the server speaks HTTP/1.1 keep-alive since the warm-path overhaul), so
-//! the TCP handshake is paid once per client, not once per request. If the
-//! server closes a reused connection **at a request boundary** (idle
-//! timeout, request cap, drain — provable because no response byte
-//! arrived), the client retries that request once on a fresh connection and
-//! counts the retry; any other failure — a response timeout, a mid-response
-//! error — is a hard, clearly-worded error, never a retry, because the
-//! server may already be running the non-idempotent sweep. Each phase
-//! reports `connections_opened` and requests-per-connection.
+//! Client `c`'s `r`-th sweep covers an *overlapping* two-application window
+//! of the benchmark list, so concurrent clients contend for the same
+//! scenario-cache entries. The warm phase resubmits the same grids (fresh
+//! run ids): every scenario must then be served from the shared scenario
+//! cache.
+//!
+//! Every client holds **one keep-alive connection for the whole phase** —
+//! submissions and polls alike ride it. If the server closes a reused
+//! connection **at a request boundary** (idle timeout, request cap, drain —
+//! provable because no response byte arrived), the client retries that
+//! request once on a fresh connection and counts the retry; any other
+//! failure is a hard error, never a retry, because the server may already
+//! be executing the non-idempotent sweep.
 //!
 //! `--smoke` is the self-checking CI mode. It asserts that
 //!
-//! * every response across both phases is 2xx,
+//! * every submission is answered `202` with a `Location` header, and the
+//!   submit p50 stays under 100 ms in both phases (the answer must not be
+//!   gated on sweep execution),
+//! * every run polls through to `done`,
 //! * the warm phase adds **zero** cache misses and exactly
-//!   `scenarios-per-phase` hits (verified via `GET /v1/cache/stats`
-//!   before/after),
-//! * each phase opened at most one connection per client (keep-alive is
-//!   actually being honoured, not silently renegotiated),
-//! * a fetched run manifest and record set are **byte-identical** to the
-//!   files in the server's artifact store (requires `--artifacts` pointing
-//!   at the same directory the server writes),
-//! * `GET /v1/runs` lists every run id the load created, and
-//!   `DELETE /v1/runs/{id}` removes one,
+//!   `scenarios-per-phase` hits (via `GET /v1/cache/stats` before/after),
+//! * each phase opened at most one connection per client (keep-alive held
+//!   across submits *and* polls),
+//! * the paginated `GET /v1/runs?limit=` walk reassembles exactly the
+//!   unpaginated listing and contains every run the load created,
+//! * a fetched run manifest (`GET /v1/runs/{id}/manifest`) and record set
+//!   are **byte-identical** to the files in the server's artifact store
+//!   (requires `--artifacts` pointing at the server's directory),
+//! * `DELETE /v1/runs/{id}` removes a run, and the error envelope
+//!   (`{"error": {"code", "message", "status"}}`) carries the expected
+//!   machine-readable codes (`run_not_found`, `run_exists`),
 //!
 //! and then writes the `BENCH_server.json` perf-trajectory artifact
-//! (schema_version 2: cold/warm requests/sec, p50/p99 latency, connection
-//! accounting, and the pre-keep-alive baseline for before/after).
-//! `--shutdown` sends `POST /v1/shutdown` at the end so a scripted server
-//! process exits.
+//! (schema_version 3: per-phase submit + end-to-end latency percentiles,
+//! throughput, connection accounting, and the synchronous-API baseline for
+//! before/after). `--shutdown` sends `POST /v1/shutdown` at the end so a
+//! scripted server process exits.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lassi_harness::Json;
 use lassi_server::http;
 use lassi_server::http::ClientConnection;
 
-/// The committed warm-phase numbers from the PR 4 `BENCH_server.json`
-/// (`Connection: close`, single-mutex cache, synchronous cache-disk
-/// writes), kept in the artifact so before/after is one file.
-const BASELINE_WARM_P50_MS: f64 = 6.767844;
-const BASELINE_WARM_P99_MS: f64 = 11.774078;
+/// The committed warm-phase numbers from the PR 5 `BENCH_server.json`
+/// (schema v2), when `POST /v1/sweeps` was synchronous and one request
+/// latency covered both submission and execution. Kept in the artifact so
+/// before/after spans the API redesign: the v3 `submit` latencies are the
+/// comparable "how long until the server answers" figure.
+const BASELINE_SYNC_WARM_P50_MS: f64 = 6.767844;
+const BASELINE_SYNC_WARM_P99_MS: f64 = 11.774078;
 
 struct LoadgenArgs {
     common: lassi_bench::CommonArgs,
@@ -115,10 +129,20 @@ fn parse_args() -> Result<LoadgenArgs, String> {
 /// Number of applications in each submitted sweep window.
 const APPS_PER_REQUEST: usize = 2;
 
-/// Read timeout for sweep submissions: the response only starts once the
-/// sweep has run, so this is sized to the work (a cold two-app scenario
-/// pair queued behind other clients), not to the wire.
-const SWEEP_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(600);
+/// Socket read timeout. Submissions answer immediately now, so this is a
+/// wire timeout, not a work timeout; how long a *sweep* may take is bounded
+/// separately by [`SWEEP_DEADLINE`] in the poll loop.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a client waits for all of its submitted sweeps to finish.
+const SWEEP_DEADLINE: Duration = Duration::from_secs(600);
+
+/// Poll-interval bounds: start fast (a tiny sweep may be done in
+/// milliseconds), back off exponentially to the cap. The cap stays far
+/// under the server's 5 s keep-alive idle timeout so polling never lets
+/// the connection go idle.
+const POLL_INTERVAL_FLOOR: Duration = Duration::from_millis(5);
+const POLL_INTERVAL_CAP: Duration = Duration::from_millis(50);
 
 /// The sweep body client `c` submits as its `r`-th request of `phase`:
 /// a two-application window starting at `c + r`, wrapping around the
@@ -134,12 +158,25 @@ fn sweep_body(app_names: &[String], prefix: &str, phase: &str, c: usize, r: usiz
     )
 }
 
+/// The `code` slug out of a structured error envelope.
+fn error_code(resp: &http::ClientResponse) -> Result<String, String> {
+    let value = lassi_harness::json::parse(&resp.text())
+        .map_err(|e| format!("error body is not JSON: {e} — {}", resp.text()))?;
+    value
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(|c| c.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("no error.code in {}", resp.text()))
+}
+
 /// One client's keep-alive session: a lazily (re)opened connection plus the
 /// accounting the phase summary reports.
 struct ClientSession {
     addr: String,
     conn: Option<ClientConnection>,
     connections_opened: usize,
+    requests_sent: usize,
     retries: usize,
 }
 
@@ -149,13 +186,14 @@ impl ClientSession {
             addr,
             conn: None,
             connections_opened: 0,
+            requests_sent: 0,
             retries: 0,
         }
     }
 
     fn connect(&mut self) -> Result<&mut ClientConnection, String> {
         if self.conn.is_none() {
-            let conn = ClientConnection::connect(self.addr.as_str(), SWEEP_TIMEOUT)
+            let conn = ClientConnection::connect(self.addr.as_str(), READ_TIMEOUT)
                 .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
             self.conn = Some(conn);
             self.connections_opened += 1;
@@ -169,7 +207,7 @@ impl ClientSession {
     /// arrived), retry exactly once on a fresh connection — counted — and
     /// fail fast with a clear error otherwise. A response timeout or a
     /// failure mid-response is never retried: the server may already be
-    /// running the (non-idempotent) sweep, and a resubmission under the
+    /// executing the (non-idempotent) sweep, and a resubmission under the
     /// same run id would only turn into a confusing 409.
     fn send(
         &mut self,
@@ -193,6 +231,7 @@ impl ClientSession {
         for attempt in 0..2 {
             match self.connect()?.send(method, path, body) {
                 Ok(resp) => {
+                    self.requests_sent += 1;
                     if resp.closes_connection() {
                         // The server announced the close (request cap or
                         // drain); reconnect lazily before the next request.
@@ -229,25 +268,38 @@ impl ClientSession {
 /// One phase's measurements.
 struct PhaseOutcome {
     wall_seconds: f64,
-    /// Per-request latencies, milliseconds, sorted ascending.
-    latencies_ms: Vec<f64>,
+    /// Time to the `202 Accepted` per submission, milliseconds, sorted.
+    submit_ms: Vec<f64>,
+    /// Submit instant → the poll that observed `done`, milliseconds, sorted.
+    sweep_ms: Vec<f64>,
     /// Every run id created during the phase.
     run_ids: Vec<String>,
     /// TCP connections opened across all clients (keep-alive means this
     /// stays at one per client unless the server closed one mid-phase).
     connections_opened: usize,
+    /// Every request sent (submissions + polls), for req/conn accounting.
+    requests_sent: usize,
     /// Requests retried on a fresh connection after a mid-phase close.
     retries: usize,
 }
 
+/// Nearest-rank percentile over sorted ascending samples.
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 impl PhaseOutcome {
-    fn requests(&self) -> usize {
-        self.latencies_ms.len()
+    fn sweeps(&self) -> usize {
+        self.run_ids.len()
     }
 
-    fn requests_per_second(&self) -> f64 {
+    fn sweeps_per_second(&self) -> f64 {
         if self.wall_seconds > 0.0 {
-            self.requests() as f64 / self.wall_seconds
+            self.sweeps() as f64 / self.wall_seconds
         } else {
             0.0
         }
@@ -255,32 +307,27 @@ impl PhaseOutcome {
 
     fn requests_per_connection(&self) -> f64 {
         if self.connections_opened > 0 {
-            self.requests() as f64 / self.connections_opened as f64
+            self.requests_sent as f64 / self.connections_opened as f64
         } else {
             0.0
         }
     }
-
-    /// Nearest-rank percentile over the sorted latencies.
-    fn percentile_ms(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let rank = ((p / 100.0) * self.latencies_ms.len() as f64).ceil() as usize;
-        self.latencies_ms[rank.clamp(1, self.latencies_ms.len()) - 1]
-    }
 }
 
-/// Run one phase: `clients` threads, each holding one keep-alive connection
-/// and submitting `requests` sweeps over it.
+/// Run one phase: `clients` threads, each submitting `requests` sweeps up
+/// front over one keep-alive connection — timing each `202` — and then
+/// polling every run on that same connection until all are `done`.
 fn run_phase(
     args: &LoadgenArgs,
     app_names: &[String],
     phase: &'static str,
 ) -> Result<PhaseOutcome, String> {
     struct ClientResult {
-        results: Vec<(f64, String)>,
+        submit_ms: Vec<f64>,
+        sweep_ms: Vec<f64>,
+        run_ids: Vec<String>,
         connections_opened: usize,
+        requests_sent: usize,
         retries: usize,
     }
 
@@ -294,58 +341,127 @@ fn run_phase(
         handles.push(std::thread::spawn(
             move || -> Result<ClientResult, String> {
                 let mut session = ClientSession::new(addr);
-                let mut results = Vec::with_capacity(requests);
+                let mut submit_ms = Vec::with_capacity(requests);
+                // (run id, submit instant) for every accepted sweep.
+                let mut pending: Vec<(String, Instant)> = Vec::with_capacity(requests);
                 for r in 0..requests {
                     let body = sweep_body(&names, &prefix, phase, c, r);
                     let sent = Instant::now();
                     let resp = session
                         .send("POST", "/v1/sweeps", Some(body.as_bytes()))
-                        .map_err(|e| format!("client {c} request {r}: {e}"))?;
-                    let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
-                    if !resp.is_success() {
+                        .map_err(|e| format!("client {c} submit {r}: {e}"))?;
+                    submit_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    if resp.status != 202 {
                         return Err(format!(
-                            "client {c} request {r}: HTTP {} — {}",
+                            "client {c} submit {r}: expected 202 Accepted, got {} — {}",
                             resp.status,
                             resp.text()
                         ));
                     }
-                    let manifest = lassi_harness::json::parse(&resp.text())
-                        .map_err(|e| format!("client {c} request {r}: bad manifest: {e}"))?;
-                    let run_id = manifest
-                        .get("run_id")
+                    let view = lassi_harness::json::parse(&resp.text())
+                        .map_err(|e| format!("client {c} submit {r}: bad body: {e}"))?;
+                    let run_id = view
+                        .get("id")
                         .and_then(|v| v.as_str())
-                        .ok_or_else(|| format!("client {c} request {r}: manifest lacks run_id"))?
+                        .ok_or_else(|| format!("client {c} submit {r}: body lacks id"))?
                         .to_string();
-                    results.push((latency_ms, run_id));
+                    let location = resp
+                        .header("location")
+                        .ok_or_else(|| format!("client {c} submit {r}: no Location header"))?;
+                    if location != format!("/v1/runs/{run_id}") {
+                        return Err(format!(
+                            "client {c} submit {r}: Location `{location}` does not \
+                             point at run `{run_id}`"
+                        ));
+                    }
+                    pending.push((run_id, sent));
+                }
+
+                // Poll every accepted run to completion over the same
+                // connection, backing off while nothing changes.
+                let mut sweep_ms = Vec::with_capacity(requests);
+                let mut run_ids = Vec::with_capacity(requests);
+                let deadline = Instant::now() + SWEEP_DEADLINE;
+                let mut interval = POLL_INTERVAL_FLOOR;
+                while !pending.is_empty() {
+                    let mut still_pending = Vec::with_capacity(pending.len());
+                    for (run_id, submitted) in pending {
+                        let resp = session
+                            .send("GET", &format!("/v1/runs/{run_id}"), None)
+                            .map_err(|e| format!("client {c} poll {run_id}: {e}"))?;
+                        if !resp.is_success() {
+                            return Err(format!(
+                                "client {c} poll {run_id}: HTTP {} — {}",
+                                resp.status,
+                                resp.text()
+                            ));
+                        }
+                        let view = lassi_harness::json::parse(&resp.text())
+                            .map_err(|e| format!("client {c} poll {run_id}: {e}"))?;
+                        match view.get("state").and_then(|s| s.as_str()) {
+                            Some("done") => {
+                                sweep_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+                                run_ids.push(run_id);
+                            }
+                            Some("queued" | "running") => still_pending.push((run_id, submitted)),
+                            state => {
+                                return Err(format!(
+                                    "client {c}: run {run_id} ended {state:?} \
+                                     (reason: {:?}) instead of done",
+                                    view.get("reason").and_then(|r| r.as_str())
+                                ))
+                            }
+                        }
+                    }
+                    pending = still_pending;
+                    if !pending.is_empty() {
+                        if Instant::now() > deadline {
+                            return Err(format!(
+                                "client {c}: {} sweep(s) still unfinished after {:?}",
+                                pending.len(),
+                                SWEEP_DEADLINE
+                            ));
+                        }
+                        std::thread::sleep(interval);
+                        interval = (interval * 2).min(POLL_INTERVAL_CAP);
+                    }
                 }
                 Ok(ClientResult {
-                    results,
+                    submit_ms,
+                    sweep_ms,
+                    run_ids,
                     connections_opened: session.connections_opened,
+                    requests_sent: session.requests_sent,
                     retries: session.retries,
                 })
             },
         ));
     }
-    let mut latencies_ms = Vec::new();
+    let mut submit_ms = Vec::new();
+    let mut sweep_ms = Vec::new();
     let mut run_ids = Vec::new();
     let mut connections_opened = 0;
+    let mut requests_sent = 0;
     let mut retries = 0;
     for handle in handles {
         let client = handle.join().map_err(|_| "client thread panicked")??;
-        for (latency, run_id) in client.results {
-            latencies_ms.push(latency);
-            run_ids.push(run_id);
-        }
+        submit_ms.extend(client.submit_ms);
+        sweep_ms.extend(client.sweep_ms);
+        run_ids.extend(client.run_ids);
         connections_opened += client.connections_opened;
+        requests_sent += client.requests_sent;
         retries += client.retries;
     }
     let wall_seconds = started.elapsed().as_secs_f64();
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    submit_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    sweep_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     Ok(PhaseOutcome {
         wall_seconds,
-        latencies_ms,
+        submit_ms,
+        sweep_ms,
         run_ids,
         connections_opened,
+        requests_sent,
         retries,
     })
 }
@@ -370,17 +486,71 @@ fn cache_stats(addr: &str) -> Result<(u64, u64), String> {
 
 fn phase_line(label: &str, outcome: &PhaseOutcome) -> String {
     format!(
-        "{label} phase: {} requests in {:.3}s ({:.1} req/s), p50 {:.3}ms, p99 {:.3}ms, \
-         {} connections ({:.1} req/conn, {} retries)",
-        outcome.requests(),
+        "{label} phase: {} sweeps in {:.3}s ({:.1} sweeps/s), e2e p50 {:.3}ms / \
+         p99 {:.3}ms, {} connections ({:.1} req/conn, {} retries)",
+        outcome.sweeps(),
         outcome.wall_seconds,
-        outcome.requests_per_second(),
-        outcome.percentile_ms(50.0),
-        outcome.percentile_ms(99.0),
+        outcome.sweeps_per_second(),
+        percentile_ms(&outcome.sweep_ms, 50.0),
+        percentile_ms(&outcome.sweep_ms, 99.0),
         outcome.connections_opened,
         outcome.requests_per_connection(),
         outcome.retries,
     )
+}
+
+/// Walk `GET /v1/runs?limit=` pages to the end; returns every listed id in
+/// order and checks the pages reassemble exactly the unpaginated listing.
+fn paginated_run_ids(addr: &str, limit: usize) -> Result<Vec<String>, String> {
+    let ids_of = |value: &Json| -> Result<Vec<String>, String> {
+        value
+            .get("runs")
+            .and_then(|v| v.as_array())
+            .ok_or("listing lacks `runs`")?
+            .iter()
+            .map(|row| {
+                row.get("id")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("run row lacks `id`: {}", row.to_compact()))
+            })
+            .collect()
+    };
+    let fetch = |path: &str| -> Result<Json, String> {
+        let resp = http::request(addr, "GET", path, None).map_err(|e| format!("{path}: {e}"))?;
+        if !resp.is_success() {
+            return Err(format!("{path}: HTTP {} — {}", resp.status, resp.text()));
+        }
+        lassi_harness::json::parse(&resp.text()).map_err(|e| format!("{path}: {e}"))
+    };
+
+    let mut walked: Vec<String> = Vec::new();
+    let mut after: Option<String> = None;
+    loop {
+        let path = match &after {
+            None => format!("/v1/runs?limit={limit}"),
+            Some(cursor) => format!("/v1/runs?limit={limit}&after={cursor}"),
+        };
+        let page = fetch(&path)?;
+        let ids = ids_of(&page)?;
+        if ids.len() > limit {
+            return Err(format!("page {path} exceeds its limit: {} ids", ids.len()));
+        }
+        walked.extend(ids);
+        match page.get("next") {
+            Some(Json::Str(cursor)) => after = Some(cursor.clone()),
+            _ => break,
+        }
+    }
+    let full = ids_of(&fetch("/v1/runs")?)?;
+    if walked != full {
+        return Err(format!(
+            "paginated walk ({} ids) differs from the unpaginated listing ({} ids)",
+            walked.len(),
+            full.len()
+        ));
+    }
+    Ok(walked)
 }
 
 /// Fetch `path` and require the body to be byte-identical to the file the
@@ -419,8 +589,8 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         .collect();
     let scenarios_per_phase = args.clients * args.requests * APPS_PER_REQUEST;
     println!(
-        "loadgen: {} clients x {} requests/phase against http://{addr} \
-         ({APPS_PER_REQUEST} scenarios per request, keep-alive)",
+        "loadgen: {} clients x {} async sweeps/phase against http://{addr} \
+         ({APPS_PER_REQUEST} scenarios per sweep, keep-alive submit + poll)",
         args.clients, args.requests
     );
 
@@ -441,15 +611,35 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
          warm {warm_hits} hits / {warm_misses} misses"
     );
     println!(
-        "connections: cold {} opened / {} requests, warm {} opened / {} requests",
+        "submit latency: cold p50 {:.3}ms / p99 {:.3}ms, warm p50 {:.3}ms / p99 {:.3}ms",
+        percentile_ms(&cold.submit_ms, 50.0),
+        percentile_ms(&cold.submit_ms, 99.0),
+        percentile_ms(&warm.submit_ms, 50.0),
+        percentile_ms(&warm.submit_ms, 99.0),
+    );
+    println!(
+        "connections: cold {} opened / {} sweeps, warm {} opened / {} sweeps",
         cold.connections_opened,
-        cold.requests(),
+        cold.sweeps(),
         warm.connections_opened,
-        warm.requests(),
+        warm.sweeps(),
     );
 
     if args.smoke {
-        // Warm requests must be served from the scenario cache, not re-run.
+        // The 202 must come from validation + enqueue, never from sweep
+        // execution: a control plane answering under 100 ms while the cold
+        // sweeps take seconds is the tentpole property of the async API.
+        for (label, outcome) in [("cold", &cold), ("warm", &warm)] {
+            let submit_p50 = percentile_ms(&outcome.submit_ms, 50.0);
+            if submit_p50 >= 100.0 {
+                return Err(format!(
+                    "{label} phase submit p50 is {submit_p50:.3}ms; an async \
+                     submission must answer in under 100ms"
+                ));
+            }
+        }
+
+        // Warm sweeps must be served from the scenario cache, not re-run.
         if warm_misses != 0 {
             return Err(format!(
                 "warm phase caused {warm_misses} cache misses; expected 0"
@@ -467,8 +657,9 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
                 .into());
         }
 
-        // Keep-alive must actually be in effect: one connection per client
-        // per phase (retries may add one, but must not in a clean run).
+        // Keep-alive must hold across submissions *and* polls: one
+        // connection per client per phase (retries may add one, but must
+        // not in a clean run).
         for (label, outcome) in [("cold", &cold), ("warm", &warm)] {
             if outcome.connections_opened > args.clients {
                 return Err(format!(
@@ -479,16 +670,12 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
             }
         }
 
-        // Every run the load created is listed.
-        let resp =
-            http::request(addr, "GET", "/v1/runs", None).map_err(|e| format!("list runs: {e}"))?;
-        if !resp.is_success() {
-            return Err(format!("list runs: HTTP {} — {}", resp.status, resp.text()));
-        }
-        let listing = resp.text();
+        // The paginated walk must reassemble the full listing and contain
+        // every run the load created.
+        let listed = paginated_run_ids(addr, 3)?;
         for run_id in cold.run_ids.iter().chain(&warm.run_ids) {
-            if !listing.contains(&format!("\"{run_id}\"")) {
-                return Err(format!("GET /v1/runs does not list `{run_id}`"));
+            if !listed.iter().any(|id| id == run_id) {
+                return Err(format!("paginated GET /v1/runs does not list `{run_id}`"));
             }
         }
 
@@ -506,7 +693,7 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         }
         check_bytes_match(
             addr,
-            &format!("/v1/runs/{run_id}"),
+            &format!("/v1/runs/{run_id}/manifest"),
             &run_dir.join("manifest.json"),
         )?;
         let artifact = store.load_run(run_id).map_err(|e| e.to_string())?;
@@ -519,8 +706,22 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
             )?;
         }
 
+        // Resubmitting a finished run id must be refused with the
+        // machine-readable `run_exists` code, not re-executed.
+        let dup = sweep_body(&app_names, &args.run_prefix, "cold", 0, 0);
+        let resp = http::request(addr, "POST", "/v1/sweeps", Some(dup.as_bytes()))
+            .map_err(|e| format!("duplicate submit: {e}"))?;
+        if resp.status != 409 || error_code(&resp)? != "run_exists" {
+            return Err(format!(
+                "duplicate submit: expected 409 run_exists, got {} — {}",
+                resp.status,
+                resp.text()
+            ));
+        }
+
         // Artifact GC: DELETE one warm run and require it gone from disk
-        // and from the listing.
+        // and from the listing; a second DELETE must answer with the
+        // `run_not_found` envelope.
         let victim = &warm.run_ids[0];
         let resp = http::request(addr, "DELETE", &format!("/v1/runs/{victim}"), None)
             .map_err(|e| format!("DELETE {victim}: {e}"))?;
@@ -534,21 +735,29 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         if store.run_dir(victim).exists() {
             return Err(format!("run `{victim}` still on disk after DELETE"));
         }
-        let listing = http::request(addr, "GET", "/v1/runs", None)
-            .map_err(|e| format!("list runs: {e}"))?
-            .text();
-        if listing.contains(&format!("\"{victim}\"")) {
+        let listed = paginated_run_ids(addr, 3)?;
+        if listed.iter().any(|id| id == victim) {
             return Err(format!("GET /v1/runs still lists deleted `{victim}`"));
+        }
+        let resp = http::request(addr, "DELETE", &format!("/v1/runs/{victim}"), None)
+            .map_err(|e| format!("second DELETE {victim}: {e}"))?;
+        if resp.status != 404 || error_code(&resp)? != "run_not_found" {
+            return Err(format!(
+                "second DELETE {victim}: expected 404 run_not_found, got {} — {}",
+                resp.status,
+                resp.text()
+            ));
         }
 
         println!(
-            "smoke checks passed: warm phase 100% cache hits, keep-alive \
-             ({} + {} connections for {} requests), run-{run_id} manifest + \
-             {} record sets byte-identical ({record_bytes} bytes), \
-             DELETE /v1/runs/{victim} cleaned up",
+            "smoke checks passed: submits under 100ms, warm phase 100% cache \
+             hits, keep-alive ({} + {} connections for {} sweeps), pagination \
+             walk consistent, run-{run_id} manifest + {} record sets \
+             byte-identical ({record_bytes} bytes), DELETE /v1/runs/{victim} \
+             cleaned up with envelope codes",
             cold.connections_opened,
             warm.connections_opened,
-            cold.requests() + warm.requests(),
+            cold.sweeps() + warm.sweeps(),
             artifact.manifest.record_sets.len()
         );
     }
@@ -561,11 +770,12 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         [cold_hits, cold_misses, warm_hits, warm_misses],
     )?;
     println!(
-        "{} written (cold p50 {:.3}ms vs warm p50 {:.3}ms; baseline warm p50 \
-         {BASELINE_WARM_P50_MS:.3}ms)",
+        "{} written (submit p50 {:.3}ms, cold e2e p50 {:.3}ms vs warm e2e p50 \
+         {:.3}ms; sync-API baseline warm p50 {BASELINE_SYNC_WARM_P50_MS:.3}ms)",
         args.out,
-        cold.percentile_ms(50.0),
-        warm.percentile_ms(50.0)
+        percentile_ms(&cold.submit_ms, 50.0),
+        percentile_ms(&cold.sweep_ms, 50.0),
+        percentile_ms(&warm.sweep_ms, 50.0)
     );
 
     if args.shutdown {
@@ -593,20 +803,32 @@ fn write_bench(
                 Json::Float(outcome.wall_seconds),
             ),
             (
-                format!("{label}_requests_per_second"),
-                Json::Float(outcome.requests_per_second()),
+                format!("{label}_sweeps_per_second"),
+                Json::Float(outcome.sweeps_per_second()),
             ),
             (
-                format!("{label}_p50_ms"),
-                Json::Float(outcome.percentile_ms(50.0)),
+                format!("{label}_submit_p50_ms"),
+                Json::Float(percentile_ms(&outcome.submit_ms, 50.0)),
             ),
             (
-                format!("{label}_p99_ms"),
-                Json::Float(outcome.percentile_ms(99.0)),
+                format!("{label}_submit_p99_ms"),
+                Json::Float(percentile_ms(&outcome.submit_ms, 99.0)),
+            ),
+            (
+                format!("{label}_sweep_p50_ms"),
+                Json::Float(percentile_ms(&outcome.sweep_ms, 50.0)),
+            ),
+            (
+                format!("{label}_sweep_p99_ms"),
+                Json::Float(percentile_ms(&outcome.sweep_ms, 99.0)),
             ),
             (
                 format!("{label}_connections_opened"),
                 Json::Int(outcome.connections_opened as i128),
+            ),
+            (
+                format!("{label}_requests_sent"),
+                Json::Int(outcome.requests_sent as i128),
             ),
             (
                 format!("{label}_requests_per_connection"),
@@ -625,27 +847,25 @@ fn write_bench(
     };
     let mut fields = vec![
         ("bench".into(), Json::Str("server-loadgen".into())),
-        // v2: keep-alive loadgen — adds per-phase connection accounting and
-        // the pre-keep-alive baseline warm latencies for before/after.
-        ("schema_version".into(), Json::Int(2)),
+        // v3: async sweep submission — submission latency (time to the
+        // 202) and end-to-end sweep latency (submit → observed done) are
+        // separate distributions; `requests` counts submissions + polls.
+        ("schema_version".into(), Json::Int(3)),
         ("created_unix".into(), Json::uint(lassi_bench::unix_now())),
         ("clients".into(), Json::Int(args.clients as i128)),
         (
-            "requests_per_client_per_phase".into(),
+            "sweeps_per_client_per_phase".into(),
             Json::Int(args.requests as i128),
         ),
         (
-            "scenarios_per_request".into(),
+            "scenarios_per_sweep".into(),
             Json::Int(APPS_PER_REQUEST as i128),
         ),
         (
             "scenarios_per_phase".into(),
             Json::Int(scenarios_per_phase as i128),
         ),
-        (
-            "requests_per_phase".into(),
-            Json::Int(cold.requests() as i128),
-        ),
+        ("sweeps_per_phase".into(), Json::Int(cold.sweeps() as i128)),
     ];
     fields.extend(phase_fields("cold", cold));
     fields.extend(phase_fields("warm", warm));
@@ -655,13 +875,16 @@ fn write_bench(
         ("cold_cache_misses".into(), Json::uint(cold_misses)),
         ("warm_cache_hits".into(), Json::uint(warm_hits)),
         ("warm_cache_misses".into(), Json::uint(warm_misses)),
+        // The synchronous-API (schema v2) warm request latencies, for
+        // before/after across the redesign: a v2 "request" covered both
+        // submission and execution, comparable to v3 `submit` + `sweep`.
         (
-            "baseline_warm_p50_ms".into(),
-            Json::Float(BASELINE_WARM_P50_MS),
+            "baseline_sync_warm_p50_ms".into(),
+            Json::Float(BASELINE_SYNC_WARM_P50_MS),
         ),
         (
-            "baseline_warm_p99_ms".into(),
-            Json::Float(BASELINE_WARM_P99_MS),
+            "baseline_sync_warm_p99_ms".into(),
+            Json::Float(BASELINE_SYNC_WARM_P99_MS),
         ),
     ]);
     let mut text = Json::Object(fields).to_pretty();

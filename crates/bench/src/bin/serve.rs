@@ -5,6 +5,7 @@
 //! serve [--host ADDR] [--port N] [--artifacts DIR] [--workers N]
 //!       [--no-cache] [--max-connections N] [--addr-file PATH]
 //!       [--idle-timeout-ms N] [--max-requests-per-connection N]
+//!       [--sweep-executors N]
 //! ```
 //!
 //! `--port 0` (the default) binds an ephemeral port; the bound address is
@@ -17,13 +18,17 @@
 //! bounds how long one may sit between requests, and
 //! `--max-requests-per-connection` bounds how many requests it may carry
 //! before the server closes it.
+//!
+//! Sweep submission is asynchronous: `POST /v1/sweeps` answers `202` at
+//! once and `--sweep-executors` sets how many accepted sweeps may execute
+//! concurrently (each one still fans out over `--workers` threads).
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use lassi_server::{
     AppState, Server, DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_CONNECTIONS,
-    DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+    DEFAULT_MAX_REQUESTS_PER_CONNECTION, DEFAULT_SWEEP_EXECUTORS,
 };
 
 struct ServeArgs {
@@ -33,6 +38,7 @@ struct ServeArgs {
     max_connections: usize,
     idle_timeout: Duration,
     max_requests_per_connection: usize,
+    sweep_executors: usize,
     addr_file: Option<String>,
 }
 
@@ -45,6 +51,7 @@ fn parse_args() -> Result<ServeArgs, String> {
         max_connections: DEFAULT_MAX_CONNECTIONS,
         idle_timeout: DEFAULT_IDLE_TIMEOUT,
         max_requests_per_connection: DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+        sweep_executors: DEFAULT_SWEEP_EXECUTORS,
         addr_file: None,
     };
     let mut iter = common.rest.into_iter();
@@ -75,6 +82,16 @@ fn parse_args() -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|_| format!("bad request cap `{raw}`"))?;
             }
+            "--sweep-executors" => {
+                let raw = value("--sweep-executors")?;
+                let count: usize = raw
+                    .parse()
+                    .map_err(|_| format!("bad executor count `{raw}`"))?;
+                if count == 0 {
+                    return Err("--sweep-executors must be at least 1".into());
+                }
+                args.sweep_executors = count;
+            }
             "--addr-file" => args.addr_file = Some(value("--addr-file")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -93,13 +110,15 @@ fn run(args: &ServeArgs) -> Result<(), String> {
         .map_err(|e| format!("cannot bind {}:{}: {e}", args.host, args.port))?
         .with_max_connections(args.max_connections)
         .with_idle_timeout(args.idle_timeout)
-        .with_max_requests_per_connection(args.max_requests_per_connection);
+        .with_max_requests_per_connection(args.max_requests_per_connection)
+        .with_sweep_executors(args.sweep_executors);
     let addr = server.local_addr();
     println!("lassi-server listening on http://{addr}");
     println!(
-        "artifacts: {}; cache: {}",
+        "artifacts: {}; cache: {}; sweep executors: {}",
         args.common.artifacts.display(),
-        if args.common.use_cache { "disk" } else { "off" }
+        if args.common.use_cache { "disk" } else { "off" },
+        args.sweep_executors,
     );
 
     if let Some(path) = &args.addr_file {

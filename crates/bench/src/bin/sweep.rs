@@ -3,16 +3,21 @@
 //! per run.
 //!
 //! ```text
-//! sweep [--models L] [--apps L] [--directions L|both]
-//!       [--max-self-corrections L] [--timing-runs L] [--seed N]
-//!       [--run-id ID] [--artifacts DIR] [--no-cache] [--workers N]
-//! sweep --full [--max-self-corrections L] [--timing-runs L] [--seed N]
-//!       [--artifacts DIR] [--workers N]
-//! sweep --smoke [--artifacts DIR] [--workers N]
-//! sweep --verify <run-dir>
-//! sweep --list [--artifacts DIR]
-//! sweep --delete <run-id> [--artifacts DIR]
+//! sweep run  [--models L] [--apps L] [--directions L|both]
+//!            [--max-self-corrections L] [--timing-runs L] [--seed N]
+//!            [--run-id ID] [--artifacts DIR] [--no-cache] [--workers N]
+//! sweep full [--max-self-corrections L] [--timing-runs L] [--seed N]
+//!            [--artifacts DIR] [--workers N]
+//! sweep smoke [--artifacts DIR] [--workers N]
+//! sweep verify <run-dir>
+//! sweep list [--artifacts DIR]
+//! sweep delete <run-id> [--artifacts DIR]
 //! ```
+//!
+//! The pre-subcommand flag spellings (`--smoke`, `--full`, `--list`,
+//! `--verify <dir>`, `--delete <id>`, and bare `sweep` for `sweep run`)
+//! still work but print a deprecation note to stderr; stdout is unchanged
+//! so existing greps keep passing.
 //!
 //! Lists are comma-separated. Every (direction, max_self_corrections,
 //! timing_runs) cell of the grid becomes one record set in the artifact.
@@ -59,13 +64,63 @@ use lassi_hecbench::{application, applications, Application};
 use lassi_llm::{all_models, model_by_name, ModelSpec};
 use lassi_metrics::AggregateStats;
 
+/// What the invocation asks for — one subcommand (or its legacy-flag
+/// spelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `sweep run` (also bare `sweep`): an arbitrary config-grid sweep.
+    Run,
+    /// `sweep full`: the paper's complete Table-IV grid, cold then warm.
+    Full,
+    /// `sweep smoke`: the self-checking CI smoke over a tiny grid.
+    Smoke,
+    /// `sweep list`: run ids in the artifact store.
+    List,
+    /// `sweep delete <run-id>`: remove one run directory.
+    Delete,
+    /// `sweep verify <run-dir>`: round-trip-check a saved artifact.
+    Verify,
+}
+
+impl Mode {
+    fn from_word(word: &str) -> Option<Mode> {
+        match word {
+            "run" => Some(Mode::Run),
+            "full" => Some(Mode::Full),
+            "smoke" => Some(Mode::Smoke),
+            "list" => Some(Mode::List),
+            "delete" => Some(Mode::Delete),
+            "verify" => Some(Mode::Verify),
+            _ => None,
+        }
+    }
+
+    fn word(self) -> &'static str {
+        match self {
+            Mode::Run => "run",
+            Mode::Full => "full",
+            Mode::Smoke => "smoke",
+            Mode::List => "list",
+            Mode::Delete => "delete",
+            Mode::Verify => "verify",
+        }
+    }
+
+    /// Does this subcommand take a positional operand, and what is it?
+    fn operand_name(self) -> Option<&'static str> {
+        match self {
+            Mode::Delete => Some("<run-id>"),
+            Mode::Verify => Some("<run-dir>"),
+            _ => None,
+        }
+    }
+}
+
 struct SweepArgs {
     common: lassi_bench::CommonArgs,
-    smoke: bool,
-    full: bool,
-    list: bool,
-    verify: Option<String>,
-    delete: Option<String>,
+    mode: Mode,
+    /// The positional operand for `delete` / `verify`.
+    operand: Option<String>,
     models: Vec<ModelSpec>,
     apps: Vec<Application>,
     directions: Vec<Direction>,
@@ -96,15 +151,35 @@ fn parse_list<T, E: std::fmt::Display>(
     Ok(items)
 }
 
+/// Record a mode request, rejecting contradictory ones (`sweep smoke --full`).
+fn set_mode(current: &mut Option<Mode>, requested: Mode) -> Result<(), String> {
+    match current {
+        Some(existing) if *existing != requested => Err(format!(
+            "conflicting modes: `{}` and `{}`",
+            existing.word(),
+            requested.word()
+        )),
+        _ => {
+            *current = Some(requested);
+            Ok(())
+        }
+    }
+}
+
+/// Stderr note for the pre-subcommand flag spellings. Stdout is untouched
+/// so pipelines grepping pass lines keep working.
+fn deprecation_note(old: &str, new: &str) {
+    eprintln!(
+        "sweep: note: `{old}` is deprecated; use `sweep {new}` (the old spelling still works)"
+    );
+}
+
 fn parse_args() -> Result<SweepArgs, String> {
     let common = lassi_bench::parse_common_args(std::env::args().skip(1))?;
     let mut args = SweepArgs {
         common: common.clone(),
-        smoke: false,
-        full: false,
-        list: false,
-        verify: None,
-        delete: None,
+        mode: Mode::Run,
+        operand: None,
         models: all_models(),
         apps: applications(),
         directions: Direction::both().to_vec(),
@@ -114,15 +189,40 @@ fn parse_args() -> Result<SweepArgs, String> {
         seed: None,
         run_id: None,
     };
-    let mut iter = common.rest.into_iter();
+    let mut mode: Option<Mode> = None;
+    let mut rest = common.rest.into_iter().peekable();
+    // The subcommand word leads; everything after it is flags (plus the
+    // operand for `delete` / `verify`).
+    if let Some(word) = rest.peek().and_then(|first| Mode::from_word(first)) {
+        mode = Some(word);
+        rest.next();
+    }
+    let mut iter = rest;
     while let Some(arg) = iter.next() {
         let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
-            "--smoke" => args.smoke = true,
-            "--full" => args.full = true,
-            "--list" => args.list = true,
-            "--verify" => args.verify = Some(value("--verify")?),
-            "--delete" => args.delete = Some(value("--delete")?),
+            "--smoke" => {
+                deprecation_note("--smoke", "smoke");
+                set_mode(&mut mode, Mode::Smoke)?;
+            }
+            "--full" => {
+                deprecation_note("--full", "full");
+                set_mode(&mut mode, Mode::Full)?;
+            }
+            "--list" => {
+                deprecation_note("--list", "list");
+                set_mode(&mut mode, Mode::List)?;
+            }
+            "--verify" => {
+                deprecation_note("--verify <run-dir>", "verify <run-dir>");
+                set_mode(&mut mode, Mode::Verify)?;
+                args.operand = Some(value("--verify")?);
+            }
+            "--delete" => {
+                deprecation_note("--delete <run-id>", "delete <run-id>");
+                set_mode(&mut mode, Mode::Delete)?;
+                args.operand = Some(value("--delete")?);
+            }
             "--models" => {
                 args.models = parse_list(&value("--models")?, "model", |s| {
                     model_by_name(s).ok_or("unknown model")
@@ -159,12 +259,41 @@ fn parse_args() -> Result<SweepArgs, String> {
                 args.seed = Some(raw.parse().map_err(|_| format!("bad seed `{raw}`"))?);
             }
             "--run-id" => args.run_id = Some(value("--run-id")?),
+            other if !other.starts_with('-') => {
+                // Positional operand — only `delete` / `verify` take one.
+                let takes_operand =
+                    matches!(mode, Some(Mode::Delete | Mode::Verify)) && args.operand.is_none();
+                if takes_operand {
+                    args.operand = Some(other.to_string());
+                } else {
+                    return Err(format!(
+                        "unexpected argument `{other}` (subcommands: run, full, \
+                         smoke, list, delete <run-id>, verify <run-dir>)"
+                    ));
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (see --help in the docs)"
                 ))
             }
         }
+    }
+    if mode.is_none() {
+        deprecation_note("bare `sweep`", "run");
+    }
+    args.mode = mode.unwrap_or(Mode::Run);
+    match args.mode.operand_name() {
+        Some(name) if args.operand.is_none() => {
+            return Err(format!("`sweep {}` needs {name}", args.mode.word()))
+        }
+        None if args.operand.is_some() => {
+            return Err(format!(
+                "`sweep {}` takes no positional argument",
+                args.mode.word()
+            ))
+        }
+        _ => {}
     }
     Ok(args)
 }
@@ -595,7 +724,7 @@ fn full_grid(args: &SweepArgs) -> Result<(), String> {
     Ok(())
 }
 
-/// `--list`: the run ids in the artifact store, one per line on stdout.
+/// `sweep list`: the run ids in the artifact store, one per line on stdout.
 fn list_runs(args: &SweepArgs) -> Result<(), String> {
     let store = lassi_bench::artifact_store(&args.common);
     let runs = store.list_runs().map_err(|e| e.to_string())?;
@@ -606,7 +735,7 @@ fn list_runs(args: &SweepArgs) -> Result<(), String> {
     Ok(())
 }
 
-/// `--delete <run-id>`: remove one run directory (artifact GC, CLI side).
+/// `sweep delete <run-id>`: remove one run directory (artifact GC, CLI side).
 fn delete_run(args: &SweepArgs, run_id: &str) -> Result<(), String> {
     let store = lassi_bench::artifact_store(&args.common);
     store
@@ -624,18 +753,16 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let result = if let Some(dir) = &args.verify {
-        verify_artifact(std::path::Path::new(dir)).map(|report| println!("{report}"))
-    } else if let Some(run_id) = &args.delete {
-        delete_run(&args, run_id)
-    } else if args.list {
-        list_runs(&args)
-    } else if args.smoke {
-        smoke(&args)
-    } else if args.full {
-        full_grid(&args)
-    } else {
-        full_sweep(&args)
+    let operand = || args.operand.as_deref().expect("validated by parse_args");
+    let result = match args.mode {
+        Mode::Verify => {
+            verify_artifact(std::path::Path::new(operand())).map(|report| println!("{report}"))
+        }
+        Mode::Delete => delete_run(&args, operand()),
+        Mode::List => list_runs(&args),
+        Mode::Smoke => smoke(&args),
+        Mode::Full => full_grid(&args),
+        Mode::Run => full_sweep(&args),
     };
     if let Err(message) = result {
         eprintln!("sweep: {message}");

@@ -13,6 +13,7 @@ use lassi_llm::ModelSpec;
 use lassi_metrics::AggregateStats;
 
 use crate::cache::CacheSnapshot;
+use crate::runstate::RunStatus;
 use crate::scheduler::{Job, JobOutput};
 use crate::store::{detect_git_commit, ArtifactError, ArtifactStore, RunManifest};
 
@@ -143,7 +144,9 @@ impl SweepGrid {
 
     /// Group sweep outputs by grid cell, in [`SweepGrid::cells`] order.
     /// `jobs` must be the job list the outputs were produced from (the
-    /// output's `index` field points into it).
+    /// output's `index` field points into it). Within a cell, records are
+    /// ordered by job submission index, not worker completion order, so the
+    /// artifact bytes are deterministic however the pool schedules jobs.
     pub fn group_by_cell(
         &self,
         jobs: &[Job],
@@ -151,7 +154,9 @@ impl SweepGrid {
     ) -> Vec<(GridCell, Vec<TranslationRecord>)> {
         let mut per_cell: Vec<(GridCell, Vec<TranslationRecord>)> =
             self.cells().into_iter().map(|c| (c, Vec::new())).collect();
-        for output in outputs {
+        let mut ordered: Vec<&JobOutput> = outputs.iter().collect();
+        ordered.sort_by_key(|output| output.index);
+        for output in ordered {
             let cell = self.cell_of(&jobs[output.index]);
             let slot = per_cell
                 .iter_mut()
@@ -195,6 +200,11 @@ impl SweepGrid {
         let record_sets = self.cells().iter().map(GridCell::slug).collect();
         let manifest = self.manifest(run_id, record_sets, outputs.len(), snapshot);
         writer.write_manifest(&manifest)?;
+        // A fully-written artifact is a terminally `done` run; persisting
+        // the lifecycle file here keeps CLI-written runs queryable through
+        // the same `state.json` contract the async service uses. Callers
+        // with richer timing (the sweep executor) overwrite it afterwards.
+        RunStatus::done(run_id, outputs.len()).save(writer.dir())?;
         Ok(per_cell)
     }
 

@@ -20,13 +20,17 @@
 //!
 //! [`grid`] expands config-grid sweeps (e.g. `max_self_corrections ×
 //! timing_runs × model subset`) into jobs — the `sweep` binary in
-//! `lassi-bench` is a thin CLI over it.
+//! `lassi-bench` is a thin CLI over it. [`runstate`] adds the run
+//! lifecycle state machine (`queued → running → done | failed |
+//! cancelled`, persisted as `state.json` beside the artifact) that powers
+//! asynchronous sweep submission in `lassi-server`.
 
 pub mod cache;
 pub mod codec;
 pub mod grid;
 pub mod json;
 pub mod queue;
+pub mod runstate;
 pub mod scheduler;
 pub mod store;
 
@@ -34,6 +38,7 @@ pub use cache::{fnv1a64, scenario_key, CacheSnapshot, ScenarioCache, ScenarioKey
 pub use grid::{GridCell, SweepGrid};
 pub use json::Json;
 pub use queue::BoundedQueue;
+pub use runstate::{IllegalTransition, RunState, RunStatus, STATE_FILE};
 pub use scheduler::{
     direction_jobs, CancelToken, Harness, HarnessOptions, Job, JobOutput, JobStream,
 };

@@ -1,0 +1,435 @@
+//! The run lifecycle state machine behind asynchronous sweep submission.
+//!
+//! A submitted sweep becomes a *run resource* that moves through
+//! `queued → running → done | failed | cancelled`. [`RunState`] encodes
+//! which transitions are legal; [`RunStatus`] carries the state plus
+//! progress (completed/total scenarios, wall-clock) and is persisted as
+//! `state.json` inside the run directory (write-then-rename, so a
+//! concurrent reader never sees a torn file). Because the file lives with
+//! the artifact, lifecycle state survives a process restart: a run found
+//! `queued` or `running` on startup provably lost its executor and is
+//! marked `failed` by recovery rather than lying about progress forever.
+//!
+//! ```text
+//!             ┌─────────┐      ┌─────────┐      ┌──────┐
+//!  submit ──▶ │ queued  │ ───▶ │ running │ ───▶ │ done │
+//!             └─────────┘      └─────────┘      └──────┘
+//!                  │  │            │  │
+//!                  │  └────────────┼──┼──────▶ failed     (drain, crash,
+//!                  │               │  │                     artifact error)
+//!                  └───────────────┼──┴──────▶ cancelled  (client cancel)
+//!                                  └─────────▶ cancelled
+//! ```
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::json::{self, Json};
+
+/// Name of the lifecycle file inside a run directory.
+pub const STATE_FILE: &str = "state.json";
+
+/// Seconds since the Unix epoch, `None` if the clock is before the epoch.
+pub fn unix_now() -> Option<u64> {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .ok()
+}
+
+/// Lifecycle states of a run resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunState {
+    /// Accepted and waiting for a sweep executor.
+    Queued,
+    /// A sweep executor is computing scenarios.
+    Running,
+    /// Every scenario completed and the artifact is on disk.
+    Done,
+    /// The run ended without a complete artifact (drain, restart, error).
+    Failed,
+    /// A client cancelled the run.
+    Cancelled,
+}
+
+impl RunState {
+    /// Every state, in lifecycle order.
+    pub const ALL: [RunState; 5] = [
+        RunState::Queued,
+        RunState::Running,
+        RunState::Done,
+        RunState::Failed,
+        RunState::Cancelled,
+    ];
+
+    /// The wire/disk spelling (`queued`, `running`, `done`, `failed`,
+    /// `cancelled`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            RunState::Queued => "queued",
+            RunState::Running => "running",
+            RunState::Done => "done",
+            RunState::Failed => "failed",
+            RunState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parse the wire/disk spelling.
+    pub fn from_slug(s: &str) -> Option<RunState> {
+        RunState::ALL.into_iter().find(|state| state.slug() == s)
+    }
+
+    /// Terminal states never transition again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            RunState::Done | RunState::Failed | RunState::Cancelled
+        )
+    }
+
+    /// Is `self → next` a legal lifecycle transition?
+    ///
+    /// `queued` may start running or end terminally without ever running
+    /// (client cancel, drain); `running` may end in any terminal state;
+    /// `done` is only reachable from `running` — a run that never ran can
+    /// not have produced an artifact.
+    pub fn can_transition_to(self, next: RunState) -> bool {
+        matches!(
+            (self, next),
+            (RunState::Queued, RunState::Running)
+                | (RunState::Queued, RunState::Failed | RunState::Cancelled)
+                | (
+                    RunState::Running,
+                    RunState::Done | RunState::Failed | RunState::Cancelled
+                )
+        )
+    }
+}
+
+impl fmt::Display for RunState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// A rejected lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// The state the run was in.
+    pub from: RunState,
+    /// The state the caller asked for.
+    pub to: RunState,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal run transition {} → {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// The queryable lifecycle view of one run: state, progress and timing.
+///
+/// This is what `GET /v1/runs/{id}` serves and what `state.json` persists.
+/// `completed`/`total` count scenarios; `wall_seconds` is the final wall
+/// clock of a terminal run (live wall for a running run is computed by the
+/// service from its own `Instant`, not from this struct).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStatus {
+    /// The run id (the `<id>` of `run-<id>/`).
+    pub run_id: String,
+    /// Current lifecycle state.
+    pub state: RunState,
+    /// Scenarios completed so far (== `total` for a `done` run).
+    pub completed: usize,
+    /// Scenarios the sweep expands to.
+    pub total: usize,
+    /// Unix timestamp of submission.
+    pub created_unix: Option<u64>,
+    /// Unix timestamp the run left `queued` for `running`.
+    pub started_unix: Option<u64>,
+    /// Unix timestamp the run reached a terminal state.
+    pub finished_unix: Option<u64>,
+    /// Final wall-clock seconds spent executing (terminal runs only).
+    pub wall_seconds: Option<f64>,
+    /// Why the run `failed` or was `cancelled`.
+    pub reason: Option<String>,
+}
+
+impl RunStatus {
+    /// A freshly-submitted run: `queued`, nothing completed, created now.
+    pub fn queued(run_id: impl Into<String>, total: usize) -> RunStatus {
+        RunStatus {
+            run_id: run_id.into(),
+            state: RunState::Queued,
+            completed: 0,
+            total,
+            created_unix: unix_now(),
+            started_unix: None,
+            finished_unix: None,
+            wall_seconds: None,
+            reason: None,
+        }
+    }
+
+    /// A run that completed synchronously (the CLI path, where submission
+    /// and execution are one step): `done`, fully completed, stamped now.
+    pub fn done(run_id: impl Into<String>, total: usize) -> RunStatus {
+        let now = unix_now();
+        RunStatus {
+            run_id: run_id.into(),
+            state: RunState::Done,
+            completed: total,
+            total,
+            created_unix: now,
+            started_unix: now,
+            finished_unix: now,
+            wall_seconds: None,
+            reason: None,
+        }
+    }
+
+    /// Advance the state machine, stamping `started_unix`/`finished_unix`
+    /// as the run enters `running`/a terminal state. Illegal transitions
+    /// (anything out of a terminal state, `queued → done`, self-loops) are
+    /// rejected without mutating.
+    pub fn advance(&mut self, next: RunState) -> Result<(), IllegalTransition> {
+        if !self.state.can_transition_to(next) {
+            return Err(IllegalTransition {
+                from: self.state,
+                to: next,
+            });
+        }
+        self.state = next;
+        if next == RunState::Running {
+            self.started_unix = unix_now();
+        }
+        if next.is_terminal() {
+            self.finished_unix = unix_now();
+        }
+        Ok(())
+    }
+
+    /// [`RunStatus::advance`] into a terminal state with a reason attached
+    /// (why the run failed / who cancelled it).
+    pub fn finish(
+        &mut self,
+        next: RunState,
+        reason: impl Into<String>,
+    ) -> Result<(), IllegalTransition> {
+        self.advance(next)?;
+        self.reason = Some(reason.into());
+        Ok(())
+    }
+
+    /// Serialize to the `state.json` schema.
+    pub fn to_json(&self) -> Json {
+        let opt_u64 = |v: Option<u64>| v.map(Json::uint).unwrap_or(Json::Null);
+        Json::Object(vec![
+            ("run_id".into(), Json::Str(self.run_id.clone())),
+            ("state".into(), Json::Str(self.state.slug().into())),
+            ("completed".into(), Json::uint(self.completed as u64)),
+            ("total".into(), Json::uint(self.total as u64)),
+            ("created_unix".into(), opt_u64(self.created_unix)),
+            ("started_unix".into(), opt_u64(self.started_unix)),
+            ("finished_unix".into(), opt_u64(self.finished_unix)),
+            (
+                "wall_seconds".into(),
+                self.wall_seconds.map(Json::Float).unwrap_or(Json::Null),
+            ),
+            ("reason".into(), Json::opt_str(self.reason.as_deref())),
+        ])
+    }
+
+    /// Decode the `state.json` schema.
+    pub fn from_json(value: &Json) -> Result<RunStatus, String> {
+        let str_field = |name: &str| {
+            value
+                .get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("state.json: missing string `{name}`"))
+        };
+        let usize_field = |name: &str| {
+            value
+                .get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("state.json: missing count `{name}`"))
+        };
+        let opt_u64 = |name: &str| value.get(name).and_then(Json::as_u64);
+        let state_slug = str_field("state")?;
+        let state = RunState::from_slug(state_slug)
+            .ok_or_else(|| format!("state.json: unknown state `{state_slug}`"))?;
+        Ok(RunStatus {
+            run_id: str_field("run_id")?.to_string(),
+            state,
+            completed: usize_field("completed")?,
+            total: usize_field("total")?,
+            created_unix: opt_u64("created_unix"),
+            started_unix: opt_u64("started_unix"),
+            finished_unix: opt_u64("finished_unix"),
+            wall_seconds: value.get("wall_seconds").and_then(Json::as_f64),
+            reason: value
+                .get("reason")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        })
+    }
+
+    /// Persist as `<run_dir>/state.json`, write-then-rename so a concurrent
+    /// reader (or a crash mid-write) never observes a torn file.
+    pub fn save(&self, run_dir: &Path) -> io::Result<()> {
+        let mut text = self.to_json().to_pretty();
+        text.push('\n');
+        let tmp = run_dir.join(format!("{STATE_FILE}.tmp"));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, run_dir.join(STATE_FILE))
+    }
+
+    /// Load `<run_dir>/state.json`. A missing file is
+    /// [`io::ErrorKind::NotFound`]; a malformed one is
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(run_dir: &Path) -> io::Result<RunStatus> {
+        let text = std::fs::read_to_string(run_dir.join(STATE_FILE))?;
+        let value = json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        RunStatus::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_round_trip() {
+        for state in RunState::ALL {
+            assert_eq!(RunState::from_slug(state.slug()), Some(state));
+        }
+        assert_eq!(RunState::from_slug("exploded"), None);
+    }
+
+    #[test]
+    fn transition_matrix_is_exactly_the_lifecycle() {
+        use RunState::*;
+        let legal = [
+            (Queued, Running),
+            (Queued, Failed),
+            (Queued, Cancelled),
+            (Running, Done),
+            (Running, Failed),
+            (Running, Cancelled),
+        ];
+        for from in RunState::ALL {
+            for to in RunState::ALL {
+                assert_eq!(
+                    from.can_transition_to(to),
+                    legal.contains(&(from, to)),
+                    "{from} → {to}"
+                );
+            }
+        }
+        // Terminal states are exactly the ones with no outgoing edges.
+        for state in RunState::ALL {
+            assert_eq!(
+                state.is_terminal(),
+                RunState::ALL.iter().all(|&to| !state.can_transition_to(to)),
+                "{state}"
+            );
+        }
+    }
+
+    #[test]
+    fn advance_stamps_timestamps_and_rejects_illegal_moves() {
+        let mut status = RunStatus::queued("r1", 8);
+        assert_eq!(status.state, RunState::Queued);
+        assert!(status.created_unix.is_some());
+        assert!(status.started_unix.is_none());
+
+        // queued → done skips running and must be rejected, unmutated.
+        let err = status.advance(RunState::Done).unwrap_err();
+        assert_eq!(err.from, RunState::Queued);
+        assert_eq!(err.to, RunState::Done);
+        assert_eq!(status.state, RunState::Queued);
+
+        status.advance(RunState::Running).unwrap();
+        assert!(status.started_unix.is_some());
+        assert!(status.finished_unix.is_none());
+
+        status.advance(RunState::Done).unwrap();
+        assert!(status.finished_unix.is_some());
+
+        // Terminal states accept nothing, and a refused `finish` must not
+        // attach its reason.
+        for to in RunState::ALL {
+            assert!(status.advance(to).is_err(), "done → {to} must fail");
+            assert!(status.finish(to, "unused").is_err());
+        }
+        assert_eq!(status.reason, None);
+    }
+
+    #[test]
+    fn finish_attaches_a_reason() {
+        let mut status = RunStatus::queued("r2", 4);
+        status
+            .finish(RunState::Failed, "server drained before the run started")
+            .unwrap();
+        assert_eq!(status.state, RunState::Failed);
+        assert_eq!(
+            status.reason.as_deref(),
+            Some("server drained before the run started")
+        );
+        assert!(status.finished_unix.is_some());
+    }
+
+    #[test]
+    fn status_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("lassi-runstate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut status = RunStatus::queued("persisted", 80);
+        status.save(&dir).unwrap();
+        assert_eq!(RunStatus::load(&dir).unwrap(), status);
+
+        status.advance(RunState::Running).unwrap();
+        status.completed = 17;
+        status.wall_seconds = Some(3.25);
+        status
+            .finish(RunState::Cancelled, "cancelled by client")
+            .unwrap();
+        status.save(&dir).unwrap();
+        let loaded = RunStatus::load(&dir).unwrap();
+        assert_eq!(loaded, status);
+        assert_eq!(loaded.state, RunState::Cancelled);
+        assert_eq!(loaded.completed, 17);
+        assert_eq!(loaded.wall_seconds, Some(3.25));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loading_missing_or_garbage_state_maps_to_io_kinds() {
+        let dir = std::env::temp_dir().join(format!("lassi-runstate-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        assert_eq!(
+            RunStatus::load(&dir).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        std::fs::write(dir.join(STATE_FILE), "not json").unwrap();
+        assert_eq!(
+            RunStatus::load(&dir).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        std::fs::write(dir.join(STATE_FILE), r#"{"state": "sideways"}"#).unwrap();
+        assert_eq!(
+            RunStatus::load(&dir).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -27,6 +27,7 @@ use crate::codec::{
     self, manifest_from_json, manifest_to_json, records_from_json, records_to_json, CodecError,
 };
 use crate::json::{self, Json, ParseError};
+use crate::runstate::RunStatus;
 
 /// Artifact schema version; bump on breaking layout changes.
 pub const SCHEMA_VERSION: u32 = 1;
@@ -243,14 +244,16 @@ impl ArtifactStore {
     /// Refuses ids that are not plain slugs ([`is_slug`]) with
     /// [`io::ErrorKind::InvalidInput`] — an id with a path separator or
     /// `..` must never reach the filesystem — and maps a missing run to
-    /// [`io::ErrorKind::NotFound`]. A run directory *without* a manifest
-    /// is refused with [`io::ErrorKind::Other`]: it is a reservation (or a
-    /// half-written run) a sweep may still be computing into, and deleting
-    /// it would let a second client re-reserve the id and race the first
-    /// sweep's artifact write. Only completed artifacts are GC-able. The
-    /// scenario cache (`cache/`) is structurally out of reach: runs live
-    /// under `run-<id>`, and this method only ever removes such a
-    /// directory.
+    /// [`io::ErrorKind::NotFound`]. A run that is still *live* is refused
+    /// with [`io::ErrorKind::Other`]: a directory whose `state.json` says
+    /// `queued`/`running`, or a bare reservation with neither a manifest
+    /// nor a lifecycle file, may still be computed into — deleting it
+    /// would let a second client re-reserve the id and race the first
+    /// sweep's artifact write. Deletable runs are completed artifacts
+    /// (manifest on disk) and terminally `failed`/`cancelled` runs (only a
+    /// `state.json` remains). The scenario cache (`cache/`) is
+    /// structurally out of reach: runs live under `run-<id>`, and this
+    /// method only ever removes such a directory.
     pub fn delete_run(&self, run_id: &str) -> io::Result<()> {
         if !is_slug(run_id) {
             return Err(io::Error::new(
@@ -266,10 +269,15 @@ impl ArtifactStore {
             ));
         }
         if !dir.join("manifest.json").is_file() {
-            return Err(io::Error::other(format!(
-                "run `{run_id}` has no manifest (reserved or still being \
-                 written); refusing to delete an in-flight run"
-            )));
+            let terminal = matches!(
+                RunStatus::load(&dir), Ok(status) if status.state.is_terminal()
+            );
+            if !terminal {
+                return Err(io::Error::other(format!(
+                    "run `{run_id}` is still live (reserved, queued or \
+                     running); refusing to delete an in-flight run"
+                )));
+            }
         }
         std::fs::remove_dir_all(dir)
     }
@@ -301,6 +309,48 @@ impl ArtifactStore {
             }
         }
         runs.sort();
+        Ok(runs)
+    }
+
+    /// Every run the store knows about — including queued, running, failed
+    /// and cancelled runs that only have a `state.json` — as
+    /// `(id, Option<RunStatus>)`, sorted by id.
+    ///
+    /// A `None` status is a legacy artifact written before lifecycle
+    /// tracking (manifest but no `state.json`): callers should treat it as
+    /// `done`. Bare reservations (neither file) and directories with an
+    /// unreadable `state.json` are skipped, the same way
+    /// [`ArtifactStore::list_runs`] skips half-written runs.
+    pub fn scan_runs(&self) -> io::Result<Vec<(String, Option<RunStatus>)>> {
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut runs = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some(id) = name.to_str().and_then(|n| n.strip_prefix("run-")) else {
+                continue;
+            };
+            if id.is_empty() {
+                continue;
+            }
+            match RunStatus::load(&entry.path()) {
+                Ok(status) => runs.push((id.to_string(), Some(status))),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    if entry.path().join("manifest.json").is_file() {
+                        runs.push((id.to_string(), None));
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        runs.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(runs)
     }
 }

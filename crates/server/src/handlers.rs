@@ -1,42 +1,58 @@
 //! Request handlers: decode, run against the shared state, encode.
 //!
-//! Artifact retrieval (`GET /v1/runs/{id}` and `…/records/{set}`) serves the
-//! *raw file bytes* from the artifact store, so responses are byte-identical
-//! to what `--replay` and `--verify` read from disk — the server adds no
-//! serialization of its own on the read path. `POST /v1/sweeps` responds
-//! with the manifest bytes it just wrote, so submit responses and later
-//! manifest fetches are byte-identical too.
+//! The `/v1` API models runs as first-class resources. `POST /v1/sweeps`
+//! only validates and enqueues — it answers `202 Accepted` with a
+//! `Location: /v1/runs/{id}` header in milliseconds regardless of grid
+//! size, and the sweep executes in the background. `GET /v1/runs/{id}` is
+//! the lifecycle view (state + progress); the artifact itself is served by
+//! `…/manifest` and `…/records/{set}` as *raw file bytes*, so those
+//! responses stay byte-identical to what `--replay` and `--verify` read
+//! from disk. Every non-2xx response carries the structured error envelope
+//! (`{"error": {"code", "message", "status"}}`) built by
+//! [`Response::error`].
 
 use std::io;
 
 use lassi_core::PipelineConfig;
-use lassi_harness::{Json, SweepGrid};
+use lassi_harness::{Json, RunStatus, SweepGrid};
 use lassi_hecbench::{application, applications, Application};
 use lassi_llm::{all_models, model_by_name, ModelSpec};
 
 use crate::http::{Request, Response};
 use crate::router::{is_slug, route, Route, RouteError};
-use crate::state::AppState;
+use crate::state::{AppState, CancelError, SubmitError};
 
 /// Cap on scenarios per submitted sweep: a single request must not be able
 /// to occupy the worker pool for an unbounded amount of time.
 pub const MAX_SCENARIOS_PER_SWEEP: usize = 4096;
 
+/// Default page size of `GET /v1/runs`.
+pub const DEFAULT_RUNS_PAGE: usize = 100;
+
+/// Largest accepted `?limit=` of `GET /v1/runs`.
+pub const MAX_RUNS_PAGE: usize = 1000;
+
 /// Dispatch one request.
 pub fn handle(state: &AppState, req: &Request) -> Response {
     match route(&req.method, &req.path) {
-        Err(RouteError::NotFound) => Response::error(404, "no such endpoint"),
-        Err(RouteError::MethodNotAllowed) => {
-            Response::error(405, &format!("{} not allowed here", req.method))
-        }
-        Err(RouteError::BadSlug(slug)) => {
-            Response::error(400, &format!("invalid path segment `{slug}`"))
-        }
+        Err(RouteError::NotFound) => Response::error(404, "not_found", "no such endpoint"),
+        Err(RouteError::MethodNotAllowed) => Response::error(
+            405,
+            "method_not_allowed",
+            &format!("{} not allowed here", req.method),
+        ),
+        Err(RouteError::BadSlug(slug)) => Response::error(
+            400,
+            "invalid_slug",
+            &format!("invalid path segment `{slug}`"),
+        ),
         Ok(Route::Healthz) => healthz(),
         Ok(Route::CacheStats) => cache_stats(state),
-        Ok(Route::ListRuns) => list_runs(state),
+        Ok(Route::ListRuns) => list_runs(state, &req.query),
         Ok(Route::GetRun(id)) => get_run(state, &id),
         Ok(Route::DeleteRun(id)) => delete_run(state, &id),
+        Ok(Route::CancelRun(id)) => cancel_run(state, &id),
+        Ok(Route::GetManifest(id)) => get_manifest(state, &id),
         Ok(Route::GetRecords(id, set)) => get_records(state, &id, &set),
         Ok(Route::SubmitSweep) => submit_sweep(state, &req.body),
         Ok(Route::Shutdown) => shutdown(state),
@@ -72,16 +88,131 @@ fn cache_stats(state: &AppState) -> Response {
     Response::json(200, body.to_compact())
 }
 
-fn list_runs(state: &AppState) -> Response {
-    match state.store().list_runs() {
-        Ok(runs) => {
-            let body = Json::Object(vec![(
-                "runs".into(),
-                Json::Array(runs.into_iter().map(Json::Str).collect()),
-            )]);
-            Response::json(200, body.to_compact())
+/// The run-resource view `GET /v1/runs/{id}`, submission and cancel serve.
+fn run_view(status: &RunStatus) -> Json {
+    let opt_u64 = |v: Option<u64>| v.map(Json::uint).unwrap_or(Json::Null);
+    Json::Object(vec![
+        ("id".into(), Json::Str(status.run_id.clone())),
+        ("state".into(), Json::Str(status.state.slug().into())),
+        (
+            "progress".into(),
+            Json::Object(vec![
+                ("completed".into(), Json::uint(status.completed as u64)),
+                ("total".into(), Json::uint(status.total as u64)),
+            ]),
+        ),
+        (
+            "wall_seconds".into(),
+            status.wall_seconds.map(Json::Float).unwrap_or(Json::Null),
+        ),
+        ("created_unix".into(), opt_u64(status.created_unix)),
+        ("started_unix".into(), opt_u64(status.started_unix)),
+        ("finished_unix".into(), opt_u64(status.finished_unix)),
+        ("reason".into(), Json::opt_str(status.reason.as_deref())),
+    ])
+}
+
+/// Parse the `?limit=&after=` pagination query of `GET /v1/runs`.
+fn parse_list_query(query: &str) -> Result<(usize, Option<String>), String> {
+    let mut limit = DEFAULT_RUNS_PAGE;
+    let mut after = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "limit" => {
+                limit = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| (1..=MAX_RUNS_PAGE).contains(n))
+                    .ok_or_else(|| {
+                        format!("`limit` must be an integer in 1..={MAX_RUNS_PAGE}, got `{value}`")
+                    })?;
+            }
+            "after" => {
+                if !is_slug(value) {
+                    return Err(format!("`after` must be a run id slug, got `{value}`"));
+                }
+                after = Some(value.to_string());
+            }
+            other => return Err(format!("unknown query parameter `{other}`")),
         }
-        Err(e) => Response::error(500, &format!("cannot list runs: {e}")),
+    }
+    Ok((limit, after))
+}
+
+/// `GET /v1/runs?limit=&after=`: one page of `{id, state, created}` rows
+/// sorted by id, plus a `next` cursor (the last id of the page) when more
+/// remain — pass it back as `?after=` for the following page.
+fn list_runs(state: &AppState, query: &str) -> Response {
+    let (limit, after) = match parse_list_query(query) {
+        Ok(parsed) => parsed,
+        Err(message) => return Response::error(400, "invalid_query", &message),
+    };
+    let rows = match state.list_run_summaries() {
+        Ok(rows) => rows,
+        Err(e) => {
+            return Response::error(500, "internal", &format!("cannot list runs: {e}"));
+        }
+    };
+    let remaining: Vec<_> = rows
+        .into_iter()
+        .filter(|(id, _, _)| after.as_deref().is_none_or(|a| id.as_str() > a))
+        .collect();
+    let has_more = remaining.len() > limit;
+    let page: Vec<_> = remaining.into_iter().take(limit).collect();
+    let next = if has_more {
+        page.last()
+            .map(|(id, _, _)| Json::Str(id.clone()))
+            .unwrap_or(Json::Null)
+    } else {
+        Json::Null
+    };
+    let body = Json::Object(vec![
+        (
+            "runs".into(),
+            Json::Array(
+                page.into_iter()
+                    .map(|(id, run_state, created)| {
+                        Json::Object(vec![
+                            ("id".into(), Json::Str(id)),
+                            ("state".into(), Json::Str(run_state.slug().into())),
+                            (
+                                "created".into(),
+                                created.map(Json::uint).unwrap_or(Json::Null),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("next".into(), next),
+    ]);
+    Response::json(200, body.to_compact())
+}
+
+/// `GET /v1/runs/{id}`: the lifecycle view — state, progress, timing.
+fn get_run(state: &AppState, id: &str) -> Response {
+    match state.run_status(id) {
+        Some(status) => Response::json(200, run_view(&status).to_compact()),
+        None => Response::error(404, "run_not_found", &format!("run `{id}` does not exist")),
+    }
+}
+
+/// `POST /v1/runs/{id}/cancel`: cancel a queued run on the spot or fire a
+/// running run's cancel token; the response is the (possibly still
+/// `running`) resource view — poll `GET /v1/runs/{id}` to observe the
+/// terminal `cancelled` state.
+fn cancel_run(state: &AppState, id: &str) -> Response {
+    match state.cancel_run(id) {
+        Ok(status) => Response::json(200, run_view(&status).to_compact()),
+        Err(CancelError::NotFound) => {
+            Response::error(404, "run_not_found", &format!("run `{id}` does not exist"))
+        }
+        Err(CancelError::NotCancellable(terminal)) => Response::error(
+            409,
+            "not_cancellable",
+            &format!("run `{id}` is already {terminal}"),
+        ),
     }
 }
 
@@ -93,40 +224,52 @@ fn serve_file(path: std::path::PathBuf, chunked: bool) -> Response {
             content_type: "application/json",
             body: bytes,
             chunked,
+            location: None,
         },
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            Response::error(404, &format!("{} does not exist", path.display()))
-        }
-        Err(e) => Response::error(500, &format!("cannot read {}: {e}", path.display())),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Response::error(
+            404,
+            "artifact_not_found",
+            &format!("{} does not exist", path.display()),
+        ),
+        Err(e) => Response::error(
+            500,
+            "internal",
+            &format!("cannot read {}: {e}", path.display()),
+        ),
     }
 }
 
-fn get_run(state: &AppState, id: &str) -> Response {
+/// `GET /v1/runs/{id}/manifest`: raw manifest bytes, byte-identical to the
+/// file `--replay`/`--verify` read. Only `done` runs have one — for live
+/// or failed runs this is a 404 with code `artifact_not_found`.
+fn get_manifest(state: &AppState, id: &str) -> Response {
     serve_file(state.store().run_dir(id).join("manifest.json"), false)
 }
 
-/// `DELETE /v1/runs/{id}`: the first piece of artifact GC. The router has
-/// already slug-validated `id`, and the store refuses anything that is not
-/// a plain run directory (the scenario cache under `cache/` is untouchable
-/// by construction). A reserved-but-unwritten run — a sweep still in
-/// flight — is a 409, not a delete: removing the reservation would let
-/// another client claim the id and race the first sweep's artifact write.
+/// `DELETE /v1/runs/{id}`: artifact GC. The router has already
+/// slug-validated `id`, and the store refuses anything still live — a
+/// queued/running run (or a bare reservation) is a 409, because removing
+/// it would let another client claim the id and race the executor's
+/// artifact write. Terminal runs (done, failed, cancelled) are deletable;
+/// the registry entry goes with the directory so listings don't resurrect
+/// the id from memory.
 fn delete_run(state: &AppState, id: &str) -> Response {
     match state.store().delete_run(id) {
         Ok(()) => {
+            state.forget_run(id);
             let body = Json::Object(vec![("deleted".into(), Json::Str(id.into()))]);
             Response::json(200, body.to_compact())
         }
         Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            Response::error(404, &format!("run `{id}` does not exist"))
+            Response::error(404, "run_not_found", &format!("run `{id}` does not exist"))
         }
         Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
-            Response::error(400, &format!("invalid run id `{id}`"))
+            Response::error(400, "invalid_slug", &format!("invalid run id `{id}`"))
         }
         Err(e) if e.kind() == io::ErrorKind::Other => {
-            Response::error(409, &format!("cannot delete run `{id}`: {e}"))
+            Response::error(409, "run_active", &format!("cannot delete run `{id}`: {e}"))
         }
-        Err(e) => Response::error(500, &format!("cannot delete run `{id}`: {e}")),
+        Err(e) => Response::error(500, "internal", &format!("cannot delete run `{id}`: {e}")),
     }
 }
 
@@ -257,18 +400,23 @@ fn decode_sweep_request(body: &[u8]) -> Result<SweepRequest, String> {
     })
 }
 
+/// `POST /v1/sweeps`: validate, reserve, enqueue, answer `202 Accepted`
+/// with `Location: /v1/runs/{id}` and the initial resource view — the
+/// sweep itself runs on the executor pool, so this returns in milliseconds
+/// regardless of grid size.
 fn submit_sweep(state: &AppState, body: &[u8]) -> Response {
     if state.shutting_down() {
-        return Response::error(503, "server is shutting down");
+        return Response::error(503, "draining", "server is shutting down");
     }
     let request = match decode_sweep_request(body) {
         Ok(request) => request,
-        Err(message) => return Response::error(400, &message),
+        Err(message) => return Response::error(400, "invalid_sweep", &message),
     };
     let grid = request.grid;
     if grid.len() > MAX_SCENARIOS_PER_SWEEP {
         return Response::error(
             400,
+            "sweep_too_large",
             &format!(
                 "sweep expands to {} scenarios, above the per-request cap of {}",
                 grid.len(),
@@ -276,66 +424,33 @@ fn submit_sweep(state: &AppState, body: &[u8]) -> Response {
             ),
         );
     }
-
-    // Reserve the run id (atomically claiming its directory) before doing
-    // any work, so a colliding client-chosen id — even one submitted
-    // concurrently — is a fast 409, not a wasted sweep.
-    let store = state.store();
-    let run_id = match request.run_id {
-        Some(id) => match store.reserve_run(&id) {
-            Ok(()) => id,
-            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                return Response::error(409, &format!("run `{id}` already exists"));
-            }
-            Err(e) => return Response::error(500, &format!("cannot reserve run `{id}`: {e}")),
-        },
-        None => loop {
-            let id = state.next_run_id();
-            match store.reserve_run(&id) {
-                Ok(()) => break id,
-                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
-                Err(e) => return Response::error(500, &format!("cannot reserve a run id: {e}")),
-            }
-        },
-    };
-
-    // Run the sweep through the shared worker pool, registered for
-    // cooperative shutdown. The per-run cache delta is measured around the
-    // submission; under concurrent clients the counters interleave, so the
-    // delta is attributed, not exact — /v1/cache/stats has the authoritative
-    // totals.
-    let harness = state.harness();
-    let jobs = grid.jobs();
-    let total = jobs.len();
-    let before = harness.cache_snapshot();
-    let stream = harness.submit(jobs.clone());
-    let ticket = state.register_sweep(stream.cancel_token());
-    let outputs = stream.collect_outputs();
-    state.finish_sweep(ticket);
-    if outputs.len() != total {
-        // Release the reserved (still empty) run directory.
-        let _ = std::fs::remove_dir_all(store.run_dir(&run_id));
-        return Response::error(503, "sweep cancelled: server is shutting down");
-    }
-    let delta = harness.cache_snapshot().since(before);
-
-    // `replace` because the reservation above already created the (empty)
-    // run directory this sweep owns.
-    if let Err(e) = grid.write_artifact(store, &run_id, true, &jobs, &outputs, delta) {
-        let _ = std::fs::remove_dir_all(store.run_dir(&run_id));
-        return Response::error(500, &format!("cannot write artifact: {e}"));
-    }
-    // Respond with the manifest bytes just written, so the submit response
-    // is byte-identical to a later `GET /v1/runs/{id}`.
-    match std::fs::read(store.run_dir(&run_id).join("manifest.json")) {
-        Ok(bytes) => Response::json(201, bytes),
-        Err(e) => Response::error(500, &format!("cannot read back manifest: {e}")),
+    match state.submit_sweep(grid, request.run_id) {
+        Ok(status) => {
+            let location = format!("/v1/runs/{}", status.run_id);
+            Response::json(202, run_view(&status).to_compact()).with_location(location)
+        }
+        Err(SubmitError::Draining) => Response::error(503, "draining", "server is shutting down"),
+        Err(SubmitError::QueueFull) => Response::error(
+            429,
+            "queue_full",
+            &format!(
+                "{} runs are already queued; retry later",
+                crate::state::MAX_QUEUED_RUNS
+            ),
+        ),
+        Err(SubmitError::RunExists(id)) => {
+            Response::error(409, "run_exists", &format!("run `{id}` already exists"))
+        }
+        Err(SubmitError::Io(e)) => {
+            Response::error(500, "internal", &format!("cannot reserve run: {e}"))
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lassi_harness::RunState;
 
     #[test]
     fn decodes_defaults_from_an_empty_object() {
@@ -388,5 +503,38 @@ mod tests {
                 String::from_utf8_lossy(body)
             );
         }
+    }
+
+    #[test]
+    fn pagination_query_parses_and_validates() {
+        assert_eq!(parse_list_query("").unwrap(), (DEFAULT_RUNS_PAGE, None));
+        assert_eq!(parse_list_query("limit=5").unwrap(), (5, None));
+        assert_eq!(
+            parse_list_query("limit=2&after=run-a").unwrap(),
+            (2, Some("run-a".into()))
+        );
+        for bad in [
+            "limit=0",
+            "limit=-3",
+            "limit=abc",
+            "limit=100000",
+            "after=../evil",
+            "nonsense=1",
+        ] {
+            assert!(parse_list_query(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn run_view_nests_progress_counts() {
+        let mut status = RunStatus::queued("v-1", 8);
+        status.advance(RunState::Running).unwrap();
+        status.completed = 3;
+        let view = run_view(&status);
+        assert_eq!(view.get("id").and_then(Json::as_str), Some("v-1"));
+        assert_eq!(view.get("state").and_then(Json::as_str), Some("running"));
+        let progress = view.get("progress").expect("progress object");
+        assert_eq!(progress.get("completed").and_then(Json::as_u64), Some(3));
+        assert_eq!(progress.get("total").and_then(Json::as_u64), Some(8));
     }
 }

@@ -137,8 +137,11 @@ fn read_chunked<R: BufRead>(reader: &mut R) -> io::Result<Vec<u8>> {
 pub struct Request {
     /// Upper-case method (`GET`, `POST`, …).
     pub method: String,
-    /// Request path, query string stripped.
+    /// Request path with the query string stripped.
     pub path: String,
+    /// Raw query string (bytes after `?`, empty when there was none) —
+    /// pagination (`?limit=&after=`) parses this.
+    pub query: String,
     /// Minor HTTP/1.x version (0 for `HTTP/1.0`, 1 for `HTTP/1.1`).
     pub http1_minor: u8,
     /// Lower-cased header names with trimmed values, in arrival order.
@@ -188,12 +191,16 @@ pub fn read_request_from<R: BufRead>(reader: &mut R) -> io::Result<Request> {
     else {
         return Err(invalid(format!("unsupported protocol `{version}`")));
     };
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let headers = read_headers(reader)?;
     let body = read_body(reader, &headers)?;
     Ok(Request {
         method: method.to_ascii_uppercase(),
         path,
+        query,
         http1_minor: minor.min(1),
         headers,
         body,
@@ -204,10 +211,12 @@ fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         201 => "Created",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -226,6 +235,9 @@ pub struct Response {
     /// Send the body with `Transfer-Encoding: chunked` instead of
     /// `Content-Length` (used for potentially large artifact files).
     pub chunked: bool,
+    /// Optional `Location` header — `202 Accepted` responses point at the
+    /// run resource the submission created.
+    pub location: Option<String>,
 }
 
 impl Response {
@@ -236,14 +248,30 @@ impl Response {
             content_type: "application/json",
             body: body.into(),
             chunked: false,
+            location: None,
         }
     }
 
-    /// A JSON error response: `{"error": "<message>"}`.
-    pub fn error(status: u16, message: &str) -> Response {
-        let body = lassi_harness::Json::Object(vec![(
+    /// Attach a `Location` header.
+    pub fn with_location(mut self, location: impl Into<String>) -> Response {
+        self.location = Some(location.into());
+        self
+    }
+
+    /// The uniform JSON error envelope every non-2xx response carries:
+    /// `{"error": {"code": "<slug>", "message": "<text>", "status": N}}`.
+    /// `code` is a stable machine-readable slug (`run_not_found`,
+    /// `invalid_slug`, `draining`, …) clients branch on; `message` is for
+    /// humans and may change wording freely.
+    pub fn error(status: u16, code: &str, message: &str) -> Response {
+        use lassi_harness::Json;
+        let body = Json::Object(vec![(
             "error".into(),
-            lassi_harness::Json::Str(message.into()),
+            Json::Object(vec![
+                ("code".into(), Json::Str(code.into())),
+                ("message".into(), Json::Str(message.into())),
+                ("status".into(), Json::uint(u64::from(status))),
+            ]),
         )]);
         Response::json(status, body.to_compact())
     }
@@ -264,6 +292,9 @@ impl Response {
             if keep_alive { "keep-alive" } else { "close" },
             self.content_type
         )?;
+        if let Some(location) = &self.location {
+            write!(out, "Location: {location}\r\n")?;
+        }
         if self.chunked {
             write!(out, "Transfer-Encoding: chunked\r\n\r\n")?;
             for chunk in self.body.chunks(CHUNK) {
@@ -300,6 +331,12 @@ impl ClientResponse {
     /// The body as UTF-8 (lossy, for error messages and JSON).
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First value of a (lower-case) header name, if present — e.g.
+    /// `location` on a `202 Accepted` submission response.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
     }
 
     /// Did the server announce it will close the connection after this
@@ -454,13 +491,18 @@ mod tests {
     }
 
     #[test]
-    fn parses_a_post_with_body_and_strips_query() {
-        let raw = b"POST /v1/sweeps?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\n{\"a\"";
+    fn parses_a_post_with_body_and_splits_query() {
+        let raw = b"POST /v1/sweeps?x=1&y=2 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\n{\"a\"";
         let req = parse_request(raw).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/sweeps");
+        assert_eq!(req.query, "x=1&y=2");
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.body, b"{\"a\"");
+
+        let req = parse_request(b"GET /v1/runs HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/runs");
+        assert_eq!(req.query, "");
     }
 
     #[test]
@@ -504,6 +546,7 @@ mod tests {
             content_type: "application/octet-stream",
             body: body.clone(),
             chunked: true,
+            location: None,
         };
         let mut wire = Vec::new();
         resp.write_to(&mut wire, true).unwrap();
@@ -535,14 +578,35 @@ mod tests {
     }
 
     #[test]
-    fn error_responses_are_json() {
-        let resp = Response::error(404, "no such run");
+    fn error_responses_carry_the_structured_envelope() {
+        let resp = Response::error(404, "run_not_found", "no such run");
         assert_eq!(resp.status, 404);
+        assert_eq!(resp.content_type, "application/json");
         let parsed = lassi_harness::json::parse(&String::from_utf8(resp.body).unwrap()).unwrap();
+        let envelope = parsed.get("error").expect("error object");
         assert_eq!(
-            parsed.get("error").and_then(|v| v.as_str()),
+            envelope.get("code").and_then(|v| v.as_str()),
+            Some("run_not_found")
+        );
+        assert_eq!(
+            envelope.get("message").and_then(|v| v.as_str()),
             Some("no such run")
         );
+        assert_eq!(envelope.get("status").and_then(|v| v.as_u64()), Some(404));
+    }
+
+    #[test]
+    fn accepted_responses_carry_a_location_header() {
+        let resp = Response::json(202, r#"{"id":"r1"}"#).with_location("/v1/runs/r1");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("Location: /v1/runs/r1\r\n"));
+
+        let parsed = read_response(&mut BufReader::new(Cursor::new(wire))).unwrap();
+        assert_eq!(parsed.status, 202);
+        assert_eq!(parsed.header("location"), Some("/v1/runs/r1"));
     }
 
     #[test]

@@ -11,13 +11,19 @@
 //!
 //! | Method | Path | Purpose |
 //! |--------|------|---------|
-//! | `POST` | `/v1/sweeps` | Submit a models × apps × directions × config grid; runs it through the shared worker pool and returns the run manifest (201). |
-//! | `GET` | `/v1/runs` | List run ids in the artifact store. |
-//! | `GET` | `/v1/runs/{id}` | The run manifest — raw artifact bytes. |
+//! | `POST` | `/v1/sweeps` | Validate + enqueue a models × apps × directions × config grid; `202 Accepted` with `Location: /v1/runs/{id}` in milliseconds, executed by the background sweep-executor pool. |
+//! | `GET` | `/v1/runs` | Paginated run listing (`?limit=&after=`): `{"runs": [{id, state, created}], "next": …}`. |
+//! | `GET` | `/v1/runs/{id}` | The run resource: lifecycle state (`queued/running/done/failed/cancelled`) + progress. |
+//! | `POST` | `/v1/runs/{id}/cancel` | Cancel a queued or running run (wires into the sweep's `CancelToken`). |
+//! | `DELETE` | `/v1/runs/{id}` | Delete a terminal run's directory (live runs are a 409). |
+//! | `GET` | `/v1/runs/{id}/manifest` | The run manifest — raw artifact bytes. |
 //! | `GET` | `/v1/runs/{id}/records/{set}` | One record set — raw artifact bytes, chunked. |
 //! | `GET` | `/v1/cache/stats` | Scenario-cache hit/miss/store counters. |
 //! | `GET` | `/v1/healthz` | Liveness. |
-//! | `POST` | `/v1/shutdown` | Cooperative drain: refuse new sweeps, cancel queued jobs, finish in-flight scenarios, exit. |
+//! | `POST` | `/v1/shutdown` | Cooperative drain: refuse new sweeps, fail queued runs with a reason, cancel running ones, finish in-flight scenarios, exit. |
+//!
+//! Every non-2xx response carries the structured error envelope
+//! `{"error": {"code": "<slug>", "message": "...", "status": N}}`.
 //!
 //! ## Concurrency model
 //!
@@ -53,11 +59,11 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-pub use handlers::MAX_SCENARIOS_PER_SWEEP;
+pub use handlers::{DEFAULT_RUNS_PAGE, MAX_RUNS_PAGE, MAX_SCENARIOS_PER_SWEEP};
 pub use http::{
     request, request_with_timeout, ClientConnection, ClientResponse, Request, Response,
 };
-pub use state::AppState;
+pub use state::{AppState, CancelError, SubmitError, DEFAULT_SWEEP_EXECUTORS, MAX_QUEUED_RUNS};
 
 /// Default cap on concurrently-served connections.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
@@ -139,6 +145,7 @@ pub struct Server {
     state: Arc<AppState>,
     max_connections: usize,
     keep_alive: KeepAlivePolicy,
+    sweep_executors: usize,
 }
 
 impl Server {
@@ -155,7 +162,14 @@ impl Server {
                 idle_timeout: DEFAULT_IDLE_TIMEOUT,
                 max_requests: DEFAULT_MAX_REQUESTS_PER_CONNECTION,
             },
+            sweep_executors: state::DEFAULT_SWEEP_EXECUTORS,
         })
+    }
+
+    /// Override how many sweeps execute concurrently (clamped to ≥ 1).
+    pub fn with_sweep_executors(mut self, count: usize) -> Server {
+        self.sweep_executors = count.max(1);
+        self
     }
 
     /// Override the connection budget (clamped to ≥ 1).
@@ -191,6 +205,10 @@ impl Server {
     /// Serve until a cooperative shutdown (`POST /v1/shutdown`) drains the
     /// service: in-flight connections and sweeps finish, then this returns.
     pub fn run(&self) -> io::Result<()> {
+        // The sweep-executor pool drains the run queue in the background;
+        // startup recovery (failing runs orphaned by a previous process)
+        // happens inside the first call.
+        self.state.start_executors(self.sweep_executors);
         let gate = ConnectionGate::new(self.max_connections);
         loop {
             let stream = match self.listener.accept() {
@@ -229,6 +247,10 @@ impl Server {
             });
         }
         gate.wait_idle();
+        // The connections are drained; now wait for the executors. Shutdown
+        // closed the run queue and cancelled running sweeps, so each
+        // executor finishes its current (cancelled) run quickly and exits.
+        self.state.join_executors();
         // Everything is drained; push any batched scenario-cache writes to
         // disk before the process (or test) moves on to read them.
         self.state.harness().flush_cache();
@@ -319,7 +341,10 @@ fn handle_connection(
             }
             // A malformed request leaves the stream position unknown, so
             // the connection cannot be reused.
-            Err(e) => (Response::error(400, &format!("bad request: {e}")), false),
+            Err(e) => (
+                Response::error(400, "bad_request", &format!("bad request: {e}")),
+                false,
+            ),
         };
         // Re-check the flag after handling: if this very request started
         // the shutdown (or one raced in), announce the close.

@@ -14,10 +14,14 @@ pub enum Route {
     CacheStats,
     /// `GET /v1/runs`
     ListRuns,
-    /// `GET /v1/runs/{id}` — the run manifest, byte-identical to disk.
+    /// `GET /v1/runs/{id}` — the run resource: lifecycle state + progress.
     GetRun(String),
     /// `DELETE /v1/runs/{id}` — remove one run's artifact directory.
     DeleteRun(String),
+    /// `POST /v1/runs/{id}/cancel` — cancel a queued or running run.
+    CancelRun(String),
+    /// `GET /v1/runs/{id}/manifest` — the manifest, byte-identical to disk.
+    GetManifest(String),
     /// `GET /v1/runs/{id}/records/{set}` — one record set, byte-identical.
     GetRecords(String, String),
     /// `POST /v1/sweeps` — submit a sweep grid.
@@ -74,6 +78,8 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
                 _ => Err(RouteError::MethodNotAllowed),
             }
         }
+        ["v1", "runs", id, "cancel"] => post(Route::CancelRun(slug(id)?)),
+        ["v1", "runs", id, "manifest"] => get(Route::GetManifest(slug(id)?)),
         ["v1", "runs", id, "records", set] => {
             let id = slug(id)?;
             let set = slug(set)?;
@@ -106,6 +112,14 @@ mod tests {
                 "cuda-to-omp-msc40-runs1".into()
             ))
         );
+        assert_eq!(
+            route("GET", "/v1/runs/smoke/manifest"),
+            Ok(Route::GetManifest("smoke".into()))
+        );
+        assert_eq!(
+            route("POST", "/v1/runs/smoke/cancel"),
+            Ok(Route::CancelRun("smoke".into()))
+        );
         assert_eq!(route("POST", "/v1/sweeps"), Ok(Route::SubmitSweep));
         assert_eq!(route("POST", "/v1/shutdown"), Ok(Route::Shutdown));
     }
@@ -126,6 +140,14 @@ mod tests {
         );
         assert_eq!(
             route("DELETE", "/v1/runs"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("GET", "/v1/runs/x/cancel"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("POST", "/v1/runs/x/manifest"),
             Err(RouteError::MethodNotAllowed)
         );
     }

@@ -1,21 +1,101 @@
 //! Shared service state: one long-lived [`Harness`] (worker pool + scenario
-//! cache) and one [`ArtifactStore`], plus the bookkeeping that cooperative
-//! shutdown needs — a registry of in-flight sweeps' [`CancelToken`]s and a
-//! monotone run-id counter.
+//! cache) and one [`ArtifactStore`], plus the machinery behind asynchronous
+//! sweep submission — a registry of run resources ([`RunStatus`] per run), a
+//! bounded queue of accepted runs, and the background sweep-executor thread
+//! pool that pulls queued runs and feeds them through the job scheduler.
+//!
+//! Submission ([`AppState::submit_sweep`]) only validates, reserves the run
+//! directory, persists `state.json` (`queued`) and enqueues — constant-time
+//! regardless of grid size, which is what lets `POST /v1/sweeps` answer
+//! `202 Accepted` in milliseconds. Executors own the expensive part: they
+//! advance runs `queued → running`, stream scenario outputs (counting live
+//! progress), write the artifact and land the run in a terminal state, with
+//! every transition persisted beside the artifact.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
-use lassi_harness::{ArtifactStore, CancelToken, Harness};
-use parking_lot::Mutex;
+use lassi_harness::{
+    ArtifactStore, CancelToken, Harness, RunArtifact, RunState, RunStatus, SweepGrid,
+};
+use parking_lot::{Condvar, Mutex};
+
+/// Default number of sweep-executor threads — the number of sweeps that
+/// *run* concurrently (each drives its own worker pool; the scenario cache
+/// is shared). Queued runs beyond this wait their turn.
+pub const DEFAULT_SWEEP_EXECUTORS: usize = 2;
+
+/// Cap on accepted-but-not-started runs: past this, submission answers
+/// `429` instead of letting the backlog (and its reserved run directories)
+/// grow without bound.
+pub const MAX_QUEUED_RUNS: usize = 256;
+
+/// Why [`AppState::submit_sweep`] refused a sweep.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The server is draining; no new runs are accepted.
+    Draining,
+    /// [`MAX_QUEUED_RUNS`] runs are already waiting.
+    QueueFull,
+    /// The client-chosen run id is already taken.
+    RunExists(String),
+    /// Reserving the run directory or persisting `state.json` failed.
+    Io(io::Error),
+}
+
+/// Why [`AppState::cancel_run`] refused a cancellation.
+#[derive(Debug)]
+pub enum CancelError {
+    /// No such run.
+    NotFound,
+    /// The run is already terminal (carries the state it is in).
+    NotCancellable(RunState),
+}
+
+/// A run waiting for an executor.
+struct QueuedRun {
+    run_id: String,
+    grid: SweepGrid,
+}
+
+/// The queue executors pull from. `open` flips false on drain: executors
+/// finish their current run and exit instead of pulling more work.
+struct RunQueue {
+    items: VecDeque<QueuedRun>,
+    open: bool,
+}
+
+/// Live bookkeeping for one run resource. The persisted [`RunStatus`] is
+/// the durable truth; the atomics carry what changes too often to persist
+/// (per-scenario progress, live wall-clock).
+struct RunEntry {
+    status: Mutex<RunStatus>,
+    /// Scenarios completed so far (bumped per streamed output).
+    completed: AtomicUsize,
+    /// The running sweep's cancel token, present only while executing.
+    cancel: Mutex<Option<CancelToken>>,
+    /// A client asked for cancellation (consulted by the executor when the
+    /// output stream comes up short, to pick `cancelled` over `failed`).
+    cancel_requested: AtomicBool,
+    /// When the executor started the sweep (live wall-clock source).
+    started: Mutex<Option<Instant>>,
+}
 
 /// Everything the request handlers share, kept behind one `Arc`.
 pub struct AppState {
     harness: Harness,
     store: ArtifactStore,
     run_counter: AtomicU64,
-    sweep_ticket: AtomicU64,
-    active_sweeps: Mutex<Vec<(u64, CancelToken)>>,
     shutdown: AtomicBool,
+    queue: Mutex<RunQueue>,
+    queue_signal: Condvar,
+    runs: Mutex<HashMap<String, Arc<RunEntry>>>,
+    executors: Mutex<Vec<JoinHandle<()>>>,
+    executors_started: AtomicBool,
 }
 
 impl AppState {
@@ -25,9 +105,15 @@ impl AppState {
             harness,
             store,
             run_counter: AtomicU64::new(0),
-            sweep_ticket: AtomicU64::new(0),
-            active_sweeps: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
+            queue: Mutex::new(RunQueue {
+                items: VecDeque::new(),
+                open: true,
+            }),
+            queue_signal: Condvar::new(),
+            runs: Mutex::new(HashMap::new()),
+            executors: Mutex::new(Vec::new()),
+            executors_started: AtomicBool::new(false),
         }
     }
 
@@ -52,76 +138,511 @@ impl AppState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Request shutdown: new sweeps are refused, and every registered
-    /// in-flight sweep is cancelled (its queued jobs are discarded, its
-    /// in-flight scenarios finish — the harness's normal drain semantics).
+    /// Accept a sweep for asynchronous execution: reserve the run id
+    /// (atomically claiming its directory), persist the initial `queued`
+    /// state and enqueue the run for the executor pool. Does no sweep work
+    /// itself — the whole call is a couple of file-system operations, so
+    /// submission latency is independent of grid size.
+    pub fn submit_sweep(
+        &self,
+        grid: SweepGrid,
+        requested_id: Option<String>,
+    ) -> Result<RunStatus, SubmitError> {
+        if self.shutting_down() {
+            return Err(SubmitError::Draining);
+        }
+        // Reserve before any other work, so a colliding client-chosen id —
+        // even one submitted concurrently — is a fast 409.
+        let run_id = match requested_id {
+            Some(id) => match self.store.reserve_run(&id) {
+                Ok(()) => id,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    return Err(SubmitError::RunExists(id));
+                }
+                Err(e) => return Err(SubmitError::Io(e)),
+            },
+            None => loop {
+                let id = self.next_run_id();
+                match self.store.reserve_run(&id) {
+                    Ok(()) => break id,
+                    Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                    Err(e) => return Err(SubmitError::Io(e)),
+                }
+            },
+        };
+        let release = |run_id: &str| {
+            let _ = std::fs::remove_dir_all(self.store.run_dir(run_id));
+        };
+
+        let status = RunStatus::queued(&run_id, grid.len());
+        if let Err(e) = status.save(&self.store.run_dir(&run_id)) {
+            release(&run_id);
+            return Err(SubmitError::Io(e));
+        }
+        self.runs.lock().insert(
+            run_id.clone(),
+            Arc::new(RunEntry {
+                status: Mutex::new(status.clone()),
+                completed: AtomicUsize::new(0),
+                cancel: Mutex::new(None),
+                cancel_requested: AtomicBool::new(false),
+                started: Mutex::new(None),
+            }),
+        );
+        {
+            let mut queue = self.queue.lock();
+            if !queue.open {
+                // Shutdown raced in between the check above and here.
+                drop(queue);
+                self.runs.lock().remove(&run_id);
+                release(&run_id);
+                return Err(SubmitError::Draining);
+            }
+            if queue.items.len() >= MAX_QUEUED_RUNS {
+                drop(queue);
+                self.runs.lock().remove(&run_id);
+                release(&run_id);
+                return Err(SubmitError::QueueFull);
+            }
+            queue.items.push_back(QueuedRun {
+                run_id: run_id.clone(),
+                grid,
+            });
+        }
+        self.queue_signal.notify_one();
+        Ok(status)
+    }
+
+    /// The queryable status of a run: live registry first (with fresh
+    /// progress counts and wall-clock), then `state.json` from disk (runs
+    /// from a previous process), then legacy manifests written before
+    /// lifecycle tracking (reported as `done`).
+    pub fn run_status(&self, id: &str) -> Option<RunStatus> {
+        if let Some(entry) = self.runs.lock().get(id).cloned() {
+            let mut status = entry.status.lock().clone();
+            if status.state == RunState::Running {
+                status.completed = entry.completed.load(Ordering::Relaxed);
+                status.wall_seconds = entry
+                    .started
+                    .lock()
+                    .map(|started| started.elapsed().as_secs_f64());
+            }
+            return Some(status);
+        }
+        let dir = self.store.run_dir(id);
+        match RunStatus::load(&dir) {
+            Ok(status) => Some(status),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let artifact = RunArtifact::load(&dir).ok()?;
+                let mut status = RunStatus::done(id, artifact.manifest.scenarios);
+                status.created_unix = artifact.manifest.created_unix;
+                status.started_unix = None;
+                status.finished_unix = None;
+                Some(status)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Every known run as `(id, state, created_unix)`, sorted by id — the
+    /// source for the paginated `GET /v1/runs`. Disk is the base (it has
+    /// runs from previous processes); the live registry overlays it with
+    /// fresher states.
+    pub fn list_run_summaries(&self) -> io::Result<Vec<(String, RunState, Option<u64>)>> {
+        let mut rows: Vec<(String, RunState, Option<u64>)> = self
+            .store
+            .scan_runs()?
+            .into_iter()
+            .map(|(id, status)| match status {
+                Some(status) => (id, status.state, status.created_unix),
+                // Legacy artifact from before lifecycle tracking.
+                None => (id, RunState::Done, None),
+            })
+            .collect();
+        let runs = self.runs.lock();
+        for row in rows.iter_mut() {
+            if let Some(entry) = runs.get(&row.0) {
+                let status = entry.status.lock();
+                row.1 = status.state;
+                row.2 = status.created_unix;
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Cancel a run. A `queued` run is cancelled on the spot (the executor
+    /// will skip it); a `running` run gets its [`CancelToken`] fired and
+    /// lands in `cancelled` once its in-flight scenarios finish —
+    /// cancellation is cooperative, so a run whose scenarios all completed
+    /// before the token took effect still finishes `done`. Returns the
+    /// status as of the cancel request.
+    pub fn cancel_run(&self, id: &str) -> Result<RunStatus, CancelError> {
+        let Some(entry) = self.runs.lock().get(id).cloned() else {
+            // Runs from a previous process are terminal by construction
+            // (recovery failed any that were live when it died).
+            return match self.run_status(id) {
+                Some(status) => Err(CancelError::NotCancellable(status.state)),
+                None => Err(CancelError::NotFound),
+            };
+        };
+        let mut status = entry.status.lock();
+        match status.state {
+            RunState::Queued => {
+                entry.cancel_requested.store(true, Ordering::SeqCst);
+                status
+                    .finish(RunState::Cancelled, "cancelled by client before start")
+                    .expect("queued → cancelled is legal");
+                let _ = status.save(&self.store.run_dir(id));
+                Ok(status.clone())
+            }
+            RunState::Running => {
+                entry.cancel_requested.store(true, Ordering::SeqCst);
+                if let Some(token) = entry.cancel.lock().as_ref() {
+                    token.cancel();
+                }
+                Ok(status.clone())
+            }
+            terminal => Err(CancelError::NotCancellable(terminal)),
+        }
+    }
+
+    /// Request shutdown with the drain semantics the run lifecycle needs:
+    /// refuse new submissions, stop pulling queued runs (each is marked
+    /// `failed` with a reason, persisted), and cancel running sweeps (their
+    /// queued jobs are discarded, in-flight scenarios finish, and the
+    /// executor marks them `failed` — the client did not ask for the stop).
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        for (_, token) in self.active_sweeps.lock().iter() {
-            token.cancel();
+        let drained: Vec<QueuedRun> = {
+            let mut queue = self.queue.lock();
+            queue.open = false;
+            queue.items.drain(..).collect()
+        };
+        self.queue_signal.notify_all();
+        for run in &drained {
+            if let Some(entry) = self.runs.lock().get(&run.run_id).cloned() {
+                let mut status = entry.status.lock();
+                if status.state == RunState::Queued {
+                    status
+                        .finish(RunState::Failed, "server drained before the run started")
+                        .expect("queued → failed is legal");
+                    let _ = status.save(&self.store.run_dir(&run.run_id));
+                }
+            }
+        }
+        let entries: Vec<Arc<RunEntry>> = self.runs.lock().values().cloned().collect();
+        for entry in entries {
+            if let Some(token) = entry.cancel.lock().as_ref() {
+                token.cancel();
+            }
         }
     }
 
-    /// Register an in-flight sweep's cancel token; the returned ticket
-    /// unregisters it in [`AppState::finish_sweep`]. If shutdown raced in
-    /// between the caller's check and this registration, the token is
-    /// cancelled immediately so the sweep still drains.
-    pub fn register_sweep(&self, token: CancelToken) -> u64 {
-        let ticket = self.sweep_ticket.fetch_add(1, Ordering::Relaxed);
-        self.active_sweeps.lock().push((ticket, token.clone()));
-        if self.shutting_down() {
+    /// Number of runs currently in a non-terminal state (tests and
+    /// introspection).
+    pub fn live_runs(&self) -> usize {
+        self.runs
+            .lock()
+            .values()
+            .filter(|entry| !entry.status.lock().state.is_terminal())
+            .count()
+    }
+
+    /// Spawn the sweep-executor pool (idempotent; first call wins). Runs
+    /// startup recovery first: any run left `queued`/`running` on disk by a
+    /// previous process provably lost its executor and is marked `failed`
+    /// with a reason, so the API never reports phantom progress.
+    pub fn start_executors(self: &Arc<AppState>, count: usize) {
+        if self.executors_started.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Err(e) = self.recover_runs() {
+            eprintln!("lassi-server: run recovery failed: {e}");
+        }
+        let mut handles = self.executors.lock();
+        for i in 0..count.max(1) {
+            let state = Arc::clone(self);
+            let handle = thread::Builder::new()
+                .name(format!("sweep-executor-{i}"))
+                .spawn(move || executor_loop(&state))
+                .expect("spawn sweep executor");
+            handles.push(handle);
+        }
+    }
+
+    /// Mark runs orphaned by a previous process as `failed`. Returns how
+    /// many runs were recovered.
+    pub fn recover_runs(&self) -> io::Result<usize> {
+        let mut recovered = 0;
+        for (id, status) in self.store.scan_runs()? {
+            let Some(mut status) = status else { continue };
+            if status.state.is_terminal() {
+                continue;
+            }
+            status
+                .finish(RunState::Failed, "server restarted before the run finished")
+                .expect("queued/running → failed is legal");
+            let _ = status.save(&self.store.run_dir(&id));
+            recovered += 1;
+        }
+        Ok(recovered)
+    }
+
+    /// Wait for every executor to exit (the queue must already be closed
+    /// via [`AppState::begin_shutdown`], or this blocks forever).
+    pub fn join_executors(&self) {
+        let handles: Vec<JoinHandle<()>> = self.executors.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Forget a run's registry entry (after its directory is deleted), so
+    /// listings don't resurrect it from memory.
+    pub fn forget_run(&self, id: &str) {
+        self.runs.lock().remove(id);
+    }
+
+    /// One executor's run-to-completion of a single queued run, with a
+    /// panic fence: a panicking scenario must fail its run, not kill the
+    /// executor thread and wedge the queue behind it.
+    fn execute(&self, run: QueuedRun) {
+        let run_id = run.run_id.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute_inner(&run);
+        }));
+        if outcome.is_err() {
+            eprintln!("lassi-server: sweep `{run_id}` panicked");
+            if let Some(entry) = self.runs.lock().get(&run_id).cloned() {
+                let mut status = entry.status.lock();
+                if !status.state.is_terminal() {
+                    let _ = status.finish(RunState::Failed, "sweep panicked; see server log");
+                    let _ = status.save(&self.store.run_dir(&run_id));
+                }
+            }
+        }
+    }
+
+    fn execute_inner(&self, run: &QueuedRun) {
+        let Some(entry) = self.runs.lock().get(&run.run_id).cloned() else {
+            return;
+        };
+        let dir = self.store.run_dir(&run.run_id);
+        {
+            let mut status = entry.status.lock();
+            // Cancelled (or drain-failed) while queued: nothing to do.
+            if status.state != RunState::Queued {
+                return;
+            }
+            status
+                .advance(RunState::Running)
+                .expect("queued → running is legal");
+            *entry.started.lock() = Some(Instant::now());
+            let _ = status.save(&dir);
+        }
+
+        // The per-run cache delta is measured around the submission; under
+        // concurrent runs the counters interleave, so the delta is
+        // attributed, not exact — /v1/cache/stats has the authoritative
+        // totals.
+        let jobs = run.grid.jobs();
+        let total = jobs.len();
+        let before = self.harness.cache_snapshot();
+        let stream = self.harness.submit(jobs.clone());
+        let token = stream.cancel_token();
+        *entry.cancel.lock() = Some(token.clone());
+        // Re-check after publishing the token: a cancel or drain that raced
+        // in before the token existed must still take effect.
+        if entry.cancel_requested.load(Ordering::SeqCst) || self.shutting_down() {
             token.cancel();
         }
-        ticket
-    }
+        let mut outputs = Vec::with_capacity(total);
+        for output in stream {
+            outputs.push(output);
+            entry.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        *entry.cancel.lock() = None;
 
-    /// Drop a completed sweep from the shutdown registry.
-    pub fn finish_sweep(&self, ticket: u64) {
-        self.active_sweeps.lock().retain(|(t, _)| *t != ticket);
+        let wall = entry
+            .started
+            .lock()
+            .map(|started| started.elapsed().as_secs_f64());
+        let mut status = entry.status.lock();
+        status.completed = outputs.len();
+        status.wall_seconds = wall;
+        if outputs.len() == total {
+            let delta = self.harness.cache_snapshot().since(before);
+            match run
+                .grid
+                .write_artifact(&self.store, &run.run_id, true, &jobs, &outputs, delta)
+            {
+                Ok(_) => {
+                    status
+                        .advance(RunState::Done)
+                        .expect("running → done is legal");
+                }
+                Err(e) => {
+                    let _ = status.finish(RunState::Failed, format!("cannot write artifact: {e}"));
+                }
+            }
+        } else if entry.cancel_requested.load(Ordering::SeqCst) {
+            let _ = status.finish(RunState::Cancelled, "cancelled by client");
+        } else {
+            let _ = status.finish(
+                RunState::Failed,
+                "server drained mid-run; partial outputs discarded",
+            );
+        }
+        let _ = status.save(&dir);
     }
+}
 
-    /// Number of registered in-flight sweeps (introspection / tests).
-    pub fn active_sweeps(&self) -> usize {
-        self.active_sweeps.lock().len()
+/// The executor thread body: pull queued runs until the queue is closed
+/// *and* empty, executing each to a terminal state.
+fn executor_loop(state: &Arc<AppState>) {
+    loop {
+        let next = {
+            let mut queue = state.queue.lock();
+            loop {
+                if let Some(run) = queue.items.pop_front() {
+                    break Some(run);
+                }
+                if !queue.open {
+                    break None;
+                }
+                queue = state.queue_signal.wait(queue);
+            }
+        };
+        match next {
+            Some(run) => state.execute(run),
+            None => return,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lassi_core::PipelineConfig;
+    use lassi_harness::HarnessOptions;
+    use lassi_hecbench::application;
+    use lassi_llm::gpt4;
+    use std::time::Duration;
 
-    fn state() -> AppState {
-        AppState::new(Harness::default(), ArtifactStore::new("artifacts-test"))
+    fn test_store(name: &str) -> ArtifactStore {
+        let dir = std::env::temp_dir().join(format!("lassi-state-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::new(dir)
+    }
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid::single(
+            PipelineConfig::default(),
+            vec![gpt4()],
+            vec![application("layout").unwrap()],
+            vec![lassi_core::Direction::CudaToOmp],
+        )
+    }
+
+    fn state(store_name: &str) -> Arc<AppState> {
+        let harness = Harness::new(HarnessOptions {
+            workers: 2,
+            ..HarnessOptions::default()
+        });
+        Arc::new(AppState::new(harness, test_store(store_name)))
     }
 
     #[test]
     fn run_ids_are_unique_and_ordered() {
-        let s = state();
+        let s = state("ids");
         assert_eq!(s.next_run_id(), "srv-000001");
         assert_eq!(s.next_run_id(), "srv-000002");
     }
 
     #[test]
-    fn shutdown_cancels_registered_sweeps() {
-        let s = state();
-        let token = CancelToken::default();
-        let ticket = s.register_sweep(token.clone());
-        assert_eq!(s.active_sweeps(), 1);
-        assert!(!token.is_cancelled());
+    fn executor_drives_a_submitted_run_to_done() {
+        let s = state("exec");
+        s.start_executors(1);
+        let status = s.submit_sweep(tiny_grid(), Some("unit-1".into())).unwrap();
+        assert_eq!(status.state, RunState::Queued);
+        assert_eq!(status.total, 1);
+
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let status = s.run_status("unit-1").expect("run must stay queryable");
+            if status.state.is_terminal() {
+                assert_eq!(status.state, RunState::Done, "reason: {:?}", status.reason);
+                assert_eq!(status.completed, 1);
+                assert!(status.wall_seconds.is_some());
+                break;
+            }
+            assert!(Instant::now() < deadline, "run never finished");
+            thread::sleep(Duration::from_millis(20));
+        }
+        // The terminal state is persisted beside the artifact.
+        let on_disk = RunStatus::load(&s.store().run_dir("unit-1")).unwrap();
+        assert_eq!(on_disk.state, RunState::Done);
+
+        // Duplicate ids are refused at submission time.
+        assert!(matches!(
+            s.submit_sweep(tiny_grid(), Some("unit-1".into())),
+            Err(SubmitError::RunExists(_))
+        ));
 
         s.begin_shutdown();
-        assert!(s.shutting_down());
-        assert!(
-            token.is_cancelled(),
-            "shutdown must cancel in-flight sweeps"
-        );
+        s.join_executors();
+    }
 
-        s.finish_sweep(ticket);
-        assert_eq!(s.active_sweeps(), 0);
+    #[test]
+    fn cancel_while_queued_is_immediate_and_shutdown_fails_queued_runs() {
+        // No executors: everything submitted stays queued.
+        let s = state("cancel");
+        s.submit_sweep(tiny_grid(), Some("will-cancel".into()))
+            .unwrap();
+        s.submit_sweep(tiny_grid(), Some("will-drain".into()))
+            .unwrap();
+        assert_eq!(s.live_runs(), 2);
 
-        // A sweep registered after shutdown is cancelled on registration.
-        let late = CancelToken::default();
-        s.register_sweep(late.clone());
-        assert!(late.is_cancelled());
+        let status = s.cancel_run("will-cancel").unwrap();
+        assert_eq!(status.state, RunState::Cancelled);
+        assert!(matches!(
+            s.cancel_run("will-cancel"),
+            Err(CancelError::NotCancellable(RunState::Cancelled))
+        ));
+        assert!(matches!(
+            s.cancel_run("no-such-run"),
+            Err(CancelError::NotFound)
+        ));
+
+        s.begin_shutdown();
+        let drained = s.run_status("will-drain").unwrap();
+        assert_eq!(drained.state, RunState::Failed);
+        assert!(drained.reason.as_deref().unwrap().contains("drained"));
+        // …and the failure is durable, not just in memory.
+        let on_disk = RunStatus::load(&s.store().run_dir("will-drain")).unwrap();
+        assert_eq!(on_disk.state, RunState::Failed);
+
+        // New submissions are refused while draining.
+        assert!(matches!(
+            s.submit_sweep(tiny_grid(), None),
+            Err(SubmitError::Draining)
+        ));
+    }
+
+    #[test]
+    fn recovery_fails_runs_orphaned_by_a_previous_process() {
+        let s = state("recover");
+        s.submit_sweep(tiny_grid(), Some("orphan".into())).unwrap();
+
+        // Simulate a restart: a fresh AppState over the same store root,
+        // with no memory of the queued run.
+        let restarted = Arc::new(AppState::new(
+            Harness::default(),
+            ArtifactStore::new(s.store().run_dir("orphan").parent().unwrap()),
+        ));
+        assert_eq!(restarted.recover_runs().unwrap(), 1);
+        let status = restarted.run_status("orphan").unwrap();
+        assert_eq!(status.state, RunState::Failed);
+        assert!(status.reason.as_deref().unwrap().contains("restarted"));
     }
 }

@@ -1,13 +1,17 @@
-//! End-to-end test of the HTTP service over real TCP: submit sweeps, fetch
-//! artifacts byte-identically, watch cache counters, keep connections
-//! alive across requests, and drain cleanly.
+//! End-to-end test of the HTTP service over real TCP: submit sweeps
+//! asynchronously, poll run resources through their lifecycle, fetch
+//! artifacts byte-identically, cancel runs mid-flight, watch cache
+//! counters, keep connections alive across requests, and drain cleanly.
 
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use lassi_harness::{ArtifactStore, Harness, HarnessOptions, ScenarioCache};
+use lassi_harness::{
+    ArtifactStore, Harness, HarnessOptions, Json, RunState, RunStatus, ScenarioCache,
+};
 use lassi_server::{http, AppState, ClientConnection, Server};
 
 fn test_root(label: &str) -> PathBuf {
@@ -15,11 +19,12 @@ fn test_root(label: &str) -> PathBuf {
 }
 
 /// Spin up a full server (2 workers, disk cache) on an ephemeral port,
-/// after applying `configure` to the bound server (keep-alive knobs).
+/// after applying `configure` to the bound server (keep-alive knobs,
+/// executor count).
 fn start_server_with(
     root: &PathBuf,
     configure: impl FnOnce(Server) -> Server,
-) -> (std::net::SocketAddr, thread::JoinHandle<()>, Arc<AppState>) {
+) -> (SocketAddr, thread::JoinHandle<()>, Arc<AppState>) {
     let store = ArtifactStore::new(root);
     let cache = ScenarioCache::on_disk(store.cache_dir()).expect("cache dir");
     let harness = Harness::new(HarnessOptions::default().with_workers(2)).with_cache(cache);
@@ -36,14 +41,74 @@ fn start_server_with(
 }
 
 /// Spin up a full server with the default keep-alive policy.
-fn start_server(root: &PathBuf) -> (std::net::SocketAddr, thread::JoinHandle<()>, Arc<AppState>) {
+fn start_server(root: &PathBuf) -> (SocketAddr, thread::JoinHandle<()>, Arc<AppState>) {
     start_server_with(root, |server| server)
 }
 
-fn get_json(addr: std::net::SocketAddr, path: &str) -> (u16, lassi_harness::Json) {
+fn get_json(addr: SocketAddr, path: &str) -> (u16, Json) {
     let resp = http::request(addr, "GET", path, None).expect("request");
     let value = lassi_harness::json::parse(&resp.text()).expect("json body");
     (resp.status, value)
+}
+
+/// The `code` slug of a structured error envelope.
+fn error_code(resp: &http::ClientResponse) -> String {
+    let value = lassi_harness::json::parse(&resp.text()).expect("error body is json");
+    value
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(|c| c.as_str())
+        .unwrap_or_else(|| panic!("no error code in {}", resp.text()))
+        .to_string()
+}
+
+fn state_of(view: &Json) -> String {
+    view.get("state")
+        .and_then(|s| s.as_str())
+        .expect("state field")
+        .to_string()
+}
+
+/// Poll `GET /v1/runs/{id}` until the run reaches a terminal state.
+/// Returns the distinct states observed (in order) and the final view.
+fn poll_to_terminal(addr: SocketAddr, id: &str, timeout: Duration) -> (Vec<String>, Json) {
+    let deadline = Instant::now() + timeout;
+    let mut observed: Vec<String> = Vec::new();
+    loop {
+        let (status, view) = get_json(addr, &format!("/v1/runs/{id}"));
+        assert_eq!(status, 200, "poll of `{id}`: {view:?}");
+        let state = state_of(&view);
+        if observed.last() != Some(&state) {
+            observed.push(state.clone());
+        }
+        if RunState::from_slug(&state)
+            .expect("known state")
+            .is_terminal()
+        {
+            return (observed, view);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "run `{id}` did not reach a terminal state; saw {observed:?}"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Assert an observed state sequence walks the lifecycle forward only.
+fn assert_lifecycle_order(observed: &[String]) {
+    let rank = |s: &str| match s {
+        "queued" => 0,
+        "running" => 1,
+        "done" | "failed" | "cancelled" => 2,
+        other => panic!("unknown state `{other}`"),
+    };
+    for pair in observed.windows(2) {
+        assert!(
+            rank(&pair[0]) < rank(&pair[1]),
+            "lifecycle went backwards: {observed:?}"
+        );
+    }
 }
 
 #[test]
@@ -57,15 +122,17 @@ fn serves_sweeps_and_artifacts_end_to_end() {
     assert_eq!(status, 200);
     assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
 
-    // No runs yet.
+    // No runs yet; the paginated envelope is present from the start.
     let (status, runs) = get_json(addr, "/v1/runs");
     assert_eq!(status, 200);
     assert_eq!(
         runs.get("runs").and_then(|v| v.as_array()).unwrap().len(),
         0
     );
+    assert!(matches!(runs.get("next"), Some(Json::Null)));
 
-    // Submit a tiny sweep with a client-chosen run id.
+    // Submit a tiny sweep with a client-chosen run id: the response is an
+    // immediate 202 pointing at the run resource, not the finished sweep.
     let body = br#"{
         "models": ["GPT-4"],
         "apps": ["layout", "entropy"],
@@ -74,12 +141,37 @@ fn serves_sweeps_and_artifacts_end_to_end() {
         "run_id": "itest"
     }"#;
     let resp = http::request(addr, "POST", "/v1/sweeps", Some(body)).expect("submit");
-    assert_eq!(resp.status, 201, "{}", resp.text());
-    let manifest = lassi_harness::json::parse(&resp.text()).expect("manifest json");
-    assert_eq!(
-        manifest.get("run_id").and_then(|v| v.as_str()),
-        Some("itest")
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    assert_eq!(resp.header("location"), Some("/v1/runs/itest"));
+    let accepted = lassi_harness::json::parse(&resp.text()).expect("accepted body");
+    assert_eq!(accepted.get("id").and_then(|v| v.as_str()), Some("itest"));
+    let submit_state = state_of(&accepted);
+    assert!(
+        submit_state == "queued" || submit_state == "running",
+        "submission must answer before the sweep finishes, got `{submit_state}`"
     );
+    let progress = accepted.get("progress").expect("progress");
+    assert_eq!(progress.get("total").and_then(|v| v.as_u64()), Some(2));
+
+    // Poll the resource through its lifecycle to `done`.
+    let (observed, done) = poll_to_terminal(addr, "itest", Duration::from_secs(120));
+    assert_lifecycle_order(&observed);
+    assert_eq!(state_of(&done), "done", "reason: {:?}", done.get("reason"));
+    let progress = done.get("progress").expect("progress");
+    assert_eq!(progress.get("completed").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(progress.get("total").and_then(|v| v.as_u64()), Some(2));
+    assert!(
+        done.get("wall_seconds").and_then(|v| v.as_f64()).is_some(),
+        "terminal runs report wall clock"
+    );
+
+    // The manifest endpoint serves the exact bytes on disk.
+    let manifest_path = root.join("run-itest").join("manifest.json");
+    let on_disk = std::fs::read(&manifest_path).expect("manifest on disk");
+    let fetched = http::request(addr, "GET", "/v1/runs/itest/manifest", None).expect("manifest");
+    assert_eq!(fetched.status, 200);
+    assert_eq!(fetched.body, on_disk, "GET manifest == disk bytes");
+    let manifest = lassi_harness::json::parse(&fetched.text()).expect("manifest json");
     let sets: Vec<String> = manifest
         .get("record_sets")
         .and_then(|v| v.as_array())
@@ -88,15 +180,6 @@ fn serves_sweeps_and_artifacts_end_to_end() {
         .map(|s| s.as_str().unwrap().to_string())
         .collect();
     assert_eq!(sets.len(), 1);
-
-    // The submit response is byte-identical to the manifest on disk and to
-    // a later GET.
-    let manifest_path = root.join("run-itest").join("manifest.json");
-    let on_disk = std::fs::read(&manifest_path).expect("manifest on disk");
-    assert_eq!(resp.body, on_disk, "submit response == disk bytes");
-    let fetched = http::request(addr, "GET", "/v1/runs/itest", None).expect("get run");
-    assert_eq!(fetched.status, 200);
-    assert_eq!(fetched.body, on_disk, "GET manifest == disk bytes");
 
     // Records come back chunked and byte-identical to the artifact store.
     let records_path = root
@@ -120,7 +203,7 @@ fn serves_sweeps_and_artifacts_end_to_end() {
     );
     assert_eq!(records.body, records_disk, "records == disk bytes");
 
-    // Cache stats: the cold submit was all misses.
+    // Cache stats: the cold sweep was all misses.
     let (_, stats) = get_json(addr, "/v1/cache/stats");
     assert_eq!(stats.get("attached").and_then(|v| v.as_bool()), Some(true));
     let misses0 = stats.get("misses").and_then(|v| v.as_u64()).unwrap();
@@ -134,14 +217,21 @@ fn serves_sweeps_and_artifacts_end_to_end() {
         "timing_runs": [1]
     }"#;
     let warm = http::request(addr, "POST", "/v1/sweeps", Some(warm_body)).expect("warm submit");
-    assert_eq!(warm.status, 201, "{}", warm.text());
-    let warm_manifest = lassi_harness::json::parse(&warm.text()).unwrap();
-    let warm_id = warm_manifest
-        .get("run_id")
+    assert_eq!(warm.status, 202, "{}", warm.text());
+    let warm_view = lassi_harness::json::parse(&warm.text()).unwrap();
+    let warm_id = warm_view
+        .get("id")
         .and_then(|v| v.as_str())
         .unwrap()
         .to_string();
     assert!(warm_id.starts_with("srv-"), "server-assigned id: {warm_id}");
+    assert_eq!(
+        warm.header("location").unwrap(),
+        format!("/v1/runs/{warm_id}")
+    );
+    let (_, warm_done) = poll_to_terminal(addr, &warm_id, Duration::from_secs(120));
+    assert_eq!(state_of(&warm_done), "done");
+    let (_, warm_manifest) = get_json(addr, &format!("/v1/runs/{warm_id}/manifest"));
     assert_eq!(
         warm_manifest.get("cache_hits").and_then(|v| v.as_u64()),
         Some(2),
@@ -162,16 +252,62 @@ fn serves_sweeps_and_artifacts_end_to_end() {
     .unwrap();
     assert_eq!(cold_records, warm_records, "cache returns exact records");
 
-    // Both runs are listed, sorted.
+    // Both runs are listed with state + created, sorted by id.
     let (_, runs) = get_json(addr, "/v1/runs");
-    let listed: Vec<&str> = runs
+    let listed: Vec<(String, String)> = runs
         .get("runs")
         .and_then(|v| v.as_array())
         .unwrap()
         .iter()
-        .map(|v| v.as_str().unwrap())
+        .map(|row| {
+            (
+                row.get("id").and_then(|v| v.as_str()).unwrap().to_string(),
+                state_of(row),
+            )
+        })
         .collect();
-    assert_eq!(listed, vec!["itest", warm_id.as_str()]);
+    assert_eq!(
+        listed,
+        vec![
+            ("itest".to_string(), "done".to_string()),
+            (warm_id.clone(), "done".to_string())
+        ]
+    );
+
+    // Pagination: limit=1 yields the first run plus a `next` cursor; the
+    // cursor fetches the rest; the pages reassemble the full listing.
+    let (_, page1) = get_json(addr, "/v1/runs?limit=1");
+    let first: Vec<&Json> = page1
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .collect();
+    assert_eq!(first.len(), 1);
+    assert_eq!(first[0].get("id").and_then(|v| v.as_str()), Some("itest"));
+    let next = page1.get("next").and_then(|v| v.as_str()).expect("cursor");
+    assert_eq!(next, "itest");
+    let (_, page2) = get_json(addr, &format!("/v1/runs?limit=1&after={next}"));
+    let second: Vec<&Json> = page2
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .collect();
+    assert_eq!(second.len(), 1);
+    assert_eq!(
+        second[0].get("id").and_then(|v| v.as_str()),
+        Some(warm_id.as_str())
+    );
+    assert!(
+        matches!(page2.get("next"), Some(Json::Null)),
+        "last page has no cursor: {page2:?}"
+    );
+
+    // Cancelling a finished run is a conflict, with a machine-readable code.
+    let resp = http::request(addr, "POST", "/v1/runs/itest/cancel", None).unwrap();
+    assert_eq!(resp.status, 409);
+    assert_eq!(error_code(&resp), "not_cancellable");
 
     // DELETE removes a run and only that run; deleting again is a 404.
     let resp = http::request(addr, "DELETE", &format!("/v1/runs/{warm_id}"), None).unwrap();
@@ -181,12 +317,12 @@ fn serves_sweeps_and_artifacts_end_to_end() {
         "deleted run directory is gone"
     );
     let (_, runs) = get_json(addr, "/v1/runs");
-    let listed: Vec<&str> = runs
+    let listed: Vec<String> = runs
         .get("runs")
         .and_then(|v| v.as_array())
         .unwrap()
         .iter()
-        .map(|v| v.as_str().unwrap())
+        .map(|row| row.get("id").and_then(|v| v.as_str()).unwrap().to_string())
         .collect();
     assert_eq!(listed, vec!["itest"], "the other run survives the delete");
     assert!(
@@ -195,22 +331,30 @@ fn serves_sweeps_and_artifacts_end_to_end() {
     );
     let resp = http::request(addr, "DELETE", &format!("/v1/runs/{warm_id}"), None).unwrap();
     assert_eq!(resp.status, 404, "double delete is NotFound");
+    assert_eq!(error_code(&resp), "run_not_found");
 
-    // Error paths.
+    // Error paths all carry the structured envelope with stable codes.
     let resp = http::request(addr, "GET", "/v1/runs/does-not-exist", None).unwrap();
     assert_eq!(resp.status, 404);
+    assert_eq!(error_code(&resp), "run_not_found");
     let resp = http::request(addr, "DELETE", "/v1/runs/..", None).unwrap();
     assert_eq!(resp.status, 400, "traversal delete is rejected");
-    let resp = http::request(addr, "GET", "/v1/runs/..", None).unwrap();
-    assert_eq!(resp.status, 400, "traversal slug is rejected");
+    assert_eq!(error_code(&resp), "invalid_slug");
     let resp = http::request(addr, "GET", "/nope", None).unwrap();
     assert_eq!(resp.status, 404);
+    assert_eq!(error_code(&resp), "not_found");
     let resp = http::request(addr, "POST", "/v1/healthz", None).unwrap();
     assert_eq!(resp.status, 405);
+    assert_eq!(error_code(&resp), "method_not_allowed");
     let resp = http::request(addr, "POST", "/v1/sweeps", Some(b"{\"apps\": []}")).unwrap();
     assert_eq!(resp.status, 400);
+    assert_eq!(error_code(&resp), "invalid_sweep");
+    let resp = http::request(addr, "GET", "/v1/runs?limit=0", None).unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(error_code(&resp), "invalid_query");
     let resp = http::request(addr, "POST", "/v1/sweeps", Some(body)).unwrap();
     assert_eq!(resp.status, 409, "duplicate client-chosen run id");
+    assert_eq!(error_code(&resp), "run_exists");
 
     // Cooperative shutdown: the server drains and `run` returns.
     let resp = http::request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
@@ -225,6 +369,140 @@ fn serves_sweeps_and_artifacts_end_to_end() {
 }
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[test]
+fn run_lifecycle_cancel_and_drain() {
+    let root = test_root("lifecycle");
+    let _ = std::fs::remove_dir_all(&root);
+    // ONE executor: submissions beyond the first provably queue behind it,
+    // which is what makes the queued-cancel and drain assertions
+    // deterministic.
+    let (addr, join, _state) = start_server_with(&root, |s| s.with_sweep_executors(1));
+
+    let sweep = |apps: &str, msc: &str, run_id: &str| {
+        format!(
+            r#"{{"models": ["GPT-4"], "apps": [{apps}],
+                "directions": ["cuda-to-omp", "omp-to-cuda"],
+                "max_self_corrections": [{msc}], "timing_runs": [1],
+                "run_id": "{run_id}"}}"#
+        )
+    };
+
+    // Run A: 2 apps × 2 directions × 2 msc = 8 cold scenarios — long
+    // enough that it is still mid-flight when we cancel it below.
+    let a = sweep(r#""layout", "entropy""#, "10, 40", "run-a");
+    let resp = http::request(addr, "POST", "/v1/sweeps", Some(a.as_bytes())).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+
+    // Run B queues behind A on the single executor.
+    let b = sweep(r#""layout""#, "10", "run-b");
+    let resp = http::request(addr, "POST", "/v1/sweeps", Some(b.as_bytes())).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let (_, view) = get_json(addr, "/v1/runs/run-b");
+    assert_eq!(state_of(&view), "queued", "B waits behind A");
+
+    // Cancelling a queued run is immediate and durable.
+    let resp = http::request(addr, "POST", "/v1/runs/run-b/cancel", None).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let cancelled = lassi_harness::json::parse(&resp.text()).unwrap();
+    assert_eq!(state_of(&cancelled), "cancelled");
+    let (_, view) = get_json(addr, "/v1/runs/run-b");
+    assert_eq!(state_of(&view), "cancelled");
+    assert!(view
+        .get("reason")
+        .and_then(|r| r.as_str())
+        .unwrap()
+        .contains("cancelled by client"));
+    let resp = http::request(addr, "POST", "/v1/runs/run-b/cancel", None).unwrap();
+    assert_eq!(resp.status, 409, "double cancel conflicts");
+    assert_eq!(error_code(&resp), "not_cancellable");
+    // A cancelled-before-start run is deletable (nothing is writing to it).
+    let resp = http::request(addr, "DELETE", "/v1/runs/run-b", None).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // Wait for A to be running, then cancel it mid-flight.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, view) = get_json(addr, "/v1/runs/run-a");
+        if state_of(&view) == "running" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "A never started: {view:?}");
+        thread::sleep(Duration::from_millis(10));
+    }
+    // A live run cannot be deleted out from under its executor.
+    let resp = http::request(addr, "DELETE", "/v1/runs/run-a", None).unwrap();
+    assert_eq!(resp.status, 409);
+    assert_eq!(error_code(&resp), "run_active");
+    let resp = http::request(addr, "POST", "/v1/runs/run-a/cancel", None).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let (_, final_a) = poll_to_terminal(addr, "run-a", Duration::from_secs(120));
+    assert_eq!(state_of(&final_a), "cancelled");
+    assert!(final_a
+        .get("reason")
+        .and_then(|r| r.as_str())
+        .unwrap()
+        .contains("cancelled by client"));
+    let completed = final_a
+        .get("progress")
+        .and_then(|p| p.get("completed"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(
+        completed < 8,
+        "cancellation discards queued scenarios (completed {completed}/8)"
+    );
+
+    // Run C occupies the executor; run D queues behind it. A drain must
+    // cancel running C and fail queued D, each with a persisted reason.
+    let c = sweep(r#""layout", "entropy""#, "10, 40", "run-c");
+    let resp = http::request(addr, "POST", "/v1/sweeps", Some(c.as_bytes())).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, view) = get_json(addr, "/v1/runs/run-c");
+        if state_of(&view) == "running" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "C never started: {view:?}");
+        thread::sleep(Duration::from_millis(10));
+    }
+    let d = sweep(r#""entropy""#, "10", "run-d");
+    let resp = http::request(addr, "POST", "/v1/sweeps", Some(d.as_bytes())).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let (_, view) = get_json(addr, "/v1/runs/run-d");
+    assert_eq!(state_of(&view), "queued");
+
+    let resp = http::request(addr, "POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    join.join().expect("server drains");
+
+    // After the drain the lifecycle files on disk tell the story.
+    let store = ArtifactStore::new(&root);
+    let d_status = RunStatus::load(&store.run_dir("run-d")).unwrap();
+    assert_eq!(d_status.state, RunState::Failed);
+    assert!(
+        d_status
+            .reason
+            .as_deref()
+            .unwrap()
+            .contains("drained before the run started"),
+        "queued runs fail with a drain reason, got {:?}",
+        d_status.reason
+    );
+    let c_status = RunStatus::load(&store.run_dir("run-c")).unwrap();
+    assert_eq!(c_status.state, RunState::Failed);
+    assert!(
+        c_status.reason.as_deref().unwrap().contains("drained"),
+        "running runs fail with a drain reason, got {:?}",
+        c_status.reason
+    );
+    // Cancelled A kept its client-cancel reason.
+    let a_status = RunStatus::load(&store.run_dir("run-a")).unwrap();
+    assert_eq!(a_status.state, RunState::Cancelled);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
 
 #[test]
 fn keep_alive_serves_many_requests_on_one_socket() {
@@ -244,14 +522,35 @@ fn keep_alive_serves_many_requests_on_one_socket() {
         assert!(!resp.closes_connection(), "request {i} keeps the socket");
         assert_eq!(resp.body, one_shot.body, "request {i} body is identical");
     }
-    // Mixed methods and chunked bodies ride the same socket: submit a sweep,
-    // then fetch its records (served chunked) without reconnecting.
+    // The whole async flow rides the same socket: submit, poll to done,
+    // then fetch the records (served chunked) without reconnecting.
     let body = br#"{"models": ["GPT-4"], "apps": ["layout"],
                    "directions": ["cuda-to-omp"], "timing_runs": [1],
                    "run_id": "ka"}"#;
     let resp = conn.send("POST", "/v1/sweeps", Some(body)).expect("sweep");
-    assert_eq!(resp.status, 201, "{}", resp.text());
-    let manifest = lassi_harness::json::parse(&resp.text()).expect("manifest json");
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let view = conn.send("GET", "/v1/runs/ka", None).expect("poll");
+        assert_eq!(view.status, 200);
+        let parsed = lassi_harness::json::parse(&view.text()).unwrap();
+        let state = state_of(&parsed);
+        if state == "done" {
+            break;
+        }
+        assert!(
+            state == "queued" || state == "running",
+            "unexpected state `{state}`: {}",
+            view.text()
+        );
+        assert!(Instant::now() < deadline, "run never finished");
+        thread::sleep(Duration::from_millis(25));
+    }
+    let manifest = conn
+        .send("GET", "/v1/runs/ka/manifest", None)
+        .expect("manifest over keep-alive");
+    assert_eq!(manifest.status, 200);
+    let manifest = lassi_harness::json::parse(&manifest.text()).expect("manifest json");
     let set = manifest
         .get("record_sets")
         .and_then(|v| v.as_array())
@@ -375,7 +674,8 @@ fn concurrent_clients_share_one_cache() {
     let _ = std::fs::remove_dir_all(&root);
     let (addr, join, state) = start_server(&root);
 
-    // Four clients submit overlapping two-app grids concurrently.
+    // Four clients submit overlapping one-app grids concurrently, then
+    // each polls its own run to completion.
     let apps = ["layout", "entropy", "layout", "entropy"];
     let mut clients = Vec::new();
     for (i, app) in apps.iter().enumerate() {
@@ -385,17 +685,21 @@ fn concurrent_clients_share_one_cache() {
                 "run_id": "client-{i}"}}"#
         );
         clients.push(thread::spawn(move || {
-            http::request(addr, "POST", "/v1/sweeps", Some(body.as_bytes())).expect("submit")
+            let resp =
+                http::request(addr, "POST", "/v1/sweeps", Some(body.as_bytes())).expect("submit");
+            assert_eq!(resp.status, 202, "{}", resp.text());
+            poll_to_terminal(addr, &format!("client-{i}"), Duration::from_secs(120))
         }));
     }
     for client in clients {
-        let resp = client.join().expect("client thread");
-        assert_eq!(resp.status, 201, "{}", resp.text());
+        let (observed, view) = client.join().expect("client thread");
+        assert_lifecycle_order(&observed);
+        assert_eq!(state_of(&view), "done", "{view:?}");
     }
 
-    // 4 submissions of 1 scenario each over 2 distinct scenarios: the
-    // counters must account for every lookup, and every distinct scenario
-    // missed at least once.
+    // 4 runs of 1 scenario each over 2 distinct scenarios: the counters
+    // must account for every lookup, and every distinct scenario missed at
+    // least once.
     let snapshot = state.harness().cache_snapshot();
     assert_eq!(snapshot.hits + snapshot.misses, 4);
     assert!(snapshot.misses >= 2 && snapshot.misses <= 4);
