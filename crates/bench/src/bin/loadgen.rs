@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! loadgen --addr HOST:PORT [--clients N] [--requests R] [--artifacts DIR]
-//!         [--smoke] [--shutdown] [--out PATH] [--run-prefix P]
+//!         [--smoke] [--shutdown] [--out PATH] [--run-prefix P] [--timings]
 //! ```
+//!
+//! `--timings` prints a client-side request-latency table after the load:
+//! every request sent over a [`ClientSession`] is observed into the
+//! process-wide `lassi-obs` registry (`lassi_client_request_seconds`, by
+//! method), the same registry the server side exposes at `GET /v1/metrics`.
 //!
 //! Sweep submission is asynchronous: `POST /v1/sweeps` answers `202
 //! Accepted` with a `Location` pointing at the run resource, and the sweep
@@ -79,6 +84,7 @@ struct LoadgenArgs {
     shutdown: bool,
     out: String,
     run_prefix: String,
+    timings: bool,
 }
 
 fn parse_args() -> Result<LoadgenArgs, String> {
@@ -92,6 +98,7 @@ fn parse_args() -> Result<LoadgenArgs, String> {
         shutdown: false,
         out: "BENCH_server.json".into(),
         run_prefix: "lg".into(),
+        timings: false,
     };
     let mut iter = common.rest.into_iter();
     while let Some(arg) = iter.next() {
@@ -114,6 +121,7 @@ fn parse_args() -> Result<LoadgenArgs, String> {
             "--shutdown" => args.shutdown = true,
             "--out" => args.out = value("--out")?,
             "--run-prefix" => args.run_prefix = value("--run-prefix")?,
+            "--timings" => args.timings = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -228,10 +236,21 @@ impl ClientSession {
             )
         }
         let reused = self.conn.is_some();
+        let started = Instant::now();
         for attempt in 0..2 {
             match self.connect()?.send(method, path, body) {
                 Ok(resp) => {
                     self.requests_sent += 1;
+                    // Same registry the server exposes at /v1/metrics; here
+                    // it backs the client-side `--timings` table.
+                    lassi_obs::global()
+                        .histogram(
+                            "lassi_client_request_seconds",
+                            "Client-observed request latency, by method.",
+                            &[("method", method)],
+                            lassi_obs::LATENCY_SECONDS,
+                        )
+                        .observe(started.elapsed().as_secs_f64());
                     if resp.closes_connection() {
                         // The server announced the close (request cap or
                         // drain); reconnect lazily before the next request.
@@ -706,6 +725,36 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
             )?;
         }
 
+        // A done run's trace must exist, parse as trace.v1 JSONL, hold
+        // exactly one `job` span per scenario (each with its queue-wait vs
+        // execute split), and be served byte-identically by the trace
+        // endpoint.
+        let trace =
+            lassi_harness::read_trace(&run_dir).map_err(|e| format!("trace for {run_id}: {e}"))?;
+        let job_spans: Vec<_> = trace
+            .iter()
+            .filter(|ev| ev.kind == lassi_obs::TraceKind::Span && ev.name == "job")
+            .collect();
+        if job_spans.len() != APPS_PER_REQUEST {
+            return Err(format!(
+                "trace for {run_id} holds {} job spans; expected one per \
+                 scenario ({APPS_PER_REQUEST})",
+                job_spans.len()
+            ));
+        }
+        for span in &job_spans {
+            for field in ["queue_wait_us", "execute_us"] {
+                if span.field(field).is_none() {
+                    return Err(format!("job span in {run_id}'s trace lacks `{field}`"));
+                }
+            }
+        }
+        check_bytes_match(
+            addr,
+            &format!("/v1/runs/{run_id}/trace"),
+            &run_dir.join(lassi_harness::TRACE_FILE),
+        )?;
+
         // Resubmitting a finished run id must be refused with the
         // machine-readable `run_exists` code, not re-executed.
         let dup = sweep_body(&app_names, &args.run_prefix, "cold", 0, 0);
@@ -753,7 +802,8 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
             "smoke checks passed: submits under 100ms, warm phase 100% cache \
              hits, keep-alive ({} + {} connections for {} sweeps), pagination \
              walk consistent, run-{run_id} manifest + {} record sets \
-             byte-identical ({record_bytes} bytes), DELETE /v1/runs/{victim} \
+             byte-identical ({record_bytes} bytes), trace.jsonl parsed with \
+             one job span per scenario, DELETE /v1/runs/{victim} \
              cleaned up with envelope codes",
             cold.connections_opened,
             warm.connections_opened,
@@ -778,6 +828,10 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         percentile_ms(&warm.sweep_ms, 50.0)
     );
 
+    if args.timings {
+        print_client_timings();
+    }
+
     if args.shutdown {
         let resp = http::request(addr, "POST", "/v1/shutdown", None)
             .map_err(|e| format!("shutdown: {e}"))?;
@@ -787,6 +841,31 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         println!("server asked to shut down");
     }
     Ok(())
+}
+
+/// The `--timings` table: client-observed request latency by method, from
+/// the in-process `lassi-obs` registry [`ClientSession::send`] feeds.
+fn print_client_timings() {
+    let registry = lassi_obs::global();
+    println!(
+        "{:<8} {:>9} {:>11} {:>10}",
+        "method", "requests", "total s", "mean ms"
+    );
+    for method in ["GET", "POST", "DELETE"] {
+        let Some(snapshot) =
+            registry.histogram_snapshot("lassi_client_request_seconds", &[("method", method)])
+        else {
+            continue;
+        };
+        if snapshot.count == 0 {
+            continue;
+        }
+        let mean_ms = snapshot.sum / snapshot.count as f64 * 1e3;
+        println!(
+            "{method:<8} {:>9} {:>11.3} {mean_ms:>10.3}",
+            snapshot.count, snapshot.sum
+        );
+    }
 }
 
 fn write_bench(

@@ -6,8 +6,9 @@
 //! sweep run  [--models L] [--apps L] [--directions L|both]
 //!            [--max-self-corrections L] [--timing-runs L] [--seed N]
 //!            [--run-id ID] [--artifacts DIR] [--no-cache] [--workers N]
+//!            [--timings]
 //! sweep full [--max-self-corrections L] [--timing-runs L] [--seed N]
-//!            [--artifacts DIR] [--workers N]
+//!            [--artifacts DIR] [--workers N] [--timings]
 //! sweep smoke [--artifacts DIR] [--workers N]
 //! sweep verify <run-dir>
 //! sweep list [--artifacts DIR]
@@ -21,6 +22,11 @@
 //!
 //! Lists are comma-separated. Every (direction, max_self_corrections,
 //! timing_runs) cell of the grid becomes one record set in the artifact.
+//!
+//! `--timings` (on `run` and `full`) prints a per-stage pipeline timing
+//! table — parse / sema / llm / execute / similarity — from the
+//! process-wide `lassi-obs` metrics registry after the sweep; `full` also
+//! embeds the same breakdown as `stage_breakdown` in `BENCH_fullgrid.json`.
 //!
 //! `--full` runs the paper's complete Table-IV grid — every application ×
 //! every model × both directions (10 × 4 × 2 = 80 scenarios per config
@@ -131,6 +137,8 @@ struct SweepArgs {
     timing_runs: Vec<u32>,
     seed: Option<u64>,
     run_id: Option<String>,
+    /// Print the per-stage pipeline timing table after the sweep.
+    timings: bool,
 }
 
 fn parse_list<T, E: std::fmt::Display>(
@@ -188,6 +196,7 @@ fn parse_args() -> Result<SweepArgs, String> {
         timing_runs: vec![PipelineConfig::default().timing_runs],
         seed: None,
         run_id: None,
+        timings: false,
     };
     let mut mode: Option<Mode> = None;
     let mut rest = common.rest.into_iter().peekable();
@@ -259,6 +268,7 @@ fn parse_args() -> Result<SweepArgs, String> {
                 args.seed = Some(raw.parse().map_err(|_| format!("bad seed `{raw}`"))?);
             }
             "--run-id" => args.run_id = Some(value("--run-id")?),
+            "--timings" => args.timings = true,
             other if !other.starts_with('-') => {
                 // Positional operand — only `delete` / `verify` take one.
                 let takes_operand =
@@ -332,8 +342,10 @@ fn write_artifact(
     snapshot: CacheSnapshot,
 ) -> Result<Vec<(GridCell, Vec<lassi_core::TranslationRecord>)>, String> {
     let store = lassi_bench::artifact_store(&args.common);
+    // No extra lifecycle events from the CLI — `write_artifact` itself
+    // synthesises the one-job-span-per-scenario timeline in `trace.jsonl`.
     let per_cell = grid
-        .write_artifact(&store, run_id, replace, jobs, outputs, snapshot)
+        .write_artifact(&store, run_id, replace, jobs, outputs, snapshot, &[])
         .map_err(|e| e.to_string())?;
     eprintln!("artifact saved to {}", store.run_dir(run_id).display());
     Ok(per_cell)
@@ -412,6 +424,62 @@ fn cold_then_warm(
         (cold_out, cold_wall, cold_delta),
         (warm_out, warm_wall, warm_delta),
     ))
+}
+
+/// Per-stage pipeline timings accumulated in the process-wide metrics
+/// registry while this process ran scenarios: `(stage, samples, total
+/// seconds)` in pipeline order. Cache-served scenarios never enter the
+/// pipeline, so only genuinely-executed work shows up here.
+fn stage_rows() -> Vec<(&'static str, u64, f64)> {
+    let registry = lassi_obs::global();
+    lassi_core::STAGE_NAMES
+        .iter()
+        .filter_map(|stage| {
+            registry
+                .histogram_snapshot("lassi_stage_seconds", &[("stage", stage)])
+                .map(|snapshot| (*stage, snapshot.count, snapshot.sum))
+        })
+        .collect()
+}
+
+/// The `--timings` table: where pipeline wall-clock went, stage by stage.
+fn print_stage_table() {
+    let rows = stage_rows();
+    if rows.is_empty() {
+        println!("stage timings: none recorded (all scenarios cache-served?)");
+        return;
+    }
+    println!(
+        "{:<12} {:>9} {:>11} {:>10}",
+        "stage", "samples", "total s", "mean ms"
+    );
+    for (stage, count, sum) in rows {
+        let mean_ms = if count > 0 {
+            sum / count as f64 * 1e3
+        } else {
+            0.0
+        };
+        println!("{stage:<12} {count:>9} {sum:>11.3} {mean_ms:>10.3}");
+    }
+}
+
+/// The `stage_breakdown` object of `BENCH_fullgrid.json`: per-stage sample
+/// counts and total seconds, from the same registry as `--timings`.
+fn stage_breakdown() -> Json {
+    Json::Object(
+        stage_rows()
+            .into_iter()
+            .map(|(stage, count, sum)| {
+                (
+                    stage.to_string(),
+                    Json::Object(vec![
+                        ("samples".into(), Json::uint(count)),
+                        ("total_seconds".into(), Json::Float(sum)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
 }
 
 /// Throughput of one pass (0.0 for a degenerate zero wall-clock) — the one
@@ -622,6 +690,9 @@ fn full_sweep(args: &SweepArgs) -> Result<(), String> {
         let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
         println!("\n=== {} ===\n{stats}", cell.slug());
     }
+    if args.timings {
+        print_stage_table();
+    }
     Ok(())
 }
 
@@ -704,6 +775,10 @@ fn full_grid(args: &SweepArgs) -> Result<(), String> {
                 "config_cells".into(),
                 Json::Int((grid.max_self_corrections.len() * grid.timing_runs.len()) as i128),
             ),
+            // Where pipeline wall-clock went, stage by stage (the cold
+            // pass; warm scenarios are cache-served and never enter the
+            // pipeline).
+            ("stage_breakdown".into(), stage_breakdown()),
         ],
         grid.len(),
         workers,
@@ -720,6 +795,9 @@ fn full_grid(args: &SweepArgs) -> Result<(), String> {
     for (cell, records) in &per_cell {
         let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
         println!("\n=== {} ===\n{stats}", cell.slug());
+    }
+    if args.timings {
+        print_stage_table();
     }
     Ok(())
 }

@@ -1,14 +1,61 @@
 //! The LASSI pipeline: source preparation, context preparation, code
 //! generation and the self-correcting loops (Fig. 1 / §III of the paper).
 
+use std::time::Instant;
+
 use lassi_hecbench::{Application, Machine};
 use lassi_lang::{parse, Dialect, Program};
 use lassi_llm::prompts::{extract_code_block, PromptDictionary};
 use lassi_llm::ChatModel;
 use lassi_metrics::{runtime_ratio, with_engine};
+use lassi_obs::Histogram;
 use lassi_runtime::{ExecutionReport, HostInterpreter};
 
 use crate::config::PipelineConfig;
+
+/// The instrumented pipeline stages, in execution order. Each stage's time
+/// accumulates into the `lassi_stage_seconds{stage="..."}` histogram of the
+/// process-wide registry — the breakdown `sweep --timings` tabulates and
+/// `BENCH_fullgrid.json` commits as `stage_breakdown`.
+pub const STAGE_NAMES: &[&str] = &["parse", "sema", "llm", "execute", "similarity"];
+
+/// Per-stage histogram handles, registered once per pipeline instance and
+/// observed lock-free on the scenario hot path.
+struct StageTimers {
+    parse: Histogram,
+    sema: Histogram,
+    llm: Histogram,
+    execute: Histogram,
+    similarity: Histogram,
+}
+
+impl StageTimers {
+    fn register() -> StageTimers {
+        let stage = |name: &str| {
+            lassi_obs::global().histogram(
+                "lassi_stage_seconds",
+                "Per-scenario pipeline stage timings, by stage.",
+                &[("stage", name)],
+                lassi_obs::LATENCY_SECONDS,
+            )
+        };
+        StageTimers {
+            parse: stage("parse"),
+            sema: stage("sema"),
+            llm: stage("llm"),
+            execute: stage("execute"),
+            similarity: stage("similarity"),
+        }
+    }
+}
+
+/// Run `f`, recording its wall-clock duration into `histogram`.
+fn timed<T>(histogram: &Histogram, f: impl FnOnce() -> T) -> T {
+    let started = Instant::now();
+    let result = f();
+    histogram.observe(started.elapsed().as_secs_f64());
+    result
+}
 
 /// How a scenario ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +123,7 @@ pub struct Lassi<M: ChatModel> {
     config: PipelineConfig,
     prompt_tokens: usize,
     response_tokens: usize,
+    stages: StageTimers,
 }
 
 impl<M: ChatModel> Lassi<M> {
@@ -87,6 +135,7 @@ impl<M: ChatModel> Lassi<M> {
             config,
             prompt_tokens: 0,
             response_tokens: 0,
+            stages: StageTimers::register(),
         }
     }
 
@@ -96,7 +145,8 @@ impl<M: ChatModel> Lassi<M> {
     }
 
     fn complete(&mut self, system: &str, user: &str) -> String {
-        let resp = self.llm.complete(system, user);
+        let llm = &mut self.llm;
+        let resp = timed(&self.stages.llm, || llm.complete(system, user));
         self.prompt_tokens += resp.prompt_tokens;
         self.response_tokens += resp.response_tokens;
         resp.text
@@ -106,14 +156,15 @@ impl<M: ChatModel> Lassi<M> {
     /// way the paper averages three runs. Returns the last report with the
     /// averaged runtime substituted.
     fn compile_and_run(&self, program: &Program) -> Result<ExecutionReport, String> {
-        lassi_sema::compile(program)
+        timed(&self.stages.sema, || lassi_sema::compile(program))
             .map_err(|diags| lassi_lang::diag::render_diagnostics(&diags))?;
         let runs = self.config.timing_runs.max(1);
         let mut last: Option<ExecutionReport> = None;
         let mut total = 0.0;
         for _ in 0..runs {
             let mut interp = HostInterpreter::new(program, self.config.run_config.clone());
-            let report = interp.run(&self.machine, &[]).map_err(|e| e.to_string())?;
+            let report = timed(&self.stages.execute, || interp.run(&self.machine, &[]))
+                .map_err(|e| e.to_string())?;
             total += report.simulated_seconds;
             last = Some(report);
         }
@@ -159,7 +210,8 @@ impl<M: ChatModel> Lassi<M> {
         // ------------------------------------------------ source preparation
         // §III-A: both the original source and the target-language reference
         // must compile and run locally before translation proceeds.
-        let source_program = match parse(source_code, source_dialect) {
+        let source_program = match timed(&self.stages.parse, || parse(source_code, source_dialect))
+        {
             Ok(p) => p,
             Err(_) => return record,
         };
@@ -167,10 +219,11 @@ impl<M: ChatModel> Lassi<M> {
             Ok(r) => r,
             Err(_) => return record,
         };
-        let reference_program = match parse(reference_code, target_dialect) {
-            Ok(p) => p,
-            Err(_) => return record,
-        };
+        let reference_program =
+            match timed(&self.stages.parse, || parse(reference_code, target_dialect)) {
+                Ok(p) => p,
+                Err(_) => return record,
+            };
         let reference_report = match self.compile_and_run(&reference_program) {
             Ok(r) => r,
             Err(_) => return record,
@@ -215,10 +268,10 @@ impl<M: ChatModel> Lassi<M> {
         loop {
             // Compile loop (§III-D1): keep re-prompting until it compiles.
             let program = loop {
-                let compile_result = parse(&code, target_dialect)
+                let compile_result = timed(&self.stages.parse, || parse(&code, target_dialect))
                     .map_err(|d| d.to_string())
                     .and_then(|p| {
-                        lassi_sema::compile(&p)
+                        timed(&self.stages.sema, || lassi_sema::compile(&p))
                             .map(|_| p)
                             .map_err(|diags| lassi_lang::diag::render_diagnostics(&diags))
                     });
@@ -289,9 +342,11 @@ impl<M: ChatModel> Lassi<M> {
             record.generated_runtime = Some(report.simulated_seconds);
             // The thread-local engine reuses one symbol table and one set of
             // DP scratch buffers across every scenario a worker thread runs.
-            with_engine(|engine| {
-                record.sim_t = Some(engine.sim_t(reference_code, &code));
-                record.sim_l = Some(engine.sim_l(reference_code, &code));
+            timed(&self.stages.similarity, || {
+                with_engine(|engine| {
+                    record.sim_t = Some(engine.sim_t(reference_code, &code));
+                    record.sim_l = Some(engine.sim_l(reference_code, &code));
+                })
             });
             return record;
         }
@@ -299,9 +354,11 @@ impl<M: ChatModel> Lassi<M> {
         record.status = ScenarioStatus::Success;
         record.generated_runtime = Some(report.simulated_seconds);
         record.ratio = runtime_ratio(record.reference_runtime, report.simulated_seconds);
-        with_engine(|engine| {
-            record.sim_t = Some(engine.sim_t(reference_code, &code));
-            record.sim_l = Some(engine.sim_l(reference_code, &code));
+        timed(&self.stages.similarity, || {
+            with_engine(|engine| {
+                record.sim_t = Some(engine.sim_t(reference_code, &code));
+                record.sim_l = Some(engine.sim_l(reference_code, &code));
+            })
         });
         record
     }

@@ -173,15 +173,36 @@ enum DiskCommand {
     Flush(mpsc::SyncSender<()>),
 }
 
+/// Writer-thread counters shared between the enqueueing side and the
+/// writer itself: the live queue depth and how many flush barriers have
+/// completed. Read by `/v1/cache/stats` and mirrored into `/v1/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriterSnapshot {
+    /// Store commands enqueued but not yet written to disk.
+    pub queue_depth: u64,
+    /// Flush barriers acknowledged since the cache was created.
+    pub flushes: u64,
+}
+
+#[derive(Default)]
+struct WriterStats {
+    queue_depth: AtomicU64,
+    flushes: AtomicU64,
+}
+
 /// The dedicated disk-writer thread and its bounded command channel.
 struct DiskWriter {
     tx: Option<mpsc::SyncSender<DiskCommand>>,
     handle: Option<thread::JoinHandle<()>>,
+    stats: Arc<WriterStats>,
+    flush_seconds: lassi_obs::Histogram,
 }
 
 impl DiskWriter {
     fn spawn() -> DiskWriter {
         let (tx, rx) = mpsc::sync_channel::<DiskCommand>(WRITER_QUEUE_CAPACITY);
+        let stats = Arc::new(WriterStats::default());
+        let thread_stats = Arc::clone(&stats);
         let handle = thread::Builder::new()
             .name("lassi-cache-writer".into())
             .spawn(move || {
@@ -197,10 +218,12 @@ impl DiskWriter {
                             if std::fs::write(&tmp, text).is_ok() {
                                 let _ = std::fs::rename(&tmp, &path);
                             }
+                            thread_stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         }
                         DiskCommand::Flush(ack) => {
                             // The channel is FIFO, so reaching this command
                             // means every earlier store has been written.
+                            thread_stats.flushes.fetch_add(1, Ordering::Relaxed);
                             let _ = ack.send(());
                         }
                     }
@@ -210,11 +233,21 @@ impl DiskWriter {
         DiskWriter {
             tx: Some(tx),
             handle: Some(handle),
+            stats,
+            flush_seconds: lassi_obs::global().histogram(
+                "lassi_cache_flush_seconds",
+                "Latency of cache flush barriers (everything queued reaching disk).",
+                &[],
+                lassi_obs::LATENCY_SECONDS,
+            ),
         }
     }
 
     fn send(&self, command: DiskCommand) {
         if let Some(tx) = &self.tx {
+            if matches!(command, DiskCommand::Store { .. }) {
+                self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
             // A full channel blocks here: backpressure against a disk slower
             // than the workers, never unbounded memory.
             let _ = tx.send(command);
@@ -222,9 +255,18 @@ impl DiskWriter {
     }
 
     fn flush(&self) {
+        let started = std::time::Instant::now();
         let (ack_tx, ack_rx) = mpsc::sync_channel::<()>(1);
         self.send(DiskCommand::Flush(ack_tx));
         let _ = ack_rx.recv();
+        self.flush_seconds.observe(started.elapsed().as_secs_f64());
+    }
+
+    fn snapshot(&self) -> WriterSnapshot {
+        WriterSnapshot {
+            queue_depth: self.stats.queue_depth.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -357,6 +399,29 @@ impl ScenarioCache {
         }
         snapshot
     }
+
+    /// Per-shard counter values, indexed by shard. Summing these equals
+    /// [`ScenarioCache::snapshot`] (both read the same atomics), which is
+    /// what lets `/v1/cache/stats` and `/v1/metrics` stay consistent.
+    pub fn shard_snapshots(&self) -> Vec<CacheSnapshot> {
+        self.shards
+            .iter()
+            .map(|shard| CacheSnapshot {
+                hits: shard.stats.hits.load(Ordering::Relaxed),
+                misses: shard.stats.misses.load(Ordering::Relaxed),
+                stores: shard.stats.stores.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Disk-writer queue depth and flush count; all zeros for an in-memory
+    /// cache (there is no writer thread to observe).
+    pub fn writer_snapshot(&self) -> WriterSnapshot {
+        self.writer
+            .as_ref()
+            .map(DiskWriter::snapshot)
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +507,43 @@ mod tests {
         let snap = cache.snapshot();
         let n = keys.len() as u64;
         assert_eq!((snap.hits, snap.misses, snap.stores), (n, n, n));
+    }
+
+    #[test]
+    fn shard_snapshots_sum_to_the_aggregate() {
+        let cache = ScenarioCache::in_memory();
+        let record = job("layout", 40).run();
+        for key in (0..64u64).map(|k| ScenarioKey(k.wrapping_mul(0x9e3779b97f4a7c15))) {
+            assert!(cache.lookup(key).is_none());
+            cache.store(key, &record);
+            assert!(cache.lookup(key).is_some());
+        }
+        let shards = cache.shard_snapshots();
+        assert_eq!(shards.len(), SHARD_COUNT);
+        let total = cache.snapshot();
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), total.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), total.misses);
+        assert_eq!(shards.iter().map(|s| s.stores).sum::<u64>(), total.stores);
+        assert_eq!((total.hits, total.misses, total.stores), (64, 64, 64));
+        // No writer thread: the writer snapshot is all zeros.
+        assert_eq!(cache.writer_snapshot(), WriterSnapshot::default());
+    }
+
+    #[test]
+    fn writer_snapshot_counts_flushes_and_drains_the_queue() {
+        let dir = test_dir("writer-stats");
+        let cache = ScenarioCache::on_disk(&dir).unwrap();
+        let record = job("layout", 40).run();
+        for key in (0..8u64).map(ScenarioKey) {
+            cache.store(key, &record);
+        }
+        cache.flush();
+        cache.flush();
+        let snap = cache.writer_snapshot();
+        assert_eq!(snap.queue_depth, 0, "flush drains every queued store");
+        assert_eq!(snap.flushes, 2);
+        drop(cache);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -11,6 +11,7 @@ use lassi_core::{scenario_outcomes, Direction, PipelineConfig, TranslationRecord
 use lassi_hecbench::Application;
 use lassi_llm::ModelSpec;
 use lassi_metrics::AggregateStats;
+use lassi_obs::TraceEvent;
 
 use crate::cache::CacheSnapshot;
 use crate::runstate::RunStatus;
@@ -168,14 +169,21 @@ impl SweepGrid {
     }
 
     /// Write one run artifact for a completed sweep over this grid: a
-    /// record set and summary per grid cell, plus the manifest. This is the
-    /// single writer the `sweep` CLI and the HTTP service share, so their
-    /// artifacts are interchangeable (`--replay`, `--verify` and
-    /// `GET /v1/runs/{id}` all read the same layout).
+    /// record set and summary per grid cell, the run's `trace.jsonl`, plus
+    /// the manifest. This is the single writer the `sweep` CLI and the
+    /// HTTP service share, so their artifacts are interchangeable
+    /// (`--replay`, `--verify` and `GET /v1/runs/{id}` all read the same
+    /// layout).
+    ///
+    /// `trace` carries the caller's run-lifecycle events (runstate
+    /// transitions, drains); one `job` span per output is appended before
+    /// writing, so a completed run's trace always holds exactly one span
+    /// per scenario regardless of which front end drove the sweep.
     ///
     /// `replace` wipes a previous run under the same (fixed) id; without it
     /// a colliding run id is an `AlreadyExists` error rather than a silent
     /// merge. Returns the per-cell records for later verification.
+    #[allow(clippy::too_many_arguments)]
     pub fn write_artifact(
         &self,
         store: &ArtifactStore,
@@ -184,6 +192,7 @@ impl SweepGrid {
         jobs: &[Job],
         outputs: &[JobOutput],
         snapshot: CacheSnapshot,
+        trace: &[TraceEvent],
     ) -> Result<Vec<(GridCell, Vec<TranslationRecord>)>, ArtifactError> {
         let per_cell = self.group_by_cell(jobs, outputs);
         let writer = if replace {
@@ -200,6 +209,20 @@ impl SweepGrid {
         let record_sets = self.cells().iter().map(GridCell::slug).collect();
         let manifest = self.manifest(run_id, record_sets, outputs.len(), snapshot);
         writer.write_manifest(&manifest)?;
+        let mut events: Vec<TraceEvent> = trace.to_vec();
+        let mut ordered: Vec<&JobOutput> = outputs.iter().collect();
+        ordered.sort_by_key(|output| output.index);
+        // One `job` span per scenario, in submission order with
+        // back-to-back end times: each span's duration and queue-wait vs
+        // execute split are the worker's real measurements, while the
+        // sequential layout keeps the file deterministic under any worker
+        // schedule.
+        let mut end_us = 0u64;
+        for output in &ordered {
+            end_us += ((output.queue_seconds + output.wall_seconds) * 1e6).round() as u64;
+            events.push(crate::trace::job_span(end_us, &jobs[output.index], output));
+        }
+        crate::trace::write_trace(writer.dir(), &events)?;
         // A fully-written artifact is a terminally `done` run; persisting
         // the lifecycle file here keeps CLI-written runs queryable through
         // the same `state.json` contract the async service uses. Callers

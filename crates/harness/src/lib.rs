@@ -33,8 +33,11 @@ pub mod queue;
 pub mod runstate;
 pub mod scheduler;
 pub mod store;
+pub mod trace;
 
-pub use cache::{fnv1a64, scenario_key, CacheSnapshot, ScenarioCache, ScenarioKey, SHARD_COUNT};
+pub use cache::{
+    fnv1a64, scenario_key, CacheSnapshot, ScenarioCache, ScenarioKey, WriterSnapshot, SHARD_COUNT,
+};
 pub use grid::{GridCell, SweepGrid};
 pub use json::Json;
 pub use queue::BoundedQueue;
@@ -45,4 +48,7 @@ pub use scheduler::{
 pub use store::{
     detect_git_commit, is_slug, ArtifactError, ArtifactStore, RunArtifact, RunManifest, RunWriter,
     SCHEMA_VERSION,
+};
+pub use trace::{
+    event_from_json, event_to_json, job_span, parse_trace, read_trace, write_trace, TRACE_FILE,
 };

@@ -6,10 +6,13 @@
 //! feeds jobs through a [`BoundedQueue`] (backpressure against huge grids),
 //! each worker consults the optional [`ScenarioCache`] before running the
 //! pipeline, and completed [`JobOutput`]s arrive on a channel in completion
-//! order with per-job wall-clock timing. Submission order is preserved in
+//! order with per-job wall-clock timing split into queue wait (push → pop)
+//! and execution (pop → record). Submission order is preserved in
 //! [`JobStream::collect_ordered`], so sweeps render tables identically to
 //! the old blocking `par_iter` path. Cancellation discards queued work and
-//! lets in-flight scenarios finish.
+//! lets in-flight scenarios finish. Every completion feeds the process-wide
+//! metrics registry (`lassi_jobs_completed_total`,
+//! `lassi_job_queue_wait_seconds`, `lassi_job_execute_seconds`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -80,6 +83,8 @@ pub struct JobOutput {
     pub record: TranslationRecord,
     /// Wall-clock seconds this job took on its worker (cache hits ~0).
     pub wall_seconds: f64,
+    /// Seconds the job sat in the bounded queue before a worker popped it.
+    pub queue_seconds: f64,
     /// True when the record came from the scenario cache.
     pub from_cache: bool,
 }
@@ -129,6 +134,65 @@ impl HarnessOptions {
     /// when one was set, otherwise `2 × workers`.
     pub fn effective_queue_capacity(&self) -> usize {
         self.queue_capacity.unwrap_or(self.workers.max(1) * 2)
+    }
+}
+
+/// A job in the bounded queue, stamped with its enqueue instant so the
+/// popping worker can report queue wait separately from execution time.
+struct QueuedJob {
+    index: usize,
+    job: Job,
+    enqueued: Instant,
+}
+
+/// The scheduler's handles into the process-wide metrics registry,
+/// registered once per submission and cloned into every worker (handles
+/// are `Arc`s over atomics, so recording is lock-free on the hot path).
+#[derive(Clone)]
+struct SchedulerMetrics {
+    queue_wait: lassi_obs::Histogram,
+    execute: lassi_obs::Histogram,
+    completed_hit: lassi_obs::Counter,
+    completed_run: lassi_obs::Counter,
+}
+
+impl SchedulerMetrics {
+    fn register() -> SchedulerMetrics {
+        let registry = lassi_obs::global();
+        SchedulerMetrics {
+            queue_wait: registry.histogram(
+                "lassi_job_queue_wait_seconds",
+                "Time a job sat in the bounded queue before a worker popped it.",
+                &[],
+                lassi_obs::LATENCY_SECONDS,
+            ),
+            execute: registry.histogram(
+                "lassi_job_execute_seconds",
+                "Time a worker spent producing a job's record (cache hits included).",
+                &[],
+                lassi_obs::LATENCY_SECONDS,
+            ),
+            completed_hit: registry.counter(
+                "lassi_jobs_completed_total",
+                "Completed scheduler jobs, by cache provenance.",
+                &[("result", "cache_hit")],
+            ),
+            completed_run: registry.counter(
+                "lassi_jobs_completed_total",
+                "Completed scheduler jobs, by cache provenance.",
+                &[("result", "executed")],
+            ),
+        }
+    }
+
+    fn record(&self, queue_seconds: f64, wall_seconds: f64, from_cache: bool) {
+        self.queue_wait.observe(queue_seconds);
+        self.execute.observe(wall_seconds);
+        if from_cache {
+            self.completed_hit.inc();
+        } else {
+            self.completed_run.inc();
+        }
     }
 }
 
@@ -212,11 +276,12 @@ impl Harness {
     /// Submit a batch of jobs and stream their outputs as they complete.
     pub fn submit(&self, jobs: Vec<Job>) -> JobStream {
         let total = jobs.len();
-        let queue = Arc::new(BoundedQueue::<(usize, Job)>::new(
+        let queue = Arc::new(BoundedQueue::<QueuedJob>::new(
             self.options.effective_queue_capacity(),
         ));
         let cancel = CancelToken::default();
         let (tx, rx) = mpsc::channel::<JobOutput>();
+        let metrics = SchedulerMetrics::register();
 
         // Never spawn more workers than there are jobs: a warm two-scenario
         // submission on a many-core service must not pay dozens of thread
@@ -231,7 +296,12 @@ impl Harness {
             let cancel = cancel.clone();
             handles.push(thread::spawn(move || {
                 for (index, job) in jobs.into_iter().enumerate() {
-                    if cancel.is_cancelled() || queue.push((index, job)).is_err() {
+                    let queued = QueuedJob {
+                        index,
+                        job,
+                        enqueued: Instant::now(),
+                    };
+                    if cancel.is_cancelled() || queue.push(queued).is_err() {
                         break;
                     }
                 }
@@ -244,13 +314,20 @@ impl Harness {
             let cancel = cancel.clone();
             let cache = self.cache.clone();
             let tx = tx.clone();
+            let metrics = metrics.clone();
             handles.push(thread::spawn(move || {
-                while let Some((index, job)) = queue.pop() {
+                while let Some(QueuedJob {
+                    index,
+                    job,
+                    enqueued,
+                }) = queue.pop()
+                {
                     if cancel.is_cancelled() {
                         queue.close_and_clear();
                         break;
                     }
                     let started = Instant::now();
+                    let queue_seconds = (started - enqueued).as_secs_f64();
                     let (record, from_cache) = match &cache {
                         Some(cache) => {
                             let key = job.cache_key();
@@ -265,11 +342,14 @@ impl Harness {
                         }
                         None => (job.run(), false),
                     };
+                    let wall_seconds = started.elapsed().as_secs_f64();
+                    metrics.record(queue_seconds, wall_seconds, from_cache);
                     let output = JobOutput {
                         index,
                         direction: job.direction,
                         record,
-                        wall_seconds: started.elapsed().as_secs_f64(),
+                        wall_seconds,
+                        queue_seconds,
                         from_cache,
                     };
                     // The receiver dropping early is a form of cancellation.
@@ -327,7 +407,7 @@ pub fn direction_jobs(
 pub struct JobStream {
     rx: mpsc::Receiver<JobOutput>,
     cancel: CancelToken,
-    queue: Arc<BoundedQueue<(usize, Job)>>,
+    queue: Arc<BoundedQueue<QueuedJob>>,
     handles: Vec<thread::JoinHandle<()>>,
     total: usize,
 }
@@ -473,6 +553,7 @@ mod tests {
         assert_eq!(cold.len(), jobs.len());
         assert!(cold.iter().all(|o| !o.from_cache));
         assert!(cold.iter().all(|o| o.wall_seconds >= 0.0));
+        assert!(cold.iter().all(|o| o.queue_seconds >= 0.0));
 
         let warm: Vec<JobOutput> = harness.submit(jobs.clone()).collect_outputs();
         assert!(

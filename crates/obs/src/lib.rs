@@ -1,0 +1,23 @@
+//! # lassi-obs
+//!
+//! The observability core of the LASSI reproduction: a process-wide
+//! [`metrics`] registry (atomic counters, gauges and fixed-boundary
+//! log-bucketed histograms with a Prometheus-style text exposition) and a
+//! [`trace`] module of explicitly-clocked spans and events (monotonic
+//! [`std::time::Instant`]-based — no wall-clock dependence, so tests stay
+//! deterministic).
+//!
+//! Everything here is dependency-free std (see the README "Dependency
+//! policy"): instruments are plain atomics behind `Arc`s, cheap enough to
+//! sit on the request and job hot paths, and the exposition renderer is a
+//! few string pushes. Serialization of trace events to `trace.jsonl` lives
+//! in `lassi-harness` (the crate that owns the hand-rolled JSON layer);
+//! this crate only defines the data model and the clocks.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, LATENCY_SECONDS,
+};
+pub use trace::{EventRing, FieldValue, TraceEvent, TraceKind, TraceSink, TRACE_SCHEMA};

@@ -1,0 +1,319 @@
+//! Structured tracing: explicitly-clocked spans and events.
+//!
+//! Every timestamp is **microseconds since the owning sink's origin**, an
+//! [`Instant`] captured when the sink was created — never wall-clock time,
+//! so traces are reproducible in tests and immune to clock steps. A
+//! [`TraceSink`] accumulates the events of one run (serialized to
+//! `trace.jsonl` by `lassi-harness`, which owns the JSON layer); an
+//! [`EventRing`] keeps a bounded buffer of recent process-wide events for
+//! `GET /v1/debug/events`.
+//!
+//! The serialized schema is versioned as [`TRACE_SCHEMA`] (`trace.v1`) and
+//! documented in the README "Observability" section.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version tag stamped on every serialized trace line.
+pub const TRACE_SCHEMA: &str = "trace.v1";
+
+/// A field value attached to a span or event. Deliberately small: just the
+/// scalar types the hand-rolled JSON layer round-trips exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (covers every duration/count the tracer records).
+    Int(i64),
+    /// A float (bit-exact through the JSON codec).
+    Float(f64),
+    /// A string.
+    Str(String),
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::Int(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::Float(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// Whether a trace entry is an instantaneous event or a timed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An instantaneous event (a state transition, a drain, an error).
+    Event,
+    /// A timed span with a duration (a job, a pipeline stage).
+    Span,
+}
+
+impl TraceKind {
+    /// Serialized form (`"event"` / `"span"`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            TraceKind::Event => "event",
+            TraceKind::Span => "span",
+        }
+    }
+
+    /// Inverse of [`TraceKind::slug`].
+    pub fn from_slug(slug: &str) -> Option<TraceKind> {
+        match slug {
+            "event" => Some(TraceKind::Event),
+            "span" => Some(TraceKind::Span),
+            _ => None,
+        }
+    }
+}
+
+/// One entry in a trace: an event or a span, with its explicit clocking
+/// and structured fields (insertion-ordered, like the JSON layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event or span.
+    pub kind: TraceKind,
+    /// What happened (`job`, `runstate`, `drain`, ...).
+    pub name: String,
+    /// Start time in microseconds since the sink's origin.
+    pub t_us: u64,
+    /// Duration in microseconds; `None` for instantaneous events.
+    pub dur_us: Option<u64>,
+    /// Structured payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// An instantaneous event at `t_us`.
+    pub fn event(name: impl Into<String>, t_us: u64) -> TraceEvent {
+        TraceEvent {
+            kind: TraceKind::Event,
+            name: name.into(),
+            t_us,
+            dur_us: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// A span covering `[t_us, t_us + dur_us]`.
+    pub fn span(name: impl Into<String>, t_us: u64, dur_us: u64) -> TraceEvent {
+        TraceEvent {
+            kind: TraceKind::Span,
+            name: name.into(),
+            t_us,
+            dur_us: Some(dur_us),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a field (builder-style).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> TraceEvent {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Collects the trace of one run. All timestamps are relative to the
+/// sink's origin instant, captured at construction.
+#[derive(Debug)]
+pub struct TraceSink {
+    origin: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// A sink whose clock starts now.
+    pub fn new() -> TraceSink {
+        TraceSink {
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Microseconds elapsed since the sink's origin — the `t_us` a caller
+    /// should stamp on events it pushes.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Append an entry.
+    pub fn push(&self, event: TraceEvent) {
+        self.events.lock().expect("trace sink poisoned").push(event);
+    }
+
+    /// Number of entries recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the entries recorded so far, in push order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+}
+
+/// A bounded ring of recent events: pushes past the capacity evict the
+/// oldest entry and count as drops. Backs `GET /v1/debug/events`.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    origin: Instant,
+    buf: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            capacity: capacity.max(1),
+            origin: Instant::now(),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Microseconds since the ring was created.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut buf = self.buf.lock().expect("event ring poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf
+            .lock()
+            .expect("event ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// How many events have been evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_keeps_push_order_and_fields() {
+        let sink = TraceSink::new();
+        sink.push(
+            TraceEvent::span("job", 10, 5)
+                .with("application", "layout")
+                .with("index", 0usize)
+                .with("from_cache", false),
+        );
+        sink.push(TraceEvent::event("runstate", 20).with("to", "done"));
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceKind::Span);
+        assert_eq!(events[0].dur_us, Some(5));
+        assert_eq!(
+            events[0].field("application"),
+            Some(&FieldValue::Str("layout".into()))
+        );
+        assert_eq!(events[1].field("to"), Some(&FieldValue::Str("done".into())));
+        assert_eq!(events[1].dur_us, None);
+    }
+
+    #[test]
+    fn sink_clock_is_monotone() {
+        let sink = TraceSink::new();
+        let a = sink.now_us();
+        let b = sink.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = EventRing::new(3);
+        for i in 0..5u64 {
+            ring.push(TraceEvent::event("e", i));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].t_us, 2, "oldest two evicted");
+        assert_eq!(events[2].t_us, 4);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn kind_slugs_round_trip() {
+        for kind in [TraceKind::Event, TraceKind::Span] {
+            assert_eq!(TraceKind::from_slug(kind.slug()), Some(kind));
+        }
+        assert_eq!(TraceKind::from_slug("nope"), None);
+    }
+}

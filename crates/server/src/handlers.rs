@@ -32,9 +32,41 @@ pub const DEFAULT_RUNS_PAGE: usize = 100;
 /// Largest accepted `?limit=` of `GET /v1/runs`.
 pub const MAX_RUNS_PAGE: usize = 1000;
 
-/// Dispatch one request.
+/// Dispatch one request, recording the per-request metrics around the
+/// handler: a `lassi_http_requests_total{method, route, status}` counter
+/// and a `lassi_http_request_seconds{method, route}` latency histogram.
+/// The `route` label is the resolved *pattern* (`/v1/runs/{id}`), never
+/// the raw path, so the series set stays bounded.
 pub fn handle(state: &AppState, req: &Request) -> Response {
-    match route(&req.method, &req.path) {
+    let resolved = route(&req.method, &req.path);
+    let pattern = crate::router::route_pattern(&resolved);
+    let started = std::time::Instant::now();
+    let response = dispatch(state, req, resolved);
+    let registry = lassi_obs::global();
+    registry
+        .histogram(
+            "lassi_http_request_seconds",
+            "HTTP request handling latency, by method and route.",
+            &[("method", &req.method), ("route", pattern)],
+            lassi_obs::LATENCY_SECONDS,
+        )
+        .observe(started.elapsed().as_secs_f64());
+    registry
+        .counter(
+            "lassi_http_requests_total",
+            "HTTP requests served, by method, route and status.",
+            &[
+                ("method", &req.method),
+                ("route", pattern),
+                ("status", &response.status.to_string()),
+            ],
+        )
+        .inc();
+    response
+}
+
+fn dispatch(state: &AppState, req: &Request, resolved: Result<Route, RouteError>) -> Response {
+    match resolved {
         Err(RouteError::NotFound) => Response::error(404, "not_found", "no such endpoint"),
         Err(RouteError::MethodNotAllowed) => Response::error(
             405,
@@ -48,14 +80,148 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         ),
         Ok(Route::Healthz) => healthz(),
         Ok(Route::CacheStats) => cache_stats(state),
+        Ok(Route::Metrics) => metrics(state),
+        Ok(Route::DebugEvents) => debug_events(state),
         Ok(Route::ListRuns) => list_runs(state, &req.query),
         Ok(Route::GetRun(id)) => get_run(state, &id),
         Ok(Route::DeleteRun(id)) => delete_run(state, &id),
         Ok(Route::CancelRun(id)) => cancel_run(state, &id),
         Ok(Route::GetManifest(id)) => get_manifest(state, &id),
+        Ok(Route::GetTrace(id)) => get_trace(state, &id),
         Ok(Route::GetRecords(id, set)) => get_records(state, &id, &set),
         Ok(Route::SubmitSweep) => submit_sweep(state, &req.body),
         Ok(Route::Shutdown) => shutdown(state),
+    }
+}
+
+/// `GET /v1/metrics`: the process-wide registry in Prometheus text
+/// exposition format. Event-driven instruments (request counters, job
+/// histograms, stage timings) are already up to date; state that lives
+/// outside the registry — cache shard counters, writer queue, run queue,
+/// executor occupancy — is mirrored in at scrape time, with the external
+/// atomics staying the single source of truth so this view and
+/// `/v1/cache/stats` can never disagree.
+fn metrics(state: &AppState) -> Response {
+    let registry = lassi_obs::global();
+    if let Some(cache) = state.harness().cache() {
+        for (i, shard) in cache.shard_snapshots().iter().enumerate() {
+            let shard_label = format!("{i:02}");
+            let labels = [("shard", shard_label.as_str())];
+            registry
+                .counter(
+                    "lassi_cache_hits_total",
+                    "Scenario-cache hits, by shard.",
+                    &labels,
+                )
+                .record_total(shard.hits);
+            registry
+                .counter(
+                    "lassi_cache_misses_total",
+                    "Scenario-cache misses, by shard.",
+                    &labels,
+                )
+                .record_total(shard.misses);
+            registry
+                .counter(
+                    "lassi_cache_stores_total",
+                    "Scenario-cache stores, by shard.",
+                    &labels,
+                )
+                .record_total(shard.stores);
+        }
+        let writer = cache.writer_snapshot();
+        registry
+            .gauge(
+                "lassi_cache_writer_queue_depth",
+                "Store commands queued at the batched disk writer.",
+                &[],
+            )
+            .set(writer.queue_depth as i64);
+        registry
+            .counter(
+                "lassi_cache_writer_flushes_total",
+                "Flush barriers completed by the batched disk writer.",
+                &[],
+            )
+            .record_total(writer.flushes);
+    }
+    registry
+        .gauge(
+            "lassi_run_queue_depth",
+            "Accepted runs waiting for a sweep executor.",
+            &[],
+        )
+        .set(state.queue_depth() as i64);
+    let (busy, total) = state.executor_counts();
+    let executors = |occupancy: &'static str| {
+        registry.gauge(
+            "lassi_sweep_executors",
+            "Sweep-executor threads, by occupancy.",
+            &[("occupancy", occupancy)],
+        )
+    };
+    executors("busy").set(busy as i64);
+    executors("idle").set(total.saturating_sub(busy) as i64);
+    registry
+        .counter(
+            "lassi_debug_events_dropped_total",
+            "Trace events evicted from the debug ring before being read.",
+            &[],
+        )
+        .record_total(state.events().dropped());
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body: registry.render().into_bytes(),
+        chunked: false,
+        location: None,
+    }
+}
+
+/// `GET /v1/debug/events`: the most recent trace events (ring-buffered,
+/// bounded, lossy by design) — what the server was just doing, without
+/// grepping artifact directories.
+fn debug_events(state: &AppState) -> Response {
+    let ring = state.events();
+    let events: Vec<Json> = ring
+        .snapshot()
+        .iter()
+        .map(lassi_harness::event_to_json)
+        .collect();
+    let body = Json::Object(vec![
+        ("capacity".into(), Json::uint(ring.capacity() as u64)),
+        ("dropped".into(), Json::uint(ring.dropped())),
+        ("events".into(), Json::Array(events)),
+    ]);
+    Response::json(200, body.to_compact())
+}
+
+/// `GET /v1/runs/{id}/trace`: the run's `trace.jsonl` as raw bytes — one
+/// compact `trace.v1` JSON object per line, exactly what the artifact
+/// directory holds. Only written runs have one (404 otherwise).
+fn get_trace(state: &AppState, id: &str) -> Response {
+    if state.run_status(id).is_none() {
+        return Response::error(404, "run_not_found", &format!("run `{id}` does not exist"));
+    }
+    let path = state.store().run_dir(id).join(lassi_harness::TRACE_FILE);
+    match std::fs::read(&path) {
+        Ok(bytes) => Response {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body: bytes,
+            chunked: true,
+            location: None,
+        },
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Response::error(
+            404,
+            "artifact_not_found",
+            &format!("{} does not exist", path.display()),
+        ),
+        Err(e) => Response::error(
+            500,
+            "internal",
+            &format!("cannot read {}: {e}", path.display()),
+        ),
     }
 }
 
@@ -71,10 +237,14 @@ fn healthz() -> Response {
     Response::json(200, body.to_compact())
 }
 
+/// `GET /v1/cache/stats`: aggregate counters (unchanged shape, existing
+/// clients keep parsing) plus the per-shard breakdown and the batched
+/// disk-writer's queue/flush view. The shard rows read the same atomics
+/// the aggregate sums, so `shards[*]` always add up to the totals.
 fn cache_stats(state: &AppState) -> Response {
     let harness = state.harness();
     let snapshot = harness.cache_snapshot();
-    let body = Json::Object(vec![
+    let mut fields = vec![
         ("attached".into(), Json::Bool(harness.cache().is_some())),
         (
             "disk".into(),
@@ -84,8 +254,32 @@ fn cache_stats(state: &AppState) -> Response {
         ("misses".into(), Json::uint(snapshot.misses)),
         ("stores".into(), Json::uint(snapshot.stores)),
         ("hit_rate".into(), Json::Float(snapshot.hit_rate())),
-    ]);
-    Response::json(200, body.to_compact())
+    ];
+    if let Some(cache) = harness.cache() {
+        let shards: Vec<Json> = cache
+            .shard_snapshots()
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                Json::Object(vec![
+                    ("shard".into(), Json::uint(i as u64)),
+                    ("hits".into(), Json::uint(shard.hits)),
+                    ("misses".into(), Json::uint(shard.misses)),
+                    ("stores".into(), Json::uint(shard.stores)),
+                ])
+            })
+            .collect();
+        let writer = cache.writer_snapshot();
+        fields.push(("shards".into(), Json::Array(shards)));
+        fields.push((
+            "writer".into(),
+            Json::Object(vec![
+                ("queue_depth".into(), Json::uint(writer.queue_depth)),
+                ("flushes".into(), Json::uint(writer.flushes)),
+            ]),
+        ));
+    }
+    Response::json(200, Json::Object(fields).to_compact())
 }
 
 /// The run-resource view `GET /v1/runs/{id}`, submission and cancel serve.

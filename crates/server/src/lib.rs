@@ -18,7 +18,10 @@
 //! | `DELETE` | `/v1/runs/{id}` | Delete a terminal run's directory (live runs are a 409). |
 //! | `GET` | `/v1/runs/{id}/manifest` | The run manifest — raw artifact bytes. |
 //! | `GET` | `/v1/runs/{id}/records/{set}` | One record set — raw artifact bytes, chunked. |
-//! | `GET` | `/v1/cache/stats` | Scenario-cache hit/miss/store counters. |
+//! | `GET` | `/v1/runs/{id}/trace` | The run's `trace.jsonl` — one `trace.v1` event per line: runstate transitions plus one `job` span per scenario with its queue-wait/execute split. |
+//! | `GET` | `/v1/cache/stats` | Scenario-cache counters: aggregate hit/miss/store, per-shard breakdown, disk-writer queue depth and flush count. |
+//! | `GET` | `/v1/metrics` | Prometheus-style text exposition of the process-wide `lassi_` metrics registry. |
+//! | `GET` | `/v1/debug/events` | The most recent trace events from a bounded in-memory ring (lossy by design). |
 //! | `GET` | `/v1/healthz` | Liveness. |
 //! | `POST` | `/v1/shutdown` | Cooperative drain: refuse new sweeps, fail queued runs with a reason, cancel running ones, finish in-flight scenarios, exit. |
 //!
@@ -63,7 +66,10 @@ pub use handlers::{DEFAULT_RUNS_PAGE, MAX_RUNS_PAGE, MAX_SCENARIOS_PER_SWEEP};
 pub use http::{
     request, request_with_timeout, ClientConnection, ClientResponse, Request, Response,
 };
-pub use state::{AppState, CancelError, SubmitError, DEFAULT_SWEEP_EXECUTORS, MAX_QUEUED_RUNS};
+pub use state::{
+    AppState, CancelError, SubmitError, DEBUG_EVENT_CAPACITY, DEFAULT_SWEEP_EXECUTORS,
+    MAX_QUEUED_RUNS,
+};
 
 /// Default cap on concurrently-served connections.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
@@ -90,14 +96,33 @@ struct ConnectionGate {
     count: Mutex<usize>,
     changed: Condvar,
     max: usize,
+    /// Mirror of `count` for `/v1/metrics` (`lassi_http_open_connections`),
+    /// updated on acquire/release so scrapes never take the gate's lock.
+    open: lassi_obs::Gauge,
 }
 
 impl ConnectionGate {
     fn new(max: usize) -> Arc<ConnectionGate> {
+        let max = max.max(1);
+        let registry = lassi_obs::global();
+        registry
+            .gauge(
+                "lassi_http_connection_budget",
+                "Configured cap on concurrently-served connections.",
+                &[],
+            )
+            .set(max as i64);
+        let open = registry.gauge(
+            "lassi_http_open_connections",
+            "Connections currently holding a handler slot.",
+            &[],
+        );
+        open.set(0);
         Arc::new(ConnectionGate {
             count: Mutex::new(0),
             changed: Condvar::new(),
-            max: max.max(1),
+            max,
+            open,
         })
     }
 
@@ -107,6 +132,7 @@ impl ConnectionGate {
             count = self.changed.wait(count);
         }
         *count += 1;
+        self.open.inc();
         Permit {
             gate: Arc::clone(self),
         }
@@ -127,6 +153,7 @@ struct Permit {
 impl Drop for Permit {
     fn drop(&mut self) {
         *self.gate.count.lock() -= 1;
+        self.gate.open.dec();
         self.gate.changed.notify_all();
     }
 }

@@ -24,6 +24,12 @@ pub enum Route {
     GetManifest(String),
     /// `GET /v1/runs/{id}/records/{set}` — one record set, byte-identical.
     GetRecords(String, String),
+    /// `GET /v1/runs/{id}/trace` — the run's `trace.jsonl`, raw bytes.
+    GetTrace(String),
+    /// `GET /v1/metrics` — Prometheus-style text exposition.
+    Metrics,
+    /// `GET /v1/debug/events` — recent trace events from the in-memory ring.
+    DebugEvents,
     /// `POST /v1/sweeps` — submit a sweep grid.
     SubmitSweep,
     /// `POST /v1/shutdown` — cooperative drain.
@@ -80,14 +86,38 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
         }
         ["v1", "runs", id, "cancel"] => post(Route::CancelRun(slug(id)?)),
         ["v1", "runs", id, "manifest"] => get(Route::GetManifest(slug(id)?)),
+        ["v1", "runs", id, "trace"] => get(Route::GetTrace(slug(id)?)),
         ["v1", "runs", id, "records", set] => {
             let id = slug(id)?;
             let set = slug(set)?;
             get(Route::GetRecords(id, set))
         }
+        ["v1", "metrics"] => get(Route::Metrics),
+        ["v1", "debug", "events"] => get(Route::DebugEvents),
         ["v1", "sweeps"] => post(Route::SubmitSweep),
         ["v1", "shutdown"] => post(Route::Shutdown),
         _ => Err(RouteError::NotFound),
+    }
+}
+
+/// The static route pattern a request resolved to — the `route` label of
+/// the per-request metrics. Parameterised segments stay as placeholders so
+/// the label set is bounded regardless of how many runs exist.
+pub fn route_pattern(resolved: &Result<Route, RouteError>) -> &'static str {
+    match resolved {
+        Ok(Route::Healthz) => "/v1/healthz",
+        Ok(Route::CacheStats) => "/v1/cache/stats",
+        Ok(Route::ListRuns) => "/v1/runs",
+        Ok(Route::GetRun(_)) | Ok(Route::DeleteRun(_)) => "/v1/runs/{id}",
+        Ok(Route::CancelRun(_)) => "/v1/runs/{id}/cancel",
+        Ok(Route::GetManifest(_)) => "/v1/runs/{id}/manifest",
+        Ok(Route::GetTrace(_)) => "/v1/runs/{id}/trace",
+        Ok(Route::GetRecords(_, _)) => "/v1/runs/{id}/records/{set}",
+        Ok(Route::Metrics) => "/v1/metrics",
+        Ok(Route::DebugEvents) => "/v1/debug/events",
+        Ok(Route::SubmitSweep) => "/v1/sweeps",
+        Ok(Route::Shutdown) => "/v1/shutdown",
+        Err(_) => "unmatched",
     }
 }
 
@@ -122,6 +152,31 @@ mod tests {
         );
         assert_eq!(route("POST", "/v1/sweeps"), Ok(Route::SubmitSweep));
         assert_eq!(route("POST", "/v1/shutdown"), Ok(Route::Shutdown));
+        assert_eq!(route("GET", "/v1/metrics"), Ok(Route::Metrics));
+        assert_eq!(route("GET", "/v1/debug/events"), Ok(Route::DebugEvents));
+        assert_eq!(
+            route("GET", "/v1/runs/smoke/trace"),
+            Ok(Route::GetTrace("smoke".into()))
+        );
+    }
+
+    #[test]
+    fn route_patterns_are_static_and_parameterised() {
+        assert_eq!(
+            route_pattern(&route("GET", "/v1/runs/any-run-id")),
+            "/v1/runs/{id}"
+        );
+        assert_eq!(
+            route_pattern(&route("GET", "/v1/runs/x/records/y")),
+            "/v1/runs/{id}/records/{set}"
+        );
+        assert_eq!(route_pattern(&route("GET", "/v1/metrics")), "/v1/metrics");
+        assert_eq!(route_pattern(&route("GET", "/nope")), "unmatched");
+        assert_eq!(
+            route_pattern(&route("POST", "/v1/runs/x/trace")),
+            "unmatched",
+            "method errors fold into one label value"
+        );
     }
 
     #[test]

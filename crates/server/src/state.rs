@@ -22,6 +22,7 @@ use std::time::Instant;
 use lassi_harness::{
     ArtifactStore, CancelToken, Harness, RunArtifact, RunState, RunStatus, SweepGrid,
 };
+use lassi_obs::{EventRing, TraceEvent, TraceSink};
 use parking_lot::{Condvar, Mutex};
 
 /// Default number of sweep-executor threads — the number of sweeps that
@@ -33,6 +34,10 @@ pub const DEFAULT_SWEEP_EXECUTORS: usize = 2;
 /// `429` instead of letting the backlog (and its reserved run directories)
 /// grow without bound.
 pub const MAX_QUEUED_RUNS: usize = 256;
+
+/// Capacity of the in-memory debug-event ring served by
+/// `GET /v1/debug/events` — old events are evicted, never blocked on.
+pub const DEBUG_EVENT_CAPACITY: usize = 1024;
 
 /// Why [`AppState::submit_sweep`] refused a sweep.
 #[derive(Debug)]
@@ -83,6 +88,10 @@ struct RunEntry {
     cancel_requested: AtomicBool,
     /// When the executor started the sweep (live wall-clock source).
     started: Mutex<Option<Instant>>,
+    /// The run's structured trace: lifecycle events accumulate here (with
+    /// times relative to submission) and land in the artifact's
+    /// `trace.jsonl` alongside the per-job spans.
+    trace: TraceSink,
 }
 
 /// Everything the request handlers share, kept behind one `Arc`.
@@ -96,6 +105,12 @@ pub struct AppState {
     runs: Mutex<HashMap<String, Arc<RunEntry>>>,
     executors: Mutex<Vec<JoinHandle<()>>>,
     executors_started: AtomicBool,
+    /// Recent trace events across all runs, for `GET /v1/debug/events`.
+    events: EventRing,
+    /// Executors currently inside a run (vs. waiting on the queue).
+    busy_executors: AtomicUsize,
+    /// Size of the executor pool once started.
+    executor_count: AtomicUsize,
 }
 
 impl AppState {
@@ -114,7 +129,53 @@ impl AppState {
             runs: Mutex::new(HashMap::new()),
             executors: Mutex::new(Vec::new()),
             executors_started: AtomicBool::new(false),
+            events: EventRing::new(DEBUG_EVENT_CAPACITY),
+            busy_executors: AtomicUsize::new(0),
+            executor_count: AtomicUsize::new(0),
         }
+    }
+
+    /// The in-memory debug-event ring (`GET /v1/debug/events`).
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Accepted-but-not-started runs waiting for an executor.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().items.len()
+    }
+
+    /// `(busy, total)` sweep executors — busy means inside a run.
+    pub fn executor_counts(&self) -> (usize, usize) {
+        (
+            self.busy_executors.load(Ordering::Relaxed),
+            self.executor_count.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Record a run-lifecycle transition as a structured trace event: into
+    /// the process-wide debug ring always, and into the run's own trace
+    /// sink (re-stamped on the run's submission-relative clock) when the
+    /// run still has a live registry entry.
+    fn record_transition(
+        &self,
+        entry: Option<&RunEntry>,
+        run_id: &str,
+        state: RunState,
+        reason: Option<&str>,
+    ) {
+        let mut event = TraceEvent::event("runstate", self.events.now_us())
+            .with("run_id", run_id)
+            .with("state", state.slug());
+        if let Some(reason) = reason {
+            event = event.with("reason", reason);
+        }
+        if let Some(entry) = entry {
+            let mut run_event = event.clone();
+            run_event.t_us = entry.trace.now_us();
+            entry.trace.push(run_event);
+        }
+        self.events.push(event);
     }
 
     /// The shared experiment service.
@@ -179,16 +240,16 @@ impl AppState {
             release(&run_id);
             return Err(SubmitError::Io(e));
         }
-        self.runs.lock().insert(
-            run_id.clone(),
-            Arc::new(RunEntry {
-                status: Mutex::new(status.clone()),
-                completed: AtomicUsize::new(0),
-                cancel: Mutex::new(None),
-                cancel_requested: AtomicBool::new(false),
-                started: Mutex::new(None),
-            }),
-        );
+        let entry = Arc::new(RunEntry {
+            status: Mutex::new(status.clone()),
+            completed: AtomicUsize::new(0),
+            cancel: Mutex::new(None),
+            cancel_requested: AtomicBool::new(false),
+            started: Mutex::new(None),
+            trace: TraceSink::new(),
+        });
+        self.runs.lock().insert(run_id.clone(), Arc::clone(&entry));
+        self.record_transition(Some(&entry), &run_id, RunState::Queued, None);
         {
             let mut queue = self.queue.lock();
             if !queue.open {
@@ -293,6 +354,12 @@ impl AppState {
                     .finish(RunState::Cancelled, "cancelled by client before start")
                     .expect("queued → cancelled is legal");
                 let _ = status.save(&self.store.run_dir(id));
+                self.record_transition(
+                    Some(&entry),
+                    id,
+                    RunState::Cancelled,
+                    Some("cancelled by client before start"),
+                );
                 Ok(status.clone())
             }
             RunState::Running => {
@@ -300,6 +367,9 @@ impl AppState {
                 if let Some(token) = entry.cancel.lock().as_ref() {
                     token.cancel();
                 }
+                let event =
+                    TraceEvent::event("cancel_requested", self.events.now_us()).with("run_id", id);
+                self.events.push(event);
                 Ok(status.clone())
             }
             terminal => Err(CancelError::NotCancellable(terminal)),
@@ -313,6 +383,8 @@ impl AppState {
     /// executor marks them `failed` — the client did not ask for the stop).
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.events
+            .push(TraceEvent::event("drain", self.events.now_us()));
         let drained: Vec<QueuedRun> = {
             let mut queue = self.queue.lock();
             queue.open = false;
@@ -327,6 +399,12 @@ impl AppState {
                         .finish(RunState::Failed, "server drained before the run started")
                         .expect("queued → failed is legal");
                     let _ = status.save(&self.store.run_dir(&run.run_id));
+                    self.record_transition(
+                        Some(&entry),
+                        &run.run_id,
+                        RunState::Failed,
+                        Some("server drained before the run started"),
+                    );
                 }
             }
         }
@@ -359,6 +437,7 @@ impl AppState {
         if let Err(e) = self.recover_runs() {
             eprintln!("lassi-server: run recovery failed: {e}");
         }
+        self.executor_count.store(count.max(1), Ordering::Relaxed);
         let mut handles = self.executors.lock();
         for i in 0..count.max(1) {
             let state = Arc::clone(self);
@@ -408,9 +487,11 @@ impl AppState {
     /// executor thread and wedge the queue behind it.
     fn execute(&self, run: QueuedRun) {
         let run_id = run.run_id.clone();
+        self.busy_executors.fetch_add(1, Ordering::Relaxed);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.execute_inner(&run);
         }));
+        self.busy_executors.fetch_sub(1, Ordering::Relaxed);
         if outcome.is_err() {
             eprintln!("lassi-server: sweep `{run_id}` panicked");
             if let Some(entry) = self.runs.lock().get(&run_id).cloned() {
@@ -418,6 +499,12 @@ impl AppState {
                 if !status.state.is_terminal() {
                     let _ = status.finish(RunState::Failed, "sweep panicked; see server log");
                     let _ = status.save(&self.store.run_dir(&run_id));
+                    self.record_transition(
+                        Some(&entry),
+                        &run_id,
+                        RunState::Failed,
+                        Some("sweep panicked; see server log"),
+                    );
                 }
             }
         }
@@ -440,6 +527,7 @@ impl AppState {
             *entry.started.lock() = Some(Instant::now());
             let _ = status.save(&dir);
         }
+        self.record_transition(Some(&entry), &run.run_id, RunState::Running, None);
 
         // The per-run cache delta is measured around the submission; under
         // concurrent runs the counters interleave, so the delta is
@@ -472,25 +560,58 @@ impl AppState {
         status.wall_seconds = wall;
         if outputs.len() == total {
             let delta = self.harness.cache_snapshot().since(before);
-            match run
-                .grid
-                .write_artifact(&self.store, &run.run_id, true, &jobs, &outputs, delta)
-            {
+            // The completion event goes into the sink *before* the artifact
+            // write, so it makes it into `trace.jsonl`; the terminal
+            // runstate transition below necessarily post-dates the file.
+            entry.trace.push(
+                TraceEvent::event("run_complete", entry.trace.now_us())
+                    .with("run_id", run.run_id.as_str())
+                    .with("scenarios", outputs.len() as u64),
+            );
+            match run.grid.write_artifact(
+                &self.store,
+                &run.run_id,
+                true,
+                &jobs,
+                &outputs,
+                delta,
+                &entry.trace.snapshot(),
+            ) {
                 Ok(_) => {
                     status
                         .advance(RunState::Done)
                         .expect("running → done is legal");
+                    self.record_transition(Some(&entry), &run.run_id, RunState::Done, None);
                 }
                 Err(e) => {
-                    let _ = status.finish(RunState::Failed, format!("cannot write artifact: {e}"));
+                    let reason = format!("cannot write artifact: {e}");
+                    let _ = status.finish(RunState::Failed, reason.clone());
+                    self.record_transition(
+                        Some(&entry),
+                        &run.run_id,
+                        RunState::Failed,
+                        Some(&reason),
+                    );
                 }
             }
         } else if entry.cancel_requested.load(Ordering::SeqCst) {
             let _ = status.finish(RunState::Cancelled, "cancelled by client");
+            self.record_transition(
+                Some(&entry),
+                &run.run_id,
+                RunState::Cancelled,
+                Some("cancelled by client"),
+            );
         } else {
             let _ = status.finish(
                 RunState::Failed,
                 "server drained mid-run; partial outputs discarded",
+            );
+            self.record_transition(
+                Some(&entry),
+                &run.run_id,
+                RunState::Failed,
+                Some("server drained mid-run; partial outputs discarded"),
             );
         }
         let _ = status.save(&dir);

@@ -668,6 +668,196 @@ fn drain_during_keep_alive_finishes_in_flight_and_exits_quickly() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Sum every series of one counter family in a Prometheus exposition.
+fn family_sum(exposition: &str, family: &str) -> u64 {
+    exposition
+        .lines()
+        .filter(|line| {
+            line.starts_with(&format!("{family}{{")) || line.starts_with(&format!("{family} "))
+        })
+        .map(|line| {
+            line.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("unparseable sample line `{line}`")) as u64
+        })
+        .sum()
+}
+
+#[test]
+fn observability_progress_trace_metrics_and_debug_events() {
+    let root = test_root("obs");
+    let _ = std::fs::remove_dir_all(&root);
+    let (addr, join, _state) = start_server(&root);
+
+    // An 8-scenario run gives the poll loop below enough samples to watch
+    // progress climb rather than jump 0 -> total in one step.
+    let body = br#"{
+        "models": ["GPT-4"],
+        "apps": ["layout", "entropy"],
+        "directions": ["cuda-to-omp", "omp-to-cuda"],
+        "max_self_corrections": [10, 40],
+        "timing_runs": [1],
+        "run_id": "obs"
+    }"#;
+    let resp = http::request(addr, "POST", "/v1/sweeps", Some(body)).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.text());
+
+    // Satellite: `progress.completed` is monotone non-decreasing under
+    // polling, never exceeds `total`, and lands exactly on it when done.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut samples: Vec<u64> = Vec::new();
+    loop {
+        let (status, view) = get_json(addr, "/v1/runs/obs");
+        assert_eq!(status, 200);
+        let progress = view.get("progress").expect("progress");
+        let completed = progress
+            .get("completed")
+            .and_then(|v| v.as_u64())
+            .expect("completed");
+        let total = progress.get("total").and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(total, 8);
+        assert!(completed <= total, "completed {completed} > total {total}");
+        if let Some(&last) = samples.last() {
+            assert!(
+                completed >= last,
+                "progress went backwards: {completed} after {samples:?}"
+            );
+        }
+        samples.push(completed);
+        if RunState::from_slug(&state_of(&view)).unwrap().is_terminal() {
+            assert_eq!(state_of(&view), "done", "{view:?}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "run never finished");
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(*samples.last().unwrap(), 8, "done means all jobs counted");
+
+    // The trace endpoint serves trace.jsonl byte-identically, and the
+    // parsed timeline carries one job span per scenario with the
+    // queue-wait/execute split plus the runstate lifecycle events.
+    let resp = http::request(addr, "GET", "/v1/runs/obs/trace", None).expect("trace");
+    assert_eq!(resp.status, 200);
+    let on_disk = std::fs::read(root.join("run-obs").join(lassi_harness::TRACE_FILE)).unwrap();
+    assert_eq!(resp.body, on_disk, "trace == disk bytes");
+    let events = lassi_harness::parse_trace(&resp.text()).expect("trace parses");
+    let job_spans: Vec<_> = events
+        .iter()
+        .filter(|ev| ev.kind == lassi_obs::TraceKind::Span && ev.name == "job")
+        .collect();
+    assert_eq!(job_spans.len(), 8, "one job span per scenario");
+    for span in &job_spans {
+        assert!(span.field("queue_wait_us").is_some(), "queue-wait split");
+        assert!(span.field("execute_us").is_some(), "execute split");
+        assert!(span.field("application").is_some(), "scenario labels");
+    }
+    let states: Vec<&str> = events
+        .iter()
+        .filter(|ev| ev.name == "runstate")
+        .filter_map(|ev| match ev.field("state") {
+            Some(lassi_obs::FieldValue::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(states, ["queued", "running"], "lifecycle events in order");
+    assert!(
+        events.iter().any(|ev| ev.name == "run_complete"),
+        "completion event recorded before the artifact write"
+    );
+    // Traces 404 with the envelope for runs that never produced one.
+    let resp = http::request(addr, "GET", "/v1/runs/absent/trace", None).unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(error_code(&resp), "run_not_found");
+
+    // /v1/metrics agrees with /v1/cache/stats — one registry, two views.
+    let (_, stats) = get_json(addr, "/v1/cache/stats");
+    let hits = stats.get("hits").and_then(|v| v.as_u64()).unwrap();
+    let misses = stats.get("misses").and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(hits + misses, 8, "every scenario consulted the cache");
+    let shards = stats.get("shards").and_then(|v| v.as_array()).unwrap();
+    assert!(!shards.is_empty(), "per-shard breakdown present");
+    let shard_misses: u64 = shards
+        .iter()
+        .map(|s| s.get("misses").and_then(|v| v.as_u64()).unwrap())
+        .sum();
+    assert_eq!(shard_misses, misses, "shards sum to the headline number");
+    let writer = stats.get("writer").expect("writer stats");
+    assert!(writer.get("queue_depth").and_then(|v| v.as_u64()).is_some());
+
+    let resp = http::request(addr, "GET", "/v1/metrics", None).expect("metrics");
+    assert_eq!(resp.status, 200);
+    assert!(resp
+        .headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("text/plain")));
+    let exposition = resp.text();
+    assert!(
+        exposition.contains("# TYPE lassi_http_requests_total counter"),
+        "typed request counter family"
+    );
+    assert!(
+        exposition.contains("route=\"/v1/runs/{id}\""),
+        "poll requests label the route PATTERN, not each run id"
+    );
+    assert!(
+        exposition.contains("# TYPE lassi_http_request_seconds histogram"),
+        "latency histogram family"
+    );
+    assert_eq!(
+        family_sum(&exposition, "lassi_cache_hits_total"),
+        hits,
+        "metrics mirror cache hits"
+    );
+    assert_eq!(
+        family_sum(&exposition, "lassi_cache_misses_total"),
+        misses,
+        "metrics mirror cache misses"
+    );
+    // >= rather than ==: the scheduler counter lives in the process-global
+    // registry, and the other tests in this binary run jobs concurrently.
+    assert!(
+        family_sum(&exposition, "lassi_jobs_completed_total") >= 8,
+        "scheduler counted every job"
+    );
+
+    // The debug ring holds the runstate transitions with run ids.
+    let (status, debug) = get_json(addr, "/v1/debug/events");
+    assert_eq!(status, 200);
+    assert_eq!(
+        debug.get("capacity").and_then(|v| v.as_u64()),
+        Some(lassi_server::DEBUG_EVENT_CAPACITY as u64)
+    );
+    let ring = debug.get("events").and_then(|v| v.as_array()).unwrap();
+    let obs_states: Vec<String> = ring
+        .iter()
+        .filter(|ev| ev.get("name").and_then(|n| n.as_str()) == Some("runstate"))
+        .filter(|ev| {
+            ev.get("fields")
+                .and_then(|f| f.get("run_id"))
+                .and_then(|v| v.as_str())
+                == Some("obs")
+        })
+        .map(|ev| {
+            ev.get("fields")
+                .and_then(|f| f.get("state"))
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(
+        obs_states,
+        ["queued", "running", "done"],
+        "the ring sees the terminal transition the file trace cannot"
+    );
+
+    let resp = http::request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    join.join().expect("server drains");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn concurrent_clients_share_one_cache() {
     let root = test_root("concurrent");

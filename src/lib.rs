@@ -33,6 +33,9 @@ pub use lassi_llm as llm;
 /// Evaluation metrics (Sim-T, Sim-L, aggregates).
 pub use lassi_metrics as metrics;
 
+/// Observability core (metrics registry, structured tracing).
+pub use lassi_obs as obs;
+
 /// HeCBench-style benchmark applications.
 pub use lassi_hecbench as hecbench;
 
