@@ -6,10 +6,11 @@
 //! sweep run  [--models L] [--apps L] [--directions L|both]
 //!            [--max-self-corrections L] [--timing-runs L] [--seed N]
 //!            [--run-id ID] [--artifacts DIR] [--no-cache] [--workers N]
-//!            [--timings]
+//!            [--timings] [--engine bytecode|reference]
 //! sweep full [--max-self-corrections L] [--timing-runs L] [--seed N]
 //!            [--artifacts DIR] [--workers N] [--timings]
-//! sweep smoke [--artifacts DIR] [--workers N]
+//!            [--engine bytecode|reference]
+//! sweep smoke [--artifacts DIR] [--workers N] [--engine bytecode|reference]
 //! sweep verify <run-dir>
 //! sweep list [--artifacts DIR]
 //! sweep delete <run-id> [--artifacts DIR]
@@ -24,9 +25,19 @@
 //! timing_runs) cell of the grid becomes one record set in the artifact.
 //!
 //! `--timings` (on `run` and `full`) prints a per-stage pipeline timing
-//! table — parse / sema / llm / execute / similarity — from the
-//! process-wide `lassi-obs` metrics registry after the sweep; `full` also
-//! embeds the same breakdown as `stage_breakdown` in `BENCH_fullgrid.json`.
+//! table — parse / sema / compile / llm / execute / similarity — from the
+//! process-wide `lassi-obs` metrics registry after the sweep, followed by
+//! the compiled-program and execution-report cache counters and the execute
+//! stage's share of instrumented stage time; `full` also embeds the same
+//! breakdown as `stage_breakdown` in `BENCH_fullgrid.json`.
+//!
+//! `--engine` picks the execution engine for every compile-and-run step:
+//! `bytecode` (the default — each checked program lowers to register
+//! bytecode once, cached process-wide, and runs on the dispatch-loop VM) or
+//! `reference` (the original tree-walking interpreter, kept for
+//! differential comparison). Both produce bit-identical reports; the
+//! scenario-cache key includes the engine, so sweeps under different
+//! engines never share cache entries.
 //!
 //! `--full` runs the paper's complete Table-IV grid — every application ×
 //! every model × both directions (10 × 4 × 2 = 80 scenarios per config
@@ -61,7 +72,7 @@
 
 use std::time::Instant;
 
-use lassi_core::{direction_table, scenario_outcomes, Direction, PipelineConfig};
+use lassi_core::{direction_table, scenario_outcomes, Direction, ExecEngine, PipelineConfig};
 use lassi_harness::codec::record_to_json;
 use lassi_harness::{
     CacheSnapshot, GridCell, Harness, Job, JobOutput, Json, RunArtifact, SweepGrid,
@@ -139,6 +150,9 @@ struct SweepArgs {
     run_id: Option<String>,
     /// Print the per-stage pipeline timing table after the sweep.
     timings: bool,
+    /// Execution engine override (`--engine`); `None` keeps the
+    /// `PipelineConfig` default (bytecode, or `LASSI_ENGINE` if set).
+    engine: Option<ExecEngine>,
 }
 
 fn parse_list<T, E: std::fmt::Display>(
@@ -197,6 +211,7 @@ fn parse_args() -> Result<SweepArgs, String> {
         seed: None,
         run_id: None,
         timings: false,
+        engine: None,
     };
     let mut mode: Option<Mode> = None;
     let mut rest = common.rest.into_iter().peekable();
@@ -269,6 +284,13 @@ fn parse_args() -> Result<SweepArgs, String> {
             }
             "--run-id" => args.run_id = Some(value("--run-id")?),
             "--timings" => args.timings = true,
+            "--engine" => {
+                let raw = value("--engine")?;
+                args.engine = Some(
+                    ExecEngine::parse(&raw)
+                        .ok_or(format!("bad engine `{raw}` (use bytecode / reference)"))?,
+                );
+            }
             other if !other.starts_with('-') => {
                 // Positional operand — only `delete` / `verify` take one.
                 let takes_operand =
@@ -442,7 +464,11 @@ fn stage_rows() -> Vec<(&'static str, u64, f64)> {
         .collect()
 }
 
-/// The `--timings` table: where pipeline wall-clock went, stage by stage.
+/// The `--timings` table: where pipeline wall-clock went, stage by stage,
+/// followed by the compiled-program and execution-report cache counters and
+/// the execute stage's share of instrumented stage time (CI greps the share
+/// line to assert the bytecode engine keeps execution off the critical
+/// path).
 fn print_stage_table() {
     let rows = stage_rows();
     if rows.is_empty() {
@@ -453,6 +479,8 @@ fn print_stage_table() {
         "{:<12} {:>9} {:>11} {:>10}",
         "stage", "samples", "total s", "mean ms"
     );
+    let mut stage_total = 0.0;
+    let mut execute_total = 0.0;
     for (stage, count, sum) in rows {
         let mean_ms = if count > 0 {
             sum / count as f64 * 1e3
@@ -460,7 +488,35 @@ fn print_stage_table() {
             0.0
         };
         println!("{stage:<12} {count:>9} {sum:>11.3} {mean_ms:>10.3}");
+        stage_total += sum;
+        if stage == "execute" {
+            execute_total = sum;
+        }
     }
+    let programs = lassi_core::progcache::stats();
+    println!(
+        "program cache: {} hits / {} misses ({:.1}% hit rate), {} entries, ~{} bytes",
+        programs.hits,
+        programs.misses,
+        programs.hit_rate() * 100.0,
+        programs.entries,
+        programs.approx_bytes
+    );
+    let reports = lassi_core::progcache::report_stats();
+    println!(
+        "report cache: {} hits / {} misses ({:.1}% hit rate), {} entries, ~{} bytes",
+        reports.hits,
+        reports.misses,
+        reports.hit_rate() * 100.0,
+        reports.entries,
+        reports.approx_bytes
+    );
+    let execute_share = if stage_total > 0.0 {
+        execute_total / stage_total * 100.0
+    } else {
+        0.0
+    };
+    println!("execute share of stage time: {execute_share:.1}%");
 }
 
 /// The `stage_breakdown` object of `BENCH_fullgrid.json`: per-stage sample
@@ -480,6 +536,18 @@ fn stage_breakdown() -> Json {
             })
             .collect(),
     )
+}
+
+/// The `program_cache` / `report_cache` objects of `BENCH_fullgrid.json`:
+/// counters from the same process-wide caches as `--timings`.
+fn cache_counters_json(s: lassi_core::ProgramCacheStats) -> Json {
+    Json::Object(vec![
+        ("hits".into(), Json::uint(s.hits)),
+        ("misses".into(), Json::uint(s.misses)),
+        ("hit_rate".into(), Json::Float(s.hit_rate())),
+        ("entries".into(), Json::uint(s.entries)),
+        ("approx_bytes".into(), Json::uint(s.approx_bytes)),
+    ])
 }
 
 /// Throughput of one pass (0.0 for a degenerate zero wall-clock) — the one
@@ -535,10 +603,13 @@ fn write_trajectory(
 }
 
 fn smoke(args: &SweepArgs) -> Result<(), String> {
-    let base = PipelineConfig {
+    let mut base = PipelineConfig {
         timing_runs: 1,
         ..PipelineConfig::default()
     };
+    if let Some(engine) = args.engine {
+        base.engine = engine;
+    }
     let grid = SweepGrid::single(
         base,
         vec![model_by_name("GPT-4").expect("GPT-4 exists")],
@@ -648,6 +719,9 @@ fn full_sweep(args: &SweepArgs) -> Result<(), String> {
     if let Some(seed) = args.seed {
         base.seed = seed;
     }
+    if let Some(engine) = args.engine {
+        base.engine = engine;
+    }
     let grid = SweepGrid {
         base,
         models: args.models.clone(),
@@ -717,6 +791,9 @@ fn full_grid(args: &SweepArgs) -> Result<(), String> {
     if let Some(seed) = args.seed {
         base.seed = seed;
     }
+    if let Some(engine) = args.engine {
+        base.engine = engine;
+    }
     let grid = SweepGrid {
         base,
         models: all_models(),
@@ -779,6 +856,18 @@ fn full_grid(args: &SweepArgs) -> Result<(), String> {
             // pass; warm scenarios are cache-served and never enter the
             // pipeline).
             ("stage_breakdown".into(), stage_breakdown()),
+            // Cache counters: 730 cold executions should compile each
+            // distinct program exactly once (program_cache) and run it on
+            // the VM exactly once (report_cache) — execution is
+            // deterministic, so every repeat replays the first report.
+            (
+                "program_cache".into(),
+                cache_counters_json(lassi_core::progcache::stats()),
+            ),
+            (
+                "report_cache".into(),
+                cache_counters_json(lassi_core::progcache::report_stats()),
+            ),
         ],
         grid.len(),
         workers,

@@ -9,13 +9,56 @@ use crate::experiment::Direction;
 /// releases — `std`'s `DefaultHasher` explicitly is not (a toolchain bump
 /// would silently re-seed every scenario, changing every record, table and
 /// committed baseline).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Which execution engine runs benchmark programs.
+///
+/// Both engines produce bit-identical [`lassi_runtime::ExecutionReport`]s;
+/// the choice only affects wall-clock speed (and which code path is
+/// exercised). The reference interpreter is kept for differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Lower each checked program to register bytecode once (cached
+    /// process-wide) and execute it on the dispatch-loop VM. The default.
+    #[default]
+    Bytecode,
+    /// The original tree-walking interpreter (`lassi_runtime::reference`).
+    Reference,
+}
+
+impl ExecEngine {
+    /// Engine selected by the `LASSI_ENGINE` environment variable
+    /// (`reference` or `bytecode`); defaults to [`ExecEngine::Bytecode`].
+    pub fn from_env() -> Self {
+        match std::env::var("LASSI_ENGINE").as_deref() {
+            Ok("reference") => ExecEngine::Reference,
+            _ => ExecEngine::Bytecode,
+        }
+    }
+
+    /// Parse an engine name (`bytecode` / `reference`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "bytecode" => Some(ExecEngine::Bytecode),
+            "reference" => Some(ExecEngine::Reference),
+            _ => None,
+        }
+    }
+
+    /// Stable label used in cache keys, metrics and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecEngine::Bytecode => "bytecode",
+            ExecEngine::Reference => "reference",
+        }
+    }
 }
 
 /// Knobs for the LASSI pipeline.
@@ -32,6 +75,8 @@ pub struct PipelineConfig {
     /// Number of timed executions averaged for the reported runtime (the
     /// paper averages three runs).
     pub timing_runs: u32,
+    /// Execution engine for every compile-and-run step.
+    pub engine: ExecEngine,
 }
 
 impl Default for PipelineConfig {
@@ -41,6 +86,7 @@ impl Default for PipelineConfig {
             seed: 20240704,
             run_config: lassi_hecbench::Machine::run_config(),
             timing_runs: 3,
+            engine: ExecEngine::from_env(),
         }
     }
 }

@@ -21,13 +21,15 @@
 pub mod config;
 pub mod experiment;
 pub mod pipeline;
+pub mod progcache;
 
-pub use config::PipelineConfig;
+pub use config::{ExecEngine, PipelineConfig};
 pub use experiment::{
     direction_table, run_direction, run_direction_with, run_scenario, run_table4,
     scenario_outcomes, table4_text, Direction, Table4Row,
 };
 pub use pipeline::{Lassi, ScenarioStatus, TranslationRecord, STAGE_NAMES};
+pub use progcache::ProgramCacheStats;
 
 #[cfg(test)]
 mod tests {

@@ -3,9 +3,10 @@
 use rayon::prelude::*;
 
 use lassi_lang::{Expr, StmtKind, Type, VarDecl};
+use lassi_runtime::bytecode::SharedLen;
 use lassi_runtime::{
-    CostCounter, Dim3Val, Env, EvalContext, Evaluator, ExecError, KernelLaunchRequest, LaunchStats,
-    MemSpace, Memory, ParallelBackend, Value,
+    CompiledKernelLaunch, CostCounter, Dim3Val, Env, EvalContext, Evaluator, ExecError,
+    KernelLaunchRequest, LaunchStats, MemSpace, Memory, ParallelBackend, Value, Vm,
 };
 
 use crate::cost::KernelCostModel;
@@ -177,6 +178,129 @@ impl GpuSimulator {
         }
         Ok(cost)
     }
+
+    /// Bytecode twin of [`GpuSimulator::run_block`]: one VM per thread of the
+    /// block, stepped segment by segment so `__syncthreads()` barriers hold.
+    fn run_compiled_block(
+        &self,
+        req: &CompiledKernelLaunch<'_>,
+        mem: &Memory,
+        block_idx: Dim3Val,
+    ) -> Result<CostCounter, ExecError> {
+        let kernel = &req.program.kernels[req.kernel as usize];
+
+        // Allocate this block's shared memory.
+        let mut shared_ptrs: Vec<(u32, Value)> = Vec::with_capacity(kernel.shared.len());
+        for decl in &kernel.shared {
+            let len = match &decl.len {
+                SharedLen::Lit(v) => (*v).max(1) as usize,
+                SharedLen::Dynamic { entry, nslots } => {
+                    // Evaluate the length with the kernel arguments in scope.
+                    let mut vm = Vm::for_context(req.program, EvalContext::Host, 100_000);
+                    vm.prepare_frame(*nslots);
+                    for (i, (ty, arg)) in kernel.params.iter().zip(&req.args).enumerate() {
+                        vm.set_slot(i as u32, arg.coerce_to(ty));
+                    }
+                    match vm.run_unit(mem, *entry)? {
+                        lassi_runtime::ControlFlow::Return(v) => v.as_int().max(1) as usize,
+                        _ => 1,
+                    }
+                }
+                SharedLen::One => 1,
+            };
+            let ptr = mem.alloc(&decl.name, decl.elem.clone(), len, MemSpace::Shared);
+            shared_ptrs.push((decl.slot, Value::Ptr(ptr)));
+        }
+
+        let threads = Self::thread_coords(req.block);
+
+        // Single segment (no top-level `__syncthreads()`): every thread runs
+        // to completion before the next starts, so one reused VM serves the
+        // whole block — no per-thread register-stack allocation. Costs keep
+        // accumulating in the VM and are taken once at the end.
+        if kernel.segments.len() == 1 {
+            let mut vm = Vm::for_context(
+                req.program,
+                EvalContext::DeviceThread {
+                    thread_idx: Dim3Val { x: 0, y: 0, z: 0 },
+                    block_idx,
+                    block_dim: req.block,
+                    grid_dim: req.grid,
+                },
+                THREAD_STEP_LIMIT,
+            );
+            for &tid in &threads {
+                vm.reset_thread(EvalContext::DeviceThread {
+                    thread_idx: tid,
+                    block_idx,
+                    block_dim: req.block,
+                    grid_dim: req.grid,
+                });
+                vm.prepare_frame(kernel.nslots);
+                for (i, (ty, arg)) in kernel.params.iter().zip(&req.args).enumerate() {
+                    vm.set_slot(i as u32, arg.coerce_to(ty));
+                }
+                for (slot, ptr) in &shared_ptrs {
+                    vm.set_slot(*slot, ptr.clone());
+                }
+                match vm.run_unit(mem, kernel.segments[0]) {
+                    Ok(_) => {}
+                    Err(ExecError::BarrierDivergence { .. }) => {
+                        return Err(ExecError::BarrierDivergence {
+                            kernel: kernel.name.clone(),
+                        })
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(vm.cost);
+        }
+
+        let mut states: Vec<(Vm<'_>, bool)> = threads
+            .iter()
+            .map(|&tid| {
+                let ctx = EvalContext::DeviceThread {
+                    thread_idx: tid,
+                    block_idx,
+                    block_dim: req.block,
+                    grid_dim: req.grid,
+                };
+                let mut vm = Vm::for_context(req.program, ctx, THREAD_STEP_LIMIT);
+                vm.prepare_frame(kernel.nslots);
+                for (i, (ty, arg)) in kernel.params.iter().zip(&req.args).enumerate() {
+                    vm.set_slot(i as u32, arg.coerce_to(ty));
+                }
+                for (slot, ptr) in &shared_ptrs {
+                    vm.set_slot(*slot, ptr.clone());
+                }
+                (vm, false)
+            })
+            .collect();
+
+        for &segment in &kernel.segments {
+            for (vm, finished) in states.iter_mut() {
+                if *finished {
+                    continue;
+                }
+                match vm.run_unit(mem, segment) {
+                    Ok(lassi_runtime::ControlFlow::Return(_)) => *finished = true,
+                    Ok(_) => {}
+                    Err(ExecError::BarrierDivergence { .. }) => {
+                        return Err(ExecError::BarrierDivergence {
+                            kernel: kernel.name.clone(),
+                        })
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        let mut cost = CostCounter::new();
+        for (vm, _) in &states {
+            cost.merge(&vm.cost);
+        }
+        Ok(cost)
+    }
 }
 
 impl ParallelBackend for GpuSimulator {
@@ -210,6 +334,48 @@ impl ParallelBackend for GpuSimulator {
         let per_block: Result<Vec<CostCounter>, ExecError> = blocks
             .par_iter()
             .map(|&block_idx| self.run_block(req, mem, block_idx, &segments, &shared))
+            .collect();
+
+        let mut cost = CostCounter::new();
+        for c in per_block? {
+            cost.merge(&c);
+        }
+        let simulated_seconds = self.model.kernel_seconds(req.grid, req.block, &cost);
+        Ok(LaunchStats {
+            simulated_seconds,
+            cost,
+            reduction_updates: Vec::new(),
+        })
+    }
+
+    fn launch_compiled_kernel(
+        &self,
+        req: &CompiledKernelLaunch<'_>,
+        mem: &Memory,
+    ) -> Result<LaunchStats, ExecError> {
+        let kernel = &req.program.kernels[req.kernel as usize];
+        let total_threads = req.grid.count().saturating_mul(req.block.count());
+        if total_threads > MAX_SIMULATED_THREADS {
+            return Err(ExecError::InvalidLaunchConfig {
+                kernel: kernel.name.clone(),
+                reason: format!(
+                    "launch of {total_threads} threads exceeds the simulator limit of {MAX_SIMULATED_THREADS}"
+                ),
+            });
+        }
+        if req.args.len() != kernel.params.len() {
+            return Err(ExecError::other(format!(
+                "kernel '{}' launched with {} arguments but declares {} parameters",
+                kernel.name,
+                req.args.len(),
+                kernel.params.len()
+            )));
+        }
+
+        let blocks = Self::block_coords(req.grid);
+        let per_block: Result<Vec<CostCounter>, ExecError> = blocks
+            .par_iter()
+            .map(|&block_idx| self.run_compiled_block(req, mem, block_idx))
             .collect();
 
         let mut cost = CostCounter::new();

@@ -88,13 +88,15 @@ impl ScenarioKey {
 /// The leading version tag covers the *pipeline semantics* too: bump it when
 /// a code change alters what a record would contain for identical inputs
 /// (v2: the Sim-T tokenizer stopped gluing `.` into identifiers, shifting
-/// similarity scores), so stale disk entries miss instead of resurfacing
-/// scores the current code would never produce.
+/// similarity scores; v3: executions moved to the bytecode VM and the key
+/// gained the engine token), so stale disk entries miss instead of
+/// resurfacing scores the current code would never produce.
 pub fn scenario_key(job: &Job) -> ScenarioKey {
     let config = &job.config;
     let canonical = format!(
-        "v2;app={};cuda={:016x};omp={:016x};model={};dir={};seed={};msc={};runs={};\
+        "v3;engine={};app={};cuda={:016x};omp={:016x};model={};dir={};seed={};msc={};runs={};\
          step={};hostop={:016x};startup={:016x}",
+        config.engine.label(),
         job.application.name,
         fnv1a64(job.application.cuda_source.as_bytes()),
         fnv1a64(job.application.omp_source.as_bytes()),

@@ -6,8 +6,8 @@ use lassi_gpusim::GpuSimulator;
 use lassi_lang::{Dialect, Program};
 use lassi_ompsim::OmpSimulator;
 use lassi_runtime::{
-    ExecError, ExecutionReport, HostInterpreter, KernelLaunchRequest, LaunchStats, Memory,
-    ParallelBackend, ParallelForRequest, RunConfig,
+    CompiledKernelLaunch, CompiledParallelFor, ExecError, ExecutionReport, HostInterpreter,
+    KernelLaunchRequest, LaunchStats, Memory, ParallelBackend, ParallelForRequest, RunConfig,
 };
 
 use crate::apps::Application;
@@ -62,6 +62,22 @@ impl ParallelBackend for Machine {
         self.omp.parallel_for(req, mem)
     }
 
+    fn launch_compiled_kernel(
+        &self,
+        req: &CompiledKernelLaunch<'_>,
+        mem: &Memory,
+    ) -> Result<LaunchStats, ExecError> {
+        self.gpu.launch_compiled_kernel(req, mem)
+    }
+
+    fn compiled_parallel_for(
+        &self,
+        req: &CompiledParallelFor<'_>,
+        mem: &Memory,
+    ) -> Result<LaunchStats, ExecError> {
+        self.omp.compiled_parallel_for(req, mem)
+    }
+
     fn memcpy_seconds(&self, bytes: u64) -> f64 {
         self.gpu.memcpy_seconds(bytes)
     }
@@ -104,6 +120,17 @@ pub fn run_program(program: &Program) -> Result<ExecutionReport, RunError> {
     let machine = Machine::a100();
     let mut interp = HostInterpreter::new(program, Machine::run_config());
     interp.run(&machine, &[]).map_err(RunError::Execute)
+}
+
+/// Like [`run_program`], but through the bytecode engine: semantic-check,
+/// lower to register bytecode and execute on the default machine. Reports are
+/// bit-identical to [`run_program`]'s.
+pub fn run_program_compiled(program: &Program) -> Result<ExecutionReport, RunError> {
+    lassi_sema::compile(program).map_err(RunError::Compile)?;
+    let machine = Machine::a100();
+    let compiled = lassi_runtime::compile(program, 0);
+    lassi_runtime::run_compiled(&compiled, &Machine::run_config(), &machine, &[])
+        .map_err(RunError::Execute)
 }
 
 /// Parse, compile and execute source text in the given dialect.
@@ -159,6 +186,47 @@ mod tests {
         let omp = run_application(&app, Dialect::OmpLite).unwrap();
         assert_eq!(cuda.stdout, omp.stdout);
         assert!(cuda.stdout.contains("total 20000.0"));
+    }
+
+    #[test]
+    fn bytecode_engine_matches_interpreter_on_every_app() {
+        // The two engines must agree bit-for-bit on every reference
+        // benchmark in both dialects: stdout, steps, cost counters, memory
+        // stats and the simulated clock.
+        for app in crate::apps::applications() {
+            for dialect in [Dialect::CudaLite, Dialect::OmpLite] {
+                let program = lassi_lang::parse(app.source(dialect), dialect).unwrap();
+                let reference = run_program(&program);
+                let compiled = run_program_compiled(&program);
+                match (reference, compiled) {
+                    (Ok(a), Ok(b)) => {
+                        let tag = format!("{} ({dialect:?})", app.name);
+                        assert_eq!(a.stdout, b.stdout, "stdout: {tag}");
+                        assert_eq!(a.exit_code, b.exit_code, "exit_code: {tag}");
+                        assert_eq!(a.steps, b.steps, "steps: {tag}");
+                        assert_eq!(a.cost, b.cost, "cost: {tag}");
+                        assert_eq!(a.memory, b.memory, "memory: {tag}");
+                        assert_eq!(
+                            a.simulated_seconds.to_bits(),
+                            b.simulated_seconds.to_bits(),
+                            "simulated_seconds: {tag}"
+                        );
+                        assert_eq!(
+                            a.parallel_seconds.to_bits(),
+                            b.parallel_seconds.to_bits(),
+                            "parallel_seconds: {tag}"
+                        );
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a.to_string(), b.to_string(), "{}", app.name)
+                    }
+                    (a, b) => panic!(
+                        "{} ({dialect:?}): engines disagree: interpreter={a:?} vm={b:?}",
+                        app.name
+                    ),
+                }
+            }
+        }
     }
 
     #[test]

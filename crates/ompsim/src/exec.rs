@@ -4,8 +4,8 @@ use rayon::prelude::*;
 
 use lassi_lang::{ReductionOp, Type};
 use lassi_runtime::{
-    ControlFlow, CostCounter, EvalContext, Evaluator, ExecError, LaunchStats, Memory,
-    ParallelBackend, ParallelForRequest, Value,
+    CompiledParallelFor, ControlFlow, CostCounter, EvalContext, Evaluator, ExecError, LaunchStats,
+    Memory, ParallelBackend, ParallelForRequest, Value, Vm,
 };
 
 use crate::cost::OmpSpec;
@@ -238,6 +238,129 @@ impl ParallelBackend for OmpSimulator {
                 let combined = reduce_combine(*op, ty, &original, &acc);
                 reduction_updates.push((var.clone(), combined));
             }
+        }
+
+        let simulated_seconds = self
+            .spec
+            .region_seconds(&cost, resources, req.offload, iterations);
+        Ok(LaunchStats {
+            simulated_seconds,
+            cost,
+            reduction_updates,
+        })
+    }
+
+    fn compiled_parallel_for(
+        &self,
+        req: &CompiledParallelFor<'_>,
+        mem: &Memory,
+    ) -> Result<LaunchStats, ExecError> {
+        let region = &req.program.regions[req.region as usize];
+        let iterations = if req.hi > req.lo {
+            ((req.hi - req.lo) as u64).div_ceil(req.step.max(1) as u64)
+        } else {
+            0
+        };
+        if iterations > MAX_SIMULATED_ITERATIONS {
+            return Err(ExecError::other(format!(
+                "line {}: work-sharing loop of {iterations} iterations exceeds the simulator limit of {MAX_SIMULATED_ITERATIONS}",
+                req.line
+            )));
+        }
+
+        let resources = self
+            .spec
+            .region_resources(&region.directive, req.offload, iterations);
+
+        // Functional execution over chunks of the iteration space.
+        let chunk_count = EXEC_CHUNKS.min(iterations.max(1));
+        let chunk_size = iterations.div_ceil(chunk_count).max(1);
+        let chunk_ids: Vec<u64> = (0..chunk_count).collect();
+
+        let results: Result<Vec<ChunkResult>, ExecError> = chunk_ids
+            .par_iter()
+            .map(|&chunk| {
+                let first = chunk * chunk_size;
+                let last = ((chunk + 1) * chunk_size).min(iterations);
+                if first >= last {
+                    return Ok(ChunkResult {
+                        cost: CostCounter::new(),
+                        reductions: region
+                            .reductions
+                            .iter()
+                            .map(|r| reduction_identity(r.op, &r.ty))
+                            .collect(),
+                    });
+                }
+                let ctx = EvalContext::OmpWorker {
+                    thread_num: (chunk % resources.threads.max(1)) as i64,
+                    num_threads: resources.threads as i64,
+                    offloaded: req.offload,
+                };
+                let mut vm = Vm::for_context(req.program, ctx, WORKER_STEP_LIMIT);
+                vm.prepare_frame(region.nslots);
+                for (i, v) in req.captures.iter().enumerate() {
+                    vm.set_slot(i as u32, v.clone());
+                }
+                // Private copies of reduction variables start at the identity.
+                for r in &region.reductions {
+                    let ident = reduction_identity(r.op, &r.ty);
+                    let seed = if r.init_coerce {
+                        ident.coerce_to(&r.ty)
+                    } else {
+                        ident
+                    };
+                    vm.set_slot(r.init_slot, seed);
+                }
+                // Loop variable is private to each iteration.
+                for k in first..last {
+                    let i = req.lo + (k as i64) * req.step;
+                    vm.set_slot(region.loop_var_slot, Value::Int(i));
+                    match vm.run_unit(mem, region.body_entry)? {
+                        ControlFlow::Normal | ControlFlow::Continue => {}
+                        ControlFlow::Break => break,
+                        ControlFlow::Return(_) => {
+                            return Err(ExecError::other(format!(
+                            "line {}: 'return' is not allowed inside an OpenMP work-sharing region",
+                            req.line
+                        )))
+                        }
+                    }
+                }
+                let reductions = region
+                    .reductions
+                    .iter()
+                    .map(|r| vm.slot(r.read_slot).clone())
+                    .collect();
+                Ok(ChunkResult {
+                    cost: vm.cost,
+                    reductions,
+                })
+            })
+            .collect();
+
+        let results = results?;
+        let mut cost = CostCounter::new();
+        for r in &results {
+            cost.merge(&r.cost);
+        }
+
+        // Combine reductions across chunks and with the original values.
+        let mut reduction_updates = Vec::new();
+        for (vi, r) in region.reductions.iter().enumerate() {
+            let mut acc = reduction_identity(r.op, &r.ty);
+            for chunk in &results {
+                if let Some(v) = chunk.reductions.get(vi) {
+                    acc = reduce_combine(r.op, &r.ty, &acc, v);
+                }
+            }
+            let original = if r.init_coerce {
+                req.captures[r.init_slot as usize].clone()
+            } else {
+                reduction_identity(r.op, &r.ty)
+            };
+            let combined = reduce_combine(r.op, &r.ty, &original, &acc);
+            reduction_updates.push((r.var.clone(), combined));
         }
 
         let simulated_seconds = self

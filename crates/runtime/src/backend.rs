@@ -9,6 +9,7 @@
 
 use lassi_lang::{Block, Function, OmpDirective, Program};
 
+use crate::bytecode::CompiledProgram;
 use crate::cost::CostCounter;
 use crate::env::Env;
 use crate::error::ExecError;
@@ -56,6 +57,43 @@ pub struct ParallelForRequest<'a> {
     pub line: u32,
 }
 
+/// A CUDA kernel launch against the compiled bytecode engine.
+pub struct CompiledKernelLaunch<'a> {
+    /// The compiled program (kernel units plus callable helpers).
+    pub program: &'a CompiledProgram,
+    /// Index into [`CompiledProgram::kernels`].
+    pub kernel: u32,
+    /// Grid dimensions.
+    pub grid: Dim3Val,
+    /// Block dimensions.
+    pub block: Dim3Val,
+    /// Evaluated kernel arguments, in parameter order.
+    pub args: Vec<Value>,
+    /// Source line of the launch statement.
+    pub line: u32,
+}
+
+/// An OpenMP work-sharing region against the compiled bytecode engine.
+pub struct CompiledParallelFor<'a> {
+    /// The compiled program (region units plus callable helpers).
+    pub program: &'a CompiledProgram,
+    /// Index into [`CompiledProgram::regions`].
+    pub region: u32,
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Exclusive upper bound.
+    pub hi: i64,
+    /// Loop step (> 0).
+    pub step: i64,
+    /// Snapshot of the captured enclosing bindings, in region-slot order
+    /// (see [`crate::bytecode::CompiledRegion::captures`]).
+    pub captures: Vec<Value>,
+    /// True for `target ...` directives that offload to the device.
+    pub offload: bool,
+    /// Source line of the pragma.
+    pub line: u32,
+}
+
 /// What a backend reports after executing a parallel construct.
 #[derive(Debug, Clone, Default)]
 pub struct LaunchStats {
@@ -96,6 +134,35 @@ pub trait ParallelBackend: Sync {
         Err(ExecError::other(format!(
             "OpenMP '{}' regions are not supported by backend '{}'",
             req.directive.kind.spelling(),
+            self.name()
+        )))
+    }
+
+    /// Execute a CUDA kernel launch from the bytecode engine.
+    fn launch_compiled_kernel(
+        &self,
+        req: &CompiledKernelLaunch<'_>,
+        _mem: &Memory,
+    ) -> Result<LaunchStats, ExecError> {
+        Err(ExecError::other(format!(
+            "kernel launch of '{}' is not supported by backend '{}'",
+            req.program.kernels[req.kernel as usize].name,
+            self.name()
+        )))
+    }
+
+    /// Execute an OpenMP work-sharing loop from the bytecode engine.
+    fn compiled_parallel_for(
+        &self,
+        req: &CompiledParallelFor<'_>,
+        _mem: &Memory,
+    ) -> Result<LaunchStats, ExecError> {
+        Err(ExecError::other(format!(
+            "OpenMP '{}' regions are not supported by backend '{}'",
+            req.program.regions[req.region as usize]
+                .directive
+                .kind
+                .spelling(),
             self.name()
         )))
     }

@@ -578,102 +578,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn apply_binop(&mut self, op: BinOp, l: &Value, r: &Value) -> Result<Value, ExecError> {
-        use BinOp::*;
-        // Pointer arithmetic and comparisons.
-        if let Value::Ptr(p) = l {
-            return match op {
-                Add => Ok(Value::Ptr(PtrValue {
-                    offset: p.offset + r.as_int(),
-                    ..*p
-                })),
-                Sub => match r {
-                    Value::Ptr(q) => Ok(Value::Int(p.offset - q.offset)),
-                    other => Ok(Value::Ptr(PtrValue {
-                        offset: p.offset - other.as_int(),
-                        ..*p
-                    })),
-                },
-                Eq | Ne | Lt | Gt | Le | Ge => {
-                    let rq = match r {
-                        Value::Ptr(q) => q.offset,
-                        other => other.as_int(),
-                    };
-                    Ok(Value::Int(compare_ints(op, p.offset, rq)))
-                }
-                _ => Err(ExecError::other("invalid pointer arithmetic")),
-            };
-        }
-        if let Value::Ptr(q) = r {
-            if op == Add {
-                return Ok(Value::Ptr(PtrValue {
-                    offset: q.offset + l.as_int(),
-                    ..*q
-                }));
-            }
-        }
-
-        let ints = matches!(l, Value::Int(_)) && matches!(r, Value::Int(_));
-        if ints {
-            self.cost.int_ops += 1;
-        } else {
-            self.cost.flops += 1;
-        }
-        let result = if ints {
-            let (a, b) = (l.as_int(), r.as_int());
-            match op {
-                Add => Value::Int(a.wrapping_add(b)),
-                Sub => Value::Int(a.wrapping_sub(b)),
-                Mul => Value::Int(a.wrapping_mul(b)),
-                Div => {
-                    if b == 0 {
-                        return Err(ExecError::DivisionByZero {
-                            line: self.current_line,
-                        });
-                    }
-                    Value::Int(a.wrapping_div(b))
-                }
-                Rem => {
-                    if b == 0 {
-                        return Err(ExecError::DivisionByZero {
-                            line: self.current_line,
-                        });
-                    }
-                    Value::Int(a.wrapping_rem(b))
-                }
-                Shl => Value::Int(a.wrapping_shl(b as u32)),
-                Shr => Value::Int(a.wrapping_shr(b as u32)),
-                BitAnd => Value::Int(a & b),
-                BitOr => Value::Int(a | b),
-                BitXor => Value::Int(a ^ b),
-                Lt | Gt | Le | Ge | Eq | Ne => Value::Int(compare_ints(op, a, b)),
-                And => Value::Int(((a != 0) && (b != 0)) as i64),
-                Or => Value::Int(((a != 0) || (b != 0)) as i64),
-            }
-        } else {
-            let (a, b) = (l.as_float(), r.as_float());
-            match op {
-                Add => Value::Float(a + b),
-                Sub => Value::Float(a - b),
-                Mul => Value::Float(a * b),
-                Div => Value::Float(a / b),
-                Rem => Value::Float(a % b),
-                Lt => Value::Int((a < b) as i64),
-                Gt => Value::Int((a > b) as i64),
-                Le => Value::Int((a <= b) as i64),
-                Ge => Value::Int((a >= b) as i64),
-                Eq => Value::Int((a == b) as i64),
-                Ne => Value::Int((a != b) as i64),
-                And => Value::Int(((a != 0.0) && (b != 0.0)) as i64),
-                Or => Value::Int(((a != 0.0) || (b != 0.0)) as i64),
-                Shl | Shr | BitAnd | BitOr | BitXor => {
-                    return Err(ExecError::other(format!(
-                        "line {}: bitwise operator applied to floating point operands",
-                        self.current_line
-                    )))
-                }
-            }
-        };
-        Ok(result)
+        apply_binop(op, l, r, &mut self.cost, self.current_line)
     }
 
     // -------------------------------------------------------------------- calls
@@ -1208,6 +1113,109 @@ impl ControlFlowExit {
     fn ok() -> Value {
         Value::Int(0)
     }
+}
+
+/// Apply a binary operator to two values, charging the operator's cost.
+/// Shared between the tree-walking evaluator and the bytecode VM so operator
+/// semantics (pointer arithmetic, wrapping, coercions) cannot drift.
+pub(crate) fn apply_binop(
+    op: BinOp,
+    l: &Value,
+    r: &Value,
+    cost: &mut CostCounter,
+    line: u32,
+) -> Result<Value, ExecError> {
+    use BinOp::*;
+    // Pointer arithmetic and comparisons.
+    if let Value::Ptr(p) = l {
+        return match op {
+            Add => Ok(Value::Ptr(PtrValue {
+                offset: p.offset + r.as_int(),
+                ..*p
+            })),
+            Sub => match r {
+                Value::Ptr(q) => Ok(Value::Int(p.offset - q.offset)),
+                other => Ok(Value::Ptr(PtrValue {
+                    offset: p.offset - other.as_int(),
+                    ..*p
+                })),
+            },
+            Eq | Ne | Lt | Gt | Le | Ge => {
+                let rq = match r {
+                    Value::Ptr(q) => q.offset,
+                    other => other.as_int(),
+                };
+                Ok(Value::Int(compare_ints(op, p.offset, rq)))
+            }
+            _ => Err(ExecError::other("invalid pointer arithmetic")),
+        };
+    }
+    if let Value::Ptr(q) = r {
+        if op == Add {
+            return Ok(Value::Ptr(PtrValue {
+                offset: q.offset + l.as_int(),
+                ..*q
+            }));
+        }
+    }
+
+    let ints = matches!(l, Value::Int(_)) && matches!(r, Value::Int(_));
+    if ints {
+        cost.int_ops += 1;
+    } else {
+        cost.flops += 1;
+    }
+    let result = if ints {
+        let (a, b) = (l.as_int(), r.as_int());
+        match op {
+            Add => Value::Int(a.wrapping_add(b)),
+            Sub => Value::Int(a.wrapping_sub(b)),
+            Mul => Value::Int(a.wrapping_mul(b)),
+            Div => {
+                if b == 0 {
+                    return Err(ExecError::DivisionByZero { line });
+                }
+                Value::Int(a.wrapping_div(b))
+            }
+            Rem => {
+                if b == 0 {
+                    return Err(ExecError::DivisionByZero { line });
+                }
+                Value::Int(a.wrapping_rem(b))
+            }
+            Shl => Value::Int(a.wrapping_shl(b as u32)),
+            Shr => Value::Int(a.wrapping_shr(b as u32)),
+            BitAnd => Value::Int(a & b),
+            BitOr => Value::Int(a | b),
+            BitXor => Value::Int(a ^ b),
+            Lt | Gt | Le | Ge | Eq | Ne => Value::Int(compare_ints(op, a, b)),
+            And => Value::Int(((a != 0) && (b != 0)) as i64),
+            Or => Value::Int(((a != 0) || (b != 0)) as i64),
+        }
+    } else {
+        let (a, b) = (l.as_float(), r.as_float());
+        match op {
+            Add => Value::Float(a + b),
+            Sub => Value::Float(a - b),
+            Mul => Value::Float(a * b),
+            Div => Value::Float(a / b),
+            Rem => Value::Float(a % b),
+            Lt => Value::Int((a < b) as i64),
+            Gt => Value::Int((a > b) as i64),
+            Le => Value::Int((a <= b) as i64),
+            Ge => Value::Int((a >= b) as i64),
+            Eq => Value::Int((a == b) as i64),
+            Ne => Value::Int((a != b) as i64),
+            And => Value::Int(((a != 0.0) && (b != 0.0)) as i64),
+            Or => Value::Int(((a != 0.0) || (b != 0.0)) as i64),
+            Shl | Shr | BitAnd | BitOr | BitXor => {
+                return Err(ExecError::other(format!(
+                    "line {line}: bitwise operator applied to floating point operands"
+                )))
+            }
+        }
+    };
+    Ok(result)
 }
 
 fn compare_ints(op: BinOp, a: i64, b: i64) -> i64 {

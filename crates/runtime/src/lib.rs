@@ -18,8 +18,19 @@
 //!   which the LASSI execution self-correction loop feeds back to the LLM,
 //! * [`cost::CostCounter`] + simulated-time accounting so each run reports a
 //!   deterministic runtime in seconds for the Table IV/VI/VII reproductions.
+//!
+//! ## Execution engines
+//!
+//! Two engines share the same observables and error surface:
+//!
+//! * [`bytecode`] — the default: lowers the checked AST once into flat
+//!   register bytecode ([`bytecode::compile`]) and executes it on a
+//!   dispatch-loop VM ([`bytecode::Vm`]) with preallocated register frames.
+//! * [`reference`] — the original tree-walking interpreter, kept as the
+//!   semantic reference the VM is differentially tested against.
 
 pub mod backend;
+pub mod bytecode;
 pub mod cost;
 pub mod env;
 pub mod error;
@@ -29,7 +40,21 @@ pub mod memory;
 pub mod printf;
 pub mod value;
 
-pub use backend::{KernelLaunchRequest, LaunchStats, ParallelBackend, ParallelForRequest};
+/// The tree-walking interpreter, preserved verbatim as the semantic
+/// reference for the bytecode engine. `reference::Evaluator` and
+/// `reference::HostInterpreter` are the same items as [`eval::Evaluator`]
+/// and [`interp::HostInterpreter`]; the alias exists so call sites can say
+/// which engine they mean.
+pub mod reference {
+    pub use crate::eval::{ControlFlow, EvalContext, Evaluator};
+    pub use crate::interp::HostInterpreter;
+}
+
+pub use backend::{
+    CompiledKernelLaunch, CompiledParallelFor, KernelLaunchRequest, LaunchStats, ParallelBackend,
+    ParallelForRequest,
+};
+pub use bytecode::{compile, run_compiled, run_compiled_with_memory, CompiledProgram, Vm};
 pub use cost::CostCounter;
 pub use env::Env;
 pub use error::ExecError;

@@ -327,6 +327,36 @@ impl Memory {
         })
     }
 
+    /// Load `ptr[index]`, also returning the buffer's element size in bytes
+    /// for traffic accounting — one buffer-table lock acquisition instead of
+    /// a separate `buffer_elem` round-trip per access.
+    pub fn load_counted(
+        &self,
+        ptr: &PtrValue,
+        index: i64,
+        from_device: bool,
+        line: u32,
+    ) -> Result<(Value, u64), ExecError> {
+        self.with_access(ptr, index, from_device, line, |buf, idx| {
+            (buf.load_raw(idx), buf.elem.size_bytes())
+        })
+    }
+
+    /// Store `value` into `ptr[index]`, returning the element size in bytes.
+    pub fn store_counted(
+        &self,
+        ptr: &PtrValue,
+        index: i64,
+        value: &Value,
+        from_device: bool,
+        line: u32,
+    ) -> Result<u64, ExecError> {
+        self.with_access(ptr, index, from_device, line, |buf, idx| {
+            buf.store_raw(idx, value);
+            buf.elem.size_bytes()
+        })
+    }
+
     /// Atomic add (`atomicAdd` / `#pragma omp atomic`): returns the old value.
     pub fn atomic_add(
         &self,

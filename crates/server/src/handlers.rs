@@ -145,6 +145,64 @@ fn metrics(state: &AppState) -> Response {
             )
             .record_total(writer.flushes);
     }
+    let programs = lassi_core::progcache::stats();
+    registry
+        .counter(
+            "lassi_program_cache_hits_total",
+            "Compiled-program cache hits.",
+            &[],
+        )
+        .record_total(programs.hits);
+    registry
+        .counter(
+            "lassi_program_cache_misses_total",
+            "Compiled-program cache misses (bytecode compilations).",
+            &[],
+        )
+        .record_total(programs.misses);
+    registry
+        .gauge(
+            "lassi_program_cache_entries",
+            "Distinct compiled programs retained in the cache.",
+            &[],
+        )
+        .set(programs.entries as i64);
+    registry
+        .gauge(
+            "lassi_program_cache_bytes",
+            "Approximate retained size of the compiled-program cache.",
+            &[],
+        )
+        .set(programs.approx_bytes as i64);
+    let reports = lassi_core::progcache::report_stats();
+    registry
+        .counter(
+            "lassi_report_cache_hits_total",
+            "Execution-report cache hits (deterministic replays).",
+            &[],
+        )
+        .record_total(reports.hits);
+    registry
+        .counter(
+            "lassi_report_cache_misses_total",
+            "Execution-report cache misses (actual VM executions).",
+            &[],
+        )
+        .record_total(reports.misses);
+    registry
+        .gauge(
+            "lassi_report_cache_entries",
+            "Distinct execution reports retained in the cache.",
+            &[],
+        )
+        .set(reports.entries as i64);
+    registry
+        .gauge(
+            "lassi_report_cache_bytes",
+            "Approximate retained size of the execution-report cache.",
+            &[],
+        )
+        .set(reports.approx_bytes as i64);
     registry
         .gauge(
             "lassi_run_queue_depth",
@@ -279,6 +337,23 @@ fn cache_stats(state: &AppState) -> Response {
             ]),
         ));
     }
+    let cache_counters = |s: lassi_core::ProgramCacheStats| {
+        Json::Object(vec![
+            ("hits".into(), Json::uint(s.hits)),
+            ("misses".into(), Json::uint(s.misses)),
+            ("hit_rate".into(), Json::Float(s.hit_rate())),
+            ("entries".into(), Json::uint(s.entries)),
+            ("approx_bytes".into(), Json::uint(s.approx_bytes)),
+        ])
+    };
+    fields.push((
+        "program_cache".into(),
+        cache_counters(lassi_core::progcache::stats()),
+    ));
+    fields.push((
+        "report_cache".into(),
+        cache_counters(lassi_core::progcache::report_stats()),
+    ));
     Response::json(200, Json::Object(fields).to_compact())
 }
 
