@@ -6,11 +6,12 @@
 //! sweep run  [--models L] [--apps L] [--directions L|both]
 //!            [--max-self-corrections L] [--timing-runs L] [--seed N]
 //!            [--run-id ID] [--artifacts DIR] [--no-cache] [--workers N]
-//!            [--timings] [--engine bytecode|reference]
+//!            [--timings] [--diag-summary] [--engine bytecode|reference]
 //! sweep full [--max-self-corrections L] [--timing-runs L] [--seed N]
-//!            [--artifacts DIR] [--workers N] [--timings]
+//!            [--artifacts DIR] [--workers N] [--timings] [--diag-summary]
 //!            [--engine bytecode|reference]
-//! sweep smoke [--artifacts DIR] [--workers N] [--engine bytecode|reference]
+//! sweep smoke [--artifacts DIR] [--workers N] [--diag-summary]
+//!             [--engine bytecode|reference]
 //! sweep verify <run-dir>
 //! sweep list [--artifacts DIR]
 //! sweep delete <run-id> [--artifacts DIR]
@@ -30,6 +31,15 @@
 //! the compiled-program and execution-report cache counters and the execute
 //! stage's share of instrumented stage time; `full` also embeds the same
 //! breakdown as `stage_breakdown` in `BENCH_fullgrid.json`.
+//!
+//! `--diag-summary` (on `run`, `full` and `smoke`) prints the sweep's
+//! structured findings aggregated per stable diagnostic code after the
+//! records are written: a grep-stable `diagnostics:` headline (total
+//! findings, scenarios that produced any, repair rounds spent) followed by
+//! one row per code with its severity, finding count, scenario count and
+//! the deepest self-correction round it appeared in. The table is computed
+//! from the same records the artifact stores, so it always agrees with
+//! `diagnostics.json`.
 //!
 //! `--engine` picks the execution engine for every compile-and-run step:
 //! `bytecode` (the default — each checked program lowers to register
@@ -150,6 +160,8 @@ struct SweepArgs {
     run_id: Option<String>,
     /// Print the per-stage pipeline timing table after the sweep.
     timings: bool,
+    /// Print the per-code structured-findings table after the sweep.
+    diag_summary: bool,
     /// Execution engine override (`--engine`); `None` keeps the
     /// `PipelineConfig` default (bytecode, or `LASSI_ENGINE` if set).
     engine: Option<ExecEngine>,
@@ -211,6 +223,7 @@ fn parse_args() -> Result<SweepArgs, String> {
         seed: None,
         run_id: None,
         timings: false,
+        diag_summary: false,
         engine: None,
     };
     let mut mode: Option<Mode> = None;
@@ -284,6 +297,7 @@ fn parse_args() -> Result<SweepArgs, String> {
             }
             "--run-id" => args.run_id = Some(value("--run-id")?),
             "--timings" => args.timings = true,
+            "--diag-summary" => args.diag_summary = true,
             "--engine" => {
                 let raw = value("--engine")?;
                 args.engine = Some(
@@ -378,6 +392,8 @@ fn write_artifact(
 fn verify_artifact(dir: &std::path::Path) -> Result<String, String> {
     let artifact = RunArtifact::load(dir).map_err(|e| e.to_string())?;
     let mut records_total = 0;
+    let mut flagged_records = 0usize;
+    let mut record_findings = 0usize;
     for set in &artifact.manifest.record_sets {
         let records = artifact.records(set).map_err(|e| e.to_string())?;
         let stored = artifact.summary(set).map_err(|e| e.to_string())?;
@@ -388,6 +404,14 @@ fn verify_artifact(dir: &std::path::Path) -> Result<String, String> {
                  recomputed {recomputed:?}"
             ));
         }
+        for record in &records {
+            flagged_records += usize::from(!record.diagnostics.is_empty());
+            record_findings += record
+                .diagnostics
+                .iter()
+                .map(|attempt| attempt.diagnostics.len())
+                .sum::<usize>();
+        }
         records_total += records.len();
     }
     if records_total != artifact.manifest.scenarios {
@@ -396,11 +420,68 @@ fn verify_artifact(dir: &std::path::Path) -> Result<String, String> {
             artifact.manifest.scenarios
         ));
     }
+    verify_diagnostics_document(dir, flagged_records, record_findings)?;
     Ok(format!(
         "artifact OK: {} record sets, {records_total} records, schema v{}",
         artifact.manifest.record_sets.len(),
         artifact.manifest.schema_version
     ))
+}
+
+/// Cross-check `diagnostics.json` against the records it was derived from:
+/// same schema version, one scenario entry per record with a non-empty
+/// history, same total finding count. The document is optional — the table
+/// binaries write record sets without one — but when present it must agree.
+fn verify_diagnostics_document(
+    dir: &std::path::Path,
+    flagged_records: usize,
+    record_findings: usize,
+) -> Result<(), String> {
+    let path = dir.join(lassi_harness::DIAGNOSTICS_FILE);
+    if !path.is_file() {
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+    let doc = lassi_harness::json::parse(&text)
+        .map_err(|e| format!("diagnostics.json does not parse: {e}"))?;
+    let version = doc.get("v").and_then(|v| v.as_str());
+    if version != Some(lassi_lang::diag::codec::VERSION) {
+        return Err(format!(
+            "diagnostics.json schema is {version:?} (expected `{}`)",
+            lassi_lang::diag::codec::VERSION
+        ));
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(|v| v.as_array())
+        .ok_or("diagnostics.json has no `scenarios` array")?;
+    let doc_findings: usize = scenarios
+        .iter()
+        .map(|scenario| {
+            scenario
+                .get("attempts")
+                .and_then(|v| v.as_array())
+                .map(|attempts| {
+                    attempts
+                        .iter()
+                        .filter_map(|a| a.get("diagnostics").and_then(|v| v.as_array()))
+                        .map(<[Json]>::len)
+                        .sum()
+                })
+                .unwrap_or(0)
+        })
+        .sum();
+    if scenarios.len() != flagged_records || doc_findings != record_findings {
+        return Err(format!(
+            "diagnostics.json disagrees with the records: document lists \
+             {} scenarios / {} findings, records carry {} / {}",
+            scenarios.len(),
+            doc_findings,
+            flagged_records,
+            record_findings
+        ));
+    }
+    Ok(())
 }
 
 /// One cold pass then one warm pass over the grid's jobs, with the shared
@@ -517,6 +598,81 @@ fn print_stage_table() {
         0.0
     };
     println!("execute share of stage time: {execute_share:.1}%");
+}
+
+/// One row of the `--diag-summary` table: a stable diagnostic code with its
+/// severity label, total findings, scenarios it appeared in, and the
+/// deepest self-correction round that produced it.
+struct DiagRow {
+    code: String,
+    severity: &'static str,
+    count: usize,
+    scenarios: usize,
+    max_round: u32,
+}
+
+/// The `--diag-summary` table: every structured finding in the sweep's
+/// records, aggregated per stable code. Computed from the same records the
+/// artifact stores, so the numbers always agree with `diagnostics.json`;
+/// the headline is grep-stable (`^diagnostics: `) for CI.
+fn print_diag_summary(per_cell: &[(GridCell, Vec<lassi_core::TranslationRecord>)]) {
+    let mut findings = 0usize;
+    let mut flagged_scenarios = 0usize;
+    let mut repair_rounds = 0u64;
+    let mut rows: Vec<DiagRow> = Vec::new();
+    for (_, records) in per_cell {
+        for record in records {
+            repair_rounds += record.self_corrections as u64;
+            let mut codes_here: Vec<&str> = Vec::new();
+            for attempt in &record.diagnostics {
+                for diag in &attempt.diagnostics {
+                    findings += 1;
+                    let code = diag.code_str();
+                    let first_in_scenario = !codes_here.contains(&code);
+                    match rows.iter_mut().find(|row| row.code == code) {
+                        Some(row) => {
+                            row.count += 1;
+                            row.scenarios += usize::from(first_in_scenario);
+                            row.max_round = row.max_round.max(attempt.round);
+                        }
+                        None => rows.push(DiagRow {
+                            code: code.to_string(),
+                            severity: diag.severity.label(),
+                            count: 1,
+                            scenarios: 1,
+                            max_round: attempt.round,
+                        }),
+                    }
+                    if first_in_scenario {
+                        codes_here.push(code);
+                    }
+                }
+            }
+            if !codes_here.is_empty() {
+                flagged_scenarios += 1;
+            }
+        }
+    }
+    println!(
+        "diagnostics: {findings} findings across {flagged_scenarios} \
+         scenarios, {repair_rounds} repair rounds"
+    );
+    if rows.is_empty() {
+        return;
+    }
+    // Busiest codes first; ties break on the code so reruns are
+    // byte-identical.
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.code.cmp(&b.code)));
+    println!(
+        "{:<28} {:<8} {:>7} {:>10} {:>10}",
+        "code", "severity", "count", "scenarios", "max round"
+    );
+    for row in rows {
+        println!(
+            "{:<28} {:<8} {:>7} {:>10} {:>10}",
+            row.code, row.severity, row.count, row.scenarios, row.max_round
+        );
+    }
 }
 
 /// The `stage_breakdown` object of `BENCH_fullgrid.json`: per-stage sample
@@ -698,6 +854,10 @@ fn smoke(args: &SweepArgs) -> Result<(), String> {
     }
     println!("replayed tables byte-identical to live rendering");
 
+    if args.diag_summary {
+        print_diag_summary(&per_cell);
+    }
+
     write_trajectory(
         "BENCH_harness.json",
         "harness-smoke",
@@ -763,6 +923,9 @@ fn full_sweep(args: &SweepArgs) -> Result<(), String> {
     for (cell, records) in &per_cell {
         let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
         println!("\n=== {} ===\n{stats}", cell.slug());
+    }
+    if args.diag_summary {
+        print_diag_summary(&per_cell);
     }
     if args.timings {
         print_stage_table();
@@ -884,6 +1047,9 @@ fn full_grid(args: &SweepArgs) -> Result<(), String> {
     for (cell, records) in &per_cell {
         let stats = AggregateStats::from_outcomes(&scenario_outcomes(records));
         println!("\n=== {} ===\n{stats}", cell.slug());
+    }
+    if args.diag_summary {
+        print_diag_summary(&per_cell);
     }
     if args.timings {
         print_stage_table();

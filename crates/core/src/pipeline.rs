@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use lassi_hecbench::{Application, Machine};
-use lassi_lang::{parse, Dialect, Program};
+use lassi_lang::{parse, Diagnostic, Dialect, Program};
 use lassi_llm::prompts::{extract_code_block, PromptDictionary};
 use lassi_llm::ChatModel;
 use lassi_metrics::{runtime_ratio, with_engine};
@@ -82,6 +82,45 @@ impl ScenarioStatus {
     }
 }
 
+/// Structured diagnostics captured from one attempt of one pipeline stage:
+/// one entry per failed compile/execute attempt of the self-correction loops
+/// (plus one entry for warnings surfaced by the final successful compile),
+/// so a record explains *why* a scenario needed repair instead of flattening
+/// everything into rendered text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptDiagnostics {
+    /// Self-correction round the attempt belongs to (0 = the initial
+    /// generation, incrementing once per repair prompt).
+    pub round: u32,
+    /// Pipeline stage that emitted the findings (`"parse"`, `"sema"`,
+    /// `"execute"` or `"llm"`).
+    pub stage: String,
+    /// The findings, in emission order, each carrying a stable code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// A stage failure inside `compile_and_run`, before it is anchored to a
+/// self-correction round.
+struct StageFailure {
+    stage: &'static str,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl StageFailure {
+    fn at_round(self, round: u32) -> AttemptDiagnostics {
+        AttemptDiagnostics {
+            round,
+            stage: self.stage.to_string(),
+            diagnostics: self.diagnostics,
+        }
+    }
+
+    /// The rendered form handed back to the repair prompt.
+    fn render(&self) -> String {
+        lassi_lang::diag::render_structured(&self.diagnostics)
+    }
+}
+
 /// Everything recorded about one (application, model, direction) scenario —
 /// one row of Tables VI/VII.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +155,10 @@ pub struct TranslationRecord {
     pub prompt_tokens: usize,
     /// Total response tokens received from the model.
     pub response_tokens: usize,
+    /// Per-attempt diagnostics history: every failed parse/sema/execute
+    /// attempt in the self-correction loops, plus warnings from the final
+    /// successful compile. Empty for clean zero-correction successes.
+    pub diagnostics: Vec<AttemptDiagnostics>,
 }
 
 /// One LASSI pipeline instance: a chat model plus the simulated machine.
@@ -167,9 +210,25 @@ impl<M: ChatModel> Lassi<M> {
     /// bit instead of re-executing it. With [`ExecEngine::Reference`] the
     /// tree-walking interpreter runs the AST directly every time. Reports
     /// are bit-identical either way.
-    fn compile_and_run(&self, program: &Program) -> Result<ExecutionReport, String> {
-        timed(&self.stages.sema, || lassi_sema::compile(program))
-            .map_err(|diags| lassi_lang::diag::render_diagnostics(&diags))?;
+    ///
+    /// On success the compile's non-fatal warnings ride along so callers can
+    /// record them; on failure the coded diagnostics come back attached to
+    /// the stage that produced them (execution errors are wrapped as
+    /// `exec/runtime-error`).
+    fn compile_and_run(
+        &self,
+        program: &Program,
+    ) -> Result<(ExecutionReport, Vec<Diagnostic>), StageFailure> {
+        let warnings = timed(&self.stages.sema, || lassi_sema::compile(program))
+            .map_err(|diagnostics| StageFailure {
+                stage: "sema",
+                diagnostics,
+            })?
+            .warnings;
+        let exec_failure = |msg: String| StageFailure {
+            stage: "execute",
+            diagnostics: vec![Diagnostic::error(0, msg).with_code("exec/runtime-error")],
+        };
         let runs = self.config.timing_runs.max(1);
         let mut last: Option<ExecutionReport> = None;
         let mut total = 0.0;
@@ -193,7 +252,8 @@ impl<M: ChatModel> Lassi<M> {
                             )
                             .map_err(|e| e.to_string())
                         })
-                    })?;
+                    })
+                    .map_err(&exec_failure)?;
                     total += report.simulated_seconds;
                     last = Some(report);
                 }
@@ -202,7 +262,7 @@ impl<M: ChatModel> Lassi<M> {
                 for _ in 0..runs {
                     let mut interp = HostInterpreter::new(program, self.config.run_config.clone());
                     let report = timed(&self.stages.execute, || interp.run(&self.machine, &[]))
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|e| exec_failure(e.to_string()))?;
                     total += report.simulated_seconds;
                     last = Some(report);
                 }
@@ -210,7 +270,7 @@ impl<M: ChatModel> Lassi<M> {
         }
         let mut report = last.expect("at least one run");
         report.simulated_seconds = total / runs as f64;
-        Ok(report)
+        Ok((report, warnings))
     }
 
     /// Run the full pipeline for one application and source dialect,
@@ -245,6 +305,7 @@ impl<M: ChatModel> Lassi<M> {
             sim_l: None,
             prompt_tokens: 0,
             response_tokens: 0,
+            diagnostics: Vec::new(),
         };
 
         // ------------------------------------------------ source preparation
@@ -253,20 +314,40 @@ impl<M: ChatModel> Lassi<M> {
         let source_program = match timed(&self.stages.parse, || parse(source_code, source_dialect))
         {
             Ok(p) => p,
-            Err(_) => return record,
+            Err(d) => {
+                record.diagnostics.push(AttemptDiagnostics {
+                    round: 0,
+                    stage: "parse".to_string(),
+                    diagnostics: vec![d],
+                });
+                return record;
+            }
         };
         let source_report = match self.compile_and_run(&source_program) {
-            Ok(r) => r,
-            Err(_) => return record,
+            Ok((r, _)) => r,
+            Err(failure) => {
+                record.diagnostics.push(failure.at_round(0));
+                return record;
+            }
         };
         let reference_program =
             match timed(&self.stages.parse, || parse(reference_code, target_dialect)) {
                 Ok(p) => p,
-                Err(_) => return record,
+                Err(d) => {
+                    record.diagnostics.push(AttemptDiagnostics {
+                        round: 0,
+                        stage: "parse".to_string(),
+                        diagnostics: vec![d],
+                    });
+                    return record;
+                }
             };
         let reference_report = match self.compile_and_run(&reference_program) {
-            Ok(r) => r,
-            Err(_) => return record,
+            Ok((r, _)) => r,
+            Err(failure) => {
+                record.diagnostics.push(failure.at_round(0));
+                return record;
+            }
         };
         record.source_runtime = source_report.simulated_seconds;
         record.reference_runtime = reference_report.simulated_seconds;
@@ -296,6 +377,15 @@ impl<M: ChatModel> Lassi<M> {
             Some(c) => c,
             None => {
                 record.status = ScenarioStatus::CompileGaveUp;
+                record.diagnostics.push(AttemptDiagnostics {
+                    round: 0,
+                    stage: "llm".to_string(),
+                    diagnostics: vec![Diagnostic::error(
+                        0,
+                        "model response contained no fenced code block",
+                    )
+                    .with_code("llm/no-code-block")],
+                });
                 record.prompt_tokens = self.prompt_tokens - prompt_token_base;
                 record.response_tokens = self.response_tokens - response_token_base;
                 return record;
@@ -309,15 +399,25 @@ impl<M: ChatModel> Lassi<M> {
             // Compile loop (§III-D1): keep re-prompting until it compiles.
             let program = loop {
                 let compile_result = timed(&self.stages.parse, || parse(&code, target_dialect))
-                    .map_err(|d| d.to_string())
+                    .map_err(|d| StageFailure {
+                        stage: "parse",
+                        diagnostics: vec![d],
+                    })
                     .and_then(|p| {
                         timed(&self.stages.sema, || lassi_sema::compile(&p))
                             .map(|_| p)
-                            .map_err(|diags| lassi_lang::diag::render_diagnostics(&diags))
+                            .map_err(|diagnostics| StageFailure {
+                                stage: "sema",
+                                diagnostics,
+                            })
                     });
                 match compile_result {
                     Ok(program) => break Some(program),
-                    Err(error_text) => {
+                    Err(failure) => {
+                        let error_text = failure.render();
+                        record
+                            .diagnostics
+                            .push(failure.at_round(record.self_corrections));
                         if record.self_corrections >= self.config.max_self_corrections {
                             record.status = ScenarioStatus::CompileGaveUp;
                             break None;
@@ -339,11 +439,24 @@ impl<M: ChatModel> Lassi<M> {
 
             // Execution loop (§III-D2).
             match self.compile_and_run(&program) {
-                Ok(report) => {
+                Ok((report, warnings)) => {
+                    // Surface non-fatal warnings from the final successful
+                    // compile instead of dropping them on the floor.
+                    if !warnings.is_empty() {
+                        record.diagnostics.push(AttemptDiagnostics {
+                            round: record.self_corrections,
+                            stage: "sema".to_string(),
+                            diagnostics: warnings,
+                        });
+                    }
                     final_report = Some(report);
                     break;
                 }
-                Err(error_text) => {
+                Err(failure) => {
+                    let error_text = failure.render();
+                    record
+                        .diagnostics
+                        .push(failure.at_round(record.self_corrections));
                     if record.self_corrections >= self.config.max_self_corrections {
                         record.status = ScenarioStatus::ExecuteGaveUp;
                         break;
@@ -498,6 +611,30 @@ mod tests {
             record.self_corrections >= 1,
             "the compile loop must have iterated"
         );
+        // Every repaired attempt must have left a coded, span-anchored trail.
+        assert!(
+            !record.diagnostics.is_empty(),
+            "self-corrected scenario must carry diagnostics"
+        );
+        assert_eq!(record.diagnostics[0].round, 0, "first failure is round 0");
+        for attempt in &record.diagnostics {
+            assert!(!attempt.diagnostics.is_empty());
+            for d in &attempt.diagnostics {
+                assert!(
+                    !d.code.is_empty(),
+                    "uncoded diagnostic in attempt history: {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clean_success_has_no_diagnostics() {
+        let app = application("layout").unwrap();
+        let mut pipeline = Lassi::new(perfect_model(), PipelineConfig::default());
+        let record = pipeline.translate_application(&app, Dialect::CudaLite);
+        assert_eq!(record.status, ScenarioStatus::Success);
+        assert!(record.diagnostics.is_empty(), "{:?}", record.diagnostics);
     }
 
     #[test]

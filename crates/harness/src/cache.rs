@@ -89,12 +89,14 @@ impl ScenarioKey {
 /// a code change alters what a record would contain for identical inputs
 /// (v2: the Sim-T tokenizer stopped gluing `.` into identifiers, shifting
 /// similarity scores; v3: executions moved to the bytecode VM and the key
-/// gained the engine token), so stale disk entries miss instead of
-/// resurfacing scores the current code would never produce.
+/// gained the engine token; v4: repair prompts render structured coded
+/// diagnostics and records carry per-attempt diagnostic history), so stale
+/// disk entries miss instead of resurfacing scores the current code would
+/// never produce.
 pub fn scenario_key(job: &Job) -> ScenarioKey {
     let config = &job.config;
     let canonical = format!(
-        "v3;engine={};app={};cuda={:016x};omp={:016x};model={};dir={};seed={};msc={};runs={};\
+        "v4;engine={};app={};cuda={:016x};omp={:016x};model={};dir={};seed={};msc={};runs={};\
          step={};hostop={:016x};startup={:016x}",
         config.engine.label(),
         job.application.name,

@@ -6,8 +6,8 @@
 //! the same value twice yields byte-identical text — that property is what
 //! lets `table6 --replay` re-render a saved run byte-identically.
 
-use lassi_core::{Direction, ScenarioStatus, TranslationRecord};
-use lassi_lang::Dialect;
+use lassi_core::{AttemptDiagnostics, Direction, ScenarioStatus, TranslationRecord};
+use lassi_lang::{Diagnostic, Dialect, Severity};
 use lassi_metrics::{AggregateStats, ScenarioOutcome};
 
 use crate::json::Json;
@@ -159,6 +159,85 @@ pub fn status_from_str(s: &str) -> Result<ScenarioStatus, CodecError> {
     }
 }
 
+/// Serialize a [`Diagnostic`] (the `diag.v1` object shape, minus the
+/// per-object version tag — the enclosing document carries it once).
+pub fn diagnostic_to_json(d: &Diagnostic) -> Json {
+    Json::Object(vec![
+        ("severity".into(), Json::Str(d.severity.label().into())),
+        ("code".into(), Json::Str(d.code.clone())),
+        ("line".into(), Json::Int(d.line as i128)),
+        ("column".into(), Json::Int(d.column as i128)),
+        ("message".into(), Json::Str(d.message.clone())),
+        (
+            "notes".into(),
+            Json::Array(
+                d.notes
+                    .iter()
+                    .map(|n| {
+                        Json::Object(vec![
+                            ("line".into(), Json::Int(n.line as i128)),
+                            ("message".into(), Json::Str(n.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserialize a [`Diagnostic`].
+pub fn diagnostic_from_json(v: &Json) -> Result<Diagnostic, CodecError> {
+    let label = str_field(v, "severity")?;
+    let severity = Severity::from_label(&label)
+        .ok_or_else(|| CodecError(format!("unknown severity `{label}`")))?;
+    let notes = field(v, "notes")?
+        .as_array()
+        .ok_or_else(|| CodecError("field `notes` must be an array".into()))?
+        .iter()
+        .map(|n| {
+            Ok(lassi_lang::Note {
+                line: u32_field(n, "line")?,
+                message: str_field(n, "message")?,
+            })
+        })
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    Ok(Diagnostic {
+        severity,
+        code: str_field(v, "code")?,
+        line: u32_field(v, "line")?,
+        column: u32_field(v, "column")?,
+        message: str_field(v, "message")?,
+        notes,
+    })
+}
+
+/// Serialize one attempt's worth of pipeline diagnostics.
+pub fn attempt_diagnostics_to_json(a: &AttemptDiagnostics) -> Json {
+    Json::Object(vec![
+        ("round".into(), Json::Int(a.round as i128)),
+        ("stage".into(), Json::Str(a.stage.clone())),
+        (
+            "diagnostics".into(),
+            Json::Array(a.diagnostics.iter().map(diagnostic_to_json).collect()),
+        ),
+    ])
+}
+
+/// Deserialize one attempt's worth of pipeline diagnostics.
+pub fn attempt_diagnostics_from_json(v: &Json) -> Result<AttemptDiagnostics, CodecError> {
+    let diagnostics = field(v, "diagnostics")?
+        .as_array()
+        .ok_or_else(|| CodecError("field `diagnostics` must be an array".into()))?
+        .iter()
+        .map(diagnostic_from_json)
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    Ok(AttemptDiagnostics {
+        round: u32_field(v, "round")?,
+        stage: str_field(v, "stage")?,
+        diagnostics,
+    })
+}
+
 /// Serialize a [`TranslationRecord`].
 pub fn record_to_json(r: &TranslationRecord) -> Json {
     Json::Object(vec![
@@ -195,6 +274,15 @@ pub fn record_to_json(r: &TranslationRecord) -> Json {
             "response_tokens".into(),
             Json::Int(r.response_tokens as i128),
         ),
+        (
+            "diagnostics".into(),
+            Json::Array(
+                r.diagnostics
+                    .iter()
+                    .map(attempt_diagnostics_to_json)
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -216,6 +304,12 @@ pub fn record_from_json(v: &Json) -> Result<TranslationRecord, CodecError> {
         sim_l: opt_f64_field(v, "sim_l")?,
         prompt_tokens: usize_field(v, "prompt_tokens")?,
         response_tokens: usize_field(v, "response_tokens")?,
+        diagnostics: field(v, "diagnostics")?
+            .as_array()
+            .ok_or_else(|| CodecError("field `diagnostics` must be an array".into()))?
+            .iter()
+            .map(attempt_diagnostics_from_json)
+            .collect::<Result<Vec<_>, CodecError>>()?,
     })
 }
 
@@ -457,6 +551,17 @@ mod tests {
             sim_l: None,
             prompt_tokens: 1234,
             response_tokens: 567,
+            diagnostics: vec![AttemptDiagnostics {
+                round: 0,
+                stage: "sema".into(),
+                diagnostics: vec![
+                    Diagnostic::error(14, "use of undeclared identifier 'd_out'")
+                        .with_code("sema/undeclared-ident")
+                        .with_column(7)
+                        .with_note(2, "'d_out' was freed here"),
+                    Diagnostic::warning(3, "runtime call").with_code("sema/omp-runtime-in-cuda"),
+                ],
+            }],
         }
     }
 
@@ -543,6 +648,30 @@ mod tests {
         let stats = AggregateStats::from_outcomes(&[outcome, ScenarioOutcome::failed("a", "m")]);
         let back = stats_from_json(&parse(&stats_to_json(&stats).to_compact()).unwrap()).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn diagnostics_round_trip_with_notes_and_spans() {
+        let attempt = AttemptDiagnostics {
+            round: 2,
+            stage: "execute".into(),
+            diagnostics: vec![
+                Diagnostic::error(0, "step limit exceeded").with_code("exec/runtime-error")
+            ],
+        };
+        let back = attempt_diagnostics_from_json(
+            &parse(&attempt_diagnostics_to_json(&attempt).to_pretty()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, attempt);
+        // An uncoded diagnostic keeps its empty code verbatim — the harness
+        // codec is loss-free, unlike the lang codec which normalizes to the
+        // placeholder.
+        let raw = Diagnostic::note(5, "fyi");
+        let back =
+            diagnostic_from_json(&parse(&diagnostic_to_json(&raw).to_compact()).unwrap()).unwrap();
+        assert_eq!(back, raw);
+        assert!(back.code.is_empty());
     }
 
     #[test]

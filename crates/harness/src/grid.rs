@@ -14,6 +14,7 @@ use lassi_metrics::AggregateStats;
 use lassi_obs::TraceEvent;
 
 use crate::cache::CacheSnapshot;
+use crate::json::Json;
 use crate::runstate::RunStatus;
 use crate::scheduler::{Job, JobOutput};
 use crate::store::{detect_git_commit, ArtifactError, ArtifactStore, RunManifest};
@@ -143,6 +144,52 @@ impl SweepGrid {
         manifest
     }
 
+    /// Build the run's `diag.v1` diagnostics document: one entry per
+    /// scenario that produced findings, in job submission order. Scenarios
+    /// with an empty diagnostic history are omitted — a clean first-try
+    /// success has nothing to report.
+    pub fn diagnostics_document(&self, jobs: &[Job], outputs: &[JobOutput]) -> Json {
+        let mut ordered: Vec<&JobOutput> = outputs.iter().collect();
+        ordered.sort_by_key(|output| output.index);
+        let mut scenarios = Vec::new();
+        for output in ordered {
+            if output.record.diagnostics.is_empty() {
+                continue;
+            }
+            let job = &jobs[output.index];
+            scenarios.push(Json::Object(vec![
+                (
+                    "application".into(),
+                    Json::Str(job.application.name.to_string()),
+                ),
+                ("model".into(), Json::Str(job.model.name.to_string())),
+                (
+                    "direction".into(),
+                    Json::Str(job.direction.slug().to_string()),
+                ),
+                ("cell".into(), Json::Str(self.cell_of(job).slug())),
+                (
+                    "attempts".into(),
+                    Json::Array(
+                        output
+                            .record
+                            .diagnostics
+                            .iter()
+                            .map(crate::codec::attempt_diagnostics_to_json)
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+        Json::Object(vec![
+            (
+                "v".into(),
+                Json::Str(lassi_lang::diag::codec::VERSION.into()),
+            ),
+            ("scenarios".into(), Json::Array(scenarios)),
+        ])
+    }
+
     /// Group sweep outputs by grid cell, in [`SweepGrid::cells`] order.
     /// `jobs` must be the job list the outputs were produced from (the
     /// output's `index` field points into it). Within a cell, records are
@@ -209,6 +256,19 @@ impl SweepGrid {
         let record_sets = self.cells().iter().map(GridCell::slug).collect();
         let manifest = self.manifest(run_id, record_sets, outputs.len(), snapshot);
         writer.write_manifest(&manifest)?;
+        writer.write_diagnostics(&self.diagnostics_document(jobs, outputs))?;
+        // Diagnostics metrics are counted here — at artifact-write time, not
+        // in the pipeline — so cache-hit scenarios count exactly like
+        // executed ones and the exposition agrees with the artifact. The
+        // rounds histogram is registered unconditionally so the family
+        // renders even for an all-clean run.
+        let registry = lassi_obs::global();
+        let rounds = registry.histogram(
+            "lassi_self_correction_rounds",
+            "Self-correction rounds spent per completed scenario.",
+            &[],
+            &[0.0, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 40.0],
+        );
         let mut events: Vec<TraceEvent> = trace.to_vec();
         let mut ordered: Vec<&JobOutput> = outputs.iter().collect();
         ordered.sort_by_key(|output| output.index);
@@ -216,11 +276,36 @@ impl SweepGrid {
         // back-to-back end times: each span's duration and queue-wait vs
         // execute split are the worker's real measurements, while the
         // sequential layout keeps the file deterministic under any worker
-        // schedule.
+        // schedule. Each scenario's `diag` events share its span's end
+        // instant.
         let mut end_us = 0u64;
         for output in &ordered {
             end_us += ((output.queue_seconds + output.wall_seconds) * 1e6).round() as u64;
             events.push(crate::trace::job_span(end_us, &jobs[output.index], output));
+            rounds.observe(output.record.self_corrections as f64);
+            for attempt in &output.record.diagnostics {
+                for diag in &attempt.diagnostics {
+                    events.push(crate::trace::diag_event(
+                        end_us,
+                        &jobs[output.index],
+                        output.index,
+                        attempt,
+                        diag,
+                    ));
+                    registry
+                        .counter(
+                            "lassi_diagnostics_total",
+                            "Structured findings recorded in run artifacts, \
+                             by severity, code and stage.",
+                            &[
+                                ("severity", diag.severity.label()),
+                                ("code", diag.code_str()),
+                                ("stage", &attempt.stage),
+                            ],
+                        )
+                        .inc();
+                }
+            }
         }
         crate::trace::write_trace(writer.dir(), &events)?;
         // A fully-written artifact is a terminally `done` run; persisting

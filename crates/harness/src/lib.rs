@@ -47,8 +47,9 @@ pub use scheduler::{
 };
 pub use store::{
     detect_git_commit, is_slug, ArtifactError, ArtifactStore, RunArtifact, RunManifest, RunWriter,
-    SCHEMA_VERSION,
+    DIAGNOSTICS_FILE, SCHEMA_VERSION,
 };
 pub use trace::{
-    event_from_json, event_to_json, job_span, parse_trace, read_trace, write_trace, TRACE_FILE,
+    diag_event, event_from_json, event_to_json, job_span, parse_trace, read_trace, write_trace,
+    TRACE_FILE,
 };

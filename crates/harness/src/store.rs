@@ -9,6 +9,7 @@
 //!   manifest.json             # RunManifest: seed, config grid, version, cache stats
 //!   records-<set>.json        # TranslationRecord array per record set
 //!   summary-<set>.json        # AggregateStats per record set (optional)
+//!   diagnostics.json          # diag.v1 per-scenario diagnostic history
 //!   table4.json               # Table IV rows (table4 binary only)
 //! ```
 //!
@@ -31,6 +32,12 @@ use crate::runstate::RunStatus;
 
 /// Artifact schema version; bump on breaking layout changes.
 pub const SCHEMA_VERSION: u32 = 1;
+
+/// File name of a run's structured diagnostics document. Deliberately not a
+/// manifest record set: record sets are `TranslationRecord` arrays that
+/// `verify`/`--replay` decode, while this is a `diag.v1` document keyed by
+/// scenario.
+pub const DIAGNOSTICS_FILE: &str = "diagnostics.json";
 
 /// Everything recorded about a run besides the records themselves.
 #[derive(Debug, Clone, PartialEq)]
@@ -385,6 +392,11 @@ impl RunWriter {
     /// Write one aggregate summary as `summary-<set>.json`.
     pub fn write_summary(&self, set: &str, stats: &AggregateStats) -> io::Result<()> {
         self.write_file(&format!("summary-{set}.json"), &codec::stats_to_json(stats))
+    }
+
+    /// Write the run's `diag.v1` diagnostics document as `diagnostics.json`.
+    pub fn write_diagnostics(&self, document: &Json) -> io::Result<()> {
+        self.write_file(DIAGNOSTICS_FILE, document)
     }
 
     /// Write Table IV rows as `table4.json`.

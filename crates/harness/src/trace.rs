@@ -51,6 +51,30 @@ pub fn job_span(end_us: u64, job: &Job, output: &JobOutput) -> TraceEvent {
     .with("from_cache", output.from_cache)
 }
 
+/// Build one `diag` event for a single structured finding.
+///
+/// Emitted at the owning job span's end instant: the finding is observed
+/// when the record lands, and anchoring every diagnostic of a scenario to
+/// one instant keeps the trace deterministic under any worker schedule.
+pub fn diag_event(
+    t_us: u64,
+    job: &Job,
+    index: usize,
+    attempt: &lassi_core::AttemptDiagnostics,
+    diag: &lassi_lang::Diagnostic,
+) -> TraceEvent {
+    TraceEvent::event("diag", t_us)
+        .with("index", index)
+        .with("application", job.application.name)
+        .with("model", job.model.name)
+        .with("direction", job.direction.slug())
+        .with("round", attempt.round as u64)
+        .with("stage", attempt.stage.as_str())
+        .with("code", diag.code_str())
+        .with("severity", diag.severity.label())
+        .with("line", diag.line as u64)
+}
+
 /// Serialize one trace event to its JSON line value.
 pub fn event_to_json(event: &TraceEvent) -> Json {
     let mut object = vec![

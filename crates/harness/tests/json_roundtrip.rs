@@ -3,10 +3,10 @@
 //! including `None` fields, awkward-but-finite floats and strings full of
 //! characters that need escaping.
 
-use lassi_core::{ScenarioStatus, TranslationRecord};
+use lassi_core::{AttemptDiagnostics, ScenarioStatus, TranslationRecord};
 use lassi_harness::codec::{record_from_json, record_to_json};
 use lassi_harness::json::{parse, Json};
-use lassi_lang::Dialect;
+use lassi_lang::{Diagnostic, Dialect, Severity};
 use proptest::prelude::*;
 
 fn status_from_index(i: u32) -> ScenarioStatus {
@@ -16,6 +16,23 @@ fn status_from_index(i: u32) -> ScenarioStatus {
         2 => ScenarioStatus::CompileGaveUp,
         3 => ScenarioStatus::ExecuteGaveUp,
         _ => ScenarioStatus::OutputMismatch,
+    }
+}
+
+fn severity_from_index(i: u32) -> Severity {
+    match i % 3 {
+        0 => Severity::Note,
+        1 => Severity::Warning,
+        _ => Severity::Error,
+    }
+}
+
+fn stage_from_index(i: u32) -> &'static str {
+    match i % 4 {
+        0 => "parse",
+        1 => "sema",
+        2 => "execute",
+        _ => "llm",
     }
 }
 
@@ -29,6 +46,47 @@ fn opt_f64(range: std::ops::Range<f64>) -> BoxedStrategy<Option<f64>> {
 
 fn opt_code() -> BoxedStrategy<Option<String>> {
     prop_oneof![Just(None), CODE_PATTERN.prop_map(Some)].boxed()
+}
+
+// One arbitrary attempt's diagnostics: coded or uncoded, with or without a
+// column span and notes — every shape the pipeline can emit.
+fn attempts() -> BoxedStrategy<Vec<AttemptDiagnostics>> {
+    let diag = (
+        (0u32..6, "[a-z/-]{0,16}", 0u32..500),
+        (
+            0u32..120,
+            "[a-zA-Z0-9 '_().\\n-]{0,60}",
+            proptest::collection::vec((0u32..500, "[a-zA-Z0-9 '_-]{0,40}"), 0..3),
+        ),
+    )
+        .prop_map(|((sev, code, line), (column, message, notes))| {
+            let mut d = Diagnostic {
+                severity: severity_from_index(sev),
+                code,
+                line,
+                column,
+                message,
+                notes: Vec::new(),
+            };
+            for (line, message) in notes {
+                d = d.with_note(line, message);
+            }
+            d
+        });
+    proptest::collection::vec(
+        (0u32..10, 0u32..8, proptest::collection::vec(diag, 0..4)),
+        0..4,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(round, stage, diagnostics)| AttemptDiagnostics {
+                round,
+                stage: stage_from_index(stage).to_string(),
+                diagnostics,
+            })
+            .collect()
+    })
+    .boxed()
 }
 
 proptest! {
@@ -54,6 +112,7 @@ proptest! {
             opt_f64(0.0..1.0),
         ),
         (prompt_tokens, response_tokens, flip) in (0usize..1_000_000, 0usize..1_000_000, 0u32..2),
+        diagnostics in attempts(),
     ) {
         let (source_dialect, target_dialect) = if flip == 0 {
             (Dialect::CudaLite, Dialect::OmpLite)
@@ -76,6 +135,7 @@ proptest! {
             sim_l,
             prompt_tokens,
             response_tokens,
+            diagnostics,
         };
 
         // Compact and pretty renderings must both decode to the same record.
@@ -129,6 +189,7 @@ fn record_with_every_none_field_round_trips() {
         sim_l: None,
         prompt_tokens: 0,
         response_tokens: 0,
+        diagnostics: Vec::new(),
     };
     let text = record_to_json(&record).to_pretty();
     let back = record_from_json(&parse(&text).unwrap()).unwrap();

@@ -83,7 +83,8 @@ impl<'a> Lexer<'a> {
                             return Err(Diagnostic::error(
                                 start_line,
                                 "unterminated block comment",
-                            ));
+                            )
+                            .with_code("lex/unterminated-comment"));
                         }
                         if self.peek() == b'*' && self.peek2() == b'/' {
                             self.bump();
@@ -134,7 +135,8 @@ impl<'a> Lexer<'a> {
             return Err(Diagnostic::error(
                 line,
                 format!("unsupported preprocessor directive '#{word}'"),
-            ));
+            )
+            .with_code("lex/unknown-directive"));
         }
         let mut rest = String::new();
         while self.peek() != b'\n' && self.peek() != 0 {
@@ -185,13 +187,15 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         if is_float || suffix_float {
-            let v: f64 = text
-                .parse()
-                .map_err(|_| Diagnostic::error(line, format!("invalid float literal '{text}'")))?;
+            let v: f64 = text.parse().map_err(|_| {
+                Diagnostic::error(line, format!("invalid float literal '{text}'"))
+                    .with_code("lex/invalid-float")
+            })?;
             Ok(Token::new(TokenKind::FloatLit(v), line))
         } else {
             let v: i64 = text.parse().map_err(|_| {
                 Diagnostic::error(line, format!("invalid integer literal '{text}'"))
+                    .with_code("lex/invalid-integer")
             })?;
             Ok(Token::new(TokenKind::IntLit(v), line))
         }
@@ -203,7 +207,10 @@ impl<'a> Lexer<'a> {
         let mut s = String::new();
         loop {
             match self.peek() {
-                0 | b'\n' => return Err(Diagnostic::error(line, "unterminated string literal")),
+                0 | b'\n' => {
+                    return Err(Diagnostic::error(line, "unterminated string literal")
+                        .with_code("lex/unterminated-string"))
+                }
                 b'"' => {
                     self.bump();
                     break;
@@ -226,7 +233,8 @@ impl<'a> Lexer<'a> {
                             return Err(Diagnostic::error(
                                 line,
                                 format!("unknown escape sequence '\\{}'", other as char),
-                            ))
+                            )
+                            .with_code("lex/bad-escape"))
                         }
                     }
                 }
@@ -369,7 +377,8 @@ impl<'a> Lexer<'a> {
                 return Err(Diagnostic::error(
                     line,
                     format!("unexpected character '{}'", other as char),
-                ))
+                )
+                .with_code("lex/unexpected-char"))
             }
         };
         Ok(Token::new(kind, line))

@@ -41,7 +41,7 @@ pub mod printer;
 pub mod token;
 
 pub use ast::*;
-pub use diag::{Diagnostic, Severity};
+pub use diag::{Diagnostic, Note, Severity};
 pub use lexer::Lexer;
 pub use parser::{parse, Parser};
 pub use printer::print_program;

@@ -11,10 +11,16 @@ use crate::lexer::Lexer;
 use crate::token::{Token, TokenKind};
 
 /// Parse a complete translation unit.
+///
+/// Every error carries a stable machine code: lexer errors keep their
+/// `lex/*` codes, and any parser emission that was not classified at its
+/// site defaults to `parse/syntax-error`.
 pub fn parse(src: &str, dialect: Dialect) -> Result<Program, Diagnostic> {
-    let tokens = Lexer::tokenize(src)?;
+    let tokens = Lexer::tokenize(src).map_err(|d| d.with_default_code("lex/error"))?;
     let mut parser = Parser::new(tokens, dialect);
-    parser.parse_program()
+    parser
+        .parse_program()
+        .map_err(|d| d.with_default_code("parse/syntax-error"))
 }
 
 /// The ParC parser. Construct via [`Parser::new`] or use the [`parse`]
@@ -92,7 +98,8 @@ impl Parser {
             Err(Diagnostic::error(
                 self.line(),
                 format!("expected {what} ('{kind}'), found '{}'", self.peek_kind()),
-            ))
+            )
+            .with_code("parse/expected-token"))
         }
     }
 
@@ -105,7 +112,8 @@ impl Parser {
             other => Err(Diagnostic::error(
                 self.line(),
                 format!("expected {what}, found '{other}'"),
-            )),
+            )
+            .with_code("parse/expected-ident")),
         }
     }
 

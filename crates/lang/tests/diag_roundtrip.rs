@@ -1,0 +1,67 @@
+//! Property tests for the `diag.v1` codec: any diagnostic the front end or
+//! semantic analyzer can emit must survive encode → parse unchanged, and the
+//! encoding must be byte-deterministic.
+
+use lassi_lang::diag::{codec, Diagnostic, Severity};
+use proptest::prelude::*;
+
+// Message shapes real emissions contain: identifiers in quotes, punctuation,
+// escapes, newlines and tabs.
+const MESSAGE_PATTERN: &str = "[a-zA-Z0-9 _'(){}<>#*&+=.:;,!/\"\\\\\\n\\t-]{0,120}";
+// The vendored proptest shim supports single `[class]{lo,hi}` patterns, so
+// codes are a generated `area/kind`-shaped tail on a fixed prefix.
+const CODE_TAIL_PATTERN: &str = "[a-z/-]{1,24}";
+
+fn severity_from_index(i: u32) -> Severity {
+    match i % 3 {
+        0 => Severity::Note,
+        1 => Severity::Warning,
+        _ => Severity::Error,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn diagnostic_round_trips_for_arbitrary_contents(
+        (severity_ix, line, column) in (0u32..3, 0u32..100_000, 0u32..10_000),
+        code_tail in CODE_TAIL_PATTERN,
+        message in MESSAGE_PATTERN,
+        notes in proptest::collection::vec((0u32..100_000, MESSAGE_PATTERN), 0..4),
+    ) {
+        let mut d = Diagnostic {
+            severity: severity_from_index(severity_ix),
+            code: format!("sema/{code_tail}"),
+            line,
+            column,
+            message,
+            notes: Vec::new(),
+        };
+        for (note_line, note_message) in notes {
+            d = d.with_note(note_line, note_message);
+        }
+
+        let encoded = codec::encode_diagnostic(&d);
+        let back = codec::parse_diagnostic(&encoded).unwrap();
+        prop_assert_eq!(&back, &d);
+
+        // Encoding is byte-deterministic.
+        prop_assert_eq!(codec::encode_diagnostic(&back), encoded);
+
+        // The batch form round-trips too.
+        let batch = codec::encode_diagnostics(std::slice::from_ref(&d));
+        let decoded = codec::parse_diagnostics(&batch).unwrap();
+        prop_assert_eq!(decoded, vec![d]);
+    }
+
+    #[test]
+    fn unclassified_diagnostics_round_trip_as_the_placeholder_code(
+        message in MESSAGE_PATTERN,
+    ) {
+        let d = Diagnostic::error(3, message);
+        let back = codec::parse_diagnostic(&codec::encode_diagnostic(&d)).unwrap();
+        prop_assert_eq!(back.code.as_str(), lassi_lang::diag::UNCLASSIFIED_CODE);
+        prop_assert_eq!(back.message, d.message);
+    }
+}

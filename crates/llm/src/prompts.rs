@@ -251,6 +251,41 @@ mod tests {
     }
 
     #[test]
+    fn repair_prompt_renders_structured_diagnostics_byte_stably() {
+        // Golden test: the repair prompt built from structured diagnostics
+        // (code + span + notes) is pinned byte for byte. The scenario cache
+        // key is versioned on these bytes (v4) — if this golden changes, the
+        // key in `lassi-harness::cache` must be bumped with it.
+        use lassi_lang::diag::{render_structured, Diagnostic};
+        let diags = vec![
+            Diagnostic::warning(
+                3,
+                "'omp_get_wtime' requires linking against the OpenMP runtime",
+            )
+            .with_code("sema/omp-runtime-in-cuda"),
+            Diagnostic::error(14, "use of undeclared identifier 'd_out'")
+                .with_code("sema/undeclared-ident")
+                .with_note(7, "'d_out' was freed here"),
+        ];
+        let build = || {
+            PromptDictionary::build_compile_correction_prompt(
+                "int main() { return 0; }",
+                "nvcc -O3",
+                &render_structured(&diags),
+            )
+        };
+        let golden = "```\nint main() { return 0; }\n```\n-- The above code was compiled with \
+`nvcc -O3` and produced the following compile error: \
+error[sema/undeclared-ident]: line 14: use of undeclared identifier 'd_out'\n\
+\x20 note: line 7: 'd_out' was freed here\n\
+warning[sema/omp-runtime-in-cuda]: line 3: 'omp_get_wtime' requires linking against the OpenMP \
+runtime. Re-factor the above code with a fix to eliminate the stated error.";
+        assert_eq!(build(), golden);
+        // Deterministic: identical input renders to identical bytes.
+        assert_eq!(build(), build());
+    }
+
+    #[test]
     fn extract_code_block_finds_last_block() {
         let text = "intro\n```\nfirst block\n```\nmiddle\n```cpp\nsecond block\n```\ntail";
         assert_eq!(extract_code_block(text).unwrap(), "second block");

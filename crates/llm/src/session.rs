@@ -52,6 +52,7 @@ pub struct SimulatedLlm {
     model: ModelSpec,
     rng: StdRng,
     state: Option<SessionState>,
+    last_translation_diagnostic: Option<lassi_lang::Diagnostic>,
 }
 
 impl SimulatedLlm {
@@ -62,12 +63,21 @@ impl SimulatedLlm {
             model,
             rng: StdRng::seed_from_u64(seed),
             state: None,
+            last_translation_diagnostic: None,
         }
     }
 
     /// The model specification.
     pub fn spec(&self) -> &ModelSpec {
         &self.model
+    }
+
+    /// Why the translation engine rejected the last source program, if it
+    /// did: a coded diagnostic naming the offending construct
+    /// (`llm/unsupported-construct`) or the front-end failure. `None` after
+    /// a clean translation.
+    pub fn last_translation_diagnostic(&self) -> Option<&lassi_lang::Diagnostic> {
+        self.last_translation_diagnostic.as_ref()
     }
 
     /// Faults still present in the last generated code (test/diagnostic hook).
@@ -115,15 +125,22 @@ impl SimulatedLlm {
         let source_dialect = detect_dialect(&source);
         let target = source_dialect.other();
         let parsed = parse(&source, source_dialect);
+        self.last_translation_diagnostic = None;
         let translated_source = match parsed.and_then(|p| {
-            translate_program(&p, target)
-                .map_err(|e| lassi_lang::Diagnostic::error(0, e.to_string()))
+            translate_program(&p, target).map_err(|e| {
+                // `e` names the offending construct ("unsupported construct:
+                // reduction operator '&' is not supported", ...).
+                lassi_lang::Diagnostic::error(0, e.to_string())
+                    .with_code("llm/unsupported-construct")
+            })
         }) {
             Ok(program) => lassi_lang::print_program(&program),
-            Err(_) => {
+            Err(diagnostic) => {
                 // The model "fails to understand" the program: it answers with
                 // the original code lightly rearranged, which will never
                 // compile in the target language. This is one of the N/A paths.
+                // The coded diagnostic stays inspectable instead of vanishing.
+                self.last_translation_diagnostic = Some(diagnostic);
                 source.clone()
             }
         };
@@ -458,6 +475,38 @@ int main() {
             &PromptDictionary::build_knowledge_summary_prompt(Dialect::CudaLite),
         );
         assert!(summary.text.contains("cudaMalloc"));
+    }
+
+    #[test]
+    fn rejected_translation_leaves_a_coded_diagnostic() {
+        // A program with no main: the translation engine refuses it, the
+        // model answers with the untranslated source, and the refusal stays
+        // inspectable as a coded diagnostic naming the offending construct.
+        let src = "__global__ void k(float* a) { a[0] = 1.0; }";
+        let prompt = PromptDictionary::build_translation_prompt(
+            Dialect::CudaLite,
+            Dialect::OmpLite,
+            "summary",
+            "a kernel with no driver",
+            src,
+        );
+        let mut llm = SimulatedLlm::with_seed(gpt4(), 3);
+        let resp = llm.complete(prompts::SYSTEM_CUDA_TO_OPENMP, &prompt);
+        let code = extract_code_block(&resp.text).unwrap();
+        assert!(code.contains("__global__"), "untranslated source echoed");
+        let diag = llm
+            .last_translation_diagnostic()
+            .expect("refusal diagnostic");
+        assert_eq!(diag.code, "llm/unsupported-construct");
+        assert!(
+            diag.message.contains("no main function"),
+            "{}",
+            diag.message
+        );
+        // A clean translation clears it.
+        let resp = llm.complete(prompts::SYSTEM_CUDA_TO_OPENMP, &translation_prompt());
+        assert!(extract_code_block(&resp.text).is_some());
+        assert!(llm.last_translation_diagnostic().is_none());
     }
 
     #[test]

@@ -96,13 +96,14 @@ impl<'p> Checker<'p> {
         }
     }
 
-    fn error(&mut self, msg: impl Into<String>) {
-        self.errors.push(Diagnostic::error(self.current_line, msg));
+    fn error(&mut self, code: &str, msg: impl Into<String>) {
+        self.errors
+            .push(Diagnostic::error(self.current_line, msg).with_code(code));
     }
 
-    fn warn(&mut self, msg: impl Into<String>) {
+    fn warn(&mut self, code: &str, msg: impl Into<String>) {
         self.warnings
-            .push(Diagnostic::warning(self.current_line, msg));
+            .push(Diagnostic::warning(self.current_line, msg).with_code(code));
     }
 
     fn run(&mut self) {
@@ -110,20 +111,26 @@ impl<'p> Checker<'p> {
         let mut seen: HashMap<&str, u32> = HashMap::new();
         for f in self.program.functions() {
             if let Some(prev) = seen.insert(f.name.as_str(), f.line) {
-                self.errors.push(Diagnostic::error(
-                    f.line,
-                    format!(
-                        "redefinition of function '{}' (previously defined at line {prev})",
-                        f.name
-                    ),
-                ));
+                self.errors.push(
+                    Diagnostic::error(
+                        f.line,
+                        format!(
+                            "redefinition of function '{}' (previously defined at line {prev})",
+                            f.name
+                        ),
+                    )
+                    .with_code("sema/function-redefinition")
+                    .with_note(prev, format!("'{}' previously defined here", f.name)),
+                );
             }
         }
 
         // A translation unit must define main.
         if self.program.main().is_none() {
-            self.errors
-                .push(Diagnostic::error(0, "undefined reference to 'main'"));
+            self.errors.push(
+                Diagnostic::error(0, "undefined reference to 'main'")
+                    .with_code("sema/missing-main"),
+            );
         }
 
         let funcs: Vec<&Function> = self.program.functions().collect();
@@ -141,24 +148,33 @@ impl<'p> Checker<'p> {
         self.current_ret = f.ret.clone();
 
         if f.qualifier == FnQualifier::Kernel && f.ret != Type::Void {
-            self.error(format!(
-                "__global__ function '{}' must have void return type",
-                f.name
-            ));
+            self.error(
+                "sema/kernel-return-type",
+                format!(
+                    "__global__ function '{}' must have void return type",
+                    f.name
+                ),
+            );
         }
         if f.name == "main" {
             if f.ret != Type::Int {
-                self.error("'main' must return 'int'");
+                self.error("sema/main-return-type", "'main' must return 'int'");
             }
             if f.qualifier != FnQualifier::Host {
-                self.error("'main' cannot be a __global__ or __device__ function");
+                self.error(
+                    "sema/main-qualifier",
+                    "'main' cannot be a __global__ or __device__ function",
+                );
             }
         }
         if f.qualifier == FnQualifier::Kernel && self.program.dialect == Dialect::OmpLite {
-            self.error(format!(
-                "'__global__' qualifier on '{}' is CUDA syntax and is not valid in OpenMP C++ code",
-                f.name
-            ));
+            self.error(
+                "sema/cuda-syntax-in-omp",
+                format!(
+                    "'__global__' qualifier on '{}' is CUDA syntax and is not valid in OpenMP C++ code",
+                    f.name
+                ),
+            );
         }
 
         self.scopes.clear();
@@ -177,8 +193,10 @@ impl<'p> Checker<'p> {
         if let Some(scope) = self.scopes.last_mut() {
             if scope.contains_key(name) {
                 let line = self.current_line;
-                self.errors
-                    .push(Diagnostic::error(line, format!("redefinition of '{name}'")));
+                self.errors.push(
+                    Diagnostic::error(line, format!("redefinition of '{name}'"))
+                        .with_code("sema/redefinition"),
+                );
             }
             scope.insert(name.to_string(), VarInfo { ty, is_const });
         }
@@ -227,19 +245,26 @@ impl<'p> Checker<'p> {
                 let ret = self.current_ret.clone();
                 match (value, &ret) {
                     (Some(_), Type::Void) => {
-                        self.error("void function should not return a value");
+                        self.error(
+                            "sema/void-return-value",
+                            "void function should not return a value",
+                        );
                     }
                     (None, t) if *t != Type::Void => {
-                        self.warn(format!(
-                            "non-void function should return a value of type '{t}'"
-                        ));
+                        self.warn(
+                            "sema/missing-return-value",
+                            format!("non-void function should return a value of type '{t}'"),
+                        );
                     }
                     (Some(v), _) => {
                         if let Some(vt) = self.check_expr(v) {
                             if !assignment_compatible(&ret, &vt) {
-                                self.error(format!(
-                                    "returning '{vt}' from a function with return type '{ret}'"
-                                ));
+                                self.error(
+                                    "sema/return-type-mismatch",
+                                    format!(
+                                        "returning '{vt}' from a function with return type '{ret}'"
+                                    ),
+                                );
                             }
                         }
                     }
@@ -248,7 +273,10 @@ impl<'p> Checker<'p> {
             }
             StmtKind::Break | StmtKind::Continue => {
                 if self.loop_depth == 0 {
-                    self.error("'break' or 'continue' statement not in loop");
+                    self.error(
+                        "sema/break-outside-loop",
+                        "'break' or 'continue' statement not in loop",
+                    );
                 }
             }
             StmtKind::Expr(e) => {
@@ -263,25 +291,34 @@ impl<'p> Checker<'p> {
     fn check_var_decl(&mut self, d: &VarDecl) {
         if d.is_shared {
             if self.ctx != ExecContext::Device {
-                self.error(format!(
-                    "'__shared__' variable '{}' is only allowed in device code",
-                    d.name
-                ));
+                self.error(
+                    "sema/shared-outside-device",
+                    format!(
+                        "'__shared__' variable '{}' is only allowed in device code",
+                        d.name
+                    ),
+                );
             }
             if self.program.dialect == Dialect::OmpLite {
-                self.error(format!(
-                    "'__shared__' on '{}' is CUDA syntax and is not valid in OpenMP C++ code",
-                    d.name
-                ));
+                self.error(
+                    "sema/cuda-syntax-in-omp",
+                    format!(
+                        "'__shared__' on '{}' is CUDA syntax and is not valid in OpenMP C++ code",
+                        d.name
+                    ),
+                );
             }
         }
         if let Some(len) = &d.array_len {
             if let Some(t) = self.check_expr(len) {
                 if !t.is_integer() {
-                    self.error(format!(
-                        "array size of '{}' must have integer type, got '{t}'",
-                        d.name
-                    ));
+                    self.error(
+                        "sema/array-size-type",
+                        format!(
+                            "array size of '{}' must have integer type, got '{t}'",
+                            d.name
+                        ),
+                    );
                 }
             }
         }
@@ -291,7 +328,10 @@ impl<'p> Checker<'p> {
                 if let Expr::Call { callee, args } = init {
                     if callee == "dim3" {
                         if args.is_empty() || args.len() > 3 {
-                            self.error("dim3 constructor takes between 1 and 3 arguments");
+                            self.error(
+                                "sema/dim3-arity",
+                                "dim3 constructor takes between 1 and 3 arguments",
+                            );
                         }
                         for a in args {
                             self.check_expr(a);
@@ -308,10 +348,13 @@ impl<'p> Checker<'p> {
             }
             if let Some(t) = self.check_expr(init) {
                 if !assignment_compatible(&d.ty, &t) {
-                    self.error(format!(
-                        "cannot initialize a variable of type '{}' with a value of type '{t}'",
-                        d.ty
-                    ));
+                    self.error(
+                        "sema/incompatible-init",
+                        format!(
+                            "cannot initialize a variable of type '{}' with a value of type '{t}'",
+                            d.ty
+                        ),
+                    );
                 }
             }
         }
@@ -335,17 +378,21 @@ impl<'p> Checker<'p> {
         if let Some(vt) = self.check_expr(value) {
             if op == AssignOp::Assign {
                 if !assignment_compatible(&target_ty, &vt) {
-                    self.error(format!(
-                        "assigning to '{target_ty}' from incompatible type '{vt}'"
-                    ));
+                    self.error(
+                        "sema/incompatible-assign",
+                        format!("assigning to '{target_ty}' from incompatible type '{vt}'"),
+                    );
                 }
             } else if !target_ty.is_arithmetic() || !vt.is_arithmetic() {
                 // Pointer compound assignment (p += n) is allowed for pointers.
                 let ptr_step_ok = matches!(target_ty, Type::Ptr(_)) && vt.is_integer();
                 if !ptr_step_ok {
-                    self.error(format!(
-                        "invalid operands to compound assignment ('{target_ty}' and '{vt}')"
-                    ));
+                    self.error(
+                        "sema/compound-assign-operands",
+                        format!(
+                            "invalid operands to compound assignment ('{target_ty}' and '{vt}')"
+                        ),
+                    );
                 }
             }
         }
@@ -358,17 +405,24 @@ impl<'p> Checker<'p> {
                     Some(i) => i.clone(),
                     None => {
                         if DEVICE_GEOMETRY_VARS.contains(&name.as_str()) {
-                            self.error(format!("cannot assign to built-in variable '{name}'"));
+                            self.error(
+                                "sema/assign-to-builtin",
+                                format!("cannot assign to built-in variable '{name}'"),
+                            );
                         } else {
-                            self.error(format!("use of undeclared identifier '{name}'"));
+                            self.error(
+                                "sema/undeclared-ident",
+                                format!("use of undeclared identifier '{name}'"),
+                            );
                         }
                         return None;
                     }
                 };
                 if info.is_const {
-                    self.error(format!(
-                        "cannot assign to variable '{name}' with const-qualified type"
-                    ));
+                    self.error(
+                        "sema/assign-to-const",
+                        format!("cannot assign to variable '{name}' with const-qualified type"),
+                    );
                 }
                 Some(info.ty)
             }
@@ -381,18 +435,22 @@ impl<'p> Checker<'p> {
                 match t.pointee() {
                     Some(p) => Some(p.clone()),
                     None => {
-                        self.error(format!(
-                            "indirection requires pointer operand ('{t}' invalid)"
-                        ));
+                        self.error(
+                            "sema/deref-non-pointer",
+                            format!("indirection requires pointer operand ('{t}' invalid)"),
+                        );
                         None
                     }
                 }
             }
             other => {
-                self.error(format!(
-                    "expression is not assignable: '{}'",
-                    lassi_lang::printer::print_expr(other)
-                ));
+                self.error(
+                    "sema/not-assignable",
+                    format!(
+                        "expression is not assignable: '{}'",
+                        lassi_lang::printer::print_expr(other)
+                    ),
+                );
                 None
             }
         }
@@ -401,7 +459,10 @@ impl<'p> Checker<'p> {
     fn check_condition(&mut self, cond: &Expr) {
         if let Some(t) = self.check_expr(cond) {
             if !t.is_arithmetic() && !matches!(t, Type::Ptr(_)) {
-                self.error(format!("condition has non-scalar type '{t}'"));
+                self.error(
+                    "sema/condition-type",
+                    format!("condition has non-scalar type '{t}'"),
+                );
             }
         }
     }
@@ -425,13 +486,19 @@ impl<'p> Checker<'p> {
 
     fn check_launch(&mut self, l: &KernelLaunch) {
         if self.program.dialect == Dialect::OmpLite {
-            self.error(format!(
-                "kernel launch syntax '{}<<<...>>>' is CUDA syntax and is not valid in OpenMP C++ code",
-                l.kernel
-            ));
+            self.error(
+                "sema/cuda-syntax-in-omp",
+                format!(
+                    "kernel launch syntax '{}<<<...>>>' is CUDA syntax and is not valid in OpenMP C++ code",
+                    l.kernel
+                ),
+            );
         }
         if self.ctx == ExecContext::Device {
-            self.error("kernel launch from device code is not supported");
+            self.error(
+                "sema/launch-from-device",
+                "kernel launch from device code is not supported",
+            );
         }
         self.check_launch_dim(&l.grid);
         self.check_launch_dim(&l.block);
@@ -441,21 +508,30 @@ impl<'p> Checker<'p> {
             .map(|f| (f.qualifier, f.params.len()))
         {
             None => {
-                self.error(format!("use of undeclared kernel '{}' in launch", l.kernel));
+                self.error(
+                    "sema/unknown-kernel",
+                    format!("use of undeclared kernel '{}' in launch", l.kernel),
+                );
             }
             Some((qualifier, nparams)) => {
                 if qualifier != FnQualifier::Kernel {
-                    self.error(format!(
-                        "called function '{}' is not a __global__ kernel; it cannot be launched with <<<...>>>",
-                        l.kernel
-                    ));
+                    self.error(
+                        "sema/launch-non-kernel",
+                        format!(
+                            "called function '{}' is not a __global__ kernel; it cannot be launched with <<<...>>>",
+                            l.kernel
+                        ),
+                    );
                 }
                 if nparams != l.args.len() {
-                    self.error(format!(
-                        "kernel '{}' takes {nparams} argument(s) but {} were provided in launch",
-                        l.kernel,
-                        l.args.len()
-                    ));
+                    self.error(
+                        "sema/launch-arity",
+                        format!(
+                            "kernel '{}' takes {nparams} argument(s) but {} were provided in launch",
+                            l.kernel,
+                            l.args.len()
+                        ),
+                    );
                 }
             }
         }
@@ -467,22 +543,29 @@ impl<'p> Checker<'p> {
     fn check_launch_dim(&mut self, e: &Expr) {
         if let Some(t) = self.check_expr(e) {
             if !(t.is_integer() || t == Type::Dim3) {
-                self.error(format!(
-                    "kernel launch configuration must be an integer or dim3, got '{t}'"
-                ));
+                self.error(
+                    "sema/launch-config-type",
+                    format!("kernel launch configuration must be an integer or dim3, got '{t}'"),
+                );
             }
         }
     }
 
     fn check_pragma(&mut self, p: &PragmaStmt) {
         if self.program.dialect == Dialect::CudaLite {
-            self.error(format!(
-                "'#pragma omp {}' is OpenMP syntax and is not recognized by the CUDA compiler",
-                p.directive.kind.spelling()
-            ));
+            self.error(
+                "sema/omp-syntax-in-cuda",
+                format!(
+                    "'#pragma omp {}' is OpenMP syntax and is not recognized by the CUDA compiler",
+                    p.directive.kind.spelling()
+                ),
+            );
         }
         if self.ctx == ExecContext::Device {
-            self.error("OpenMP directives are not allowed inside device code");
+            self.error(
+                "sema/pragma-in-device",
+                "OpenMP directives are not allowed inside device code",
+            );
         }
 
         // Clause expressions and variable lists.
@@ -492,17 +575,23 @@ impl<'p> Checker<'p> {
                     for s in sections {
                         match self.lookup(&s.var) {
                             None => {
-                                self.error(format!(
-                                    "use of undeclared identifier '{}' in map clause",
-                                    s.var
-                                ));
+                                self.error(
+                                    "sema/map-undeclared",
+                                    format!(
+                                        "use of undeclared identifier '{}' in map clause",
+                                        s.var
+                                    ),
+                                );
                             }
                             Some(info) => {
                                 if s.len.is_some() && !matches!(info.ty, Type::Ptr(_)) {
-                                    self.error(format!(
-                                        "array section on '{}' requires a pointer type, got '{}'",
-                                        s.var, info.ty
-                                    ));
+                                    self.error(
+                                        "sema/section-non-pointer",
+                                        format!(
+                                            "array section on '{}' requires a pointer type, got '{}'",
+                                            s.var, info.ty
+                                        ),
+                                    );
                                 }
                             }
                         }
@@ -519,9 +608,10 @@ impl<'p> Checker<'p> {
                 | OmpClause::Shared(vars) => {
                     for v in vars.clone() {
                         if self.lookup(&v).is_none() {
-                            self.error(format!(
-                                "use of undeclared identifier '{v}' in OpenMP clause"
-                            ));
+                            self.error(
+                                "sema/clause-undeclared",
+                                format!("use of undeclared identifier '{v}' in OpenMP clause"),
+                            );
                         }
                     }
                 }
@@ -529,9 +619,10 @@ impl<'p> Checker<'p> {
                     let e = e.clone();
                     if let Some(t) = self.check_expr(&e) {
                         if !t.is_integer() {
-                            self.error(format!(
-                                "OpenMP clause expects an integer expression, got '{t}'"
-                            ));
+                            self.error(
+                                "sema/clause-type",
+                                format!("OpenMP clause expects an integer expression, got '{t}'"),
+                            );
                         }
                     }
                 }
@@ -542,7 +633,7 @@ impl<'p> Checker<'p> {
                 }
                 OmpClause::Collapse(n) => {
                     if *n == 0 {
-                        self.error("collapse factor must be at least 1");
+                        self.error("sema/collapse-factor", "collapse factor must be at least 1");
                     }
                 }
             }
@@ -556,10 +647,13 @@ impl<'p> Checker<'p> {
                         ..
                     }) => {
                         if f.canonical().is_none() {
-                            self.error(format!(
-                                "the loop following '#pragma omp {}' is not in canonical form (expected 'for (int i = lo; i < hi; i += step)')",
-                                p.directive.kind.spelling()
-                            ));
+                            self.error(
+                                "sema/non-canonical-loop",
+                                format!(
+                                    "the loop following '#pragma omp {}' is not in canonical form (expected 'for (int i = lo; i < hi; i += step)')",
+                                    p.directive.kind.spelling()
+                                ),
+                            );
                         }
                         let collapse = p.directive.collapse();
                         if collapse > 1 {
@@ -568,18 +662,24 @@ impl<'p> Checker<'p> {
                                 matches!(&s.kind, StmtKind::For(inner) if inner.canonical().is_some())
                             });
                             if !inner_ok {
-                                self.error(format!(
-                                    "collapse({collapse}) requires {collapse} perfectly nested canonical loops"
-                                ));
+                                self.error(
+                                    "sema/collapse-nesting",
+                                    format!(
+                                        "collapse({collapse}) requires {collapse} perfectly nested canonical loops"
+                                    ),
+                                );
                             }
                         }
                         self.check_stmt(p.body.as_ref().unwrap());
                     }
                     _ => {
-                        self.error(format!(
-                            "expected a for loop following '#pragma omp {}'",
-                            p.directive.kind.spelling()
-                        ));
+                        self.error(
+                            "sema/expected-for-loop",
+                            format!(
+                                "expected a for loop following '#pragma omp {}'",
+                                p.directive.kind.spelling()
+                            ),
+                        );
                         if let Some(body) = &p.body {
                             self.check_stmt(body);
                         }
@@ -602,7 +702,10 @@ impl<'p> Checker<'p> {
                     self.check_stmt(p.body.as_ref().unwrap());
                 }
                 _ => {
-                    self.error("expected a statement block following '#pragma omp target data'");
+                    self.error(
+                        "sema/target-data-body",
+                        "expected a statement block following '#pragma omp target data'",
+                    );
                 }
             },
             OmpDirectiveKind::Atomic => match p.body.as_deref() {
@@ -622,6 +725,7 @@ impl<'p> Checker<'p> {
                 }
                 _ => {
                     self.error(
+                        "sema/atomic-body",
                         "the statement following '#pragma omp atomic' must be an update of the form 'x op= expr'",
                     );
                 }
@@ -648,7 +752,10 @@ impl<'p> Checker<'p> {
                 match op {
                     UnOp::Neg => {
                         if !t.is_arithmetic() {
-                            self.error(format!("invalid argument type '{t}' to unary minus"));
+                            self.error(
+                                "sema/unary-operand-type",
+                                format!("invalid argument type '{t}' to unary minus"),
+                            );
                             return None;
                         }
                         Some(t)
@@ -658,9 +765,10 @@ impl<'p> Checker<'p> {
                     UnOp::Deref => match t.pointee() {
                         Some(p) => Some(p.clone()),
                         None => {
-                            self.error(format!(
-                                "indirection requires pointer operand ('{t}' invalid)"
-                            ));
+                            self.error(
+                                "sema/deref-non-pointer",
+                                format!("indirection requires pointer operand ('{t}' invalid)"),
+                            );
                             None
                         }
                     },
@@ -671,15 +779,19 @@ impl<'p> Checker<'p> {
                 let bt = self.check_expr(base)?;
                 if let Some(it) = self.check_expr(index) {
                     if !it.is_integer() {
-                        self.error(format!("array subscript is not an integer (got '{it}')"));
+                        self.error(
+                            "sema/subscript-index-type",
+                            format!("array subscript is not an integer (got '{it}')"),
+                        );
                     }
                 }
                 match bt.pointee() {
                     Some(p) => Some(p.clone()),
                     None => {
-                        self.error(format!(
-                            "subscripted value of type '{bt}' is not a pointer or array"
-                        ));
+                        self.error(
+                            "sema/subscript-non-pointer",
+                            format!("subscripted value of type '{bt}' is not a pointer or array"),
+                        );
                         None
                     }
                 }
@@ -690,13 +802,17 @@ impl<'p> Checker<'p> {
                     if matches!(field.as_str(), "x" | "y" | "z") {
                         Some(Type::Int)
                     } else {
-                        self.error(format!("no member named '{field}' in 'dim3'"));
+                        self.error(
+                            "sema/unknown-member",
+                            format!("no member named '{field}' in 'dim3'"),
+                        );
                         None
                     }
                 } else {
-                    self.error(format!(
-                        "member reference base type '{bt}' is not a structure"
-                    ));
+                    self.error(
+                        "sema/member-non-struct",
+                        format!("member reference base type '{bt}' is not a structure"),
+                    );
                     None
                 }
             }
@@ -727,13 +843,19 @@ impl<'p> Checker<'p> {
         }
         if DEVICE_GEOMETRY_VARS.contains(&name) {
             if self.ctx != ExecContext::Device {
-                self.error(format!("use of device built-in '{name}' in host code"));
+                self.error(
+                    "sema/device-builtin-in-host",
+                    format!("use of device built-in '{name}' in host code"),
+                );
                 return None;
             }
             if self.program.dialect == Dialect::OmpLite {
-                self.error(format!(
-                    "'{name}' is a CUDA built-in variable and is not declared in OpenMP C++ code"
-                ));
+                self.error(
+                    "sema/cuda-builtin-in-omp",
+                    format!(
+                        "'{name}' is a CUDA built-in variable and is not declared in OpenMP C++ code"
+                    ),
+                );
                 return None;
             }
             return Some(Type::Dim3);
@@ -742,12 +864,16 @@ impl<'p> Checker<'p> {
             return Some(Type::Int);
         }
         if self.funcs.contains_key(name) || builtin_signature(name).is_some() {
-            self.error(format!(
-                "function '{name}' used as a value (missing call parentheses?)"
-            ));
+            self.error(
+                "sema/function-as-value",
+                format!("function '{name}' used as a value (missing call parentheses?)"),
+            );
             return None;
         }
-        self.error(format!("use of undeclared identifier '{name}'"));
+        self.error(
+            "sema/undeclared-ident",
+            format!("use of undeclared identifier '{name}'"),
+        );
         None
     }
 
@@ -756,27 +882,35 @@ impl<'p> Checker<'p> {
         if let Some(sig) = self.funcs.get(callee) {
             let (qualifier, nparams, ret) = (sig.qualifier, sig.params.len(), sig.ret.clone());
             if qualifier == FnQualifier::Kernel {
-                self.error(format!(
-                    "__global__ kernel '{callee}' cannot be called directly; use {}<<<grid, block>>>(...)",
-                    callee
-                ));
+                self.error(
+                    "sema/kernel-called-directly",
+                    format!(
+                        "__global__ kernel '{callee}' cannot be called directly; use {}<<<grid, block>>>(...)",
+                        callee
+                    ),
+                );
             }
             if qualifier == FnQualifier::Device && self.ctx == ExecContext::Host {
-                self.error(format!(
-                    "__device__ function '{callee}' cannot be called from host code"
-                ));
+                self.error(
+                    "sema/device-call-from-host",
+                    format!("__device__ function '{callee}' cannot be called from host code"),
+                );
             }
             if qualifier == FnQualifier::Host && self.ctx == ExecContext::Device && callee != "main"
             {
-                self.error(format!(
-                    "host function '{callee}' cannot be called from device code"
-                ));
+                self.error(
+                    "sema/host-call-from-device",
+                    format!("host function '{callee}' cannot be called from device code"),
+                );
             }
             if nparams != args.len() {
-                self.error(format!(
-                    "function '{callee}' takes {nparams} argument(s) but {} were provided",
-                    args.len()
-                ));
+                self.error(
+                    "sema/call-arity",
+                    format!(
+                        "function '{callee}' takes {nparams} argument(s) but {} were provided",
+                        args.len()
+                    ),
+                );
             }
             for a in args {
                 self.check_expr(a);
@@ -785,7 +919,10 @@ impl<'p> Checker<'p> {
         }
 
         let Some(sig) = builtin_signature(callee) else {
-            self.error(format!("call to undeclared function '{callee}'"));
+            self.error(
+                "sema/undeclared-function",
+                format!("call to undeclared function '{callee}'"),
+            );
             for a in args {
                 self.check_expr(a);
             }
@@ -794,44 +931,63 @@ impl<'p> Checker<'p> {
 
         if args.len() < sig.min_args || args.len() > sig.max_args {
             if sig.max_args == usize::MAX {
-                self.error(format!(
-                    "function '{callee}' requires at least {} argument(s) but {} were provided",
-                    sig.min_args,
-                    args.len()
-                ));
+                self.error(
+                    "sema/call-arity",
+                    format!(
+                        "function '{callee}' requires at least {} argument(s) but {} were provided",
+                        sig.min_args,
+                        args.len()
+                    ),
+                );
             } else {
-                self.error(format!(
-                    "function '{callee}' takes {} argument(s) but {} were provided",
-                    sig.max_args,
-                    args.len()
-                ));
+                self.error(
+                    "sema/call-arity",
+                    format!(
+                        "function '{callee}' takes {} argument(s) but {} were provided",
+                        sig.max_args,
+                        args.len()
+                    ),
+                );
             }
         }
         match sig.scope {
             BuiltinScope::HostOnly if self.ctx == ExecContext::Device => {
-                self.error(format!("'{callee}' cannot be called from device code"));
+                self.error(
+                    "sema/host-call-from-device",
+                    format!("'{callee}' cannot be called from device code"),
+                );
             }
             BuiltinScope::DeviceOnly if self.ctx == ExecContext::Host => {
-                self.error(format!("'{callee}' can only be called from device code"));
+                self.error(
+                    "sema/device-call-from-host",
+                    format!("'{callee}' can only be called from device code"),
+                );
             }
             _ => {}
         }
         if (callee == "__syncthreads" || callee == "atomicAdd")
             && self.program.dialect == Dialect::OmpLite
         {
-            self.error(format!(
-                "'{callee}' is a CUDA device function and is not declared in OpenMP C++ code"
-            ));
+            self.error(
+                "sema/cuda-builtin-in-omp",
+                format!(
+                    "'{callee}' is a CUDA device function and is not declared in OpenMP C++ code"
+                ),
+            );
         }
         if callee.starts_with("cuda") && self.program.dialect == Dialect::OmpLite {
-            self.error(format!(
-                "'{callee}' is a CUDA runtime API function and is not declared in OpenMP C++ code"
-            ));
+            self.error(
+                "sema/cuda-api-in-omp",
+                format!(
+                    "'{callee}' is a CUDA runtime API function and is not declared in OpenMP C++ code"
+                ),
+            );
         }
         if callee.starts_with("omp_") && self.program.dialect == Dialect::CudaLite {
-            self.warn(format!(
-                "'{callee}' requires linking against the OpenMP runtime"
-            ));
+            self.warn(
+                "sema/omp-runtime-in-cuda",
+                format!("'{callee}' requires linking against the OpenMP runtime"),
+            );
         }
 
         // Structural checks for the CUDA memory API.
@@ -843,9 +999,12 @@ impl<'p> Checker<'p> {
                 }) => {
                     if let Some(t) = self.check_expr(operand) {
                         if !matches!(t, Type::Ptr(_)) {
-                            self.error(format!(
-                                "cudaMalloc expects the address of a device pointer, got '&' of '{t}'"
-                            ));
+                            self.error(
+                                "sema/cuda-malloc-arg",
+                                format!(
+                                    "cudaMalloc expects the address of a device pointer, got '&' of '{t}'"
+                                ),
+                            );
                         }
                     }
                 }
@@ -853,6 +1012,7 @@ impl<'p> Checker<'p> {
                     let t = self.check_expr(other);
                     if !matches!(t, Some(Type::Ptr(ref p)) if matches!(**p, Type::Ptr(_))) {
                         self.error(
+                            "sema/cuda-malloc-arg",
                             "cudaMalloc expects a pointer-to-pointer first argument (e.g. &d_buf)",
                         );
                     }
@@ -873,6 +1033,7 @@ impl<'p> Checker<'p> {
                 Some(other) => {
                     self.check_expr(other);
                     self.error(
+                        "sema/cuda-memcpy-kind",
                         "fourth argument of cudaMemcpy must be a cudaMemcpyKind constant (cudaMemcpyHostToDevice or cudaMemcpyDeviceToHost)",
                     );
                 }
@@ -896,9 +1057,10 @@ impl<'p> Checker<'p> {
                 Sub if matches!(rt, Type::Ptr(_)) => Some(Type::Long),
                 Eq | Ne | Lt | Gt | Le | Ge => Some(Type::Int),
                 _ => {
-                    self.error(format!(
-                        "invalid operands to binary expression ('{lt}' and '{rt}')"
-                    ));
+                    self.error(
+                        "sema/binary-operands",
+                        format!("invalid operands to binary expression ('{lt}' and '{rt}')"),
+                    );
                     None
                 }
             };
@@ -908,26 +1070,31 @@ impl<'p> Checker<'p> {
                 Add if lt.is_integer() => Some(rt),
                 Eq | Ne => Some(Type::Int),
                 _ => {
-                    self.error(format!(
-                        "invalid operands to binary expression ('{lt}' and '{rt}')"
-                    ));
+                    self.error(
+                        "sema/binary-operands",
+                        format!("invalid operands to binary expression ('{lt}' and '{rt}')"),
+                    );
                     None
                 }
             };
         }
         if !lt.is_arithmetic() || !rt.is_arithmetic() {
-            self.error(format!(
-                "invalid operands to binary expression ('{lt}' and '{rt}')"
-            ));
+            self.error(
+                "sema/binary-operands",
+                format!("invalid operands to binary expression ('{lt}' and '{rt}')"),
+            );
             return None;
         }
         match op {
             Rem | Shl | Shr | BitAnd | BitOr | BitXor => {
                 if !lt.is_integer() || !rt.is_integer() {
-                    self.error(format!(
-                        "invalid operands to binary expression ('{lt}' and '{rt}'): operator '{}' requires integer operands",
-                        op.spelling()
-                    ));
+                    self.error(
+                        "sema/binary-operands",
+                        format!(
+                            "invalid operands to binary expression ('{lt}' and '{rt}'): operator '{}' requires integer operands",
+                            op.spelling()
+                        ),
+                    );
                     return None;
                 }
                 Some(promote(&lt, &rt))
@@ -1235,6 +1402,62 @@ mod tests {
         )
         .unwrap();
         assert!(!out.warnings.is_empty());
+    }
+
+    #[test]
+    fn every_emission_carries_a_stable_code() {
+        // A cross-section of failing programs: every error and warning must
+        // come out of sema with a non-empty machine code and the best span.
+        let failing = [
+            ("int main() { x = 3; return 0; }", Dialect::CudaLite),
+            ("int helper() { return 1; }", Dialect::CudaLite),
+            (
+                "__global__ int k(float* a) { return 1; } int main() { return 0; }",
+                Dialect::CudaLite,
+            ),
+            (
+                "int main() { float* d; add<<<1, 32>>>(d); return 0; }",
+                Dialect::CudaLite,
+            ),
+            (
+                "int main() { double a = 1.0; double b = a % 2.0; return 0; }",
+                Dialect::CudaLite,
+            ),
+            (
+                "__global__ void k(float* a) { a[0] = 1.0; } int main() { float* d; k<<<1, 32>>>(d); return 0; }",
+                Dialect::OmpLite,
+            ),
+        ];
+        for (src, dialect) in failing {
+            let errs = compile(&parse(src, dialect).expect("parse")).unwrap_err();
+            assert!(!errs.is_empty(), "{src}");
+            for e in errs {
+                assert!(
+                    e.code.starts_with("sema/"),
+                    "uncoded diagnostic {e:?} from {src}"
+                );
+            }
+        }
+        let out = compile_cuda(
+            "double t() { return omp_get_wtime(); } int main() { double x = t(); return 0; }",
+        )
+        .unwrap();
+        assert!(out
+            .warnings
+            .iter()
+            .all(|w| w.code == "sema/omp-runtime-in-cuda"));
+    }
+
+    #[test]
+    fn function_redefinition_attaches_a_note_at_the_previous_site() {
+        let errs = compile_cuda("int main() { return 0; }\nint main() { return 1; }").unwrap_err();
+        let e = errs
+            .iter()
+            .find(|e| e.code == "sema/function-redefinition")
+            .expect("redefinition diagnostic");
+        assert_eq!(e.notes.len(), 1);
+        assert_eq!(e.notes[0].line, 1);
+        assert!(e.notes[0].message.contains("previously defined here"));
     }
 
     #[test]

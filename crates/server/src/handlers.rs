@@ -88,6 +88,7 @@ fn dispatch(state: &AppState, req: &Request, resolved: Result<Route, RouteError>
         Ok(Route::CancelRun(id)) => cancel_run(state, &id),
         Ok(Route::GetManifest(id)) => get_manifest(state, &id),
         Ok(Route::GetTrace(id)) => get_trace(state, &id),
+        Ok(Route::GetDiagnostics(id)) => get_diagnostics(state, &id),
         Ok(Route::GetRecords(id, set)) => get_records(state, &id, &set),
         Ok(Route::SubmitSweep) => submit_sweep(state, &req.body),
         Ok(Route::Shutdown) => shutdown(state),
@@ -281,6 +282,23 @@ fn get_trace(state: &AppState, id: &str) -> Response {
             &format!("cannot read {}: {e}", path.display()),
         ),
     }
+}
+
+/// `GET /v1/runs/{id}/diagnostics`: the run's `diagnostics.json` as raw
+/// bytes — the `diag.v1` per-scenario findings document, byte-identical to
+/// what the artifact directory holds. Only written runs have one (404
+/// otherwise).
+fn get_diagnostics(state: &AppState, id: &str) -> Response {
+    if state.run_status(id).is_none() {
+        return Response::error(404, "run_not_found", &format!("run `{id}` does not exist"));
+    }
+    serve_file(
+        state
+            .store()
+            .run_dir(id)
+            .join(lassi_harness::DIAGNOSTICS_FILE),
+        true,
+    )
 }
 
 fn healthz() -> Response {

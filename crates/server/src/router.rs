@@ -26,6 +26,9 @@ pub enum Route {
     GetRecords(String, String),
     /// `GET /v1/runs/{id}/trace` — the run's `trace.jsonl`, raw bytes.
     GetTrace(String),
+    /// `GET /v1/runs/{id}/diagnostics` — the run's `diagnostics.json`,
+    /// byte-identical to disk.
+    GetDiagnostics(String),
     /// `GET /v1/metrics` — Prometheus-style text exposition.
     Metrics,
     /// `GET /v1/debug/events` — recent trace events from the in-memory ring.
@@ -87,6 +90,7 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
         ["v1", "runs", id, "cancel"] => post(Route::CancelRun(slug(id)?)),
         ["v1", "runs", id, "manifest"] => get(Route::GetManifest(slug(id)?)),
         ["v1", "runs", id, "trace"] => get(Route::GetTrace(slug(id)?)),
+        ["v1", "runs", id, "diagnostics"] => get(Route::GetDiagnostics(slug(id)?)),
         ["v1", "runs", id, "records", set] => {
             let id = slug(id)?;
             let set = slug(set)?;
@@ -112,6 +116,7 @@ pub fn route_pattern(resolved: &Result<Route, RouteError>) -> &'static str {
         Ok(Route::CancelRun(_)) => "/v1/runs/{id}/cancel",
         Ok(Route::GetManifest(_)) => "/v1/runs/{id}/manifest",
         Ok(Route::GetTrace(_)) => "/v1/runs/{id}/trace",
+        Ok(Route::GetDiagnostics(_)) => "/v1/runs/{id}/diagnostics",
         Ok(Route::GetRecords(_, _)) => "/v1/runs/{id}/records/{set}",
         Ok(Route::Metrics) => "/v1/metrics",
         Ok(Route::DebugEvents) => "/v1/debug/events",
@@ -158,6 +163,14 @@ mod tests {
             route("GET", "/v1/runs/smoke/trace"),
             Ok(Route::GetTrace("smoke".into()))
         );
+        assert_eq!(
+            route("GET", "/v1/runs/smoke/diagnostics"),
+            Ok(Route::GetDiagnostics("smoke".into()))
+        );
+        assert!(matches!(
+            route("GET", "/v1/runs/../diagnostics"),
+            Err(RouteError::BadSlug(_))
+        ));
     }
 
     #[test]

@@ -770,6 +770,56 @@ fn observability_progress_trace_metrics_and_debug_events() {
     assert_eq!(resp.status, 404);
     assert_eq!(error_code(&resp), "run_not_found");
 
+    // The diagnostics document is served byte-identically to disk, parses
+    // as `diag.v1`, and its finding count agrees with the `diag` events in
+    // the run's trace — two views of the same structured findings. The obs
+    // grid deterministically self-corrects the entropy omp-to-cuda
+    // scenarios, so the document is never empty.
+    let resp = http::request(addr, "GET", "/v1/runs/obs/diagnostics", None).expect("diagnostics");
+    assert_eq!(resp.status, 200);
+    let on_disk =
+        std::fs::read(root.join("run-obs").join(lassi_harness::DIAGNOSTICS_FILE)).unwrap();
+    assert_eq!(resp.body, on_disk, "diagnostics == disk bytes");
+    let doc = lassi_harness::json::parse(&resp.text()).expect("diagnostics parse");
+    assert_eq!(doc.get("v").and_then(|v| v.as_str()), Some("diag.v1"));
+    let doc_scenarios = doc.get("scenarios").and_then(|v| v.as_array()).unwrap();
+    assert!(
+        !doc_scenarios.is_empty(),
+        "a grid with self-corrections must report findings"
+    );
+    let mut doc_findings = 0usize;
+    for scenario in doc_scenarios {
+        for key in ["application", "model", "direction", "cell"] {
+            assert!(
+                scenario.get(key).and_then(|v| v.as_str()).is_some(),
+                "scenario entries carry `{key}`"
+            );
+        }
+        let attempts = scenario
+            .get("attempts")
+            .and_then(|v| v.as_array())
+            .expect("attempts array");
+        assert!(!attempts.is_empty(), "listed scenarios carry history");
+        for attempt in attempts {
+            let diags = attempt
+                .get("diagnostics")
+                .and_then(|v| v.as_array())
+                .expect("diagnostics array");
+            for diag in diags {
+                let code = diag.get("code").and_then(|v| v.as_str()).expect("code");
+                assert!(code.contains('/'), "stable `area/slug` code, got `{code}`");
+            }
+            doc_findings += diags.len();
+        }
+    }
+    assert!(doc_findings > 0, "listed scenarios carry findings");
+    let diag_events = events.iter().filter(|ev| ev.name == "diag").count();
+    assert_eq!(diag_events, doc_findings, "trace mirrors the document");
+    // Absent runs get the structured envelope here too.
+    let resp = http::request(addr, "GET", "/v1/runs/absent/diagnostics", None).unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(error_code(&resp), "run_not_found");
+
     // /v1/metrics agrees with /v1/cache/stats — one registry, two views.
     let (_, stats) = get_json(addr, "/v1/cache/stats");
     let hits = stats.get("hits").and_then(|v| v.as_u64()).unwrap();
@@ -819,6 +869,21 @@ fn observability_progress_trace_metrics_and_debug_events() {
     assert!(
         family_sum(&exposition, "lassi_jobs_completed_total") >= 8,
         "scheduler counted every job"
+    );
+    // The diagnostics counter covers at least this run's findings (>=: the
+    // registry is process-global and sibling tests also sweep), and the
+    // self-correction rounds histogram renders even for all-clean runs.
+    assert!(
+        exposition.contains("# TYPE lassi_diagnostics_total counter"),
+        "typed diagnostics counter family"
+    );
+    assert!(
+        family_sum(&exposition, "lassi_diagnostics_total") >= doc_findings as u64,
+        "every artifact finding is counted"
+    );
+    assert!(
+        exposition.contains("# TYPE lassi_self_correction_rounds histogram"),
+        "rounds histogram family"
     );
 
     // The debug ring holds the runstate transitions with run ids.

@@ -226,6 +226,8 @@ tuple_strategy!(A: 0);
 tuple_strategy!(A: 0, B: 1);
 tuple_strategy!(A: 0, B: 1, C: 2);
 tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
 /// String-pattern strategies. Only `[character class]{lo,hi}` patterns are
 /// supported — exactly what the repository's property tests use. Anything
