@@ -5,7 +5,17 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--clients N] [--requests R] [--artifacts DIR]
 //!         [--smoke] [--shutdown] [--out PATH] [--run-prefix P] [--timings]
+//!         [--fleet N1,N2,...]
 //! ```
+//!
+//! Backpressure refusals (`429 queue_full`, `503 draining`) are honoured:
+//! the client sleeps for the response's `Retry-After` (jittered to 50–150%
+//! so refused clients spread out) and resends, counting the waits in the
+//! phase report. `--fleet 1,2,4` additionally measures the remote-worker
+//! scaling section of `BENCH_server.json`: for each worker count it spawns
+//! that many `worker` processes (built next to this binary), submits one
+//! full 80-scenario grid, and records wall clock plus the run's
+//! lease/requeue accounting.
 //!
 //! `--timings` prints a client-side request-latency table after the load:
 //! every request sent over a [`ClientSession`] is observed into the
@@ -66,6 +76,8 @@ use std::time::{Duration, Instant};
 use lassi_harness::Json;
 use lassi_server::http;
 use lassi_server::http::ClientConnection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// The committed warm-phase numbers from the PR 5 `BENCH_server.json`
 /// (schema v2), when `POST /v1/sweeps` was synchronous and one request
@@ -85,6 +97,10 @@ struct LoadgenArgs {
     out: String,
     run_prefix: String,
     timings: bool,
+    /// `--fleet 1,2,4`: after the load phases, run one full-grid sweep per
+    /// worker count through spawned `worker` processes and record the
+    /// scaling (plus lease/requeue accounting) in the bench artifact.
+    fleet: Vec<usize>,
 }
 
 fn parse_args() -> Result<LoadgenArgs, String> {
@@ -99,6 +115,7 @@ fn parse_args() -> Result<LoadgenArgs, String> {
         out: "BENCH_server.json".into(),
         run_prefix: "lg".into(),
         timings: false,
+        fleet: Vec::new(),
     };
     let mut iter = common.rest.into_iter();
     while let Some(arg) = iter.next() {
@@ -122,6 +139,18 @@ fn parse_args() -> Result<LoadgenArgs, String> {
             "--out" => args.out = value("--out")?,
             "--run-prefix" => args.run_prefix = value("--run-prefix")?,
             "--timings" => args.timings = true,
+            "--fleet" => {
+                let raw = value("--fleet")?;
+                args.fleet = raw
+                    .split(',')
+                    .map(|n| {
+                        n.parse::<usize>()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .ok_or(format!("bad --fleet worker count `{n}`"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -178,6 +207,10 @@ fn error_code(resp: &http::ClientResponse) -> Result<String, String> {
         .ok_or_else(|| format!("no error.code in {}", resp.text()))
 }
 
+/// How many `Retry-After` waits one request may accumulate before the
+/// refusal is surfaced to the caller as the final response.
+const MAX_BACKOFF_WAITS: usize = 10;
+
 /// One client's keep-alive session: a lazily (re)opened connection plus the
 /// accounting the phase summary reports.
 struct ClientSession {
@@ -186,16 +219,23 @@ struct ClientSession {
     connections_opened: usize,
     requests_sent: usize,
     retries: usize,
+    /// `Retry-After` backoff sleeps taken after 429/503 refusals.
+    backoff_waits: usize,
+    /// Jitter source for the backoff sleeps (seeded per client so a burst
+    /// of refused clients does not retry in lockstep).
+    rng: StdRng,
 }
 
 impl ClientSession {
-    fn new(addr: String) -> ClientSession {
+    fn new(addr: String, seed: u64) -> ClientSession {
         ClientSession {
             addr,
             conn: None,
             connections_opened: 0,
             requests_sent: 0,
             retries: 0,
+            backoff_waits: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0x6C6F6164),
         }
     }
 
@@ -209,6 +249,52 @@ impl ClientSession {
         Ok(self.conn.as_mut().expect("just connected"))
     }
 
+    /// Jitter a backoff delay to 50–150% of `base` so refused clients
+    /// spread out instead of retrying in lockstep.
+    fn jitter(&mut self, base: Duration) -> Duration {
+        let millis = base.as_millis().max(1) as usize;
+        Duration::from_millis(self.rng.gen_range(millis / 2..millis + millis / 2 + 1) as u64)
+    }
+
+    /// Send one request, honouring backpressure: a `429 queue_full` or
+    /// `503 draining` answer sleeps for the response's `Retry-After`
+    /// (jittered; an exponential fallback covers a missing header) and
+    /// resends, up to [`MAX_BACKOFF_WAITS`] times before surfacing the
+    /// refusal to the caller. Sweep submission is idempotent under a fixed
+    /// `run_id` — a refused request was never enqueued — so resending after
+    /// a refusal is always safe.
+    fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<http::ClientResponse, String> {
+        let mut fallback = Duration::from_millis(100);
+        let mut waits = 0;
+        loop {
+            let resp = self.send_raw(method, path, body)?;
+            if (resp.status == 429 || resp.status == 503) && waits < MAX_BACKOFF_WAITS {
+                let base = resp
+                    .header("retry-after")
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(Duration::from_secs)
+                    .unwrap_or(fallback);
+                let wait = self.jitter(base);
+                self.backoff_waits += 1;
+                waits += 1;
+                eprintln!(
+                    "loadgen: {method} {path} refused ({}); backing off {wait:?} \
+                     ({waits}/{MAX_BACKOFF_WAITS})",
+                    resp.status
+                );
+                std::thread::sleep(wait);
+                fallback = (fallback * 2).min(Duration::from_secs(5));
+                continue;
+            }
+            return Ok(resp);
+        }
+    }
+
     /// Send one request over the session's connection. If the server closed
     /// the reused connection *at the request boundary* (idle timeout,
     /// request cap, drain — provable because not one response byte
@@ -217,7 +303,7 @@ impl ClientSession {
     /// failure mid-response is never retried: the server may already be
     /// executing the (non-idempotent) sweep, and a resubmission under the
     /// same run id would only turn into a confusing 409.
-    fn send(
+    fn send_raw(
         &mut self,
         method: &str,
         path: &str,
@@ -300,6 +386,8 @@ struct PhaseOutcome {
     requests_sent: usize,
     /// Requests retried on a fresh connection after a mid-phase close.
     retries: usize,
+    /// `Retry-After` backoff sleeps taken after 429/503 refusals.
+    backoff_waits: usize,
 }
 
 /// Nearest-rank percentile over sorted ascending samples.
@@ -348,6 +436,7 @@ fn run_phase(
         connections_opened: usize,
         requests_sent: usize,
         retries: usize,
+        backoff_waits: usize,
     }
 
     let started = Instant::now();
@@ -359,7 +448,7 @@ fn run_phase(
         let requests = args.requests;
         handles.push(std::thread::spawn(
             move || -> Result<ClientResult, String> {
-                let mut session = ClientSession::new(addr);
+                let mut session = ClientSession::new(addr, c as u64);
                 let mut submit_ms = Vec::with_capacity(requests);
                 // (run id, submit instant) for every accepted sweep.
                 let mut pending: Vec<(String, Instant)> = Vec::with_capacity(requests);
@@ -452,6 +541,7 @@ fn run_phase(
                     connections_opened: session.connections_opened,
                     requests_sent: session.requests_sent,
                     retries: session.retries,
+                    backoff_waits: session.backoff_waits,
                 })
             },
         ));
@@ -462,6 +552,7 @@ fn run_phase(
     let mut connections_opened = 0;
     let mut requests_sent = 0;
     let mut retries = 0;
+    let mut backoff_waits = 0;
     for handle in handles {
         let client = handle.join().map_err(|_| "client thread panicked")??;
         submit_ms.extend(client.submit_ms);
@@ -470,6 +561,7 @@ fn run_phase(
         connections_opened += client.connections_opened;
         requests_sent += client.requests_sent;
         retries += client.retries;
+        backoff_waits += client.backoff_waits;
     }
     let wall_seconds = started.elapsed().as_secs_f64();
     submit_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -482,6 +574,7 @@ fn run_phase(
         connections_opened,
         requests_sent,
         retries,
+        backoff_waits,
     })
 }
 
@@ -506,7 +599,8 @@ fn cache_stats(addr: &str) -> Result<(u64, u64), String> {
 fn phase_line(label: &str, outcome: &PhaseOutcome) -> String {
     format!(
         "{label} phase: {} sweeps in {:.3}s ({:.1} sweeps/s), e2e p50 {:.3}ms / \
-         p99 {:.3}ms, {} connections ({:.1} req/conn, {} retries)",
+         p99 {:.3}ms, {} connections ({:.1} req/conn, {} retries, \
+         {} retry-after waits)",
         outcome.sweeps(),
         outcome.wall_seconds,
         outcome.sweeps_per_second(),
@@ -515,7 +609,149 @@ fn phase_line(label: &str, outcome: &PhaseOutcome) -> String {
         outcome.connections_opened,
         outcome.requests_per_connection(),
         outcome.retries,
+        outcome.backoff_waits,
     )
+}
+
+/// One `--fleet` scaling measurement: a full 80-scenario grid drained by
+/// `workers` spawned worker processes.
+struct FleetScale {
+    workers: usize,
+    scenarios: u64,
+    wall_seconds: f64,
+    leases_granted: u64,
+    leases_expired: u64,
+    jobs_requeued: u64,
+    duplicate_completions: u64,
+}
+
+/// The current value of the unlabelled `lassi_fleet_workers_active` gauge
+/// from `GET /v1/metrics`.
+fn fleet_workers_active(addr: &str) -> Result<u64, String> {
+    let resp =
+        http::request(addr, "GET", "/v1/metrics", None).map_err(|e| format!("metrics: {e}"))?;
+    if !resp.is_success() {
+        return Err(format!("metrics: HTTP {}", resp.status));
+    }
+    for line in resp.text().lines() {
+        if let Some(value) = line.strip_prefix("lassi_fleet_workers_active ") {
+            return value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad gauge value `{value}`"));
+        }
+    }
+    Ok(0)
+}
+
+/// Run one fleet-scaling point: spawn `workers` worker processes against
+/// the server, submit a full default grid (distinct seed per point), time
+/// submit → done, and read the run's lease/requeue accounting.
+fn run_fleet_scale(args: &LoadgenArgs, workers: usize, seed: u64) -> Result<FleetScale, String> {
+    let addr = args.addr.as_str();
+    let worker_bin = std::env::current_exe()
+        .map_err(|e| format!("cannot locate own binary: {e}"))?
+        .with_file_name(format!("worker{}", std::env::consts::EXE_SUFFIX));
+    if !worker_bin.exists() {
+        return Err(format!(
+            "{} does not exist; build the `worker` binary next to loadgen \
+             for --fleet mode",
+            worker_bin.display()
+        ));
+    }
+    let mut children = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let child = std::process::Command::new(&worker_bin)
+            .args([
+                "--addr",
+                addr,
+                "--worker-id",
+                &format!("{}-fleet{workers}-w{w}", args.run_prefix),
+                "--capacity",
+                "4",
+                "--poll-ms",
+                "10",
+            ])
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {}: {e}", worker_bin.display()))?;
+        children.push(child);
+    }
+    // Kill the fleet on every exit path: a worker leaked past a failure
+    // would drain the *next* scaling point's run too.
+    let result = (|| {
+        // Wait until every worker has registered (its first lease poll), so
+        // the run drains remotely from job zero.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fleet_workers_active(addr)? < workers as u64 {
+            if Instant::now() > deadline {
+                return Err(format!("{workers} workers did not register in 10s"));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        let run_id = format!("{}-fleet-n{workers}", args.run_prefix);
+        let body = format!(r#"{{"timing_runs": [1], "seed": {seed}, "run_id": "{run_id}"}}"#);
+        let started = Instant::now();
+        let resp = http::request(addr, "POST", "/v1/sweeps", Some(body.as_bytes()))
+            .map_err(|e| format!("fleet submit: {e}"))?;
+        if resp.status != 202 {
+            return Err(format!(
+                "fleet submit: expected 202, got {} — {}",
+                resp.status,
+                resp.text()
+            ));
+        }
+        let deadline = Instant::now() + SWEEP_DEADLINE;
+        let view = loop {
+            let resp = http::request(addr, "GET", &format!("/v1/runs/{run_id}"), None)
+                .map_err(|e| format!("fleet poll: {e}"))?;
+            let view =
+                lassi_harness::json::parse(&resp.text()).map_err(|e| format!("fleet poll: {e}"))?;
+            match view.get("state").and_then(|s| s.as_str()) {
+                Some("done") => break view,
+                Some("queued" | "running") => {
+                    if Instant::now() > deadline {
+                        return Err(format!(
+                            "fleet run {run_id} unfinished after {SWEEP_DEADLINE:?}"
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                state => {
+                    return Err(format!(
+                        "fleet run {run_id} ended {state:?} (reason: {:?})",
+                        view.get("reason").and_then(|r| r.as_str())
+                    ))
+                }
+            }
+        };
+        let wall_seconds = started.elapsed().as_secs_f64();
+        let scenarios = view
+            .get("progress")
+            .and_then(|p| p.get("total"))
+            .and_then(Json::as_u64)
+            .ok_or("fleet run view lacks progress.total")?;
+        let fleet = view
+            .get("fleet")
+            .filter(|v| !matches!(v, Json::Null))
+            .ok_or("fleet run view lacks lease accounting; did the run drain locally?")?;
+        let count = |name: &str| fleet.get(name).and_then(Json::as_u64).unwrap_or(0);
+        Ok(FleetScale {
+            workers,
+            scenarios,
+            wall_seconds,
+            leases_granted: count("leases_granted"),
+            leases_expired: count("leases_expired"),
+            jobs_requeued: count("jobs_requeued"),
+            duplicate_completions: count("duplicate_completions"),
+        })
+    })();
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    result
 }
 
 /// Walk `GET /v1/runs?limit=` pages to the end; returns every listed id in
@@ -812,12 +1048,34 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         );
     }
 
+    let mut fleet_scaling = Vec::with_capacity(args.fleet.len());
+    for &workers in &args.fleet {
+        // One fixed seed for every scale point: remote leases never consult
+        // the scenario cache, so each fleet size drains the *identical*
+        // 80-scenario workload and the curve compares like with like.
+        let scale = run_fleet_scale(args, workers, 0xF1EE7)?;
+        println!(
+            "fleet n{workers}: {} scenarios in {:.3}s ({:.1} scenarios/s), \
+             {} leases granted ({} expired, {} jobs requeued, {} duplicate \
+             completions)",
+            scale.scenarios,
+            scale.wall_seconds,
+            scale.scenarios as f64 / scale.wall_seconds.max(1e-9),
+            scale.leases_granted,
+            scale.leases_expired,
+            scale.jobs_requeued,
+            scale.duplicate_completions,
+        );
+        fleet_scaling.push(scale);
+    }
+
     write_bench(
         args,
         scenarios_per_phase,
         &cold,
         &warm,
         [cold_hits, cold_misses, warm_hits, warm_misses],
+        &fleet_scaling,
     )?;
     println!(
         "{} written (submit p50 {:.3}ms, cold e2e p50 {:.3}ms vs warm e2e p50 \
@@ -874,6 +1132,7 @@ fn write_bench(
     cold: &PhaseOutcome,
     warm: &PhaseOutcome,
     [cold_hits, cold_misses, warm_hits, warm_misses]: [u64; 4],
+    fleet_scaling: &[FleetScale],
 ) -> Result<(), String> {
     let phase_fields = |label: &str, outcome: &PhaseOutcome| {
         vec![
@@ -917,6 +1176,10 @@ fn write_bench(
                 format!("{label}_connection_retries"),
                 Json::Int(outcome.retries as i128),
             ),
+            (
+                format!("{label}_retry_after_waits"),
+                Json::Int(outcome.backoff_waits as i128),
+            ),
         ]
     };
     let warm_speedup = if warm.wall_seconds > 0.0 {
@@ -929,7 +1192,10 @@ fn write_bench(
         // v3: async sweep submission — submission latency (time to the
         // 202) and end-to-end sweep latency (submit → observed done) are
         // separate distributions; `requests` counts submissions + polls.
-        ("schema_version".into(), Json::Int(3)),
+        // v4: per-phase `retry_after_waits` (jittered backoff after 429/503
+        // refusals) and the `fleet_scaling` section (full-grid wall clock
+        // under 1/2/4 remote workers with lease/requeue accounting).
+        ("schema_version".into(), Json::Int(4)),
         ("created_unix".into(), Json::uint(lassi_bench::unix_now())),
         ("clients".into(), Json::Int(args.clients as i128)),
         (
@@ -964,6 +1230,32 @@ fn write_bench(
         (
             "baseline_sync_warm_p99_ms".into(),
             Json::Float(BASELINE_SYNC_WARM_P99_MS),
+        ),
+        (
+            "fleet_scaling".into(),
+            Json::Array(
+                fleet_scaling
+                    .iter()
+                    .map(|scale| {
+                        Json::Object(vec![
+                            ("workers".into(), Json::Int(scale.workers as i128)),
+                            ("scenarios".into(), Json::uint(scale.scenarios)),
+                            ("wall_seconds".into(), Json::Float(scale.wall_seconds)),
+                            (
+                                "scenarios_per_second".into(),
+                                Json::Float(scale.scenarios as f64 / scale.wall_seconds.max(1e-9)),
+                            ),
+                            ("leases_granted".into(), Json::uint(scale.leases_granted)),
+                            ("leases_expired".into(), Json::uint(scale.leases_expired)),
+                            ("jobs_requeued".into(), Json::uint(scale.jobs_requeued)),
+                            (
+                                "duplicate_completions".into(),
+                                Json::uint(scale.duplicate_completions),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ]);
     let mut text = Json::Object(fields).to_pretty();

@@ -5,7 +5,7 @@
 //! serve [--host ADDR] [--port N] [--artifacts DIR] [--workers N]
 //!       [--no-cache] [--max-connections N] [--addr-file PATH]
 //!       [--idle-timeout-ms N] [--max-requests-per-connection N]
-//!       [--sweep-executors N]
+//!       [--sweep-executors N] [--lease-ttl-ms N]
 //! ```
 //!
 //! `--port 0` (the default) binds an ephemeral port; the bound address is
@@ -22,12 +22,17 @@
 //! Sweep submission is asynchronous: `POST /v1/sweeps` answers `202` at
 //! once and `--sweep-executors` sets how many accepted sweeps may execute
 //! concurrently (each one still fans out over `--workers` threads).
+//!
+//! When remote workers are polling `/v1/work/lease`, queued runs drain
+//! through the fleet instead of the local pool; `--lease-ttl-ms` sets how
+//! long a granted lease lives without a heartbeat before its jobs are
+//! reclaimed (short TTLs make chaos suites reclaim dead workers fast).
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use lassi_server::{
-    AppState, Server, DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_CONNECTIONS,
+    AppState, Server, DEFAULT_IDLE_TIMEOUT, DEFAULT_LEASE_TTL_MS, DEFAULT_MAX_CONNECTIONS,
     DEFAULT_MAX_REQUESTS_PER_CONNECTION, DEFAULT_SWEEP_EXECUTORS,
 };
 
@@ -39,6 +44,7 @@ struct ServeArgs {
     idle_timeout: Duration,
     max_requests_per_connection: usize,
     sweep_executors: usize,
+    lease_ttl_ms: u64,
     addr_file: Option<String>,
 }
 
@@ -52,6 +58,7 @@ fn parse_args() -> Result<ServeArgs, String> {
         idle_timeout: DEFAULT_IDLE_TIMEOUT,
         max_requests_per_connection: DEFAULT_MAX_REQUESTS_PER_CONNECTION,
         sweep_executors: DEFAULT_SWEEP_EXECUTORS,
+        lease_ttl_ms: DEFAULT_LEASE_TTL_MS,
         addr_file: None,
     };
     let mut iter = common.rest.into_iter();
@@ -92,6 +99,14 @@ fn parse_args() -> Result<ServeArgs, String> {
                 }
                 args.sweep_executors = count;
             }
+            "--lease-ttl-ms" => {
+                let raw = value("--lease-ttl-ms")?;
+                args.lease_ttl_ms = raw
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|ms| *ms >= 1)
+                    .ok_or(format!("bad lease TTL `{raw}`"))?;
+            }
             "--addr-file" => args.addr_file = Some(value("--addr-file")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -111,7 +126,8 @@ fn run(args: &ServeArgs) -> Result<(), String> {
         .with_max_connections(args.max_connections)
         .with_idle_timeout(args.idle_timeout)
         .with_max_requests_per_connection(args.max_requests_per_connection)
-        .with_sweep_executors(args.sweep_executors);
+        .with_sweep_executors(args.sweep_executors)
+        .with_lease_ttl_ms(args.lease_ttl_ms);
     let addr = server.local_addr();
     println!("lassi-server listening on http://{addr}");
     println!(

@@ -1,0 +1,529 @@
+//! `worker` — a remote scenario worker for the `lassi-server` work-pull
+//! protocol.
+//!
+//! ```text
+//! worker --addr HOST:PORT [--worker-id ID] [--capacity N] [--poll-ms N]
+//!        [--exit-when-idle N]
+//!        [--chaos-crash-after N] [--chaos-stall-ms N]
+//!        [--chaos-stall-prob P] [--chaos-corrupt-prob P] [--chaos-seed S]
+//! ```
+//!
+//! The worker loops `POST /v1/work/lease` → run each job through the
+//! deterministic pipeline → `POST /v1/work/complete`, heartbeating from a
+//! background thread (every `ttl/3`) so a healthy lease never expires no
+//! matter how long a job runs. Everything it needs to run a job
+//! rides in the grant (application, model, direction, seed, config), so a
+//! worker process is stateless: kill -9 one mid-batch and the server's
+//! lease table requeues its jobs for someone else, who reproduces the
+//! exact same records (the simulator is seeded).
+//!
+//! Transport errors and backpressure refusals retry with jittered
+//! exponential backoff; a `Retry-After` header on a `429`/`503` overrides
+//! the computed delay. An idle fleet (`{"granted": false}`) polls at
+//! `--poll-ms`; `--exit-when-idle N` exits 0 after `N` consecutive empty
+//! polls so scripted fleets drain themselves.
+//!
+//! `--chaos-*` flags make the worker misbehave on purpose for the
+//! robustness suite:
+//!
+//! * `--chaos-crash-after N` — abort the process (no completion, lease
+//!   left dangling) after executing `N` jobs,
+//! * `--chaos-stall-ms M --chaos-stall-prob P` — with probability `P` per
+//!   batch, sleep `M` ms *without heartbeating* before completing, so the
+//!   lease expires and the late completion exercises first-write-wins,
+//! * `--chaos-corrupt-prob P` — with probability `P` per batch, corrupt
+//!   the completion's records; the server must reject it and requeue.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use lassi_core::PipelineConfig;
+use lassi_harness::{codec, Job, Json};
+use lassi_server::http;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Backoff bounds for transport errors and refusals without `Retry-After`.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Socket read/write timeout per request.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct WorkerArgs {
+    addr: String,
+    worker_id: String,
+    capacity: usize,
+    poll: Duration,
+    /// Exit 0 after this many consecutive `granted: false` polls (0 = never).
+    exit_when_idle: usize,
+    chaos_crash_after: Option<u64>,
+    chaos_stall: Duration,
+    chaos_stall_prob: f64,
+    chaos_corrupt_prob: f64,
+    chaos_seed: u64,
+}
+
+fn parse_args() -> Result<WorkerArgs, String> {
+    let mut args = WorkerArgs {
+        addr: String::new(),
+        worker_id: format!("worker-{}", std::process::id()),
+        capacity: 4,
+        poll: Duration::from_millis(100),
+        exit_when_idle: 0,
+        chaos_crash_after: None,
+        chaos_stall: Duration::from_millis(0),
+        chaos_stall_prob: 0.0,
+        chaos_corrupt_prob: 0.0,
+        chaos_seed: 0,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
+        let parse_u64 = |flag: &str, raw: String| -> Result<u64, String> {
+            raw.parse().map_err(|_| format!("bad {flag} `{raw}`"))
+        };
+        let parse_prob = |flag: &str, raw: String| -> Result<f64, String> {
+            raw.parse::<f64>()
+                .ok()
+                .filter(|p| (0.0..=1.0).contains(p))
+                .ok_or(format!(
+                    "{flag} must be a probability in [0, 1], got `{raw}`"
+                ))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--worker-id" => args.worker_id = value("--worker-id")?,
+            "--capacity" => {
+                let raw = value("--capacity")?;
+                args.capacity = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("bad --capacity `{raw}`"))?;
+            }
+            "--poll-ms" => {
+                args.poll = Duration::from_millis(parse_u64("--poll-ms", value("--poll-ms")?)?);
+            }
+            "--exit-when-idle" => {
+                args.exit_when_idle =
+                    parse_u64("--exit-when-idle", value("--exit-when-idle")?)? as usize;
+            }
+            "--chaos-crash-after" => {
+                args.chaos_crash_after = Some(parse_u64(
+                    "--chaos-crash-after",
+                    value("--chaos-crash-after")?,
+                )?);
+            }
+            "--chaos-stall-ms" => {
+                args.chaos_stall = Duration::from_millis(parse_u64(
+                    "--chaos-stall-ms",
+                    value("--chaos-stall-ms")?,
+                )?);
+            }
+            "--chaos-stall-prob" => {
+                args.chaos_stall_prob =
+                    parse_prob("--chaos-stall-prob", value("--chaos-stall-prob")?)?;
+            }
+            "--chaos-corrupt-prob" => {
+                args.chaos_corrupt_prob =
+                    parse_prob("--chaos-corrupt-prob", value("--chaos-corrupt-prob")?)?;
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = parse_u64("--chaos-seed", value("--chaos-seed")?)?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("--addr HOST:PORT is required".into());
+    }
+    Ok(args)
+}
+
+/// One job spec decoded out of a lease grant.
+struct LeasedJob {
+    index: usize,
+    job: Job,
+}
+
+/// A lease grant decoded off the wire.
+struct Grant {
+    lease_id: String,
+    ttl: Duration,
+    jobs: Vec<LeasedJob>,
+}
+
+/// Rebuild the deterministic [`Job`] a grant entry describes. The server
+/// sent names and config scalars; application sources, model fault tables
+/// and the execution engine are compiled into this binary, so the rebuilt
+/// job is bit-identical to the one the server's local pool would run.
+fn decode_job(entry: &Json) -> Result<LeasedJob, String> {
+    let str_field = |name: &str| {
+        entry
+            .get(name)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("grant job lacks `{name}`"))
+    };
+    let u64_field = |name: &str| {
+        entry
+            .get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("grant job lacks `{name}`"))
+    };
+    let app_name = str_field("application")?;
+    let model_name = str_field("model")?;
+    let direction_slug = str_field("direction")?;
+    let application = lassi_hecbench::application(app_name)
+        .ok_or_else(|| format!("unknown application `{app_name}`"))?;
+    let model = lassi_llm::model_by_name(model_name)
+        .ok_or_else(|| format!("unknown model `{model_name}`"))?;
+    let direction = lassi_core::Direction::from_slug(direction_slug)
+        .ok_or_else(|| format!("unknown direction `{direction_slug}`"))?;
+    let config = PipelineConfig {
+        seed: u64_field("seed")?,
+        max_self_corrections: u64_field("max_self_corrections")? as u32,
+        timing_runs: u64_field("timing_runs")? as u32,
+        ..PipelineConfig::default()
+    };
+    Ok(LeasedJob {
+        index: u64_field("index")? as usize,
+        job: Job {
+            application,
+            model,
+            direction,
+            config,
+        },
+    })
+}
+
+fn decode_grant(body: &str) -> Result<Option<Grant>, String> {
+    let value = lassi_harness::json::parse(body).map_err(|e| format!("grant: {e}"))?;
+    if value.get("granted").and_then(Json::as_bool) != Some(true) {
+        return Ok(None);
+    }
+    let lease_id = value
+        .get("lease_id")
+        .and_then(Json::as_str)
+        .ok_or("grant lacks `lease_id`")?
+        .to_string();
+    let ttl = Duration::from_millis(
+        value
+            .get("ttl_ms")
+            .and_then(Json::as_u64)
+            .ok_or("grant lacks `ttl_ms`")?,
+    );
+    let jobs = value
+        .get("jobs")
+        .and_then(Json::as_array)
+        .ok_or("grant lacks `jobs`")?
+        .iter()
+        .map(decode_job)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Some(Grant {
+        lease_id,
+        ttl,
+        jobs,
+    }))
+}
+
+/// The worker's HTTP client: one request per call, jittered-exponential
+/// retry on transport errors, and `Retry-After`-honouring backoff on
+/// `429`/`503` refusals. Refusal waits are counted for the exit report.
+struct Client {
+    addr: String,
+    rng: StdRng,
+    backoff_waits: u64,
+}
+
+impl Client {
+    /// Jitter a base delay to 50–150% so a fleet of workers retrying the
+    /// same refusal does not reconverge on the same instant.
+    fn jitter(&mut self, base: Duration) -> Duration {
+        let millis = base.as_millis().max(1) as usize;
+        Duration::from_millis(self.rng.gen_range(millis / 2..millis + millis / 2 + 1) as u64)
+    }
+
+    /// Send until a non-backpressure response arrives. Transport errors and
+    /// `429`/`503` refusals sleep (the response's `Retry-After` wins over
+    /// the exponential schedule) and retry forever: a worker's job is to
+    /// outlive server restarts and drains.
+    fn send(&mut self, method: &str, path: &str, body: &[u8]) -> http::ClientResponse {
+        let mut backoff = BACKOFF_FLOOR;
+        loop {
+            match http::request_with_timeout(&self.addr, method, path, Some(body), IO_TIMEOUT) {
+                Ok(resp) if resp.status == 429 || resp.status == 503 => {
+                    let base = resp
+                        .header("retry-after")
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .map(Duration::from_secs)
+                        .unwrap_or(backoff);
+                    let wait = self.jitter(base);
+                    self.backoff_waits += 1;
+                    eprintln!(
+                        "worker: {method} {path} refused ({}); backing off {wait:?}",
+                        resp.status
+                    );
+                    std::thread::sleep(wait);
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                }
+                Ok(resp) => return resp,
+                Err(e) => {
+                    let wait = self.jitter(backoff);
+                    eprintln!("worker: {method} {path}: {e}; retrying in {wait:?}");
+                    std::thread::sleep(wait);
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                }
+            }
+        }
+    }
+}
+
+/// Keeps a lease alive from a background thread while the batch runs:
+/// job wall time is workload-dependent, so between-job heartbeats alone
+/// could let a short TTL lapse mid-job. `lost()` reports a heartbeat
+/// that came back `404`/`409` — the lease is gone, drop the batch.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    lost: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(addr: String, worker_id: &str, lease_id: &str, ttl: Duration) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let lost = Arc::new(AtomicBool::new(false));
+        let body = format!(r#"{{"worker_id": "{worker_id}", "lease_id": "{lease_id}"}}"#);
+        let lease = lease_id.to_string();
+        let interval = (ttl / 3).max(Duration::from_millis(10));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let lost = Arc::clone(&lost);
+            thread::spawn(move || {
+                loop {
+                    // Sleep in slices so `stop()` is honoured promptly
+                    // even under a long TTL.
+                    let deadline = Instant::now() + interval;
+                    while Instant::now() < deadline {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    let resp = http::request_with_timeout(
+                        &addr,
+                        "POST",
+                        "/v1/work/heartbeat",
+                        Some(body.as_bytes()),
+                        IO_TIMEOUT,
+                    );
+                    match resp {
+                        Ok(resp) if resp.is_success() => {}
+                        Ok(resp) => {
+                            eprintln!(
+                                "worker: lease {lease} lost (heartbeat HTTP {})",
+                                resp.status
+                            );
+                            lost.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                        // A transport hiccup is not fatal: the next round
+                        // retries a third of the TTL later, well before
+                        // the deadline.
+                        Err(_) => {}
+                    }
+                }
+            })
+        };
+        Heartbeat {
+            stop,
+            lost,
+            handle: Some(handle),
+        }
+    }
+
+    fn lost(&self) -> bool {
+        self.lost.load(Ordering::SeqCst)
+    }
+
+    /// Stop heartbeating and join the thread. Called both before a normal
+    /// completion and by the stall chaos — an expired lease is the point.
+    fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn run(args: WorkerArgs) -> Result<(), String> {
+    let mut chaos_rng = StdRng::seed_from_u64(if args.chaos_seed != 0 {
+        args.chaos_seed
+    } else {
+        std::process::id() as u64
+    });
+    let mut client = Client {
+        addr: args.addr.clone(),
+        rng: StdRng::seed_from_u64(
+            args.chaos_seed.wrapping_add(0x9E37) ^ std::process::id() as u64,
+        ),
+        backoff_waits: 0,
+    };
+    let lease_body = format!(
+        r#"{{"worker_id": "{}", "capacity": {}}}"#,
+        args.worker_id, args.capacity
+    );
+    let mut executed: u64 = 0;
+    let mut completed_batches: u64 = 0;
+    let mut idle_polls = 0usize;
+    eprintln!(
+        "worker {} polling http://{} (capacity {})",
+        args.worker_id, args.addr, args.capacity
+    );
+    loop {
+        let resp = client.send("POST", "/v1/work/lease", lease_body.as_bytes());
+        if !resp.is_success() {
+            return Err(format!(
+                "lease refused: HTTP {} — {}",
+                resp.status,
+                resp.text()
+            ));
+        }
+        let grant = match decode_grant(&resp.text())? {
+            Some(grant) => {
+                idle_polls = 0;
+                grant
+            }
+            None => {
+                idle_polls += 1;
+                if args.exit_when_idle > 0 && idle_polls >= args.exit_when_idle {
+                    eprintln!(
+                        "worker {}: idle for {} polls; exiting ({} jobs in {} batches, \
+                         {} backoff waits)",
+                        args.worker_id,
+                        idle_polls,
+                        executed,
+                        completed_batches,
+                        client.backoff_waits
+                    );
+                    return Ok(());
+                }
+                let wait = client.jitter(args.poll);
+                std::thread::sleep(wait);
+                continue;
+            }
+        };
+
+        let indices: Vec<String> = grant.jobs.iter().map(|j| j.index.to_string()).collect();
+        eprintln!(
+            "worker {}: leased {} job(s) [{}] under {}",
+            args.worker_id,
+            grant.jobs.len(),
+            indices.join(","),
+            grant.lease_id
+        );
+
+        // Run the batch while a background thread keeps the lease alive.
+        let mut heartbeat = Heartbeat::start(
+            args.addr.clone(),
+            &args.worker_id,
+            &grant.lease_id,
+            grant.ttl,
+        );
+        let mut records = Vec::with_capacity(grant.jobs.len());
+        let mut lease_lost = false;
+        for leased in &grant.jobs {
+            if heartbeat.lost() {
+                eprintln!(
+                    "worker {}: lease {} lost mid-batch; dropping the batch",
+                    args.worker_id, grant.lease_id
+                );
+                lease_lost = true;
+                break;
+            }
+            if let Some(limit) = args.chaos_crash_after {
+                if executed >= limit {
+                    eprintln!(
+                        "worker {}: chaos crash after {executed} jobs (lease {} left dangling)",
+                        args.worker_id, grant.lease_id
+                    );
+                    // A real crash: no completion, no cleanup — the lease
+                    // must expire and be reclaimed by the server.
+                    std::process::abort();
+                }
+            }
+            records.push(leased.job.run());
+            executed += 1;
+        }
+        if lease_lost {
+            continue;
+        }
+
+        if args.chaos_stall_prob > 0.0 && chaos_rng.gen_bool(args.chaos_stall_prob) {
+            // Stall without heartbeating: the lease expires under us and the
+            // late completion below exercises the server's first-write-wins
+            // (or lease_not_found) path.
+            eprintln!(
+                "worker {}: chaos stall {:?} holding lease {}",
+                args.worker_id, args.chaos_stall, grant.lease_id
+            );
+            heartbeat.stop();
+            std::thread::sleep(args.chaos_stall);
+        }
+        heartbeat.stop();
+        if args.chaos_corrupt_prob > 0.0 && chaos_rng.gen_bool(args.chaos_corrupt_prob) {
+            // Lie about what was computed; the server must refuse the batch
+            // and requeue the jobs rather than let this reach the artifact.
+            eprintln!(
+                "worker {}: chaos corrupting completion of lease {}",
+                args.worker_id, grant.lease_id
+            );
+            for record in &mut records {
+                record.application = "chaos-corrupted".into();
+            }
+        }
+
+        let complete_body = Json::Object(vec![
+            ("worker_id".into(), Json::Str(args.worker_id.clone())),
+            ("lease_id".into(), Json::Str(grant.lease_id.clone())),
+            ("records".into(), codec::records_to_json(&records)),
+        ])
+        .to_compact();
+        let resp = client.send("POST", "/v1/work/complete", complete_body.as_bytes());
+        if resp.is_success() {
+            completed_batches += 1;
+        } else {
+            // Expired lease (404) or rejected completion (400): the server
+            // already requeued the jobs; nothing to clean up on this side.
+            eprintln!(
+                "worker {}: completion of lease {} refused: HTTP {} — {}",
+                args.worker_id,
+                grant.lease_id,
+                resp.status,
+                resp.text()
+            );
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("worker: {message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(args) {
+        eprintln!("worker: {message}");
+        std::process::exit(1);
+    }
+}

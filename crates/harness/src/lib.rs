@@ -23,12 +23,15 @@
 //! `lassi-bench` is a thin CLI over it. [`runstate`] adds the run
 //! lifecycle state machine (`queued → running → done | failed |
 //! cancelled`, persisted as `state.json` beside the artifact) that powers
-//! asynchronous sweep submission in `lassi-server`.
+//! asynchronous sweep submission in `lassi-server`, and [`lease`] the
+//! time-bounded lease table (`granted → extended → completed | expired →
+//! reclaimed`, persisted as `leases.json`) behind the remote worker fleet.
 
 pub mod cache;
 pub mod codec;
 pub mod grid;
 pub mod json;
+pub mod lease;
 pub mod queue;
 pub mod runstate;
 pub mod scheduler;
@@ -40,6 +43,10 @@ pub use cache::{
 };
 pub use grid::{GridCell, SweepGrid};
 pub use json::Json;
+pub use lease::{
+    FleetStats, IllegalLeaseTransition, JobWrite, Lease, LeaseError, LeaseState, LeaseTable,
+    LEASE_FILE,
+};
 pub use queue::BoundedQueue;
 pub use runstate::{IllegalTransition, RunState, RunStatus, STATE_FILE};
 pub use scheduler::{
@@ -47,7 +54,7 @@ pub use scheduler::{
 };
 pub use store::{
     detect_git_commit, is_slug, ArtifactError, ArtifactStore, RunArtifact, RunManifest, RunWriter,
-    DIAGNOSTICS_FILE, SCHEMA_VERSION,
+    ScannedRun, DIAGNOSTICS_FILE, SCHEMA_VERSION,
 };
 pub use trace::{
     diag_event, event_from_json, event_to_json, job_span, parse_trace, read_trace, write_trace,

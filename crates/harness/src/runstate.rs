@@ -26,6 +26,7 @@ use std::io;
 use std::path::Path;
 
 use crate::json::{self, Json};
+use crate::lease::FleetStats;
 
 /// Name of the lifecycle file inside a run directory.
 pub const STATE_FILE: &str = "state.json";
@@ -156,6 +157,9 @@ pub struct RunStatus {
     pub wall_seconds: Option<f64>,
     /// Why the run `failed` or was `cancelled`.
     pub reason: Option<String>,
+    /// Lease/requeue accounting when remote workers drained the run
+    /// (`None` for the local executor path).
+    pub fleet: Option<FleetStats>,
 }
 
 impl RunStatus {
@@ -171,6 +175,7 @@ impl RunStatus {
             finished_unix: None,
             wall_seconds: None,
             reason: None,
+            fleet: None,
         }
     }
 
@@ -188,6 +193,7 @@ impl RunStatus {
             finished_unix: now,
             wall_seconds: None,
             reason: None,
+            fleet: None,
         }
     }
 
@@ -240,6 +246,13 @@ impl RunStatus {
                 self.wall_seconds.map(Json::Float).unwrap_or(Json::Null),
             ),
             ("reason".into(), Json::opt_str(self.reason.as_deref())),
+            (
+                "fleet".into(),
+                self.fleet
+                    .as_ref()
+                    .map(FleetStats::to_json)
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
 
@@ -274,6 +287,10 @@ impl RunStatus {
                 .get("reason")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            fleet: value
+                .get("fleet")
+                .filter(|v| !v.is_null())
+                .map(FleetStats::from_json),
         })
     }
 
@@ -396,6 +413,12 @@ mod tests {
         status.advance(RunState::Running).unwrap();
         status.completed = 17;
         status.wall_seconds = Some(3.25);
+        status.fleet = Some(FleetStats {
+            leases_granted: 5,
+            leases_expired: 1,
+            jobs_requeued: 4,
+            duplicate_completions: 2,
+        });
         status
             .finish(RunState::Cancelled, "cancelled by client")
             .unwrap();
@@ -405,6 +428,7 @@ mod tests {
         assert_eq!(loaded.state, RunState::Cancelled);
         assert_eq!(loaded.completed, 17);
         assert_eq!(loaded.wall_seconds, Some(3.25));
+        assert_eq!(loaded.fleet.unwrap().jobs_requeued, 4);
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

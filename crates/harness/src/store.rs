@@ -321,14 +321,17 @@ impl ArtifactStore {
 
     /// Every run the store knows about — including queued, running, failed
     /// and cancelled runs that only have a `state.json` — as
-    /// `(id, Option<RunStatus>)`, sorted by id.
+    /// `(id, ScannedRun)`, sorted by id.
     ///
-    /// A `None` status is a legacy artifact written before lifecycle
+    /// [`ScannedRun::Legacy`] is an artifact written before lifecycle
     /// tracking (manifest but no `state.json`): callers should treat it as
-    /// `done`. Bare reservations (neither file) and directories with an
-    /// unreadable `state.json` are skipped, the same way
+    /// `done`. A torn or truncated `state.json` (a crash mid-write that
+    /// never reached the rename) surfaces as [`ScannedRun::Corrupt`] so
+    /// recovery can mark the run `failed` with a clear reason instead of
+    /// silently skipping — or panicking over — it. Bare reservations
+    /// (neither file) are skipped, the same way
     /// [`ArtifactStore::list_runs`] skips half-written runs.
-    pub fn scan_runs(&self) -> io::Result<Vec<(String, Option<RunStatus>)>> {
+    pub fn scan_runs(&self) -> io::Result<Vec<(String, ScannedRun)>> {
         let entries = match std::fs::read_dir(&self.root) {
             Ok(entries) => entries,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
@@ -348,18 +351,31 @@ impl ArtifactStore {
                 continue;
             }
             match RunStatus::load(&entry.path()) {
-                Ok(status) => runs.push((id.to_string(), Some(status))),
+                Ok(status) => runs.push((id.to_string(), ScannedRun::Status(status))),
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {
                     if entry.path().join("manifest.json").is_file() {
-                        runs.push((id.to_string(), None));
+                        runs.push((id.to_string(), ScannedRun::Legacy));
                     }
                 }
-                Err(_) => {}
+                Err(e) => runs.push((id.to_string(), ScannedRun::Corrupt(e.to_string()))),
             }
         }
         runs.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(runs)
     }
+}
+
+/// What [`ArtifactStore::scan_runs`] found inside one `run-<id>/`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScannedRun {
+    /// A readable `state.json`.
+    Status(RunStatus),
+    /// A pre-lifecycle artifact: manifest but no `state.json` (treat as
+    /// `done`).
+    Legacy,
+    /// `state.json` exists but is torn, truncated or malformed; the string
+    /// is the decode error.
+    Corrupt(String),
 }
 
 /// Writes the files of one run directory.
@@ -633,6 +649,48 @@ mod tests {
         assert!(store.run_dir("inflight").is_dir(), "reservation survives");
 
         assert_eq!(store.list_runs().unwrap(), vec!["keep"]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scan_runs_surfaces_torn_state_files() {
+        let root = test_root("scan");
+        let store = ArtifactStore::new(&root);
+
+        let good = root.join("run-good");
+        std::fs::create_dir_all(&good).unwrap();
+        crate::runstate::RunStatus::queued("good", 4)
+            .save(&good)
+            .unwrap();
+
+        let legacy = root.join("run-legacy");
+        std::fs::create_dir_all(&legacy).unwrap();
+        std::fs::write(legacy.join("manifest.json"), "{}\n").unwrap();
+
+        // A torn write: the process died mid-`state.json.tmp` and the
+        // rename never happened — but a *partial* direct write is the
+        // worst case, so simulate that.
+        let torn = root.join("run-torn");
+        std::fs::create_dir_all(&torn).unwrap();
+        let full = crate::runstate::RunStatus::queued("torn", 4)
+            .to_json()
+            .to_pretty();
+        std::fs::write(torn.join("state.json"), &full[..full.len() / 2]).unwrap();
+
+        // A bare reservation stays invisible.
+        std::fs::create_dir_all(root.join("run-bare")).unwrap();
+
+        let scanned = store.scan_runs().unwrap();
+        let ids: Vec<&str> = scanned.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, ["good", "legacy", "torn"]);
+        assert!(matches!(&scanned[0].1, ScannedRun::Status(s) if s.run_id == "good"));
+        assert_eq!(scanned[1].1, ScannedRun::Legacy);
+        assert!(
+            matches!(&scanned[2].1, ScannedRun::Corrupt(_)),
+            "torn state.json must surface, not be skipped: {:?}",
+            scanned[2].1
+        );
+
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -1,0 +1,92 @@
+//! Property test for the lease table: no schedule of grants, heartbeats,
+//! expiries, corrupt-completion failures and (possibly duplicate or stale)
+//! record deliveries may ever lose a job or duplicate one in the requeue
+//! set. After any such schedule the table must still drain to completion —
+//! if it cannot, a job leaked out of the {pending, active-lease, completed}
+//! partition somewhere along the way.
+
+use lassi_harness::lease::LeaseTable;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn no_schedule_loses_or_duplicates_jobs(
+        total in 1usize..24,
+        ops in proptest::collection::vec((0u32..6, 0usize..32, 1usize..8), 0..80),
+    ) {
+        let mut table = LeaseTable::new("prop", total);
+        let mut now: u64 = 0;
+        let pick_lease = |table: &LeaseTable, pick: usize| -> Option<String> {
+            let leases = table.leases();
+            (!leases.is_empty()).then(|| leases[pick % leases.len()].lease_id.clone())
+        };
+        for (op, pick, size) in ops {
+            match op {
+                // A worker pulls a batch.
+                0 => {
+                    table.grant(&format!("w{}", pick % 4), size, now, 100);
+                }
+                // A worker heartbeats some lease (possibly a dead one).
+                1 => {
+                    if let Some(id) = pick_lease(&table, pick) {
+                        let _ = table.heartbeat(&id, now, 100);
+                    }
+                }
+                // A worker settles some lease and delivers its records —
+                // stale settles deliver duplicates, first-write-wins.
+                2 => {
+                    if let Some(id) = pick_lease(&table, pick) {
+                        if let Ok((jobs, _)) = table.settle(&id) {
+                            for job in jobs {
+                                table.record_job(job);
+                            }
+                        }
+                    }
+                }
+                // Time passes; the reclaimer sweeps expired leases.
+                3 => {
+                    now += size as u64 * 40;
+                    table.reclaim_expired(now);
+                }
+                // A corrupt completion fails some lease immediately.
+                4 => {
+                    if let Some(id) = pick_lease(&table, pick) {
+                        let _ = table.fail_lease(&id);
+                    }
+                }
+                // A stray late record lands for an arbitrary job.
+                _ => {
+                    table.record_job(pick % total);
+                }
+            }
+            if let Err(violation) = table.check_invariant() {
+                panic!("invariant broken after op {op}: {violation}");
+            }
+        }
+
+        // Whatever the schedule did, the table must still drain: reclaim
+        // everything in flight, then grant/settle until complete.
+        now += 1_000_000;
+        table.reclaim_expired(now);
+        while !table.is_complete() {
+            let id = match table.grant("drain", 8, now, 100) {
+                Some(lease) => lease.lease_id.clone(),
+                None => panic!(
+                    "{} jobs uncompleted but nothing pending — a job was lost",
+                    total - table.completed_count()
+                ),
+            };
+            let (jobs, was_active) = table.settle(&id).unwrap();
+            prop_assert!(was_active);
+            for job in jobs {
+                table.record_job(job);
+            }
+        }
+        table.check_invariant().unwrap();
+        prop_assert_eq!(table.completed_count(), total);
+        prop_assert_eq!(table.pending_count(), 0);
+        prop_assert_eq!(table.active_leases(), 0);
+    }
+}

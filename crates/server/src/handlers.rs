@@ -14,13 +14,13 @@
 use std::io;
 
 use lassi_core::PipelineConfig;
-use lassi_harness::{Json, RunStatus, SweepGrid};
+use lassi_harness::{Json, LeaseError, RunStatus, SweepGrid};
 use lassi_hecbench::{application, applications, Application};
 use lassi_llm::{all_models, model_by_name, ModelSpec};
 
 use crate::http::{Request, Response};
 use crate::router::{is_slug, route, Route, RouteError};
-use crate::state::{AppState, CancelError, SubmitError};
+use crate::state::{AppState, CancelError, CompleteError, SubmitError};
 
 /// Cap on scenarios per submitted sweep: a single request must not be able
 /// to occupy the worker pool for an unbounded amount of time.
@@ -31,6 +31,20 @@ pub const DEFAULT_RUNS_PAGE: usize = 100;
 
 /// Largest accepted `?limit=` of `GET /v1/runs`.
 pub const MAX_RUNS_PAGE: usize = 1000;
+
+/// Largest job batch one lease request may ask for.
+pub const MAX_LEASE_CAPACITY: usize = 64;
+
+/// Default job batch when a lease request omits `capacity`.
+pub const DEFAULT_LEASE_CAPACITY: usize = 4;
+
+/// `Retry-After` seconds on a `429 queue_full` refusal: the queue drains a
+/// run at a time, so a short pause is usually enough.
+pub const RETRY_AFTER_QUEUE_FULL: u64 = 1;
+
+/// `Retry-After` seconds on a `503 draining` refusal: the process is going
+/// away; clients should fail over, not hammer it.
+pub const RETRY_AFTER_DRAINING: u64 = 5;
 
 /// Dispatch one request, recording the per-request metrics around the
 /// handler: a `lassi_http_requests_total{method, route, status}` counter
@@ -91,6 +105,9 @@ fn dispatch(state: &AppState, req: &Request, resolved: Result<Route, RouteError>
         Ok(Route::GetDiagnostics(id)) => get_diagnostics(state, &id),
         Ok(Route::GetRecords(id, set)) => get_records(state, &id, &set),
         Ok(Route::SubmitSweep) => submit_sweep(state, &req.body),
+        Ok(Route::LeaseWork) => lease_work(state, &req.body),
+        Ok(Route::HeartbeatWork) => heartbeat_work(state, &req.body),
+        Ok(Route::CompleteWork) => complete_work(state, &req.body),
         Ok(Route::Shutdown) => shutdown(state),
     }
 }
@@ -228,12 +245,77 @@ fn metrics(state: &AppState) -> Response {
             &[],
         )
         .record_total(state.events().dropped());
+    let fleet = state.fleet_snapshot();
+    registry
+        .counter(
+            "lassi_leases_granted_total",
+            "Work leases granted to remote workers.",
+            &[],
+        )
+        .record_total(fleet.leases_granted);
+    registry
+        .counter(
+            "lassi_leases_expired_total",
+            "Work leases expired or failed and reclaimed.",
+            &[],
+        )
+        .record_total(fleet.leases_expired);
+    registry
+        .counter(
+            "lassi_lease_jobs_requeued_total",
+            "Jobs requeued by lease reclaims.",
+            &[],
+        )
+        .record_total(fleet.jobs_requeued);
+    registry
+        .counter(
+            "lassi_lease_duplicate_completions_total",
+            "Completed records dropped first-write-wins.",
+            &[],
+        )
+        .record_total(fleet.duplicate_completions);
+    registry
+        .counter(
+            "lassi_remote_records_accepted_total",
+            "Records accepted from remote workers as a job's first write.",
+            &[],
+        )
+        .record_total(fleet.records_accepted);
+    registry
+        .counter(
+            "lassi_lease_heartbeats_total",
+            "Lease heartbeat extensions served.",
+            &[],
+        )
+        .record_total(fleet.heartbeats);
+    registry
+        .gauge(
+            "lassi_fleet_workers_active",
+            "Workers that contacted the server within the liveness window.",
+            &[],
+        )
+        .set(fleet.workers_active as i64);
+    registry
+        .gauge(
+            "lassi_fleet_leases_active",
+            "Leases currently held by workers across draining runs.",
+            &[],
+        )
+        .set(fleet.leases_active as i64);
+    registry
+        .gauge(
+            "lassi_fleet_remote_runs",
+            "Runs currently being drained by the worker fleet.",
+            &[],
+        )
+        .set(fleet.remote_runs as i64);
     Response {
         status: 200,
         content_type: "text/plain; version=0.0.4",
         body: registry.render().into_bytes(),
         chunked: false,
         location: None,
+        retry_after: None,
     }
 }
 
@@ -270,6 +352,7 @@ fn get_trace(state: &AppState, id: &str) -> Response {
             body: bytes,
             chunked: true,
             location: None,
+            retry_after: None,
         },
         Err(e) if e.kind() == io::ErrorKind::NotFound => Response::error(
             404,
@@ -396,6 +479,21 @@ fn run_view(status: &RunStatus) -> Json {
         ("started_unix".into(), opt_u64(status.started_unix)),
         ("finished_unix".into(), opt_u64(status.finished_unix)),
         ("reason".into(), Json::opt_str(status.reason.as_deref())),
+        (
+            "fleet".into(),
+            match &status.fleet {
+                Some(f) => Json::Object(vec![
+                    ("leases_granted".into(), Json::uint(f.leases_granted)),
+                    ("leases_expired".into(), Json::uint(f.leases_expired)),
+                    ("jobs_requeued".into(), Json::uint(f.jobs_requeued)),
+                    (
+                        "duplicate_completions".into(),
+                        Json::uint(f.duplicate_completions),
+                    ),
+                ]),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -512,6 +610,7 @@ fn serve_file(path: std::path::PathBuf, chunked: bool) -> Response {
             body: bytes,
             chunked,
             location: None,
+            retry_after: None,
         },
         Err(e) if e.kind() == io::ErrorKind::NotFound => Response::error(
             404,
@@ -693,7 +792,8 @@ fn decode_sweep_request(body: &[u8]) -> Result<SweepRequest, String> {
 /// regardless of grid size.
 fn submit_sweep(state: &AppState, body: &[u8]) -> Response {
     if state.shutting_down() {
-        return Response::error(503, "draining", "server is shutting down");
+        return Response::error(503, "draining", "server is shutting down")
+            .with_retry_after(RETRY_AFTER_DRAINING);
     }
     let request = match decode_sweep_request(body) {
         Ok(request) => request,
@@ -716,7 +816,8 @@ fn submit_sweep(state: &AppState, body: &[u8]) -> Response {
             let location = format!("/v1/runs/{}", status.run_id);
             Response::json(202, run_view(&status).to_compact()).with_location(location)
         }
-        Err(SubmitError::Draining) => Response::error(503, "draining", "server is shutting down"),
+        Err(SubmitError::Draining) => Response::error(503, "draining", "server is shutting down")
+            .with_retry_after(RETRY_AFTER_DRAINING),
         Err(SubmitError::QueueFull) => Response::error(
             429,
             "queue_full",
@@ -724,12 +825,213 @@ fn submit_sweep(state: &AppState, body: &[u8]) -> Response {
                 "{} runs are already queued; retry later",
                 crate::state::MAX_QUEUED_RUNS
             ),
-        ),
+        )
+        .with_retry_after(RETRY_AFTER_QUEUE_FULL),
         Err(SubmitError::RunExists(id)) => {
             Response::error(409, "run_exists", &format!("run `{id}` already exists"))
         }
         Err(SubmitError::Io(e)) => {
             Response::error(500, "internal", &format!("cannot reserve run: {e}"))
+        }
+    }
+}
+
+/// Decode a `/v1/work/*` body into its fields. All three endpoints share
+/// the shape: a JSON object with a required slug `worker_id`, plus
+/// endpoint-specific fields pulled out by the caller.
+fn decode_work_body(body: &[u8]) -> Result<Vec<(String, Json)>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("empty body; send a JSON object".into());
+    }
+    let value = lassi_harness::json::parse(text).map_err(|e| e.to_string())?;
+    match value {
+        Json::Object(fields) => Ok(fields),
+        _ => Err("body must be a JSON object".into()),
+    }
+}
+
+/// Pull the required `worker_id` slug out of a work body.
+fn work_worker_id(fields: &[(String, Json)]) -> Result<String, String> {
+    let id = fields
+        .iter()
+        .find(|(k, _)| k == "worker_id")
+        .and_then(|(_, v)| v.as_str())
+        .ok_or_else(|| "`worker_id` must be a string".to_string())?;
+    if !is_slug(id) {
+        return Err(format!("`worker_id` `{id}` is not a valid slug"));
+    }
+    Ok(id.to_string())
+}
+
+/// Pull the required `lease_id` slug out of a work body.
+fn work_lease_id(fields: &[(String, Json)]) -> Result<String, String> {
+    let id = fields
+        .iter()
+        .find(|(k, _)| k == "lease_id")
+        .and_then(|(_, v)| v.as_str())
+        .ok_or_else(|| "`lease_id` must be a string".to_string())?;
+    if !is_slug(id) {
+        return Err(format!("`lease_id` `{id}` is not a valid slug"));
+    }
+    Ok(id.to_string())
+}
+
+/// `POST /v1/work/lease`: a registered worker pulls up to `capacity` jobs
+/// from whichever queued-or-running run is currently draining remotely.
+/// The grant carries everything needed to rebuild each [`Job`] bit-exactly
+/// on the worker (the simulator is deterministic, so re-execution after a
+/// reclaim produces identical records). An idle fleet gets
+/// `{"granted": false}` — poll again with backoff.
+fn lease_work(state: &AppState, body: &[u8]) -> Response {
+    if state.shutting_down() {
+        return Response::error(503, "draining", "server is shutting down")
+            .with_retry_after(RETRY_AFTER_DRAINING);
+    }
+    let fields = match decode_work_body(body) {
+        Ok(fields) => fields,
+        Err(message) => return Response::error(400, "invalid_work_request", &message),
+    };
+    let worker = match work_worker_id(&fields) {
+        Ok(worker) => worker,
+        Err(message) => return Response::error(400, "invalid_work_request", &message),
+    };
+    let capacity = match fields.iter().find(|(k, _)| k == "capacity") {
+        None => DEFAULT_LEASE_CAPACITY,
+        Some((_, value)) => match value.as_u64() {
+            Some(n) if (1..=MAX_LEASE_CAPACITY as u64).contains(&n) => n as usize,
+            _ => {
+                return Response::error(
+                    400,
+                    "invalid_work_request",
+                    &format!("`capacity` must be an integer in 1..={MAX_LEASE_CAPACITY}"),
+                )
+            }
+        },
+    };
+    match state.lease_work(&worker, capacity) {
+        None => Response::json(
+            200,
+            Json::Object(vec![("granted".into(), Json::Bool(false))]).to_compact(),
+        ),
+        Some(grant) => {
+            let jobs: Vec<Json> = grant
+                .jobs
+                .iter()
+                .map(|(index, job)| {
+                    Json::Object(vec![
+                        ("index".into(), Json::uint(*index as u64)),
+                        ("application".into(), Json::Str(job.application.name.into())),
+                        ("model".into(), Json::Str(job.model.name.into())),
+                        ("direction".into(), Json::Str(job.direction.slug().into())),
+                        ("seed".into(), Json::uint(job.config.seed)),
+                        (
+                            "max_self_corrections".into(),
+                            Json::uint(job.config.max_self_corrections as u64),
+                        ),
+                        (
+                            "timing_runs".into(),
+                            Json::uint(job.config.timing_runs as u64),
+                        ),
+                    ])
+                })
+                .collect();
+            let body = Json::Object(vec![
+                ("granted".into(), Json::Bool(true)),
+                ("lease_id".into(), Json::Str(grant.lease_id)),
+                ("run_id".into(), Json::Str(grant.run_id)),
+                ("ttl_ms".into(), Json::uint(grant.ttl_ms)),
+                ("jobs".into(), Json::Array(jobs)),
+            ]);
+            Response::json(200, body.to_compact())
+        }
+    }
+}
+
+/// `POST /v1/work/heartbeat`: extend a held lease's deadline. Losing the
+/// race against the reclaimer answers `409 lease_not_active` — the worker
+/// should drop the batch (its jobs are already requeued) and lease anew.
+fn heartbeat_work(state: &AppState, body: &[u8]) -> Response {
+    let fields = match decode_work_body(body) {
+        Ok(fields) => fields,
+        Err(message) => return Response::error(400, "invalid_work_request", &message),
+    };
+    let (worker, lease_id) = match work_worker_id(&fields).and_then(|w| {
+        let l = work_lease_id(&fields)?;
+        Ok((w, l))
+    }) {
+        Ok(pair) => pair,
+        Err(message) => return Response::error(400, "invalid_work_request", &message),
+    };
+    match state.heartbeat_work(&worker, &lease_id) {
+        Ok(ttl_ms) => Response::json(
+            200,
+            Json::Object(vec![
+                ("extended".into(), Json::Bool(true)),
+                ("ttl_ms".into(), Json::uint(ttl_ms)),
+            ])
+            .to_compact(),
+        ),
+        Err(LeaseError::UnknownLease(id)) => Response::error(
+            404,
+            "lease_not_found",
+            &format!("no draining run holds lease `{id}`"),
+        ),
+        Err(LeaseError::NotActive { lease_id, state }) => Response::error(
+            409,
+            "lease_not_active",
+            &format!("lease `{lease_id}` is {}", state.slug()),
+        ),
+    }
+}
+
+/// `POST /v1/work/complete`: return a lease's records. Records ride the
+/// same `record.v1` codec the artifact store uses, and land first-write-
+/// wins — a duplicate completion (requeued batch finished twice) is
+/// counted, not an error. A completion that fails validation fails the
+/// lease and requeues its jobs, so a corrupting worker cannot poison the
+/// artifact.
+fn complete_work(state: &AppState, body: &[u8]) -> Response {
+    let fields = match decode_work_body(body) {
+        Ok(fields) => fields,
+        Err(message) => return Response::error(400, "invalid_work_request", &message),
+    };
+    let (worker, lease_id) = match work_worker_id(&fields).and_then(|w| {
+        let l = work_lease_id(&fields)?;
+        Ok((w, l))
+    }) {
+        Ok(pair) => pair,
+        Err(message) => return Response::error(400, "invalid_work_request", &message),
+    };
+    let records = match fields.iter().find(|(k, _)| k == "records") {
+        None => return Response::error(400, "invalid_work_request", "`records` is required"),
+        Some((_, value)) => match lassi_harness::codec::records_from_json(value) {
+            Ok(records) => records,
+            Err(e) => {
+                return Response::error(
+                    400,
+                    "invalid_work_request",
+                    &format!("`records` does not decode: {e}"),
+                )
+            }
+        },
+    };
+    match state.complete_work(&worker, &lease_id, records) {
+        Ok((accepted, duplicates)) => Response::json(
+            200,
+            Json::Object(vec![
+                ("accepted".into(), Json::uint(accepted as u64)),
+                ("duplicates".into(), Json::uint(duplicates as u64)),
+            ])
+            .to_compact(),
+        ),
+        Err(CompleteError::UnknownLease(id)) => Response::error(
+            404,
+            "lease_not_found",
+            &format!("no draining run holds lease `{id}`"),
+        ),
+        Err(CompleteError::Invalid(message)) => {
+            Response::error(400, "invalid_completion", &message)
         }
     }
 }
@@ -810,6 +1112,37 @@ mod tests {
         ] {
             assert!(parse_list_query(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn work_bodies_decode_and_validate() {
+        let fields = decode_work_body(br#"{"worker_id": "w-1", "lease_id": "lease-r-0001"}"#)
+            .expect("valid body");
+        assert_eq!(work_worker_id(&fields).unwrap(), "w-1");
+        assert_eq!(work_lease_id(&fields).unwrap(), "lease-r-0001");
+
+        assert!(decode_work_body(b"").unwrap_err().contains("empty body"));
+        assert!(decode_work_body(b"[]").unwrap_err().contains("JSON object"));
+        let bad = decode_work_body(br#"{"worker_id": "../evil"}"#).unwrap();
+        assert!(work_worker_id(&bad).unwrap_err().contains("slug"));
+        let missing = decode_work_body(br#"{"worker_id": "w"}"#).unwrap();
+        assert!(work_lease_id(&missing).unwrap_err().contains("`lease_id`"));
+    }
+
+    #[test]
+    fn run_view_carries_fleet_counts_when_present() {
+        let mut status = RunStatus::queued("v-2", 4);
+        assert_eq!(run_view(&status).get("fleet"), Some(&Json::Null));
+        status.fleet = Some(lassi_harness::FleetStats {
+            leases_granted: 5,
+            leases_expired: 1,
+            jobs_requeued: 2,
+            duplicate_completions: 1,
+        });
+        let fleet = run_view(&status);
+        let fleet = fleet.get("fleet").expect("fleet object");
+        assert_eq!(fleet.get("leases_granted").and_then(Json::as_u64), Some(5));
+        assert_eq!(fleet.get("jobs_requeued").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

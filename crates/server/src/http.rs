@@ -238,6 +238,10 @@ pub struct Response {
     /// Optional `Location` header — `202 Accepted` responses point at the
     /// run resource the submission created.
     pub location: Option<String>,
+    /// Optional `Retry-After` header (seconds) — backpressure refusals
+    /// (`429 queue_full`, `503 draining`) tell clients when to try again,
+    /// and well-behaved clients back off with jitter instead of hammering.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -249,12 +253,19 @@ impl Response {
             body: body.into(),
             chunked: false,
             location: None,
+            retry_after: None,
         }
     }
 
     /// Attach a `Location` header.
     pub fn with_location(mut self, location: impl Into<String>) -> Response {
         self.location = Some(location.into());
+        self
+    }
+
+    /// Attach a `Retry-After` header (seconds).
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
         self
     }
 
@@ -294,6 +305,9 @@ impl Response {
         )?;
         if let Some(location) = &self.location {
             write!(out, "Location: {location}\r\n")?;
+        }
+        if let Some(seconds) = self.retry_after {
+            write!(out, "Retry-After: {seconds}\r\n")?;
         }
         if self.chunked {
             write!(out, "Transfer-Encoding: chunked\r\n\r\n")?;
@@ -547,6 +561,7 @@ mod tests {
             body: body.clone(),
             chunked: true,
             location: None,
+            retry_after: None,
         };
         let mut wire = Vec::new();
         resp.write_to(&mut wire, true).unwrap();
@@ -607,6 +622,20 @@ mod tests {
         let parsed = read_response(&mut BufReader::new(Cursor::new(wire))).unwrap();
         assert_eq!(parsed.status, 202);
         assert_eq!(parsed.header("location"), Some("/v1/runs/r1"));
+    }
+
+    #[test]
+    fn backpressure_responses_carry_a_retry_after_header() {
+        let resp = Response::error(429, "queue_full", "try later").with_retry_after(2);
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+
+        let parsed = read_response(&mut BufReader::new(Cursor::new(wire))).unwrap();
+        assert_eq!(parsed.status, 429);
+        assert_eq!(parsed.header("retry-after"), Some("2"));
     }
 
     #[test]

@@ -23,10 +23,16 @@
 //! | `GET` | `/v1/metrics` | Prometheus-style text exposition of the process-wide `lassi_` metrics registry. |
 //! | `GET` | `/v1/debug/events` | The most recent trace events from a bounded in-memory ring (lossy by design). |
 //! | `GET` | `/v1/healthz` | Liveness. |
+//! | `POST` | `/v1/work/lease` | A remote worker pulls a batch of scenario jobs under a time-bounded lease (`{worker_id, capacity}` → lease id + deadline + job specs). |
+//! | `POST` | `/v1/work/heartbeat` | Extend a held lease's deadline before it expires and its jobs are requeued. |
+//! | `POST` | `/v1/work/complete` | Return a lease's `record.v1` records; duplicates resolve first-write-wins, invalid completions fail the lease and requeue its jobs. |
 //! | `POST` | `/v1/shutdown` | Cooperative drain: refuse new sweeps, fail queued runs with a reason, cancel running ones, finish in-flight scenarios, exit. |
 //!
 //! Every non-2xx response carries the structured error envelope
 //! `{"error": {"code": "<slug>", "message": "...", "status": N}}`.
+//! Backpressure refusals (`429 queue_full`, `503 draining`) also carry a
+//! `Retry-After` header so well-behaved clients back off instead of
+//! hammering the socket.
 //!
 //! ## Concurrency model
 //!
@@ -62,13 +68,16 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-pub use handlers::{DEFAULT_RUNS_PAGE, MAX_RUNS_PAGE, MAX_SCENARIOS_PER_SWEEP};
+pub use handlers::{
+    DEFAULT_LEASE_CAPACITY, DEFAULT_RUNS_PAGE, MAX_LEASE_CAPACITY, MAX_RUNS_PAGE,
+    MAX_SCENARIOS_PER_SWEEP, RETRY_AFTER_DRAINING, RETRY_AFTER_QUEUE_FULL,
+};
 pub use http::{
     request, request_with_timeout, ClientConnection, ClientResponse, Request, Response,
 };
 pub use state::{
-    AppState, CancelError, SubmitError, DEBUG_EVENT_CAPACITY, DEFAULT_SWEEP_EXECUTORS,
-    MAX_QUEUED_RUNS,
+    AppState, CancelError, CompleteError, FleetSnapshot, LeaseGrant, SubmitError,
+    DEBUG_EVENT_CAPACITY, DEFAULT_LEASE_TTL_MS, DEFAULT_SWEEP_EXECUTORS, MAX_QUEUED_RUNS,
 };
 
 /// Default cap on concurrently-served connections.
@@ -202,6 +211,14 @@ impl Server {
     /// Override the connection budget (clamped to ≥ 1).
     pub fn with_max_connections(mut self, max: usize) -> Server {
         self.max_connections = max.max(1);
+        self
+    }
+
+    /// Override the work-lease TTL (clamped to ≥ 1 ms). Short TTLs make
+    /// chaos tests reclaim dead workers fast; the default is
+    /// [`DEFAULT_LEASE_TTL_MS`].
+    pub fn with_lease_ttl_ms(self, ttl_ms: u64) -> Server {
+        self.state.set_lease_ttl_ms(ttl_ms.max(1));
         self
     }
 

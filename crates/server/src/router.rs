@@ -35,6 +35,12 @@ pub enum Route {
     DebugEvents,
     /// `POST /v1/sweeps` — submit a sweep grid.
     SubmitSweep,
+    /// `POST /v1/work/lease` — a worker pulls a batch of jobs under a lease.
+    LeaseWork,
+    /// `POST /v1/work/heartbeat` — a worker extends a lease it holds.
+    HeartbeatWork,
+    /// `POST /v1/work/complete` — a worker returns records for a lease.
+    CompleteWork,
     /// `POST /v1/shutdown` — cooperative drain.
     Shutdown,
 }
@@ -99,6 +105,9 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
         ["v1", "metrics"] => get(Route::Metrics),
         ["v1", "debug", "events"] => get(Route::DebugEvents),
         ["v1", "sweeps"] => post(Route::SubmitSweep),
+        ["v1", "work", "lease"] => post(Route::LeaseWork),
+        ["v1", "work", "heartbeat"] => post(Route::HeartbeatWork),
+        ["v1", "work", "complete"] => post(Route::CompleteWork),
         ["v1", "shutdown"] => post(Route::Shutdown),
         _ => Err(RouteError::NotFound),
     }
@@ -121,6 +130,9 @@ pub fn route_pattern(resolved: &Result<Route, RouteError>) -> &'static str {
         Ok(Route::Metrics) => "/v1/metrics",
         Ok(Route::DebugEvents) => "/v1/debug/events",
         Ok(Route::SubmitSweep) => "/v1/sweeps",
+        Ok(Route::LeaseWork) => "/v1/work/lease",
+        Ok(Route::HeartbeatWork) => "/v1/work/heartbeat",
+        Ok(Route::CompleteWork) => "/v1/work/complete",
         Ok(Route::Shutdown) => "/v1/shutdown",
         Err(_) => "unmatched",
     }
@@ -156,6 +168,12 @@ mod tests {
             Ok(Route::CancelRun("smoke".into()))
         );
         assert_eq!(route("POST", "/v1/sweeps"), Ok(Route::SubmitSweep));
+        assert_eq!(route("POST", "/v1/work/lease"), Ok(Route::LeaseWork));
+        assert_eq!(
+            route("POST", "/v1/work/heartbeat"),
+            Ok(Route::HeartbeatWork)
+        );
+        assert_eq!(route("POST", "/v1/work/complete"), Ok(Route::CompleteWork));
         assert_eq!(route("POST", "/v1/shutdown"), Ok(Route::Shutdown));
         assert_eq!(route("GET", "/v1/metrics"), Ok(Route::Metrics));
         assert_eq!(route("GET", "/v1/debug/events"), Ok(Route::DebugEvents));
@@ -184,6 +202,10 @@ mod tests {
             "/v1/runs/{id}/records/{set}"
         );
         assert_eq!(route_pattern(&route("GET", "/v1/metrics")), "/v1/metrics");
+        assert_eq!(
+            route_pattern(&route("POST", "/v1/work/lease")),
+            "/v1/work/lease"
+        );
         assert_eq!(route_pattern(&route("GET", "/nope")), "unmatched");
         assert_eq!(
             route_pattern(&route("POST", "/v1/runs/x/trace")),
@@ -200,6 +222,10 @@ mod tests {
         );
         assert_eq!(
             route("GET", "/v1/sweeps"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("GET", "/v1/work/lease"),
             Err(RouteError::MethodNotAllowed)
         );
         assert_eq!(

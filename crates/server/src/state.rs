@@ -14,13 +14,16 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use lassi_core::TranslationRecord;
 use lassi_harness::{
-    ArtifactStore, CancelToken, Harness, RunArtifact, RunState, RunStatus, SweepGrid,
+    ArtifactStore, CancelToken, FleetStats, Harness, Job, JobOutput, JobWrite, LeaseError,
+    LeaseTable, RunArtifact, RunState, RunStatus, ScannedRun, SweepGrid,
 };
 use lassi_obs::{EventRing, TraceEvent, TraceSink};
 use parking_lot::{Condvar, Mutex};
@@ -38,6 +41,19 @@ pub const MAX_QUEUED_RUNS: usize = 256;
 /// Capacity of the in-memory debug-event ring served by
 /// `GET /v1/debug/events` — old events are evicted, never blocked on.
 pub const DEBUG_EVENT_CAPACITY: usize = 1024;
+
+/// Default lease time-to-live handed to remote workers: a worker that
+/// neither heartbeats nor completes within this window is presumed dead
+/// and its jobs are reclaimed. Tests shrink it to exercise expiry fast.
+pub const DEFAULT_LEASE_TTL_MS: u64 = 10_000;
+
+/// A worker counts toward the live fleet while its last contact (any
+/// `/v1/work/*` call) is fresher than this many lease TTLs.
+const WORKER_LIVENESS_TTLS: u64 = 3;
+
+/// How often an executor draining a run through the fleet sweeps for
+/// expired leases (and re-checks cancellation/completion).
+const RECLAIM_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Why [`AppState::submit_sweep`] refused a sweep.
 #[derive(Debug)]
@@ -59,6 +75,108 @@ pub enum CancelError {
     NotFound,
     /// The run is already terminal (carries the state it is in).
     NotCancellable(RunState),
+}
+
+/// Why `POST /v1/work/complete` refused a completion.
+#[derive(Debug)]
+pub enum CompleteError {
+    /// No active run holds that lease (unknown id, or the run finished).
+    UnknownLease(String),
+    /// The returned records do not match the leased jobs (wrong count, or
+    /// a record's application/model disagrees with the job it claims to
+    /// answer) — the lease is failed and its jobs requeued.
+    Invalid(String),
+}
+
+/// One batch of jobs granted to a worker, ready to serialize onto the wire.
+pub struct LeaseGrant {
+    /// The lease id the worker heartbeats and completes against.
+    pub lease_id: String,
+    /// The run the jobs belong to.
+    pub run_id: String,
+    /// Milliseconds until the lease expires unless extended.
+    pub ttl_ms: u64,
+    /// `(submission index, job spec)` pairs under the lease.
+    pub jobs: Vec<(usize, Job)>,
+}
+
+/// Point-in-time fleet accounting for `/v1/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetSnapshot {
+    /// Leases granted since the process started.
+    pub leases_granted: u64,
+    /// Leases expired (deadline missed or corrupt completion) and reclaimed.
+    pub leases_expired: u64,
+    /// Job indices requeued by reclaims.
+    pub jobs_requeued: u64,
+    /// Records dropped first-write-wins.
+    pub duplicate_completions: u64,
+    /// Records accepted as a job's first write.
+    pub records_accepted: u64,
+    /// Heartbeat extensions served.
+    pub heartbeats: u64,
+    /// Workers that contacted the server within the liveness window.
+    pub workers_active: u64,
+    /// Leases currently held by workers across all draining runs.
+    pub leases_active: u64,
+    /// Runs currently being drained by the fleet.
+    pub remote_runs: u64,
+}
+
+/// Process-wide fleet counters behind [`FleetSnapshot`].
+#[derive(Default)]
+struct FleetCounters {
+    leases_granted: AtomicU64,
+    leases_expired: AtomicU64,
+    jobs_requeued: AtomicU64,
+    duplicate_completions: AtomicU64,
+    records_accepted: AtomicU64,
+    heartbeats: AtomicU64,
+}
+
+/// A run being drained by remote workers: the lease table plus the
+/// first-write-wins record slots the completions land in.
+struct RemoteRun {
+    run_id: String,
+    jobs: Vec<Job>,
+    table: Mutex<LeaseTable>,
+    records: Mutex<Vec<Option<TranslationRecord>>>,
+}
+
+/// Check a completion body against the jobs its lease holds: the record
+/// count must match, and each record must identify the scenario it claims
+/// to answer. Catches truncated and chaos-corrupted completions before
+/// they can reach the artifact.
+fn validate_completion(
+    leased: &[usize],
+    jobs: &[Job],
+    records: &[TranslationRecord],
+) -> Result<(), String> {
+    if records.len() != leased.len() {
+        return Err(format!(
+            "lease holds {} jobs but the completion carries {} records",
+            leased.len(),
+            records.len()
+        ));
+    }
+    for (&index, record) in leased.iter().zip(records) {
+        let job = &jobs[index];
+        if record.application != job.application.name || record.model != job.model.name {
+            return Err(format!(
+                "record for job {index} claims `{}`/`{}` but the lease holds `{}`/`{}`",
+                record.application, record.model, job.application.name, job.model.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn unix_now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// A run waiting for an executor.
@@ -111,6 +229,14 @@ pub struct AppState {
     busy_executors: AtomicUsize,
     /// Size of the executor pool once started.
     executor_count: AtomicUsize,
+    /// Runs currently drained by the fleet (lease/work calls search these).
+    remote_runs: Mutex<Vec<Arc<RemoteRun>>>,
+    /// Worker id → last contact, for fleet liveness.
+    workers: Mutex<HashMap<String, Instant>>,
+    /// Lease time-to-live handed to workers.
+    lease_ttl_ms: AtomicU64,
+    /// Process-wide lease/reclaim/requeue accounting for `/v1/metrics`.
+    fleet: FleetCounters,
 }
 
 impl AppState {
@@ -132,6 +258,10 @@ impl AppState {
             events: EventRing::new(DEBUG_EVENT_CAPACITY),
             busy_executors: AtomicUsize::new(0),
             executor_count: AtomicUsize::new(0),
+            remote_runs: Mutex::new(Vec::new()),
+            workers: Mutex::new(HashMap::new()),
+            lease_ttl_ms: AtomicU64::new(DEFAULT_LEASE_TTL_MS),
+            fleet: FleetCounters::default(),
         }
     }
 
@@ -197,6 +327,231 @@ impl AppState {
     /// Has a cooperative shutdown been requested?
     pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Override the lease TTL handed to workers (tests shrink it so
+    /// expiry/reclaim paths run in milliseconds instead of tens of
+    /// seconds).
+    pub fn set_lease_ttl_ms(&self, ttl_ms: u64) {
+        self.lease_ttl_ms.store(ttl_ms.max(1), Ordering::Relaxed);
+    }
+
+    /// The lease TTL currently handed to workers.
+    pub fn lease_ttl_ms(&self) -> u64 {
+        self.lease_ttl_ms.load(Ordering::Relaxed)
+    }
+
+    /// Is at least one worker live (contacted the server within the
+    /// liveness window)? Decides whether a popped run is drained by the
+    /// fleet or by the local pool — with zero registered workers this is
+    /// always false and the server behaves exactly as it did without the
+    /// work-pull protocol.
+    pub fn fleet_available(&self) -> bool {
+        let window = Duration::from_millis(self.lease_ttl_ms() * WORKER_LIVENESS_TTLS);
+        self.workers
+            .lock()
+            .values()
+            .any(|last| last.elapsed() <= window)
+    }
+
+    /// Record a `/v1/work/*` contact from a worker (implicit registration:
+    /// the first lease poll is what makes a worker part of the fleet).
+    fn touch_worker(&self, worker: &str) {
+        self.workers
+            .lock()
+            .insert(worker.to_string(), Instant::now());
+    }
+
+    /// Push a lease lifecycle event into the debug ring.
+    fn lease_event(&self, action: &str, run_id: &str, lease_id: &str, worker: &str, jobs: u64) {
+        self.events.push(
+            TraceEvent::event("lease", self.events.now_us())
+                .with("action", action)
+                .with("run_id", run_id)
+                .with("lease_id", lease_id)
+                .with("worker", worker)
+                .with("jobs", jobs),
+        );
+    }
+
+    /// `POST /v1/work/lease`: register the worker and hand it a batch of
+    /// up to `capacity` jobs from the first fleet-drained run with pending
+    /// work. `None` means no work right now — the worker should back off
+    /// and poll again.
+    pub fn lease_work(&self, worker: &str, capacity: usize) -> Option<LeaseGrant> {
+        self.touch_worker(worker);
+        let ttl_ms = self.lease_ttl_ms();
+        let now_ms = unix_now_ms();
+        let remote_runs: Vec<Arc<RemoteRun>> = self.remote_runs.lock().clone();
+        for remote in remote_runs {
+            let mut table = remote.table.lock();
+            let Some(lease) = table.grant(worker, capacity, now_ms, ttl_ms) else {
+                continue;
+            };
+            let grant = LeaseGrant {
+                lease_id: lease.lease_id.clone(),
+                run_id: remote.run_id.clone(),
+                ttl_ms,
+                jobs: lease
+                    .jobs
+                    .iter()
+                    .map(|&index| (index, remote.jobs[index].clone()))
+                    .collect(),
+            };
+            let _ = table.save(&self.store.run_dir(&remote.run_id));
+            drop(table);
+            self.fleet.leases_granted.fetch_add(1, Ordering::Relaxed);
+            self.lease_event(
+                "granted",
+                &grant.run_id,
+                &grant.lease_id,
+                worker,
+                grant.jobs.len() as u64,
+            );
+            return Some(grant);
+        }
+        None
+    }
+
+    /// `POST /v1/work/heartbeat`: extend an active lease's deadline by one
+    /// TTL. Returns the TTL granted; a lease already settled or reclaimed
+    /// (the worker stalled past its deadline) is refused so the worker
+    /// knows to drop the batch and re-lease.
+    pub fn heartbeat_work(&self, worker: &str, lease_id: &str) -> Result<u64, LeaseError> {
+        self.touch_worker(worker);
+        let ttl_ms = self.lease_ttl_ms();
+        let now_ms = unix_now_ms();
+        let remote_runs: Vec<Arc<RemoteRun>> = self.remote_runs.lock().clone();
+        let mut refusal = LeaseError::UnknownLease(lease_id.to_string());
+        for remote in remote_runs {
+            match remote.table.lock().heartbeat(lease_id, now_ms, ttl_ms) {
+                Ok(_) => {
+                    self.fleet.heartbeats.fetch_add(1, Ordering::Relaxed);
+                    return Ok(ttl_ms);
+                }
+                Err(LeaseError::UnknownLease(_)) => continue,
+                Err(e) => refusal = e,
+            }
+        }
+        Err(refusal)
+    }
+
+    /// `POST /v1/work/complete`: settle a lease with the records its
+    /// worker computed. Records are validated against the leased jobs
+    /// (count and application/model identity) — a corrupt completion fails
+    /// the lease and requeues its jobs rather than poisoning the artifact.
+    /// Valid records land first-write-wins; duplicates (a stale worker
+    /// whose lease was reclaimed, racing the re-execution) are counted and
+    /// dropped. Returns `(accepted, duplicates)`.
+    pub fn complete_work(
+        &self,
+        worker: &str,
+        lease_id: &str,
+        records: Vec<TranslationRecord>,
+    ) -> Result<(usize, usize), CompleteError> {
+        self.touch_worker(worker);
+        let remote_runs: Vec<Arc<RemoteRun>> = self.remote_runs.lock().clone();
+        let remote = remote_runs
+            .into_iter()
+            .find(|remote| {
+                remote
+                    .table
+                    .lock()
+                    .leases()
+                    .iter()
+                    .any(|l| l.lease_id == lease_id)
+            })
+            .ok_or_else(|| CompleteError::UnknownLease(lease_id.to_string()))?;
+        let dir = self.store.run_dir(&remote.run_id);
+
+        let mut table = remote.table.lock();
+        let leased: Vec<usize> = table
+            .leases()
+            .iter()
+            .find(|l| l.lease_id == lease_id)
+            .expect("lease found above")
+            .jobs
+            .clone();
+        if let Err(reason) = validate_completion(&leased, &remote.jobs, &records) {
+            // Fail-and-requeue only an active lease; a stale corrupt
+            // completion (lease already reclaimed) is simply dropped.
+            if let Ok(requeued) = table.fail_lease(lease_id) {
+                self.fleet.leases_expired.fetch_add(1, Ordering::Relaxed);
+                self.fleet
+                    .jobs_requeued
+                    .fetch_add(requeued.len() as u64, Ordering::Relaxed);
+                let _ = table.save(&dir);
+                self.lease_event(
+                    "failed",
+                    &remote.run_id,
+                    lease_id,
+                    worker,
+                    requeued.len() as u64,
+                );
+            }
+            return Err(CompleteError::Invalid(reason));
+        }
+
+        let (jobs, _was_active) = table
+            .settle(lease_id)
+            .expect("lease found above stays known");
+        let mut accepted = 0usize;
+        let mut duplicates = 0usize;
+        {
+            let mut slots = remote.records.lock();
+            for (index, record) in jobs.into_iter().zip(records) {
+                match table.record_job(index) {
+                    JobWrite::Fresh => {
+                        slots[index] = Some(record);
+                        accepted += 1;
+                    }
+                    JobWrite::Duplicate => duplicates += 1,
+                }
+            }
+        }
+        let _ = table.save(&dir);
+        drop(table);
+        self.fleet
+            .records_accepted
+            .fetch_add(accepted as u64, Ordering::Relaxed);
+        self.fleet
+            .duplicate_completions
+            .fetch_add(duplicates as u64, Ordering::Relaxed);
+        self.lease_event(
+            "completed",
+            &remote.run_id,
+            lease_id,
+            worker,
+            accepted as u64,
+        );
+        Ok((accepted, duplicates))
+    }
+
+    /// Point-in-time fleet accounting for the metrics endpoint.
+    pub fn fleet_snapshot(&self) -> FleetSnapshot {
+        let window = Duration::from_millis(self.lease_ttl_ms() * WORKER_LIVENESS_TTLS);
+        let workers_active = self
+            .workers
+            .lock()
+            .values()
+            .filter(|last| last.elapsed() <= window)
+            .count() as u64;
+        let remote_runs = self.remote_runs.lock().clone();
+        let leases_active = remote_runs
+            .iter()
+            .map(|r| r.table.lock().active_leases() as u64)
+            .sum();
+        FleetSnapshot {
+            leases_granted: self.fleet.leases_granted.load(Ordering::Relaxed),
+            leases_expired: self.fleet.leases_expired.load(Ordering::Relaxed),
+            jobs_requeued: self.fleet.jobs_requeued.load(Ordering::Relaxed),
+            duplicate_completions: self.fleet.duplicate_completions.load(Ordering::Relaxed),
+            records_accepted: self.fleet.records_accepted.load(Ordering::Relaxed),
+            heartbeats: self.fleet.heartbeats.load(Ordering::Relaxed),
+            workers_active,
+            leases_active,
+            remote_runs: remote_runs.len() as u64,
+        }
     }
 
     /// Accept a sweep for asynchronous execution: reserve the run id
@@ -314,10 +669,13 @@ impl AppState {
             .store
             .scan_runs()?
             .into_iter()
-            .map(|(id, status)| match status {
-                Some(status) => (id, status.state, status.created_unix),
+            .map(|(id, scanned)| match scanned {
+                ScannedRun::Status(status) => (id, status.state, status.created_unix),
                 // Legacy artifact from before lifecycle tracking.
-                None => (id, RunState::Done, None),
+                ScannedRun::Legacy => (id, RunState::Done, None),
+                // Torn state.json (recovery repairs it at startup; a fresh
+                // tear mid-flight still lists as failed, never vanishes).
+                ScannedRun::Corrupt(_) => (id, RunState::Failed, None),
             })
             .collect();
         let runs = self.runs.lock();
@@ -449,20 +807,53 @@ impl AppState {
         }
     }
 
-    /// Mark runs orphaned by a previous process as `failed`. Returns how
-    /// many runs were recovered.
+    /// Mark runs orphaned by a previous process as `failed`, and repair
+    /// runs whose persisted state was torn by a crash mid-write: a
+    /// truncated `state.json` (or lease file) is detected, rewritten as a
+    /// clean `failed` state with the tear in the reason, and never panics
+    /// the scan. Returns how many runs were recovered.
     pub fn recover_runs(&self) -> io::Result<usize> {
         let mut recovered = 0;
-        for (id, status) in self.store.scan_runs()? {
-            let Some(mut status) = status else { continue };
-            if status.state.is_terminal() {
-                continue;
+        for (id, scanned) in self.store.scan_runs()? {
+            let dir = self.store.run_dir(&id);
+            // A torn lease file is only a footnote: the lease table is
+            // rebuilt per run, so it is noted in the reason and ignored.
+            let lease_note = match LeaseTable::load(&dir) {
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    "; its lease file was also torn and is ignored"
+                }
+                _ => "",
+            };
+            match scanned {
+                ScannedRun::Status(mut status) => {
+                    if status.state.is_terminal() {
+                        continue;
+                    }
+                    status
+                        .finish(
+                            RunState::Failed,
+                            format!("server restarted before the run finished{lease_note}"),
+                        )
+                        .expect("queued/running → failed is legal");
+                    let _ = status.save(&dir);
+                    recovered += 1;
+                }
+                ScannedRun::Legacy => continue,
+                ScannedRun::Corrupt(err) => {
+                    let mut status = RunStatus::queued(&id, 0);
+                    status
+                        .finish(
+                            RunState::Failed,
+                            format!(
+                                "state.json was torn or truncated (crash mid-write?); \
+                                 marked failed by recovery: {err}{lease_note}"
+                            ),
+                        )
+                        .expect("queued → failed is legal");
+                    let _ = status.save(&dir);
+                    recovered += 1;
+                }
             }
-            status
-                .finish(RunState::Failed, "server restarted before the run finished")
-                .expect("queued/running → failed is legal");
-            let _ = status.save(&self.store.run_dir(&id));
-            recovered += 1;
         }
         Ok(recovered)
     }
@@ -536,20 +927,14 @@ impl AppState {
         let jobs = run.grid.jobs();
         let total = jobs.len();
         let before = self.harness.cache_snapshot();
-        let stream = self.harness.submit(jobs.clone());
-        let token = stream.cancel_token();
-        *entry.cancel.lock() = Some(token.clone());
-        // Re-check after publishing the token: a cancel or drain that raced
-        // in before the token existed must still take effect.
-        if entry.cancel_requested.load(Ordering::SeqCst) || self.shutting_down() {
-            token.cancel();
-        }
-        let mut outputs = Vec::with_capacity(total);
-        for output in stream {
-            outputs.push(output);
-            entry.completed.fetch_add(1, Ordering::Relaxed);
-        }
-        *entry.cancel.lock() = None;
+        // Scheduling mode: a live worker fleet drains the run through the
+        // lease table; otherwise (the zero-worker fleet) the local pool
+        // does, exactly as before the work-pull protocol existed.
+        let (outputs, fleet) = if total > 0 && self.fleet_available() {
+            self.drain_remote(run, &entry, &jobs)
+        } else {
+            (self.drain_local(&entry, &jobs), None)
+        };
 
         let wall = entry
             .started
@@ -558,6 +943,7 @@ impl AppState {
         let mut status = entry.status.lock();
         status.completed = outputs.len();
         status.wall_seconds = wall;
+        status.fleet = fleet;
         if outputs.len() == total {
             let delta = self.harness.cache_snapshot().since(before);
             // The completion event goes into the sink *before* the artifact
@@ -615,6 +1001,172 @@ impl AppState {
             );
         }
         let _ = status.save(&dir);
+    }
+
+    /// Drain a run through the local worker pool (the pre-fleet path).
+    fn drain_local(&self, entry: &RunEntry, jobs: &[Job]) -> Vec<JobOutput> {
+        let stream = self.harness.submit(jobs.to_vec());
+        let token = stream.cancel_token();
+        *entry.cancel.lock() = Some(token.clone());
+        // Re-check after publishing the token: a cancel or drain that raced
+        // in before the token existed must still take effect.
+        if entry.cancel_requested.load(Ordering::SeqCst) || self.shutting_down() {
+            token.cancel();
+        }
+        let mut outputs = Vec::with_capacity(jobs.len());
+        for output in stream {
+            outputs.push(output);
+            entry.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        *entry.cancel.lock() = None;
+        outputs
+    }
+
+    /// Drain a run through the worker fleet: publish a lease table, let
+    /// `/v1/work/*` hand out and settle leases, and sweep expired leases
+    /// back into the requeue set until every job has its record (or the
+    /// run is cancelled/drained). If the whole fleet goes dark mid-run the
+    /// remaining jobs fall back to the local pool — graceful degradation
+    /// in the other direction.
+    fn drain_remote(
+        &self,
+        run: &QueuedRun,
+        entry: &RunEntry,
+        jobs: &[Job],
+    ) -> (Vec<JobOutput>, Option<FleetStats>) {
+        let total = jobs.len();
+        let dir = self.store.run_dir(&run.run_id);
+        let remote = Arc::new(RemoteRun {
+            run_id: run.run_id.clone(),
+            jobs: jobs.to_vec(),
+            table: Mutex::new(LeaseTable::new(&run.run_id, total)),
+            records: Mutex::new(vec![None; total]),
+        });
+        let _ = remote.table.lock().save(&dir);
+        self.remote_runs.lock().push(Arc::clone(&remote));
+        self.events.push(
+            TraceEvent::event("remote_drain", self.events.now_us())
+                .with("run_id", run.run_id.as_str())
+                .with("jobs", total as u64),
+        );
+
+        loop {
+            thread::sleep(RECLAIM_INTERVAL);
+            let (completed, complete, stats, stranded) = {
+                let mut table = remote.table.lock();
+                let before_reclaim = table.stats();
+                let requeued = table.reclaim_expired(unix_now_ms());
+                let after_reclaim = table.stats();
+                if after_reclaim != before_reclaim {
+                    self.fleet.leases_expired.fetch_add(
+                        after_reclaim.leases_expired - before_reclaim.leases_expired,
+                        Ordering::Relaxed,
+                    );
+                    self.fleet.jobs_requeued.fetch_add(
+                        after_reclaim.jobs_requeued - before_reclaim.jobs_requeued,
+                        Ordering::Relaxed,
+                    );
+                    let _ = table.save(&dir);
+                    self.lease_event("reclaimed", &run.run_id, "-", "-", requeued.len() as u64);
+                }
+                let stranded = table.pending_count() > 0 && table.active_leases() == 0;
+                (
+                    table.completed_count(),
+                    table.is_complete(),
+                    table.stats(),
+                    stranded,
+                )
+            };
+            entry.completed.store(completed, Ordering::Relaxed);
+            entry.status.lock().fleet = Some(stats);
+            if complete || entry.cancel_requested.load(Ordering::SeqCst) || self.shutting_down() {
+                break;
+            }
+            if stranded && !self.fleet_available() {
+                // Every worker is presumed dead and nothing is in flight:
+                // finish the run ourselves rather than stalling forever.
+                self.local_fallback(&remote, entry, &dir);
+            }
+        }
+
+        self.remote_runs.lock().retain(|r| !Arc::ptr_eq(r, &remote));
+        let table = remote.table.lock();
+        let stats = table.stats();
+        let records = remote.records.lock();
+        let outputs: Vec<JobOutput> = records
+            .iter()
+            .enumerate()
+            .filter_map(|(index, record)| {
+                record.as_ref().map(|record| JobOutput {
+                    index,
+                    direction: jobs[index].direction,
+                    record: record.clone(),
+                    wall_seconds: 0.0,
+                    queue_seconds: 0.0,
+                    from_cache: false,
+                })
+            })
+            .collect();
+        (outputs, Some(stats))
+    }
+
+    /// Run every still-pending job of a fleet-drained run through the
+    /// local pool, under a lease of its own so the accounting (and the
+    /// first-write-wins rule against late stale workers) stays uniform.
+    fn local_fallback(&self, remote: &RemoteRun, entry: &RunEntry, dir: &Path) {
+        let (lease_id, indices) = {
+            let mut table = remote.table.lock();
+            let pending = table.pending_count();
+            let Some(lease) = table.grant("local-pool", pending, unix_now_ms(), u64::MAX / 2)
+            else {
+                return;
+            };
+            (lease.lease_id.clone(), lease.jobs.clone())
+        };
+        self.fleet.leases_granted.fetch_add(1, Ordering::Relaxed);
+        self.lease_event(
+            "granted",
+            &remote.run_id,
+            &lease_id,
+            "local-pool",
+            indices.len() as u64,
+        );
+
+        let subset: Vec<Job> = indices.iter().map(|&i| remote.jobs[i].clone()).collect();
+        let stream = self.harness.submit(subset);
+        let token = stream.cancel_token();
+        *entry.cancel.lock() = Some(token.clone());
+        if entry.cancel_requested.load(Ordering::SeqCst) || self.shutting_down() {
+            token.cancel();
+        }
+        let mut finished = 0usize;
+        for output in stream {
+            let index = indices[output.index];
+            let mut table = remote.table.lock();
+            if table.record_job(index) == JobWrite::Fresh {
+                remote.records.lock()[index] = Some(output.record);
+                self.fleet.records_accepted.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.fleet
+                    .duplicate_completions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            finished += 1;
+        }
+        *entry.cancel.lock() = None;
+
+        let mut table = remote.table.lock();
+        if finished == indices.len() {
+            let _ = table.settle(&lease_id);
+        } else if let Ok(requeued) = table.fail_lease(&lease_id) {
+            // Cancelled mid-fallback: put the unfinished jobs back so the
+            // table's partition invariant holds for whoever reads it.
+            self.fleet.leases_expired.fetch_add(1, Ordering::Relaxed);
+            self.fleet
+                .jobs_requeued
+                .fetch_add(requeued.len() as u64, Ordering::Relaxed);
+        }
+        let _ = table.save(dir);
     }
 }
 
@@ -748,6 +1300,161 @@ mod tests {
             s.submit_sweep(tiny_grid(), None),
             Err(SubmitError::Draining)
         ));
+    }
+
+    fn two_job_grid() -> SweepGrid {
+        SweepGrid::single(
+            PipelineConfig::default(),
+            vec![gpt4()],
+            vec![application("layout").unwrap()],
+            vec![
+                lassi_core::Direction::CudaToOmp,
+                lassi_core::Direction::OmpToCuda,
+            ],
+        )
+    }
+
+    fn wait_terminal(s: &Arc<AppState>, id: &str) -> RunStatus {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let status = s.run_status(id).expect("run must stay queryable");
+            if status.state.is_terminal() {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "run `{id}` never finished");
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn fleet_drains_a_run_with_first_write_wins_duplicates() {
+        let s = state("fleet");
+        s.set_lease_ttl_ms(60_000);
+        // The first lease poll registers the worker; there is no work yet.
+        assert!(s.lease_work("w1", 4).is_none());
+        assert!(s.fleet_available());
+        s.start_executors(1);
+        s.submit_sweep(two_job_grid(), Some("fleet-1".into()))
+            .unwrap();
+
+        // Pull one job at a time so the run stays incomplete between
+        // leases (needed to pin the duplicate path deterministically).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let grant = loop {
+            if let Some(grant) = s.lease_work("w1", 1) {
+                break grant;
+            }
+            assert!(Instant::now() < deadline, "no lease granted");
+            thread::sleep(Duration::from_millis(10));
+        };
+        assert_eq!(grant.run_id, "fleet-1");
+        assert_eq!(grant.jobs.len(), 1);
+        assert!(s.heartbeat_work("w1", &grant.lease_id).is_ok());
+
+        // A corrupt completion is refused, the lease failed and requeued.
+        let (_, job) = &grant.jobs[0];
+        let mut corrupt = job.run();
+        corrupt.application = "chaos-corrupted".into();
+        assert!(matches!(
+            s.complete_work("w1", &grant.lease_id, vec![corrupt]),
+            Err(CompleteError::Invalid(_))
+        ));
+        assert!(matches!(
+            s.heartbeat_work("w1", &grant.lease_id),
+            Err(LeaseError::NotActive { .. })
+        ));
+
+        // Re-lease the requeued job and complete it for real.
+        let grant2 = s.lease_work("w1", 1).expect("requeued job must re-lease");
+        let record = grant2.jobs[0].1.run();
+        assert_eq!(
+            s.complete_work("w1", &grant2.lease_id, vec![record.clone()])
+                .unwrap(),
+            (1, 0)
+        );
+        // A stale duplicate of the same completion is dropped,
+        // first-write-wins.
+        assert_eq!(
+            s.complete_work("w1", &grant2.lease_id, vec![record])
+                .unwrap(),
+            (0, 1)
+        );
+
+        // Drain the second job and let the run finish.
+        let grant3 = s.lease_work("w1", 4).expect("second job must lease");
+        let records: Vec<TranslationRecord> =
+            grant3.jobs.iter().map(|(_, job)| job.run()).collect();
+        s.complete_work("w1", &grant3.lease_id, records).unwrap();
+
+        let status = wait_terminal(&s, "fleet-1");
+        assert_eq!(status.state, RunState::Done, "reason: {:?}", status.reason);
+        let fleet = status.fleet.expect("fleet-drained run must carry stats");
+        assert!(fleet.leases_granted >= 3, "{fleet:?}");
+        assert_eq!(fleet.leases_expired, 1, "{fleet:?}");
+        assert_eq!(fleet.jobs_requeued, 1, "{fleet:?}");
+        assert_eq!(fleet.duplicate_completions, 1, "{fleet:?}");
+        // …and the stats are durable in state.json, not just in memory.
+        let on_disk = RunStatus::load(&s.store().run_dir("fleet-1")).unwrap();
+        assert_eq!(on_disk.fleet, Some(fleet));
+        assert!(s.fleet_snapshot().duplicate_completions >= 1);
+
+        s.begin_shutdown();
+        s.join_executors();
+    }
+
+    #[test]
+    fn dead_fleet_leases_expire_and_the_local_pool_finishes_the_run() {
+        let s = state("reclaim");
+        s.set_lease_ttl_ms(100);
+        assert!(s.lease_work("ghost", 4).is_none());
+        s.start_executors(1);
+        s.submit_sweep(tiny_grid(), Some("fleet-2".into())).unwrap();
+
+        // The ghost worker takes the only job and is never heard from
+        // again: its lease must expire, the job requeue, and — with the
+        // whole fleet dark — the local pool must finish the run.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while s.lease_work("ghost", 4).is_none() {
+            assert!(Instant::now() < deadline, "no lease granted");
+            thread::sleep(Duration::from_millis(10));
+        }
+
+        let status = wait_terminal(&s, "fleet-2");
+        assert_eq!(status.state, RunState::Done, "reason: {:?}", status.reason);
+        let fleet = status.fleet.expect("fleet stats present");
+        assert!(fleet.leases_expired >= 1, "{fleet:?}");
+        assert!(fleet.jobs_requeued >= 1, "{fleet:?}");
+        assert!(s.fleet_snapshot().leases_expired >= 1);
+
+        s.begin_shutdown();
+        s.join_executors();
+    }
+
+    #[test]
+    fn recovery_repairs_torn_state_and_lease_files() {
+        let s = state("torn");
+        // Simulate a crash mid-write: state.json and leases.json both cut
+        // off half-way (the partial write that never reached the rename).
+        let dir = s.store().run_dir("tornrun");
+        std::fs::create_dir_all(&dir).unwrap();
+        let state_json = RunStatus::queued("tornrun", 8).to_json().to_pretty();
+        std::fs::write(dir.join("state.json"), &state_json[..state_json.len() / 2]).unwrap();
+        let lease_json = LeaseTable::new("tornrun", 8).to_json().to_pretty();
+        std::fs::write(dir.join("leases.json"), &lease_json[..lease_json.len() / 2]).unwrap();
+
+        assert_eq!(s.recover_runs().unwrap(), 1);
+        let status = s.run_status("tornrun").expect("repaired run is queryable");
+        assert_eq!(status.state, RunState::Failed);
+        let reason = status.reason.expect("tear must be explained");
+        assert!(reason.contains("torn"), "{reason}");
+        assert!(reason.contains("lease file"), "{reason}");
+        // The run lists as failed rather than vanishing.
+        let rows = s.list_run_summaries().unwrap();
+        assert!(rows
+            .iter()
+            .any(|(id, state, _)| id == "tornrun" && *state == RunState::Failed));
+        // Recovery is idempotent: the rewritten state is clean.
+        assert_eq!(s.recover_runs().unwrap(), 0);
     }
 
     #[test]
